@@ -1,0 +1,81 @@
+// Substrate ablation: how the server's checkpoint cadence bounds the
+// server-outage component of a Phoenix recovery. Phoenix's own phases are
+// flat (Figure 2); what the *user* experiences also includes the server's
+// restart, which is checkpoint + WAL-tail replay. More frequent checkpoints
+// buy shorter outages at the price of more foreground sync work.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr int kCommits = 10000;
+constexpr int kRepetitions = 3;
+
+struct Point {
+  uint64_t every;        // commits per checkpoint (0 = never)
+  double load_s = 0;     // foreground time to run the commit workload
+  double restart_s = 0;  // server outage: crash-to-ready
+  uint64_t replayed = 0; // WAL records redone at restart
+};
+
+void Main() {
+  std::printf("Substrate ablation: checkpoint cadence vs server outage\n");
+  std::printf("(%d single-row commits, then crash + restart; mean of %d "
+              "runs)\n",
+              kCommits, kRepetitions);
+  PrintRule();
+  std::printf("%14s %12s %14s %16s\n", "ckpt every", "load (s)",
+              "restart (s)", "WAL replayed");
+  PrintRule();
+  for (uint64_t every : {0ull, 5000ull, 1000ull, 200ull}) {
+    Point p;
+    p.every = every;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      storage::SimDisk disk;
+      net::ServerOptions opts;
+      opts.db.checkpoint_every_n_commits = every;
+      net::DbServer server(&disk, opts);
+      BenchEnv::Check(server.Start(), "start");
+      net::Network network;
+      network.RegisterServer("tpch", &server);
+      odbc::DriverManager dm(&network);
+      odbc::Hdbc* dbc = Connect(&dm, "loader");
+      MustDrain(&dm, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+      StopWatch load;
+      odbc::Hstmt* stmt = dm.AllocStmt(dbc);
+      for (int i = 0; i < kCommits; ++i) {
+        std::string sql = "INSERT INTO T VALUES (" + std::to_string(i) +
+                          ", " + std::to_string(i * 7 % 101) + ")";
+        Check(Succeeded(dm.ExecDirect(stmt, sql)), "insert",
+              odbc::DriverManager::Diag(stmt));
+      }
+      p.load_s += load.ElapsedSeconds();
+      server.Crash();
+      StopWatch outage;
+      BenchEnv::Check(server.Restart(), "restart");
+      p.restart_s += outage.ElapsedSeconds();
+      p.replayed += server.database()->recovery_info().records_replayed;
+    }
+    std::printf("%14s %12.4f %14.6f %16llu\n",
+                every == 0 ? "never" : std::to_string(every).c_str(),
+                p.load_s / kRepetitions, p.restart_s / kRepetitions,
+                static_cast<unsigned long long>(p.replayed / kRepetitions));
+  }
+  PrintRule();
+  std::printf(
+      "\nShape: restart time tracks the un-checkpointed WAL tail; the load\n"
+      "cost of frequent checkpoints is the snapshot writes. The paper\n"
+      "delegates this entirely to the database's own recovery manager —\n"
+      "this bench shows why that delegation is sound.\n");
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Main();
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Reproduces **Figure 2** of the paper: "Elapsed time for session recovery
+// over varying result sizes", decomposed into the Virtual Session phase
+// (reconnect + option replay + handle re-mapping — constant, 0.37 s in the
+// paper) and the SQL State phase (re-open the persistent result table and
+// advance to the interrupted position server-side — nearly flat in result
+// size).
+//
+// Protocol per point: run a query returning N rows through Phoenix, fetch
+// to within a few tuples of the end, kill the server, let Phoenix recover
+// on the next fetch, and read the per-phase timings off PhoenixStats.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr uint64_t kRoundTripLatencyUs = 500;  // recovery is round-trip bound
+constexpr int kRepetitions = 5;
+
+struct Point {
+  int rows;
+  double detect = 0;
+  double virtual_session = 0;
+  double sql_state = 0;
+};
+
+void Main() {
+  BenchEnv env(kRoundTripLatencyUs);
+  odbc::DriverManager native(&env.network);
+  odbc::Hdbc* loader = Connect(&native, "loader");
+
+  // One wide table; each measurement selects a prefix of it.
+  MustDrain(&native, loader,
+            "CREATE TABLE R (N INTEGER PRIMARY KEY, PAYLOAD VARCHAR)");
+  const int kMaxRows = 16000;
+  for (int base = 0; base < kMaxRows; base += 500) {
+    std::string sql = "INSERT INTO R VALUES ";
+    for (int i = 1; i <= 500; ++i) {
+      if (i > 1) sql += ", ";
+      int n = base + i;
+      sql += "(" + std::to_string(n) + ", 'payload-row-" + std::to_string(n) +
+             "-0123456789abcdef')";
+    }
+    MustDrain(&native, loader, sql);
+  }
+
+  // Fetch block size divides every fetch target below, so the client-side
+  // block buffer is exactly drained when the crash hits: the next SQLFetch
+  // must go to the server, and the recovery we time is the one the
+  // application experiences on its outstanding request.
+  constexpr int kBlock = 50;
+
+  std::vector<Point> points;
+  for (int rows : {500, 1000, 2000, 4000, 8000, 16000}) {
+    Point p;
+    p.rows = rows;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      // Fresh virtual session per run: artifacts cleaned at disconnect,
+      // checkpoint keeps the server's own restart time flat.
+      core::PhoenixDriverManager phoenix(&env.network,
+                                         AutoRestart(&env.server));
+      odbc::Hdbc* dbc = Connect(&phoenix, "app");
+      odbc::Hstmt* stmt = phoenix.AllocStmt(dbc);
+      phoenix.SetStmtAttr(stmt, odbc::StmtAttr::kBlockSize, kBlock);
+      std::string q = "SELECT N, PAYLOAD FROM R WHERE N <= " +
+                      std::to_string(rows) + " ORDER BY N";
+      Check(Succeeded(phoenix.ExecDirect(stmt, q)), "exec",
+            odbc::DriverManager::Diag(stmt));
+      // Fetch until one block of tuples remains unread (paper protocol:
+      // "begin fetching tuples until we near the end of the result set").
+      for (int i = 0; i < rows - kBlock; ++i) {
+        Check(Succeeded(phoenix.Fetch(stmt)), "fetch",
+              odbc::DriverManager::Diag(stmt));
+      }
+      BenchEnv::Check(env.server.database()->Checkpoint(), "checkpoint");
+      env.server.Crash();
+      // The outstanding fetch triggers detection + two-phase recovery.
+      Check(Succeeded(phoenix.Fetch(stmt)), "post-crash fetch",
+            odbc::DriverManager::Diag(stmt));
+      Check(phoenix.stats().recoveries == 1, "exactly one recovery");
+      p.detect += phoenix.stats().last_detect_seconds;
+      p.virtual_session += phoenix.stats().last_virtual_session_seconds;
+      p.sql_state += phoenix.stats().last_sql_state_seconds;
+      while (phoenix.Fetch(stmt) == odbc::SqlReturn::kSuccess) {
+      }
+      phoenix.FreeStmt(stmt);
+      phoenix.Disconnect(dbc);
+    }
+    p.detect /= kRepetitions;
+    p.virtual_session /= kRepetitions;
+    p.sql_state /= kRepetitions;
+    points.push_back(p);
+  }
+
+  std::printf("Figure 2. Elapsed time for session recovery over varying "
+              "result sizes\n");
+  std::printf("(seconds; mean of %d recoveries per point; the server-outage\n"
+              " column is the time the server itself took to come back and "
+              "is\n excluded from the paper's recovery figure)\n",
+              kRepetitions);
+  PrintRule();
+  std::printf("%10s %16s %12s %12s | %14s\n", "Result", "Virtual Session",
+              "SQL State", "Recovery", "Server outage");
+  std::printf("%10s %16s %12s %12s | %14s\n", "(tuples)", "(s)", "(s)", "(s)",
+              "(s)");
+  PrintRule();
+  for (const Point& p : points) {
+    std::printf("%10d %16.6f %12.6f %12.6f | %14.6f\n", p.rows,
+                p.virtual_session, p.sql_state,
+                p.virtual_session + p.sql_state, p.detect);
+  }
+  PrintRule();
+  std::printf("\nStacked-bar view of recovery time (50 chars = largest):\n");
+  double max_total = 0;
+  for (const Point& p : points) {
+    max_total = std::max(max_total, p.virtual_session + p.sql_state);
+  }
+  for (const Point& p : points) {
+    int vs_chars = static_cast<int>(50 * p.virtual_session / max_total + 0.5);
+    int sql_chars = static_cast<int>(50 * p.sql_state / max_total + 0.5);
+    std::printf("%7d | ", p.rows);
+    for (int i = 0; i < vs_chars; ++i) std::putchar('V');
+    for (int i = 0; i < sql_chars; ++i) std::putchar('S');
+    std::printf("\n");
+  }
+  std::printf("          V = virtual session, S = SQL state\n");
+  std::printf(
+      "\nPaper reference: virtual-session phase constant (0.37 s on 1999 "
+      "hardware);\nSQL-state phase grows only mildly with result size "
+      "because re-positioning\nhappens server-side without shipping "
+      "tuples.\n");
+
+  // ---- Reposition-strategy ablation ------------------------------------
+  // The paper's Figure 2 numbers are "when Phoenix/ODBC re-positions the
+  // result set using a stored procedure that advances ... without passing
+  // tuples to the client". The alternative — re-fetching from the start and
+  // discarding client-side — pays delivery for every already-seen tuple.
+  std::printf("\nAblation: SQL-state phase, server-side seek vs client "
+              "refetch+discard\n");
+  PrintRule();
+  std::printf("%10s %18s %22s %8s\n", "Result", "server seek (s)",
+              "client refetch (s)", "ratio");
+  PrintRule();
+  for (int rows : {1000, 4000, 16000}) {
+    double by_mode[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        core::PhoenixDriverManager phoenix(&env.network,
+                                           AutoRestart(&env.server));
+        phoenix.mutable_config()->server_side_reposition = (mode == 0);
+        odbc::Hdbc* dbc = Connect(&phoenix, "app");
+        odbc::Hstmt* stmt = phoenix.AllocStmt(dbc);
+        phoenix.SetStmtAttr(stmt, odbc::StmtAttr::kBlockSize, kBlock);
+        Check(Succeeded(phoenix.ExecDirect(
+                  stmt, "SELECT N, PAYLOAD FROM R WHERE N <= " +
+                            std::to_string(rows) + " ORDER BY N")),
+              "exec", odbc::DriverManager::Diag(stmt));
+        for (int i = 0; i < rows - kBlock; ++i) {
+          Check(Succeeded(phoenix.Fetch(stmt)), "fetch",
+                odbc::DriverManager::Diag(stmt));
+        }
+        BenchEnv::Check(env.server.database()->Checkpoint(), "checkpoint");
+        env.server.Crash();
+        Check(Succeeded(phoenix.Fetch(stmt)), "post-crash fetch",
+              odbc::DriverManager::Diag(stmt));
+        by_mode[mode] += phoenix.stats().last_sql_state_seconds;
+        while (phoenix.Fetch(stmt) == odbc::SqlReturn::kSuccess) {
+        }
+        phoenix.FreeStmt(stmt);
+        phoenix.Disconnect(dbc);
+      }
+      by_mode[mode] /= kRepetitions;
+    }
+    std::printf("%10d %18.6f %22.6f %7.1fx\n", rows, by_mode[0], by_mode[1],
+                by_mode[1] / by_mode[0]);
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Main();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces **Table 1** of the paper: "Selected results from TPC-H Power
+// Test using native ODBC and Phoenix/ODBC" — per-query/per-refresh elapsed
+// seconds under the plain driver manager vs. Phoenix, the difference, and
+// the ratio, plus Total Query / Total Updates rows.
+//
+// Expected shape (paper): query overhead ≈ 1% (small for compute-heavy
+// queries producing modest results); update overhead < 0.5%; both Totals
+// close to native.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "tpch/queries.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr double kScaleFactor = 4.0;
+constexpr int kPasses = 10;
+constexpr uint64_t kRoundTripLatencyUs = 200;  // simulated LAN
+
+tpch::PassTiming RunPasses(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                           const tpch::TpchScale& scale) {
+  std::vector<tpch::PassTiming> passes;
+  for (int i = 0; i < kPasses; ++i) {
+    auto pass = tpch::RunPowerPass(dm, dbc, scale);
+    Check(pass.ok(), "power pass", pass.status());
+    passes.push_back(std::move(*pass));
+  }
+  return tpch::AveragePasses(passes);
+}
+
+void Main() {
+  BenchEnv env(kRoundTripLatencyUs);
+  tpch::TpchScale scale;
+  scale.sf = kScaleFactor;
+
+  odbc::DriverManager native(&env.network);
+  odbc::Hdbc* load_dbc = Connect(&native, "loader");
+  {
+    StopWatch watch;
+    BenchEnv::Check(tpch::Populate(&native, load_dbc, scale), "populate");
+    std::printf("TPC-H-lite populated at sf=%.1f in %.2fs ", scale.sf,
+                watch.ElapsedSeconds());
+  }
+  auto lineitems = tpch::CountRows(&native, load_dbc, "LINEITEM");
+  std::printf("(LINEITEM: %lld rows)\n\n",
+              static_cast<long long>(lineitems.ok() ? *lineitems : -1));
+
+  core::PhoenixDriverManager phoenix(&env.network);
+  odbc::Hdbc* phx_dbc = Connect(&phoenix, "phoenix-app");
+  odbc::Hdbc* nat_dbc = Connect(&native, "native-app");
+
+  std::printf("Warming up (1 discarded pass per mode)...\n");
+  (void)tpch::RunPowerPass(&native, nat_dbc, scale);
+  (void)tpch::RunPowerPass(&phoenix, phx_dbc, scale);
+
+  std::printf("Measuring: %d passes per mode\n\n", kPasses);
+  tpch::PassTiming nat = RunPasses(&native, nat_dbc, scale);
+  tpch::PassTiming phx = RunPasses(&phoenix, phx_dbc, scale);
+
+  std::printf("Table 1. TPC-H power test: native ODBC vs Phoenix/ODBC\n");
+  PrintRule();
+  std::printf("%-8s %12s %14s %14s %12s %8s\n", "Query/", "Result Set/",
+              "Native ODBC", "Phoenix/ODBC", "Difference", "Ratio");
+  std::printf("%-8s %12s %14s %14s %12s %8s\n", "Update", "Updates",
+              "seconds", "seconds", "seconds", "");
+  PrintRule();
+  auto row = [&](const std::string& id) {
+    double n = nat.seconds.at(id);
+    double p = phx.seconds.at(id);
+    std::printf("%-8s %12lld %14.4f %14.4f %12.4f %8.3f\n", id.c_str(),
+                static_cast<long long>(nat.counts.at(id)), n, p, p - n,
+                n > 0 ? p / n : 0.0);
+  };
+  for (const tpch::QueryDef& q : tpch::QuerySuite()) row(q.id);
+  row("RF1");
+  row("RF2");
+  PrintRule();
+  std::printf("%-8s %12s %14.4f %14.4f %12.4f %8.3f\n", "Total", "Query",
+              nat.query_total, phx.query_total,
+              phx.query_total - nat.query_total,
+              phx.query_total / nat.query_total);
+  std::printf("%-8s %12s %14.4f %14.4f %12.4f %8.3f\n", "Total", "Updates",
+              nat.update_total, phx.update_total,
+              phx.update_total - nat.update_total,
+              phx.update_total / nat.update_total);
+  PrintRule();
+  std::printf(
+      "\nPaper reference: Total Query overhead ~1%%, update overhead <0.5%%\n"
+      "(absolute numbers differ: simulated substrate, micro scale factor).\n");
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Main();
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef PHOENIX_BENCH_BENCH_UTIL_H_
+#define PHOENIX_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction benchmark binaries. Each bench
+// prints the corresponding table/figure of the paper (EDBT 2000) with our
+// measured numbers; EXPERIMENTS.md records the comparison.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/phoenix_driver_manager.h"
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "odbc/driver_manager.h"
+#include "storage/sim_disk.h"
+#include "tpch/dbgen.h"
+#include "tpch/power_test.h"
+
+namespace phoenix::bench {
+
+/// Disk + server + network with an optional simulated round-trip latency
+/// (busy-wait, so wall-clock timers see it — stands in for the 1999 LAN).
+struct BenchEnv {
+  storage::SimDisk disk;
+  net::DbServer server;
+  net::Network network;
+
+  explicit BenchEnv(uint64_t round_trip_latency_us = 0) : server(&disk) {
+    Check(server.Start(), "server start");
+    network.RegisterServer("tpch", &server);
+    network.config()->round_trip_latency_us = round_trip_latency_us;
+  }
+
+  static void Check(const Status& s, const char* what) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "FATAL (%s): %s\n", what, s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+};
+
+inline void Check(bool ok, const char* what, const Status& diag = Status()) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, diag.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Connects a driver manager to the bench server; aborts on failure.
+inline odbc::Hdbc* Connect(odbc::DriverManager* dm, const std::string& user) {
+  odbc::Hdbc* dbc = dm->AllocConnect(dm->AllocEnv());
+  Check(Succeeded(dm->Connect(dbc, "tpch", user)), "connect",
+        odbc::DriverManager::Diag(dbc));
+  return dbc;
+}
+
+/// A Phoenix config whose reconnect loop restarts the crashed server after
+/// `after_attempts` probes — the single-threaded stand-in for "the server
+/// reboots while Phoenix pings".
+inline core::PhoenixConfig AutoRestart(net::DbServer* server,
+                                       int after_attempts = 2) {
+  core::PhoenixConfig config;
+  auto counter = std::make_shared<int>(0);
+  config.retry_wait = [server, counter, after_attempts]() {
+    if (++*counter >= after_attempts && !server->alive()) {
+      BenchEnv::Check(server->Restart(), "server restart");
+      *counter = 0;
+    }
+  };
+  return config;
+}
+
+/// Executes a statement and drains the result; aborts on error.
+inline int64_t MustDrain(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                         const std::string& sql) {
+  auto r = tpch::ExecAndDrain(dm, dbc, sql);
+  Check(r.ok(), sql.c_str(), r.status());
+  return *r;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace phoenix::bench
+
+#endif  // PHOENIX_BENCH_BENCH_UTIL_H_

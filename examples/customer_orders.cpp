@@ -1,0 +1,171 @@
+// The paper's §2 illustrative ODBC client-server session (Figure 1), run
+// end-to-end with a server crash injected between steps — the exact
+// scenario the Phoenix design walks through:
+//
+//   1. open a connection and set connection attributes
+//   2. result set over the CUSTOMER table for last name 'Smith'
+//   3. fetch until the right customer is found
+//   4. open a cursor on the ORDERS table for that customer
+//   5. fetch all matching order detail records      <-- server dies here
+//   6. aggregate the order totals
+//   7. update the INVOICES summary table
+//   8. close the connection
+//
+// Under Phoenix the crash is invisible: step 5 merely takes longer.
+
+#include <cstdio>
+
+#include "core/phoenix_driver_manager.h"
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "storage/sim_disk.h"
+
+namespace {
+
+using phoenix::Value;
+using phoenix::core::PhoenixConfig;
+using phoenix::core::PhoenixDriverManager;
+using phoenix::odbc::CursorMode;
+using phoenix::odbc::DriverManager;
+using phoenix::odbc::Hdbc;
+using phoenix::odbc::Hstmt;
+using phoenix::odbc::SqlReturn;
+using phoenix::odbc::StmtAttr;
+
+void Must(bool ok, const char* what, const phoenix::Status& diag) {
+  if (!ok) {
+    std::fprintf(stderr, "%s: %s\n", what, diag.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void Exec(DriverManager* dm, Hdbc* dbc, const std::string& sql) {
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  Must(Succeeded(dm->ExecDirect(stmt, sql)), sql.c_str(),
+       DriverManager::Diag(stmt));
+  dm->FreeStmt(stmt);
+}
+
+}  // namespace
+
+int main() {
+  phoenix::storage::SimDisk disk;
+  phoenix::net::DbServer server(&disk);
+  (void)server.Start();
+  phoenix::net::Network network;
+  network.RegisterServer("orders-db", &server);
+
+  PhoenixConfig config;
+  config.retry_wait = [&server] {
+    if (!server.alive()) (void)server.Restart();
+  };
+  PhoenixDriverManager dm(&network, config);
+
+  // Load the master/detail/summary schema of the paper's Figure 1.
+  {
+    Hdbc* loader = dm.AllocConnect(dm.AllocEnv());
+    Must(Succeeded(dm.Connect(loader, "orders-db", "loader")), "connect",
+         DriverManager::Diag(loader));
+    Exec(&dm, loader,
+         "CREATE TABLE CUSTOMER (ID INTEGER PRIMARY KEY, FIRSTNAME VARCHAR,"
+         " LASTNAME VARCHAR, CITY VARCHAR)");
+    Exec(&dm, loader,
+         "CREATE TABLE ORDERS (OID INTEGER PRIMARY KEY, CUST_ID INTEGER,"
+         " ITEM VARCHAR, AMOUNT DOUBLE)");
+    Exec(&dm, loader,
+         "CREATE TABLE INVOICE (CUST_ID INTEGER PRIMARY KEY, TOTAL DOUBLE)");
+    Exec(&dm, loader,
+         "INSERT INTO CUSTOMER VALUES"
+         " (1, 'Alice', 'Smith', 'Redmond'), (2, 'Bob', 'Jones', 'Seattle'),"
+         " (3, 'Carol', 'Smith', 'Tacoma'), (4, 'Dave', 'Brown', 'Olympia')");
+    Exec(&dm, loader,
+         "INSERT INTO ORDERS VALUES"
+         " (100, 1, 'widget', 19.99), (101, 1, 'flange', 45.50),"
+         " (102, 2, 'gasket', 12.00), (103, 1, 'washer', 3.25),"
+         " (104, 3, 'widget', 19.99)");
+    dm.Disconnect(loader);
+  }
+
+  // --- Step 1: the application opens its session --------------------------
+  Hdbc* dbc = dm.AllocConnect(dm.AllocEnv());
+  Must(Succeeded(dm.Connect(dbc, "orders-db", "clerk")), "connect",
+       DriverManager::Diag(dbc));
+  dm.SetConnectOption(dbc, "APP_NAME", "invoice-builder");
+
+  // --- Steps 2-3: find customer Smith in Redmond --------------------------
+  Hstmt* cust = dm.AllocStmt(dbc);
+  Must(Succeeded(dm.ExecDirect(cust,
+                               "SELECT ID, FIRSTNAME, CITY FROM CUSTOMER "
+                               "WHERE LASTNAME = 'Smith' ORDER BY ID")),
+       "customer query", DriverManager::Diag(cust));
+  int64_t customer_id = -1;
+  while (Succeeded(dm.Fetch(cust))) {
+    Value id, first, city;
+    dm.GetData(cust, 0, &id);
+    dm.GetData(cust, 1, &first);
+    dm.GetData(cust, 2, &city);
+    std::printf("candidate: %s Smith (%s)\n", first.AsString().c_str(),
+                city.AsString().c_str());
+    if (city.AsString() == "Redmond") {
+      customer_id = id.AsInt64();
+      break;
+    }
+  }
+  Must(customer_id >= 0, "customer not found", phoenix::Status());
+
+  // --- Steps 4-5: cursor over the customer's orders; crash mid-fetch ------
+  Hstmt* ord = dm.AllocStmt(dbc);
+  dm.SetStmtAttr(ord, StmtAttr::kCursorMode,
+                 static_cast<int64_t>(CursorMode::kKeysetCursor));
+  Must(Succeeded(dm.ExecDirect(
+           ord, "SELECT ITEM, AMOUNT FROM ORDERS WHERE CUST_ID = " +
+                    std::to_string(customer_id))),
+       "orders cursor", DriverManager::Diag(ord));
+
+  double total = 0;
+  int n = 0;
+  while (true) {
+    SqlReturn r = dm.Fetch(ord);
+    if (r == SqlReturn::kNoData) break;
+    Must(Succeeded(r), "order fetch", DriverManager::Diag(ord));
+    Value item, amount;
+    dm.GetData(ord, 0, &item);
+    dm.GetData(ord, 1, &amount);
+    std::printf("order: %-8s %8.2f\n", item.AsString().c_str(),
+                amount.AsDouble());
+    total += amount.AsDouble();
+    if (++n == 1) {
+      std::printf("*** database server crashes between fetches ***\n");
+      server.Crash();
+    }
+  }
+
+  // --- Steps 6-7: aggregate and write the invoice summary -----------------
+  std::printf("aggregated total for customer %lld: %.2f\n",
+              static_cast<long long>(customer_id), total);
+  Exec(&dm, dbc,
+       "INSERT INTO INVOICE VALUES (" + std::to_string(customer_id) + ", " +
+           std::to_string(total) + ")");
+
+  // --- Step 8: terminate the session ---------------------------------------
+  dm.Disconnect(dbc);
+  std::printf("session closed; recoveries: %llu\n",
+              static_cast<unsigned long long>(dm.stats().recoveries));
+
+  // Show the durable outcome from a fresh connection.
+  Hdbc* check = dm.AllocConnect(dm.AllocEnv());
+  Must(Succeeded(dm.Connect(check, "orders-db", "auditor")), "connect",
+       DriverManager::Diag(check));
+  Hstmt* inv = dm.AllocStmt(check);
+  Must(Succeeded(dm.ExecDirect(inv, "SELECT CUST_ID, TOTAL FROM INVOICE")),
+       "invoice check", DriverManager::Diag(inv));
+  while (Succeeded(dm.Fetch(inv))) {
+    Value id, t;
+    dm.GetData(inv, 0, &id);
+    dm.GetData(inv, 1, &t);
+    std::printf("invoice on file: customer %lld total %.2f\n",
+                static_cast<long long>(id.AsInt64()), t.AsDouble());
+  }
+  dm.Disconnect(check);
+  return 0;
+}

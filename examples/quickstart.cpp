@@ -1,0 +1,122 @@
+// Quickstart: the smallest complete Phoenix/ODBC program.
+//
+// It stands up an in-process database server, connects through the
+// Phoenix-enhanced driver manager, runs a query — and kills the server in
+// the middle of fetching the result. The application code below contains
+// no error handling for the crash whatsoever: Phoenix recovers the session
+// and the fetch loop simply keeps going. Flip `kUsePhoenix` to false to
+// watch the same program die with a communication error.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/phoenix_driver_manager.h"
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "odbc/odbc_api.h"
+#include "storage/sim_disk.h"
+
+namespace {
+
+constexpr bool kUsePhoenix = true;
+
+using phoenix::Value;
+using phoenix::core::PhoenixConfig;
+using phoenix::core::PhoenixDriverManager;
+using phoenix::odbc::DriverManager;
+using phoenix::odbc::Hdbc;
+using phoenix::odbc::Henv;
+using phoenix::odbc::Hstmt;
+using phoenix::odbc::SqlReturn;
+
+void Die(const char* what, const phoenix::Status& status) {
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  // ---- "Machine room": a database server on a durable disk ---------------
+  phoenix::storage::SimDisk disk;
+  phoenix::net::DbServer server(&disk);
+  if (auto st = server.Start(); !st.ok()) Die("server start", st);
+  phoenix::net::Network network;
+  network.RegisterServer("demo", &server);
+
+  // ---- Driver manager: Phoenix or plain ----------------------------------
+  PhoenixConfig config;
+  // In a real deployment the operator restarts the server; here the retry
+  // loop brings it back after a couple of reconnect attempts.
+  config.retry_wait = [&server] {
+    if (!server.alive()) (void)server.Restart();
+  };
+  std::unique_ptr<DriverManager> dm;
+  if (kUsePhoenix) {
+    dm = std::make_unique<PhoenixDriverManager>(&network, config);
+  } else {
+    dm = std::make_unique<DriverManager>(&network);
+  }
+
+  // ---- The application: plain SQL/CLI calls, no failure logic ------------
+  Henv* env = nullptr;
+  Hdbc* dbc = nullptr;
+  Hstmt* stmt = nullptr;
+  SqlAllocEnv(dm.get(), &env);
+  SqlAllocConnect(dm.get(), env, &dbc);
+  if (!Succeeded(SqlConnect(dm.get(), dbc, "demo", "quickstart"))) {
+    Die("connect", DriverManager::Diag(dbc));
+  }
+  SqlAllocStmt(dm.get(), dbc, &stmt);
+  // Small fetch blocks so the crash below lands between server round trips
+  // (with the default block size the whole result would already be client-
+  // side and the crash would be invisible for the boring reason).
+  SqlSetStmtAttr(dm.get(), stmt, phoenix::odbc::StmtAttr::kBlockSize, 2);
+
+  SqlExecDirect(dm.get(), stmt,
+                "CREATE TABLE GREETINGS (ID INTEGER PRIMARY KEY, "
+                "MESSAGE VARCHAR)");
+  SqlExecDirect(dm.get(), stmt,
+                "INSERT INTO GREETINGS VALUES "
+                "(1, 'hello'), (2, 'from'), (3, 'a'), (4, 'persistent'), "
+                "(5, 'database'), (6, 'session')");
+
+  if (!Succeeded(SqlExecDirect(
+          dm.get(), stmt, "SELECT ID, MESSAGE FROM GREETINGS ORDER BY ID"))) {
+    Die("query", DriverManager::Diag(stmt));
+  }
+
+  std::printf("fetching result rows:\n");
+  int fetched = 0;
+  while (true) {
+    SqlReturn r = SqlFetch(dm.get(), stmt);
+    if (r == SqlReturn::kNoData) break;
+    if (!Succeeded(r)) Die("fetch", DriverManager::Diag(stmt));
+    Value id, msg;
+    SqlGetData(dm.get(), stmt, 0, &id);
+    SqlGetData(dm.get(), stmt, 1, &msg);
+    std::printf("  row %lld: %s\n", static_cast<long long>(id.AsInt64()),
+                msg.AsString().c_str());
+    if (++fetched == 3) {
+      std::printf("  *** killing the database server mid-result ***\n");
+      server.Crash();
+    }
+  }
+  std::printf("fetched %d rows total — no crash was visible above.\n",
+              fetched);
+
+  SqlFreeStmt(dm.get(), stmt);
+  SqlDisconnect(dm.get(), dbc);
+  SqlFreeConnect(dm.get(), dbc);
+  SqlFreeEnv(dm.get(), env);
+
+  if (kUsePhoenix) {
+    auto* phx = static_cast<PhoenixDriverManager*>(dm.get());
+    std::printf("phoenix stats: %llu recovery(ies), %llu result set(s) "
+                "materialized\n",
+                static_cast<unsigned long long>(phx->stats().recoveries),
+                static_cast<unsigned long long>(
+                    phx->stats().materialized_results));
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// A long-running report writer hammered by repeated server crashes.
+//
+// The report walks a large result set, maintains client-side running
+// aggregates, and periodically writes progress markers back to the
+// database inside explicit transactions. A chaos loop kills the server
+// every few hundred rows. The program's business logic contains no
+// failure handling; at the end it verifies the report against a
+// crash-free recomputation.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/phoenix_driver_manager.h"
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "storage/sim_disk.h"
+
+namespace {
+
+using phoenix::Rng;
+using phoenix::Value;
+using phoenix::core::PhoenixConfig;
+using phoenix::core::PhoenixDriverManager;
+using phoenix::odbc::DriverManager;
+using phoenix::odbc::Hdbc;
+using phoenix::odbc::Hstmt;
+using phoenix::odbc::SqlReturn;
+using phoenix::odbc::StmtAttr;
+
+void Must(bool ok, const char* what, const phoenix::Status& diag) {
+  if (!ok) {
+    std::fprintf(stderr, "%s: %s\n", what, diag.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void Exec(DriverManager* dm, Hdbc* dbc, const std::string& sql) {
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  Must(Succeeded(dm->ExecDirect(stmt, sql)), sql.c_str(),
+       DriverManager::Diag(stmt));
+  dm->FreeStmt(stmt);
+}
+
+constexpr int kSales = 5000;
+
+}  // namespace
+
+int main() {
+  phoenix::storage::SimDisk disk;
+  phoenix::net::DbServer server(&disk);
+  (void)server.Start();
+  phoenix::net::Network network;
+  network.RegisterServer("warehouse", &server);
+
+  PhoenixConfig config;
+  config.retry_wait = [&server] {
+    if (!server.alive()) (void)server.Restart();
+  };
+  PhoenixDriverManager dm(&network, config);
+
+  // Load a sales fact table.
+  Hdbc* loader = dm.AllocConnect(dm.AllocEnv());
+  Must(Succeeded(dm.Connect(loader, "warehouse", "loader")), "connect",
+       DriverManager::Diag(loader));
+  Exec(&dm, loader,
+       "CREATE TABLE SALES (ID INTEGER PRIMARY KEY, REGION VARCHAR, "
+       "AMOUNT DOUBLE)");
+  {
+    Rng rng(2026);
+    const char* regions[] = {"north", "south", "east", "west"};
+    for (int base = 0; base < kSales; base += 500) {
+      std::string sql = "INSERT INTO SALES VALUES ";
+      for (int i = 1; i <= 500; ++i) {
+        if (i > 1) sql += ", ";
+        int id = base + i;
+        sql += "(" + std::to_string(id) + ", '" +
+               regions[rng.NextBelow(4)] + "', " +
+               std::to_string(rng.NextRange(1, 1000)) + ".0)";
+      }
+      Exec(&dm, loader, sql);
+    }
+  }
+  dm.Disconnect(loader);
+
+  // The report writer session.
+  Hdbc* dbc = dm.AllocConnect(dm.AllocEnv());
+  Must(Succeeded(dm.Connect(dbc, "warehouse", "report-writer")), "connect",
+       DriverManager::Diag(dbc));
+  Exec(&dm, dbc,
+       "CREATE TEMPORARY TABLE PROGRESS (ROWS_SEEN INTEGER, "
+       "RUNNING_TOTAL DOUBLE)");
+
+  Hstmt* scan = dm.AllocStmt(dbc);
+  dm.SetStmtAttr(scan, StmtAttr::kBlockSize, 100);
+  Must(Succeeded(dm.ExecDirect(
+           scan, "SELECT ID, REGION, AMOUNT FROM SALES ORDER BY ID")),
+       "report scan", DriverManager::Diag(scan));
+
+  Rng chaos(7);
+  double running_total = 0;
+  int rows_seen = 0;
+  int crashes = 0;
+  int next_crash = 200 + static_cast<int>(chaos.NextBelow(300));
+  while (true) {
+    SqlReturn r = dm.Fetch(scan);
+    if (r == SqlReturn::kNoData) break;
+    Must(Succeeded(r), "fetch", DriverManager::Diag(scan));
+    Value amount;
+    dm.GetData(scan, 2, &amount);
+    running_total += amount.AsDouble();
+    ++rows_seen;
+
+    if (rows_seen % 1000 == 0) {
+      // Progress marker in an explicit transaction (replayed if a crash
+      // interrupts it).
+      Exec(&dm, dbc, "BEGIN TRANSACTION");
+      Exec(&dm, dbc, "DELETE FROM PROGRESS");
+      Exec(&dm, dbc,
+           "INSERT INTO PROGRESS VALUES (" + std::to_string(rows_seen) +
+               ", " + std::to_string(running_total) + ")");
+      Exec(&dm, dbc, "COMMIT");
+      std::printf("progress: %5d rows, running total %12.1f\n", rows_seen,
+                  running_total);
+    }
+    if (rows_seen == next_crash) {
+      ++crashes;
+      server.Crash();
+      next_crash += 300 + static_cast<int>(chaos.NextBelow(500));
+    }
+  }
+  dm.FreeStmt(scan);
+
+  // Verify against a crash-free recomputation on a fresh connection.
+  Hstmt* check = dm.AllocStmt(dbc);
+  Must(Succeeded(dm.ExecDirect(
+           check, "SELECT COUNT(*) AS N, SUM(AMOUNT) AS S FROM SALES")),
+       "verify", DriverManager::Diag(check));
+  Must(Succeeded(dm.Fetch(check)), "verify fetch",
+       DriverManager::Diag(check));
+  Value n, s;
+  dm.GetData(check, 0, &n);
+  dm.GetData(check, 1, &s);
+
+  std::printf("\nreport complete: %d rows, total %.1f\n", rows_seen,
+              running_total);
+  std::printf("database says:   %lld rows, total %.1f\n",
+              static_cast<long long>(n.AsInt64()), s.AsDouble());
+  std::printf("crashes injected: %d, recoveries performed: %llu\n", crashes,
+              static_cast<unsigned long long>(dm.stats().recoveries));
+  bool ok = n.AsInt64() == rows_seen && s.AsDouble() == running_total;
+  std::printf("verification: %s\n", ok ? "EXACT MATCH" : "MISMATCH");
+  dm.Disconnect(dbc);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <chrono>
+
+namespace phoenix {
+
+uint64_t Rng::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+std::string Rng::NextString(size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('a' + NextBelow(26)));
+  }
+  return s;
+}
+
+void StopWatch::Restart() {
+  start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+double StopWatch::ElapsedSeconds() const {
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+}  // namespace phoenix

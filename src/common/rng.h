@@ -1,0 +1,54 @@
+#ifndef PHOENIX_COMMON_RNG_H_
+#define PHOENIX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix {
+
+/// Deterministic xorshift64* generator. All randomness in the repo (data
+/// generation, fault injection, property tests) goes through seeded Rng so
+/// every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 1) {}
+
+  uint64_t Next();
+
+  /// Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n ? Next() % n : 0; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Random lowercase string of length n.
+  std::string NextString(size_t n);
+
+ private:
+  uint64_t state_;
+};
+
+/// Monotonic wall-clock stopwatch (seconds, double precision).
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+  void Restart();
+  double ElapsedSeconds() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_RNG_H_

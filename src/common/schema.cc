@@ -1,0 +1,70 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+namespace phoenix {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IdentUpper(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IdentEquals(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::CoerceRow(Row* row) const {
+  if (row->size() != columns_.size()) {
+    return Status::SqlError("row arity " + std::to_string(row->size()) +
+                            " does not match schema arity " +
+                            std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Value& v = (*row)[i];
+    if (v.is_null()) {
+      if (!columns_[i].nullable) {
+        return Status::Constraint("NULL in non-nullable column " +
+                                  columns_[i].name);
+      }
+      v = Value::Null(columns_[i].type);
+      continue;
+    }
+    if (v.type() != columns_[i].type) {
+      PHX_ASSIGN_OR_RETURN(v, v.CastTo(columns_[i].type));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,64 @@
+#ifndef PHOENIX_COMMON_SCHEMA_H_
+#define PHOENIX_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix {
+
+/// One column of a table or result set.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt32;
+  bool nullable = true;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered list of columns. Used both for stored tables and for the
+/// metadata prefix of result sets (the thing Phoenix's `WHERE 0=1` probe
+/// fetches).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Case-insensitive lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Validates a row against this schema: arity, nullability, and coerces
+  /// each value to the column type in place.
+  Status CoerceRow(Row* row) const;
+
+  /// "(a INTEGER, b VARCHAR)" — for diagnostics and CREATE TABLE synthesis.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive string equality for SQL identifiers.
+bool IdentEquals(const std::string& a, const std::string& b);
+
+/// Uppercases an identifier (ASCII).
+std::string IdentUpper(const std::string& s);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_SCHEMA_H_

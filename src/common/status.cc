@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace phoenix {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kCommError: return "CommError";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kTxnAborted: return "TxnAborted";
+    case StatusCode::kSqlError: return "SqlError";
+    case StatusCode::kConstraint: return "Constraint";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kEndOfData: return "EndOfData";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace phoenix

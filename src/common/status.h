@@ -1,0 +1,140 @@
+#ifndef PHOENIX_COMMON_STATUS_H_
+#define PHOENIX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace phoenix {
+
+/// Error categories used across the whole stack. The distinction between
+/// kCommError / kTimeout and every other code is load-bearing: the Phoenix
+/// layer treats exactly those two as "the server may have crashed" triggers.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCommError,      ///< Connection to the server was lost mid-call.
+  kTimeout,        ///< The server did not answer within the deadline.
+  kTxnAborted,
+  kSqlError,       ///< Parse/semantic/runtime SQL failure.
+  kConstraint,     ///< Uniqueness / nullability violation.
+  kNotSupported,
+  kEndOfData,      ///< Cursor/result exhausted (SQL_NO_DATA analogue).
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "CommError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Cheap value-type status, RocksDB-style. The library never throws; every
+/// fallible call returns Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status CommError(std::string m) {
+    return Status(StatusCode::kCommError, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status TxnAborted(std::string m) {
+    return Status(StatusCode::kTxnAborted, std::move(m));
+  }
+  static Status SqlError(std::string m) {
+    return Status(StatusCode::kSqlError, std::move(m));
+  }
+  static Status Constraint(std::string m) {
+    return Status(StatusCode::kConstraint, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status EndOfData() { return Status(StatusCode::kEndOfData, ""); }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsCommError() const { return code_ == StatusCode::kCommError; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsEndOfData() const { return code_ == StatusCode::kEndOfData; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "CommError: connection reset" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Minimal StatusOr analogue: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+  T&& take() { return std::move(std::get<T>(data_)); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define PHX_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::phoenix::Status _phx_st = (expr);             \
+    if (!_phx_st.ok()) return _phx_st;              \
+  } while (0)
+
+#define PHX_CONCAT_INNER(a, b) a##b
+#define PHX_CONCAT(a, b) PHX_CONCAT_INNER(a, b)
+
+#define PHX_ASSIGN_OR_RETURN(lhs, expr)                               \
+  auto PHX_CONCAT(_phx_res_, __LINE__) = (expr);                      \
+  if (!PHX_CONCAT(_phx_res_, __LINE__).ok())                          \
+    return PHX_CONCAT(_phx_res_, __LINE__).status();                  \
+  lhs = std::move(PHX_CONCAT(_phx_res_, __LINE__).take())
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_STATUS_H_

@@ -1,0 +1,249 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <functional>
+
+namespace phoenix {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool: return "BOOLEAN";
+    case DataType::kInt32: return "INTEGER";
+    case DataType::kInt64: return "BIGINT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+    case DataType::kDate: return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  std::string up;
+  up.reserve(name.size());
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(c)));
+  if (up == "BOOLEAN" || up == "BOOL") return DataType::kBool;
+  if (up == "INT" || up == "INTEGER") return DataType::kInt32;
+  if (up == "BIGINT") return DataType::kInt64;
+  if (up == "DOUBLE" || up == "FLOAT" || up == "REAL" || up == "DECIMAL") {
+    return DataType::kDouble;
+  }
+  if (up == "VARCHAR" || up == "TEXT" || up == "CHAR" || up == "STRING") {
+    return DataType::kString;
+  }
+  if (up == "DATE") return DataType::kDate;
+  return Status::SqlError("unknown type name: " + name);
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (IsNumeric() && other.IsNumeric()) {
+    // Compare exactly in the integer domain when possible.
+    if (type_ != DataType::kDouble && other.type_ != DataType::kDouble) {
+      int64_t a = AsInt64();
+      int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    // Date vs numeric: compare day-number numerically (dates are int32).
+    if (type_ == DataType::kDate && other.IsNumeric()) {
+      int64_t a = AsInt32();
+      int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (IsNumeric() && other.type_ == DataType::kDate) {
+      int64_t a = AsInt64();
+      int64_t b = other.AsInt32();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case DataType::kBool: {
+      int a = AsBool() ? 1 : 0;
+      int b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case DataType::kDate: {
+      int32_t a = AsInt32();
+      int32_t b = other.AsInt32();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric cases handled above.
+  }
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case DataType::kBool:
+      return std::hash<bool>()(AsBool());
+    case DataType::kInt32:
+    case DataType::kDate:
+      return std::hash<int64_t>()(AsInt32());
+    case DataType::kInt64:
+      return std::hash<int64_t>()(AsInt64());
+    case DataType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles identically to ints so mixed-type equi-joins
+      // hash consistently with Compare().
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) return std::hash<int64_t>()(as_int);
+      return std::hash<double>()(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case DataType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case DataType::kInt32:
+      return std::to_string(AsInt32());
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case DataType::kString: {
+      // SQL-literal form: embedded quotes are doubled.
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+    case DataType::kDate:
+      return "DATE '" + FormatDate(AsInt32()) + "'";
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null(target);
+  if (type_ == target) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (IsNumeric()) return Value::Bool(AsDouble() != 0.0);
+      break;
+    case DataType::kInt32:
+      if (IsNumeric()) return Value::Int32(static_cast<int32_t>(AsDouble()));
+      if (type_ == DataType::kDate) return Value::Int32(AsInt32());
+      break;
+    case DataType::kInt64:
+      if (IsNumeric()) return Value::Int64(static_cast<int64_t>(AsDouble()));
+      if (type_ == DataType::kDate) return Value::Int64(AsInt32());
+      break;
+    case DataType::kDouble:
+      if (IsNumeric()) return Value::Double(AsDouble());
+      break;
+    case DataType::kString:
+      if (type_ == DataType::kDate) return Value::String(FormatDate(AsInt32()));
+      return Value::String(ToString());
+    case DataType::kDate:
+      if (type_ == DataType::kInt32) return Value::Date(AsInt32());
+      if (type_ == DataType::kInt64) {
+        return Value::Date(static_cast<int32_t>(AsInt64()));
+      }
+      if (type_ == DataType::kString) {
+        PHX_ASSIGN_OR_RETURN(int32_t day, ParseDate(AsString()));
+        return Value::Date(day);
+      }
+      break;
+  }
+  return Status::SqlError(std::string("cannot cast ") + DataTypeName(type_) +
+                          " to " + DataTypeName(target));
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+bool IsLeapYear(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+const int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+// Days from 1970-01-01 to Jan 1 of year y (may be negative).
+int64_t DaysToYear(int y) {
+  int64_t days = 0;
+  if (y >= 1970) {
+    for (int i = 1970; i < y; ++i) days += IsLeapYear(i) ? 366 : 365;
+  } else {
+    for (int i = y; i < 1970; ++i) days -= IsLeapYear(i) ? 366 : 365;
+  }
+  return days;
+}
+
+}  // namespace
+
+std::string FormatDate(int32_t day_number) {
+  int y = 1970;
+  int64_t d = day_number;
+  while (d < 0) {
+    --y;
+    d += IsLeapYear(y) ? 366 : 365;
+  }
+  while (true) {
+    int year_days = IsLeapYear(y) ? 366 : 365;
+    if (d < year_days) break;
+    d -= year_days;
+    ++y;
+  }
+  int m = 0;
+  while (true) {
+    int md = kDaysInMonth[m] + (m == 1 && IsLeapYear(y) ? 1 : 0);
+    if (d < md) break;
+    d -= md;
+    ++m;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m + 1,
+                static_cast<int>(d) + 1);
+  return buf;
+}
+
+Result<int32_t> ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::SqlError("bad date literal: " + text);
+  }
+  int64_t days = DaysToYear(y);
+  for (int i = 0; i < m - 1; ++i) {
+    days += kDaysInMonth[i] + (i == 1 && IsLeapYear(y) ? 1 : 0);
+  }
+  days += d - 1;
+  return static_cast<int32_t>(days);
+}
+
+}  // namespace phoenix

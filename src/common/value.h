@@ -1,0 +1,122 @@
+#ifndef PHOENIX_COMMON_VALUE_H_
+#define PHOENIX_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoenix {
+
+/// SQL data types supported by the engine. kDate is stored as an int32
+/// day-number (days since 1970-01-01); the type tag keeps it distinct from
+/// kInt32 for metadata and printing purposes.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kDate = 5,
+};
+
+/// "INTEGER", "VARCHAR", ... — the name the catalog/DDL layer uses.
+const char* DataTypeName(DataType type);
+
+/// Parses a DDL type name ("INT", "INTEGER", "BIGINT", "DOUBLE", "FLOAT",
+/// "VARCHAR", "TEXT", "DATE", "BOOLEAN"). Case-insensitive.
+Result<DataType> DataTypeFromName(const std::string& name);
+
+/// A single SQL value: one of the typed alternatives or NULL.
+///
+/// Values are small, copyable, and comparable. Numeric comparisons coerce
+/// across kInt32/kInt64/kDouble; NULL compares as the SQL engine dictates
+/// at a higher layer (Value::Compare treats NULL < everything to give
+/// deterministic ORDER BY semantics).
+class Value {
+ public:
+  Value() : type_(DataType::kInt32), data_(std::monostate{}) {}
+
+  static Value Null(DataType type = DataType::kInt32) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(DataType::kBool, b); }
+  static Value Int32(int32_t i) { return Value(DataType::kInt32, i); }
+  static Value Int64(int64_t i) { return Value(DataType::kInt64, i); }
+  static Value Double(double d) { return Value(DataType::kDouble, d); }
+  static Value String(std::string s) {
+    return Value(DataType::kString, std::move(s));
+  }
+  static Value Date(int32_t day_number) {
+    return Value(DataType::kDate, day_number);
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int32_t AsInt32() const { return std::get<int32_t>(data_); }
+  int64_t AsInt64() const {
+    if (std::holds_alternative<int32_t>(data_)) return std::get<int32_t>(data_);
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    if (std::holds_alternative<int32_t>(data_)) return std::get<int32_t>(data_);
+    if (std::holds_alternative<int64_t>(data_)) {
+      return static_cast<double>(std::get<int64_t>(data_));
+    }
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  bool IsNumeric() const {
+    return type_ == DataType::kInt32 || type_ == DataType::kInt64 ||
+           type_ == DataType::kDouble;
+  }
+
+  /// Three-way comparison usable for ORDER BY and key lookups.
+  /// NULL < non-NULL; numerics coerce; mismatched non-numeric types compare
+  /// by type tag (deterministic, never crashes).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash (used by hash joins and GROUP BY).
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering: NULL, 42, 3.5, 'text', DATE '1995-03-02'.
+  std::string ToString() const;
+
+  /// Best-effort conversion to `target` (e.g. inserting an int literal into
+  /// a DOUBLE column). Fails only for genuinely incompatible pairs.
+  Result<Value> CastTo(DataType target) const;
+
+ private:
+  template <typename T>
+  Value(DataType type, T v) : type_(type), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, bool, int32_t, int64_t, double, std::string>
+      data_;
+};
+
+using Row = std::vector<Value>;
+
+/// Renders a row as "(v1, v2, ...)" for diagnostics and tests.
+std::string RowToString(const Row& row);
+
+/// Formats a day-number as YYYY-MM-DD (proleptic Gregorian).
+std::string FormatDate(int32_t day_number);
+
+/// Parses YYYY-MM-DD into a day-number.
+Result<int32_t> ParseDate(const std::string& text);
+
+}  // namespace phoenix
+
+#endif  // PHOENIX_COMMON_VALUE_H_

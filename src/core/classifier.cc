@@ -1,0 +1,75 @@
+#include "core/classifier.h"
+
+#include "sql/parser.h"
+
+namespace phoenix::core {
+
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kSelect: return "SELECT";
+    case RequestClass::kSelectInto: return "SELECT-INTO";
+    case RequestClass::kDml: return "DML";
+    case RequestClass::kCreateTempTable: return "CREATE-TEMP-TABLE";
+    case RequestClass::kCreateTempProc: return "CREATE-TEMP-PROC";
+    case RequestClass::kDropObject: return "DROP";
+    case RequestClass::kBegin: return "BEGIN";
+    case RequestClass::kCommit: return "COMMIT";
+    case RequestClass::kRollback: return "ROLLBACK";
+    case RequestClass::kBatch: return "BATCH";
+    case RequestClass::kPassthrough: return "PASSTHROUGH";
+  }
+  return "?";
+}
+
+Result<Classification> Classify(const std::string& sql) {
+  Classification out;
+  PHX_ASSIGN_OR_RETURN(out.stmts, sql::Parser::ParseScript(sql));
+  if (out.stmts.size() > 1) {
+    out.cls = RequestClass::kBatch;
+    return out;
+  }
+  const sql::Statement& s = *out.stmts[0];
+  switch (s.kind) {
+    case sql::StmtKind::kSelect:
+      out.cls = s.select->into_table.empty() ? RequestClass::kSelect
+                                             : RequestClass::kSelectInto;
+      break;
+    case sql::StmtKind::kInsert:
+    case sql::StmtKind::kUpdate:
+    case sql::StmtKind::kDelete:
+      out.cls = RequestClass::kDml;
+      break;
+    case sql::StmtKind::kCreateTable:
+      out.cls = (s.create_table->temporary ||
+                 (!s.create_table->table.empty() &&
+                  s.create_table->table[0] == '#'))
+                    ? RequestClass::kCreateTempTable
+                    : RequestClass::kPassthrough;
+      break;
+    case sql::StmtKind::kCreateProc:
+      out.cls = (s.create_proc->temporary ||
+                 (!s.create_proc->name.empty() && s.create_proc->name[0] == '#'))
+                    ? RequestClass::kCreateTempProc
+                    : RequestClass::kPassthrough;
+      break;
+    case sql::StmtKind::kDropTable:
+    case sql::StmtKind::kDropProc:
+      out.cls = RequestClass::kDropObject;
+      break;
+    case sql::StmtKind::kBeginTxn:
+      out.cls = RequestClass::kBegin;
+      break;
+    case sql::StmtKind::kCommit:
+      out.cls = RequestClass::kCommit;
+      break;
+    case sql::StmtKind::kRollback:
+      out.cls = RequestClass::kRollback;
+      break;
+    default:
+      out.cls = RequestClass::kPassthrough;
+      break;
+  }
+  return out;
+}
+
+}  // namespace phoenix::core

@@ -1,0 +1,45 @@
+#ifndef PHOENIX_CORE_CLASSIFIER_H_
+#define PHOENIX_CORE_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace phoenix::core {
+
+/// What Phoenix decides to do with an intercepted request — the outcome of
+/// the paper's "one-pass parse to determine request type".
+enum class RequestClass : uint8_t {
+  kSelect,           ///< single SELECT producing a result set
+  kSelectInto,       ///< SELECT ... INTO (behaves like DML: testable state)
+  kDml,              ///< single INSERT/UPDATE/DELETE
+  kCreateTempTable,  ///< to be rewritten to a persistent table
+  kCreateTempProc,   ///< to be rewritten to a persistent procedure
+  kDropObject,       ///< DROP TABLE/PROCEDURE (may refer to a mapped temp)
+  kBegin,
+  kCommit,
+  kRollback,
+  kBatch,            ///< multi-statement script
+  kPassthrough,      ///< everything else (persistent DDL, EXEC, SHOW, ...)
+};
+
+const char* RequestClassName(RequestClass c);
+
+struct Classification {
+  RequestClass cls = RequestClass::kPassthrough;
+  std::vector<std::unique_ptr<sql::Statement>> stmts;
+
+  sql::Statement* stmt() { return stmts.empty() ? nullptr : stmts[0].get(); }
+};
+
+/// Parses `sql` and classifies it. A parse failure is returned as a status —
+/// the caller then forwards the raw text to the server so the application
+/// sees the server's own diagnostics (Phoenix stays transparent).
+Result<Classification> Classify(const std::string& sql);
+
+}  // namespace phoenix::core
+
+#endif  // PHOENIX_CORE_CLASSIFIER_H_

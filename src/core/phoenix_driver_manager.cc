@@ -1,0 +1,885 @@
+#include "core/phoenix_driver_manager.h"
+
+#include <set>
+
+#include "core/rewriter.h"
+#include "core/state_store.h"
+
+namespace phoenix::core {
+
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+
+PhoenixDriverManager::PhoenixDriverManager(net::Network* network,
+                                           PhoenixConfig config)
+    : DriverManager(network), config_(std::move(config)) {}
+
+bool PhoenixDriverManager::IsCrashSignal(const Status& s) const {
+  if (s.IsCommError() || s.IsTimeout()) return true;
+  // A pre-crash session id presented to a restarted server.
+  if (s.IsNotFound() && s.message().find("session") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// "<prefix>_<KIND>_<tag>..." → tag; "" when the name does not match.
+std::string ExtractTag(const std::string& name, const std::string& prefix) {
+  if (name.rfind(prefix + "_", 0) != 0) return "";
+  size_t kind_start = prefix.size() + 1;
+  size_t kind_end = name.find('_', kind_start);
+  if (kind_end == std::string::npos) return "";
+  size_t tag_end = name.find('_', kind_end + 1);
+  return name.substr(kind_end + 1, tag_end == std::string::npos
+                                       ? std::string::npos
+                                       : tag_end - kind_end - 1);
+}
+
+bool IsProxyName(const std::string& name, const std::string& prefix) {
+  return name.rfind(prefix + "_PROXY_", 0) == 0;
+}
+
+}  // namespace
+
+Result<int> PhoenixDriverManager::CleanupOrphans(net::Network* network,
+                                                 const std::string& dsn,
+                                                 const std::string& user,
+                                                 const std::string& prefix) {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<odbc::DriverConnection> conn,
+                       odbc::DriverConnection::Open(network, dsn, user));
+  // Live tags are exactly those with a living session-proxy temp table.
+  PHX_ASSIGN_OR_RETURN(std::vector<eng::StatementResult> tables,
+                       conn->ExecScript("SHOW TABLES"));
+  std::set<std::string> live;
+  std::vector<std::string> candidates;
+  for (const Row& row : tables[0].rows) {
+    const std::string& name = row[0].AsString();
+    if (IsProxyName(name, prefix)) {
+      live.insert(ExtractTag(name, prefix));
+    } else if (!ExtractTag(name, prefix).empty()) {
+      candidates.push_back(name);
+    }
+  }
+  int dropped = 0;
+  for (const std::string& name : candidates) {
+    if (live.count(ExtractTag(name, prefix))) continue;
+    auto r = conn->ExecScript("DROP TABLE IF EXISTS " + name);
+    if (r.ok()) ++dropped;
+  }
+  // Orphaned persistent stand-ins for temp procedures.
+  PHX_ASSIGN_OR_RETURN(std::vector<eng::StatementResult> procs,
+                       conn->ExecScript("SHOW PROCEDURES"));
+  for (const Row& row : procs[0].rows) {
+    const std::string& name = row[0].AsString();
+    std::string tag = ExtractTag(name, prefix);
+    if (tag.empty() || live.count(tag)) continue;
+    auto r = conn->ExecScript("DROP PROCEDURE IF EXISTS " + name);
+    if (r.ok()) ++dropped;
+  }
+  conn->Disconnect();
+  return dropped;
+}
+
+// ---------------------------------------------------------------------------
+// Connection call points
+// ---------------------------------------------------------------------------
+
+SqlReturn PhoenixDriverManager::Connect(Hdbc* dbc, const std::string& dsn,
+                                        const std::string& user) {
+  SqlReturn r = DriverManager::Connect(dbc, dsn, user);
+  if (!Succeeded(r) || !config_.enabled) return r;
+
+  auto cs = std::make_shared<ConnState>();
+  cs->tag = MakeConnTag();
+  cs->dsn = dsn;
+  cs->user = user;
+  cs->proxy_table = ProxyTableName(config_, *cs);
+  cs->status_table = StatusTableName(config_, *cs);
+
+  // Private connection for Phoenix activity, masked from the application.
+  auto priv = odbc::DriverConnection::Open(network_, dsn, user);
+  if (!priv.ok()) {
+    DriverManager::Disconnect(dbc);
+    return Fail(dbc, priv.status());
+  }
+  cs->private_conn = priv.take();
+
+  // Session-liveness proxy: a temp table in the *main* session. It exists
+  // exactly as long as the pre-crash session does.
+  auto proxy = dbc->driver->ExecScript("CREATE TEMPORARY TABLE " +
+                                       cs->proxy_table + " (X INTEGER)");
+  if (!proxy.ok()) {
+    cs->private_conn->Disconnect();
+    DriverManager::Disconnect(dbc);
+    return Fail(dbc, proxy.status());
+  }
+  dbc->dm_state = std::move(cs);
+  return SqlReturn::kSuccess;
+}
+
+SqlReturn PhoenixDriverManager::Disconnect(Hdbc* dbc) {
+  ConnState* cs = conn_state(dbc);
+  if (cs == nullptr) return DriverManager::Disconnect(dbc);
+
+  // "After the client application has successfully terminated, Phoenix/ODBC
+  // cleans up all persistent structures on the database server."
+  if (cs->private_conn != nullptr && !cs->broken) {
+    for (const std::string& t : cs->artifact_tables) {
+      cs->private_conn->ExecScript("DROP TABLE IF EXISTS " + t);
+    }
+    for (const std::string& p : cs->artifact_procs) {
+      cs->private_conn->ExecScript("DROP PROCEDURE IF EXISTS " + p);
+    }
+    cs->private_conn->Disconnect();
+  }
+  dbc->dm_state.reset();
+  return DriverManager::Disconnect(dbc);
+}
+
+SqlReturn PhoenixDriverManager::SetConnectOption(Hdbc* dbc,
+                                                 const std::string& name,
+                                                 const std::string& value) {
+  SqlReturn r = DriverManager::SetConnectOption(dbc, name, value);
+  ConnState* cs = conn_state(dbc);
+  if (Succeeded(r) && cs != nullptr) {
+    // The option replay log: phase-1 recovery re-issues these in order.
+    cs->option_log.emplace_back(name, value);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ExecDirect — the main interception point
+// ---------------------------------------------------------------------------
+
+SqlReturn PhoenixDriverManager::ExecDirect(Hstmt* stmt,
+                                           const std::string& sql) {
+  ConnState* cs = conn_state(stmt->dbc);
+  if (cs == nullptr || !config_.enabled) {
+    return DriverManager::ExecDirect(stmt, sql);
+  }
+  if (cs->broken) {
+    return Fail(stmt, Status::CommError("session unrecoverable"));
+  }
+  ResetResultState(stmt);
+  stmt->dm_state.reset();
+  stmt->last_sql = sql;
+
+  auto classified = Classify(sql);
+  if (!classified.ok()) {
+    // Not SQL we understand: forward untouched so the application sees the
+    // server's own diagnostics.
+    return ExecPassthrough(stmt, sql, cs, /*resubmit_benign=*/true);
+  }
+  Classification& c = classified.value();
+
+  // Temp-object indirection applies to every statement.
+  std::string rewritten;
+  for (size_t i = 0; i < c.stmts.size(); ++i) {
+    RenameObjects(c.stmts[i].get(), cs->temp_table_map, cs->temp_proc_map);
+    if (i) rewritten += "; ";
+    rewritten += c.stmts[i]->ToSql();
+  }
+
+  switch (c.cls) {
+    case RequestClass::kBegin: {
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        auto r = stmt->dbc->driver->ExecScript(rewritten);
+        bool ok = r.ok();
+        if (!ok && IsCrashSignal(r.status())) {
+          auto outcome = RecoverConnection(stmt->dbc);
+          if (!outcome.ok()) return Fail(stmt, outcome.status());
+          continue;
+        }
+        // A lost-reply BEGIN already took effect: the retry's "transaction
+        // already in progress" means success.
+        if (!ok && r.status().message().find("already in progress") ==
+                       std::string::npos) {
+          return Fail(stmt, r.status());
+        }
+        cs->in_txn = true;
+        cs->txn_log.clear();
+        cs->pending_commit_req = 0;
+        InstallResult(stmt, eng::StatementResult::Affected(0));
+        return SqlReturn::kSuccess;
+      }
+      return Fail(stmt, Status::CommError("BEGIN retry budget exhausted"));
+    }
+    case RequestClass::kCommit:
+      if (!cs->in_txn) {
+        return ExecPassthrough(stmt, rewritten, cs, true);
+      }
+      return ExecCommit(stmt, cs);
+    case RequestClass::kRollback: {
+      if (!cs->in_txn) return ExecPassthrough(stmt, rewritten, cs, true);
+      // Clear the replay log first: if the server crashes mid-rollback, the
+      // transaction is dead either way and must NOT be replayed.
+      cs->in_txn = false;
+      cs->txn_log.clear();
+      cs->pending_commit_req = 0;
+      auto r = ExecOnMain(stmt->dbc, rewritten, /*resubmit=*/false);
+      // Benign outcomes: the transaction is gone either because the server
+      // crashed (remap), or because a lost-reply ROLLBACK already ran and
+      // the retry found "no transaction in progress".
+      if (!r.ok() && !IsCrashSignal(r.status()) &&
+          r.status().message().find("no transaction") == std::string::npos) {
+        return Fail(stmt, r.status());
+      }
+      InstallResult(stmt, eng::StatementResult::Affected(0));
+      return SqlReturn::kSuccess;
+    }
+    case RequestClass::kSelect: {
+      const sql::SelectStmt& sel = *c.stmt()->select;
+      if (stmt->cursor_mode == odbc::CursorMode::kKeysetCursor) {
+        return ExecCursorProxy(stmt, sel, cs, /*dynamic=*/false);
+      }
+      if (stmt->cursor_mode == odbc::CursorMode::kDynamicCursor) {
+        return ExecCursorProxy(stmt, sel, cs, /*dynamic=*/true);
+      }
+      return ExecMaterializedSelect(stmt, sel, cs);
+    }
+    case RequestClass::kSelectInto:
+    case RequestClass::kDml:
+      if (cs->in_txn) return ExecInTxn(stmt, rewritten, cs);
+      return ExecWrappedDml(stmt, *c.stmt(), cs);
+    case RequestClass::kCreateTempTable: {
+      // Rewrite to a persistent table; remember the indirection.
+      sql::CreateTableStmt* ct = c.stmt()->create_table.get();
+      std::string original = ct->table;
+      std::string actual = TempStandInName(config_, *cs, original);
+      ct->table = actual;
+      ct->temporary = false;
+      SqlReturn r = cs->in_txn
+                        ? ExecInTxn(stmt, c.stmt()->ToSql(), cs)
+                        : ExecPassthrough(stmt, c.stmt()->ToSql(), cs, true);
+      if (Succeeded(r)) {
+        cs->temp_table_map[IdentUpper(original)] = actual;
+        cs->artifact_tables.push_back(actual);
+      }
+      return r;
+    }
+    case RequestClass::kCreateTempProc: {
+      sql::CreateProcStmt* cp = c.stmt()->create_proc.get();
+      std::string original = cp->name;
+      std::string actual = TempStandInName(config_, *cs, original);
+      cp->name = actual;
+      cp->temporary = false;
+      SqlReturn r = cs->in_txn
+                        ? ExecInTxn(stmt, c.stmt()->ToSql(), cs)
+                        : ExecPassthrough(stmt, c.stmt()->ToSql(), cs, true);
+      if (Succeeded(r)) {
+        cs->temp_proc_map[IdentUpper(original)] = actual;
+        cs->artifact_procs.push_back(actual);
+      }
+      return r;
+    }
+    case RequestClass::kDropObject: {
+      SqlReturn r = cs->in_txn ? ExecInTxn(stmt, rewritten, cs)
+                               : ExecPassthrough(stmt, rewritten, cs, true);
+      if (Succeeded(r)) {
+        // Retire the indirection if this dropped a mapped temp object.
+        if (c.stmt()->kind == sql::StmtKind::kDropTable) {
+          for (auto it = cs->temp_table_map.begin();
+               it != cs->temp_table_map.end(); ++it) {
+            if (IdentEquals(it->second, c.stmt()->drop_table->table)) {
+              cs->temp_table_map.erase(it);
+              break;
+            }
+          }
+        } else if (c.stmt()->kind == sql::StmtKind::kDropProc) {
+          for (auto it = cs->temp_proc_map.begin();
+               it != cs->temp_proc_map.end(); ++it) {
+            if (IdentEquals(it->second, c.stmt()->drop_proc->name)) {
+              cs->temp_proc_map.erase(it);
+              break;
+            }
+          }
+        }
+      }
+      return r;
+    }
+    case RequestClass::kBatch:
+      if (cs->in_txn) return ExecInTxn(stmt, rewritten, cs);
+      return ExecPassthrough(stmt, rewritten, cs, true);
+    case RequestClass::kPassthrough:
+      if (cs->in_txn) return ExecInTxn(stmt, rewritten, cs);
+      return ExecPassthrough(stmt, rewritten, cs, true);
+  }
+  return Fail(stmt, Status::Internal("unhandled request class"));
+}
+
+// ---------------------------------------------------------------------------
+// SELECT: materialize the result set as a persistent server table
+// ---------------------------------------------------------------------------
+
+SqlReturn PhoenixDriverManager::ExecMaterializedSelect(
+    Hstmt* stmt, const sql::SelectStmt& sel, ConnState* cs) {
+  Hdbc* dbc = stmt->dbc;
+  // Step 1: result-set metadata via the WHERE 0=1 probe (compile-only).
+  auto metadata = ProbeMetadata(dbc, sel);
+  if (!metadata.ok()) return Fail(stmt, metadata.status());
+
+  // Step 2: persistent table shaped like the result.
+  std::string table = NextResultTableName(config_, cs);
+  sql::CreateTableStmt ct = MakeCreateTableFromMetadata(table, *metadata);
+  auto created = ExecOnPrivate(dbc, ct.ToSql());
+  if (!created.ok()) return Fail(stmt, created.status());
+  cs->artifact_tables.push_back(table);
+
+  // Step 3: materialize — data never leaves the server (single round trip).
+  Status mat = MaterializeInto(dbc, sel, table);
+  if (!mat.ok()) return Fail(stmt, mat);
+  ++stats_.materialized_results;
+
+  // Step 4: deliver through a server cursor over the persistent table, and
+  // track position for seamless post-crash resumption.
+  uint64_t cursor_id = 0;
+  Status pos = OpenCursorWithRecovery(dbc, table, 0, &cursor_id);
+  if (!pos.ok()) return Fail(stmt, pos);
+
+  stmt->has_result = true;
+  stmt->schema = std::move(*metadata);
+  stmt->server_cursor_id = cursor_id;
+  // Blocks of the app's configured size stream from the persistent table
+  // (the application still perceives an ordinary result set).
+
+  auto vs = std::make_shared<StmtState>();
+  vs->kind = StmtState::Kind::kMaterialized;
+  vs->result_table = table;
+  stmt->dm_state = std::move(vs);
+  return SqlReturn::kSuccess;
+}
+
+Result<Schema> PhoenixDriverManager::ProbeMetadata(Hdbc* dbc,
+                                                   const sql::SelectStmt& sel) {
+  std::string probe_sql = MakeMetadataProbe(sel)->ToSql();
+  PHX_ASSIGN_OR_RETURN(std::vector<eng::StatementResult> results,
+                       ExecOnPrivate(dbc, probe_sql));
+  if (results.empty() || !results[0].has_rows) {
+    return Status::SqlError("metadata probe produced no result set");
+  }
+  return std::move(results[0].schema);
+}
+
+Status PhoenixDriverManager::MaterializeInto(Hdbc* dbc,
+                                             const sql::SelectStmt& sel,
+                                             const std::string& table) {
+  if (config_.materialize_via_server) {
+    // The paper's stored-procedure trick: all data moves locally at the
+    // server in one atomic statement.
+    std::string sql = MakeInsertSelect(table, sel)->ToSql();
+    return ExecOnPrivate(dbc, sql).status();
+  }
+  // Ablation: pull the result to the client, push it back in batches.
+  PHX_ASSIGN_OR_RETURN(std::vector<eng::StatementResult> results,
+                       ExecOnPrivate(dbc, sel.ToSql()));
+  if (results.empty() || !results[0].has_rows) {
+    return Status::SqlError("materialization query produced no result set");
+  }
+  const std::vector<Row>& rows = results[0].rows;
+  size_t i = 0;
+  while (i < rows.size()) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    size_t end = std::min(rows.size(), i + config_.client_insert_batch);
+    for (size_t r = i; r < end; ++r) {
+      if (r > i) sql += ", ";
+      sql += RowToString(rows[r]);
+    }
+    i = end;
+    PHX_RETURN_IF_ERROR(ExecOnPrivate(dbc, sql).status());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Keyset / dynamic cursor proxies: persist only the keys
+// ---------------------------------------------------------------------------
+
+SqlReturn PhoenixDriverManager::ExecCursorProxy(Hstmt* stmt,
+                                                const sql::SelectStmt& sel,
+                                                ConnState* cs, bool dynamic) {
+  Hdbc* dbc = stmt->dbc;
+  if (sel.from.size() != 1 || !sel.group_by.empty() || sel.having != nullptr ||
+      sel.distinct || sel.limit >= 0) {
+    return Fail(stmt, Status::NotSupported(
+                          "keyset/dynamic cursors require a plain "
+                          "single-table query"));
+  }
+  const std::string& base = sel.from[0].name;
+
+  // Discover the primary key (SQLPrimaryKeys analogue).
+  auto keys_res = ExecOnPrivate(dbc, "SHOW KEYS " + base);
+  if (!keys_res.ok()) return Fail(stmt, keys_res.status());
+  std::vector<std::string> pk;
+  for (const Row& row : (*keys_res)[0].rows) pk.push_back(row[0].AsString());
+  if (pk.empty()) {
+    return Fail(stmt, Status::NotSupported("table " + base +
+                                           " has no primary key"));
+  }
+  if (dynamic && pk.size() != 1) {
+    return Fail(stmt, Status::NotSupported(
+                          "dynamic cursors require a single-column key"));
+  }
+
+  // Result metadata the application will see.
+  auto metadata = ProbeMetadata(dbc, sel);
+  if (!metadata.ok()) return Fail(stmt, metadata.status());
+
+  // Materialize the key set in PK order.
+  std::unique_ptr<sql::SelectStmt> key_sel = MakeSelectKeys(sel, pk);
+  auto key_meta = ProbeMetadata(dbc, *key_sel);
+  if (!key_meta.ok()) return Fail(stmt, key_meta.status());
+  std::string key_table = NextKeyTableName(config_, cs);
+  sql::CreateTableStmt ct = MakeCreateTableFromMetadata(key_table, *key_meta);
+  auto created = ExecOnPrivate(dbc, ct.ToSql());
+  if (!created.ok()) return Fail(stmt, created.status());
+  cs->artifact_tables.push_back(key_table);
+  Status mat = MaterializeInto(dbc, *key_sel, key_table);
+  if (!mat.ok()) return Fail(stmt, mat);
+
+  uint64_t cursor_id = 0;
+  Status pos = OpenCursorWithRecovery(dbc, key_table, 0, &cursor_id);
+  if (!pos.ok()) return Fail(stmt, pos);
+
+  stmt->has_result = true;
+  stmt->schema = std::move(*metadata);
+
+  auto vs = std::make_shared<StmtState>();
+  vs->kind = dynamic ? StmtState::Kind::kDynamic : StmtState::Kind::kKeyset;
+  vs->result_table = key_table;
+  vs->original_select = sel.Clone();
+  vs->pk_columns = std::move(pk);
+  vs->key_cursor_id = cursor_id;
+  stmt->dm_state = std::move(vs);
+  if (dynamic) {
+    ++stats_.dynamic_cursors;
+  } else {
+    ++stats_.keyset_cursors;
+  }
+  return SqlReturn::kSuccess;
+}
+
+// ---------------------------------------------------------------------------
+// DML: transaction wrap + testable state
+// ---------------------------------------------------------------------------
+
+Status PhoenixDriverManager::EnsureStatusTable(Hdbc* dbc, ConnState* cs) {
+  if (cs->status_table_created) return Status::Ok();
+  PHX_RETURN_IF_ERROR(
+      ExecOnPrivate(dbc, MakeStatusTableDdl(cs->status_table)).status());
+  cs->artifact_tables.push_back(cs->status_table);
+  cs->status_table_created = true;
+  return Status::Ok();
+}
+
+SqlReturn PhoenixDriverManager::ExecWrappedDml(Hstmt* stmt,
+                                               const sql::Statement& dml,
+                                               ConnState* cs) {
+  Hdbc* dbc = stmt->dbc;
+  Status st = EnsureStatusTable(dbc, cs);
+  if (!st.ok()) return Fail(stmt, st);
+  uint64_t req = cs->next_req_id++;
+  std::string wrapped = MakeDmlWrap(cs->status_table, req, dml);
+  ++stats_.dml_wrapped;
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = dbc->driver->ExecScript(wrapped);
+    if (results.ok()) {
+      // Results: [BEGIN, dml, status-insert, COMMIT]; index 1 is the DML.
+      int64_t affected =
+          results->size() > 1 ? (*results)[1].affected : -1;
+      InstallResult(stmt, eng::StatementResult::Affected(affected));
+      return SqlReturn::kSuccess;
+    }
+    if (!IsCrashSignal(results.status())) {
+      return Fail(stmt, results.status());
+    }
+    auto outcome = RecoverConnection(dbc);
+    if (!outcome.ok()) return Fail(stmt, outcome.status());
+    // Whether the failure was a crash or a lost message, the status table
+    // is the testable state: did the wrapped transaction commit?
+    ++stats_.status_probes;
+    auto probe = ExecOnPrivate(dbc, MakeStatusProbe(cs->status_table, req));
+    if (!probe.ok()) return Fail(stmt, probe.status());
+    if (!(*probe)[0].rows.empty()) {
+      // Committed before the failure — only the reply was lost.
+      ++stats_.lost_replies_recovered;
+      int64_t affected = (*probe)[0].rows[0][0].AsInt64();
+      InstallResult(stmt, eng::StatementResult::Affected(affected));
+      return SqlReturn::kSuccess;
+    }
+    // Never executed (or rolled back by the crash): resubmit.
+    ++stats_.resubmissions;
+  }
+  return Fail(stmt, Status::CommError("DML retry budget exhausted"));
+}
+
+SqlReturn PhoenixDriverManager::ExecInTxn(Hstmt* stmt, const std::string& sql,
+                                          ConnState* cs) {
+  Hdbc* dbc = stmt->dbc;
+  Status st = EnsureStatusTable(dbc, cs);
+  if (!st.ok()) return Fail(stmt, st);
+  // Testable state *inside* the open transaction: a status row written by
+  // the same request. It is uncommitted, so a crash wipes it together with
+  // the statement's effects (consistent), while after a mere lost reply the
+  // private connection's probe still sees it (Phoenix would read it at
+  // READ UNCOMMITTED on a real server). This prevents double-applying a
+  // statement whose reply vanished.
+  uint64_t req = cs->next_req_id++;
+  std::string wrapped = sql + "; INSERT INTO " + cs->status_table +
+                        " (REQ_ID, AFFECTED) VALUES (" + std::to_string(req) +
+                        ", ROWCOUNT())";
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = dbc->driver->ExecScript(wrapped);
+    if (results.ok()) {
+      cs->txn_log.push_back(wrapped);
+      // The application's result is the last statement before the marker.
+      InstallResult(stmt, std::move((*results)[results->size() - 2]));
+      return SqlReturn::kSuccess;
+    }
+    if (!IsCrashSignal(results.status())) return Fail(stmt, results.status());
+    // Recovery: a crash replays BEGIN + txn_log (without this statement); a
+    // transient failure leaves the server transaction as-is.
+    auto outcome = RecoverConnection(dbc);
+    if (!outcome.ok()) return Fail(stmt, outcome.status());
+    ++stats_.status_probes;
+    auto probe = ExecOnPrivate(dbc, MakeStatusProbe(cs->status_table, req));
+    if (!probe.ok()) return Fail(stmt, probe.status());
+    if (!(*probe)[0].rows.empty()) {
+      // Executed inside the still-open transaction; only the reply was lost.
+      ++stats_.lost_replies_recovered;
+      cs->txn_log.push_back(wrapped);
+      int64_t affected = (*probe)[0].rows[0][0].AsInt64();
+      InstallResult(stmt, eng::StatementResult::Affected(affected));
+      return SqlReturn::kSuccess;
+    }
+    ++stats_.resubmissions;
+  }
+  return Fail(stmt, Status::CommError("transaction retry budget exhausted"));
+}
+
+SqlReturn PhoenixDriverManager::ExecCommit(Hstmt* stmt, ConnState* cs) {
+  Hdbc* dbc = stmt->dbc;
+  Status st = EnsureStatusTable(dbc, cs);
+  if (!st.ok()) return Fail(stmt, st);
+  if (cs->pending_commit_req == 0) {
+    cs->pending_commit_req = cs->next_req_id++;
+  }
+  // Commit marker: written inside the transaction, so its presence after a
+  // crash proves the commit happened and the reply was merely lost.
+  std::string sql = "INSERT INTO " + cs->status_table +
+                    " (REQ_ID, AFFECTED) VALUES (" +
+                    std::to_string(cs->pending_commit_req) + ", 0); COMMIT";
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = dbc->driver->ExecScript(sql);
+    if (results.ok()) {
+      cs->in_txn = false;
+      cs->txn_log.clear();
+      cs->pending_commit_req = 0;
+      InstallResult(stmt, eng::StatementResult::Affected(0));
+      return SqlReturn::kSuccess;
+    }
+    if (!IsCrashSignal(results.status())) return Fail(stmt, results.status());
+    auto outcome = RecoverConnection(dbc);
+    if (!outcome.ok()) return Fail(stmt, outcome.status());
+    if (!cs->in_txn) {
+      // RecoverConnection found the commit marker: the transaction had
+      // committed before the crash.
+      InstallResult(stmt, eng::StatementResult::Affected(0));
+      return SqlReturn::kSuccess;
+    }
+    if (*outcome == RecoveryOutcome::kTransient) {
+      // No crash — maybe only the reply was lost. Probe the marker before
+      // resubmitting, or the marker insert would double-apply.
+      ++stats_.status_probes;
+      auto probe = ExecOnPrivate(
+          dbc, MakeStatusProbe(cs->status_table, cs->pending_commit_req));
+      if (!probe.ok()) return Fail(stmt, probe.status());
+      if (!(*probe)[0].rows.empty()) {
+        ++stats_.lost_replies_recovered;
+        cs->in_txn = false;
+        cs->txn_log.clear();
+        cs->pending_commit_req = 0;
+        InstallResult(stmt, eng::StatementResult::Affected(0));
+        return SqlReturn::kSuccess;
+      }
+    }
+    // Transaction replayed (crash) or never committed (lost request):
+    // resubmit the commit.
+  }
+  return Fail(stmt, Status::CommError("commit retry budget exhausted"));
+}
+
+SqlReturn PhoenixDriverManager::ExecPassthrough(Hstmt* stmt,
+                                                const std::string& sql,
+                                                ConnState* cs,
+                                                bool resubmit_benign) {
+  bool retried = false;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = stmt->dbc->driver->ExecScript(sql);
+    if (results.ok()) {
+      if (results->empty()) {
+        return Fail(stmt, Status::Internal("empty result batch"));
+      }
+      stmt->pending = std::move(results.value());
+      stmt->pending_pos = 1;
+      InstallResult(stmt, std::move(stmt->pending[0]));
+      (void)cs;
+      return SqlReturn::kSuccess;
+    }
+    const Status& st = results.status();
+    if (IsCrashSignal(st)) {
+      auto outcome = RecoverConnection(stmt->dbc);
+      if (!outcome.ok()) return Fail(stmt, outcome.status());
+      retried = true;
+      continue;  // resubmit
+    }
+    // A resubmitted statement whose first (reply-lost) execution already
+    // took effect: duplicate-DDL diagnostics are benign on a retry.
+    if (retried && resubmit_benign &&
+        (st.code() == StatusCode::kAlreadyExists ||
+         (st.code() == StatusCode::kSqlError &&
+          st.message().find("no such") != std::string::npos))) {
+      InstallResult(stmt, eng::StatementResult::Affected(0));
+      return SqlReturn::kSuccess;
+    }
+    return Fail(stmt, st);
+  }
+  return Fail(stmt, Status::CommError("retry budget exhausted"));
+}
+
+// ---------------------------------------------------------------------------
+// Fetch paths
+// ---------------------------------------------------------------------------
+
+SqlReturn PhoenixDriverManager::Fetch(Hstmt* stmt) {
+  ConnState* cs = conn_state(stmt->dbc);
+  StmtState* vs = stmt_state(stmt);
+  if (cs == nullptr || vs == nullptr || !config_.enabled) {
+    return DriverManager::Fetch(stmt);
+  }
+  if (cs->broken) return Fail(stmt, Status::CommError("session unrecoverable"));
+  switch (vs->kind) {
+    case StmtState::Kind::kMaterialized:
+      return FetchMaterialized(stmt, cs);
+    case StmtState::Kind::kKeyset:
+      return FetchKeyset(stmt, cs, vs);
+    case StmtState::Kind::kDynamic:
+      return FetchDynamic(stmt, cs, vs);
+    case StmtState::Kind::kNone:
+      return DriverManager::Fetch(stmt);
+  }
+  return DriverManager::Fetch(stmt);
+}
+
+SqlReturn PhoenixDriverManager::FetchMaterialized(Hstmt* stmt, ConnState* cs) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    SqlReturn r = DriverManager::Fetch(stmt);
+    if (r != SqlReturn::kError) return r;
+    if (!IsCrashSignal(stmt->diag)) return r;
+    auto outcome = RecoverConnection(stmt->dbc);
+    if (!outcome.ok()) return Fail(stmt, outcome.status());
+    if (*outcome == RecoveryOutcome::kTransient) {
+      // A lost block-fetch reply advanced the server cursor past rows the
+      // client never saw; re-position to the delivery watermark.
+      stmt->dbc->driver->Seek(stmt->server_cursor_id, stmt->rows_delivered);
+      stmt->buffered.clear();
+      stmt->buffer_pos = 0;
+      stmt->server_done = false;
+    }
+    // Remapped case: recovery already re-opened and re-positioned the
+    // cursor over the persistent result table; retrying resumes seamlessly.
+  }
+  (void)cs;
+  return Fail(stmt, Status::CommError("fetch retry budget exhausted"));
+}
+
+Result<bool> PhoenixDriverManager::NextKey(Hstmt* stmt, ConnState* cs,
+                                           StmtState* vs, Row* key) {
+  Hdbc* dbc = stmt->dbc;
+  if (vs->key_buffer.empty() && !vs->keys_done) {
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      auto block = dbc->driver->Fetch(vs->key_cursor_id, config_.fetch_block);
+      if (block.ok()) {
+        for (Row& row : block->rows) vs->key_buffer.push_back(std::move(row));
+        vs->keys_done = block->done;
+        break;
+      }
+      if (!IsCrashSignal(block.status())) return block.status();
+      PHX_ASSIGN_OR_RETURN(RecoveryOutcome outcome, RecoverConnection(dbc));
+      if (outcome == RecoveryOutcome::kTransient) {
+        // Lost reply may have advanced the key cursor: re-position it.
+        dbc->driver->Seek(vs->key_cursor_id, vs->keys_consumed);
+      }
+    }
+  }
+  (void)cs;
+  if (vs->key_buffer.empty()) return false;
+  *key = std::move(vs->key_buffer.front());
+  vs->key_buffer.pop_front();
+  ++vs->keys_consumed;
+  return true;
+}
+
+SqlReturn PhoenixDriverManager::FetchKeyset(Hstmt* stmt, ConnState* cs,
+                                            StmtState* vs) {
+  while (true) {
+    Row key;
+    auto have = NextKey(stmt, cs, vs, &key);
+    if (!have.ok()) return Fail(stmt, have.status());
+    if (!*have) {
+      stmt->diag = Status::EndOfData();
+      return SqlReturn::kNoData;
+    }
+    // Re-read the current row by key: updates are visible, deletions skip.
+    std::string sql =
+        MakeKeyLookup(*vs->original_select, vs->pk_columns, key)->ToSql();
+    auto rows = ExecOnMain(stmt->dbc, sql, /*resubmit=*/true);
+    if (!rows.ok()) return Fail(stmt, rows.status());
+    if ((*rows)[0].rows.empty()) continue;  // row deleted since open
+    stmt->current = std::move((*rows)[0].rows[0]);
+    ++stmt->rows_delivered;
+    return SqlReturn::kSuccess;
+  }
+}
+
+SqlReturn PhoenixDriverManager::FetchDynamic(Hstmt* stmt, ConnState* cs,
+                                             StmtState* vs) {
+  if (!vs->pending_rows.empty()) {
+    stmt->current = std::move(vs->pending_rows.front());
+    vs->pending_rows.pop_front();
+    ++stmt->rows_delivered;
+    return SqlReturn::kSuccess;
+  }
+  while (true) {
+    Row key;
+    auto have = NextKey(stmt, cs, vs, &key);
+    if (!have.ok()) return Fail(stmt, have.status());
+    if (!*have) {
+      stmt->diag = Status::EndOfData();
+      return SqlReturn::kNoData;
+    }
+    // Fetch the whole key range (last, key]: rows inserted into the range
+    // since open are picked up — the dynamic-membership property.
+    const Value* low = vs->range_started ? &vs->last_key[0] : nullptr;
+    std::string sql =
+        MakeRangeLookup(*vs->original_select, vs->pk_columns[0], low, key[0])
+            ->ToSql();
+    auto rows = ExecOnMain(stmt->dbc, sql, /*resubmit=*/true);
+    if (!rows.ok()) return Fail(stmt, rows.status());
+    vs->last_key = key;
+    vs->range_started = true;
+    if ((*rows)[0].rows.empty()) continue;  // range emptied by deletions
+    for (Row& row : (*rows)[0].rows) vs->pending_rows.push_back(std::move(row));
+    stmt->current = std::move(vs->pending_rows.front());
+    vs->pending_rows.pop_front();
+    ++stmt->rows_delivered;
+    return SqlReturn::kSuccess;
+  }
+}
+
+SqlReturn PhoenixDriverManager::SeekRow(Hstmt* stmt, uint64_t position) {
+  ConnState* cs = conn_state(stmt->dbc);
+  StmtState* vs = stmt_state(stmt);
+  if (cs == nullptr || vs == nullptr || !config_.enabled) {
+    return DriverManager::SeekRow(stmt, position);
+  }
+  if (cs->broken) return Fail(stmt, Status::CommError("session unrecoverable"));
+  switch (vs->kind) {
+    case StmtState::Kind::kMaterialized:
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        SqlReturn r = DriverManager::SeekRow(stmt, position);
+        if (r != SqlReturn::kError) return r;
+        if (!IsCrashSignal(stmt->diag)) return r;
+        auto outcome = RecoverConnection(stmt->dbc);
+        if (!outcome.ok()) return Fail(stmt, outcome.status());
+      }
+      return Fail(stmt, Status::CommError("seek retry budget exhausted"));
+    case StmtState::Kind::kKeyset: {
+      // Position within the frozen key set; the next fetch re-reads from
+      // that key onward.
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        auto s = stmt->dbc->driver->Seek(vs->key_cursor_id, position);
+        if (s.ok()) {
+          vs->keys_consumed = position;
+          vs->key_buffer.clear();
+          vs->keys_done = false;
+          stmt->rows_delivered = position;
+          stmt->current.clear();
+          return SqlReturn::kSuccess;
+        }
+        if (!IsCrashSignal(s)) return Fail(stmt, s);
+        auto outcome = RecoverConnection(stmt->dbc);
+        if (!outcome.ok()) return Fail(stmt, outcome.status());
+      }
+      return Fail(stmt, Status::CommError("seek retry budget exhausted"));
+    }
+    case StmtState::Kind::kDynamic:
+      return Fail(stmt, Status::NotSupported(
+                            "absolute positioning on a dynamic cursor"));
+    case StmtState::Kind::kNone:
+      break;
+  }
+  return DriverManager::SeekRow(stmt, position);
+}
+
+SqlReturn PhoenixDriverManager::CloseCursor(Hstmt* stmt) {
+  StmtState* vs = stmt_state(stmt);
+  ConnState* cs = conn_state(stmt->dbc);
+  if (vs != nullptr && cs != nullptr && vs->key_cursor_id != 0 &&
+      stmt->dbc->connected && !cs->broken) {
+    stmt->dbc->driver->CloseCursor(vs->key_cursor_id);
+  }
+  stmt->dm_state.reset();
+  return DriverManager::CloseCursor(stmt);
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level plumbing
+// ---------------------------------------------------------------------------
+
+Result<std::vector<eng::StatementResult>> PhoenixDriverManager::ExecOnMain(
+    Hdbc* dbc, const std::string& sql, bool resubmit_after_remap) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = dbc->driver->ExecScript(sql);
+    if (results.ok()) return results;
+    if (!IsCrashSignal(results.status())) return results;
+    PHX_ASSIGN_OR_RETURN(RecoveryOutcome outcome, RecoverConnection(dbc));
+    if (outcome == RecoveryOutcome::kRemapped && !resubmit_after_remap) {
+      return Status::CommError("request lost in server crash");
+    }
+  }
+  return Status::CommError("retry budget exhausted");
+}
+
+Status PhoenixDriverManager::OpenCursorWithRecovery(Hdbc* dbc,
+                                                    const std::string& table,
+                                                    uint64_t position,
+                                                    uint64_t* cursor_id) {
+  Status last;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    last = RepositionCursor(dbc, table, position, cursor_id);
+    if (last.ok() || !IsCrashSignal(last)) return last;
+    auto outcome = RecoverConnection(dbc);
+    if (!outcome.ok()) return outcome.status();
+  }
+  return last;
+}
+
+Result<std::vector<eng::StatementResult>> PhoenixDriverManager::ExecOnPrivate(
+    Hdbc* dbc, const std::string& sql) {
+  ConnState* cs = conn_state(dbc);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto results = cs->private_conn->ExecScript(sql);
+    if (results.ok()) return results;
+    if (!IsCrashSignal(results.status())) return results;
+    PHX_ASSIGN_OR_RETURN(RecoveryOutcome outcome, RecoverConnection(dbc));
+    (void)outcome;
+  }
+  return Status::CommError("retry budget exhausted (private connection)");
+}
+
+}  // namespace phoenix::core

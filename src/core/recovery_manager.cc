@@ -1,0 +1,195 @@
+#include <chrono>
+
+#include "common/rng.h"
+#include "core/phoenix_driver_manager.h"
+#include "core/rewriter.h"
+#include "core/state_store.h"
+
+// Server-failure detection and two-phase virtual-session recovery — the
+// machinery behind §3 "Server and Session Crash Recovery" of the paper.
+
+namespace phoenix::core {
+
+using odbc::DriverConnection;
+using odbc::Hdbc;
+using odbc::Hstmt;
+
+namespace {
+
+void DefaultRetryWait() {
+  // A short real pause between reconnect attempts (the paper "periodically
+  // attempts to reconnect").
+  auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+Result<PhoenixDriverManager::RecoveryOutcome>
+PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
+  ConnState* cs = conn_state(dbc);
+  if (cs == nullptr) return Status::Internal("recovery on a non-Phoenix dbc");
+  if (cs->broken) return Status::CommError("session unrecoverable");
+
+  StopWatch detect_watch;
+  // ---- Detection: re-contact the server --------------------------------
+  // Ping/reconnect loop. If the server never answers within the budget, the
+  // failure is passed to the application (the paper's give-up path).
+  std::unique_ptr<DriverConnection> fresh;
+  for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
+    auto conn = DriverConnection::Open(network_, cs->dsn, cs->user);
+    if (conn.ok()) {
+      fresh = conn.take();
+      break;
+    }
+    if (config_.retry_wait) {
+      config_.retry_wait();
+    } else {
+      DefaultRetryWait();
+    }
+  }
+  if (fresh == nullptr) {
+    cs->broken = true;
+    return Status::CommError("server unreachable: giving up after " +
+                             std::to_string(config_.reconnect_attempts) +
+                             " reconnect attempts");
+  }
+
+  // ---- Crash vs. transient discrimination ------------------------------
+  // "We test whether a special temporary table created by Phoenix/ODBC for
+  // the session still exists." It dies with the session; if it is present,
+  // the old session survived and the problem was transient.
+  auto probe = fresh->ExecScript("SELECT COUNT(*) FROM " + cs->proxy_table);
+  if (probe.ok()) {
+    fresh->Disconnect();
+    ++stats_.transient_retries;
+    return RecoveryOutcome::kTransient;
+  }
+  stats_.last_detect_seconds = detect_watch.ElapsedSeconds();
+  ++stats_.recoveries;
+
+  // ---- Phase 1: re-map the virtual session ------------------------------
+  StopWatch vs_watch;
+  // The fresh connection becomes the new mapping of the virtual connection
+  // handle; the application's Hdbc never changes identity.
+  dbc->driver = std::move(fresh);
+  for (const auto& [name, value] : cs->option_log) {
+    PHX_RETURN_IF_ERROR(dbc->driver->SetOption(name, value));
+  }
+  PHX_RETURN_IF_ERROR(dbc->driver
+                          ->ExecScript("CREATE TEMPORARY TABLE " +
+                                       cs->proxy_table + " (X INTEGER)")
+                          .status());
+  // Replacement private connection.
+  auto priv = DriverConnection::Open(network_, cs->dsn, cs->user);
+  if (!priv.ok()) {
+    cs->broken = true;
+    return priv.status();
+  }
+  cs->private_conn = priv.take();
+  stats_.last_virtual_session_seconds = vs_watch.ElapsedSeconds();
+
+  // ---- Phase 2: reinstall SQL state --------------------------------------
+  StopWatch sql_watch;
+  PHX_RETURN_IF_ERROR(ReinstallSqlState(dbc, cs));
+  stats_.last_sql_state_seconds = sql_watch.ElapsedSeconds();
+  stats_.total_recovery_seconds += stats_.last_detect_seconds +
+                                   stats_.last_virtual_session_seconds +
+                                   stats_.last_sql_state_seconds;
+  return RecoveryOutcome::kRemapped;
+}
+
+Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
+  // Open transaction: decide committed-vs-lost, then replay if lost.
+  if (cs->in_txn) {
+    bool committed = false;
+    if (cs->pending_commit_req != 0 && cs->status_table_created) {
+      auto probe = cs->private_conn->ExecScript(
+          MakeStatusProbe(cs->status_table, cs->pending_commit_req));
+      ++stats_.status_probes;
+      if (probe.ok() && !(*probe)[0].rows.empty()) committed = true;
+    }
+    if (committed) {
+      // The in-flight COMMIT made it to disk; only the reply was lost.
+      ++stats_.lost_replies_recovered;
+      cs->in_txn = false;
+      cs->txn_log.clear();
+      cs->pending_commit_req = 0;
+    } else {
+      // The crash rolled the transaction back: re-establish it by replay.
+      PHX_RETURN_IF_ERROR(
+          dbc->driver->ExecScript("BEGIN TRANSACTION").status());
+      for (const std::string& sql : cs->txn_log) {
+        PHX_RETURN_IF_ERROR(dbc->driver->ExecScript(sql).status());
+      }
+      ++stats_.txn_replays;
+    }
+  }
+
+  // Re-open and re-position every statement's persistent result/key stream.
+  for (const auto& stmt_ptr : dbc->stmts) {
+    Hstmt* stmt = stmt_ptr.get();
+    StmtState* vs = stmt_state(stmt);
+    if (vs == nullptr) continue;
+    switch (vs->kind) {
+      case StmtState::Kind::kMaterialized: {
+        uint64_t cursor_id = 0;
+        PHX_RETURN_IF_ERROR(RepositionCursor(dbc, vs->result_table,
+                                             stmt->rows_delivered,
+                                             &cursor_id));
+        stmt->server_cursor_id = cursor_id;
+        stmt->buffered.clear();
+        stmt->buffer_pos = 0;
+        stmt->server_done = false;
+        break;
+      }
+      case StmtState::Kind::kKeyset:
+      case StmtState::Kind::kDynamic: {
+        uint64_t cursor_id = 0;
+        PHX_RETURN_IF_ERROR(RepositionCursor(dbc, vs->result_table,
+                                             vs->keys_consumed, &cursor_id));
+        vs->key_cursor_id = cursor_id;
+        vs->key_buffer.clear();
+        vs->keys_done = false;
+        // pending_rows / last_key are client memory and survived intact.
+        break;
+      }
+      case StmtState::Kind::kNone:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status PhoenixDriverManager::RepositionCursor(Hdbc* dbc,
+                                              const std::string& table,
+                                              uint64_t position,
+                                              uint64_t* cursor_id) {
+  PHX_ASSIGN_OR_RETURN(
+      odbc::CursorOpenInfo info,
+      dbc->driver->OpenCursor("SELECT * FROM " + table,
+                              eng::CursorType::kStatic));
+  *cursor_id = info.cursor_id;
+  if (position == 0) return Status::Ok();
+  if (config_.server_side_reposition) {
+    // One round trip; zero tuples shipped — the paper's stored-procedure
+    // advance, realized as a server-side absolute seek.
+    return dbc->driver->Seek(info.cursor_id, position);
+  }
+  // Ablation: re-fetch from the start and throw the rows away client-side.
+  uint64_t discarded = 0;
+  while (discarded < position) {
+    uint64_t want = std::min<uint64_t>(config_.fetch_block,
+                                       position - discarded);
+    PHX_ASSIGN_OR_RETURN(odbc::FetchResult block,
+                         dbc->driver->Fetch(info.cursor_id, want));
+    discarded += block.rows.size();
+    if (block.done) break;
+    if (block.rows.empty()) break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace phoenix::core

@@ -1,0 +1,43 @@
+#include "core/state_store.h"
+
+#include <atomic>
+#include <cctype>
+
+namespace phoenix::core {
+
+std::string MakeConnTag() {
+  static std::atomic<uint64_t> counter{1};
+  return std::to_string(counter.fetch_add(1));
+}
+
+std::string NextResultTableName(const PhoenixConfig& config, ConnState* conn) {
+  return config.object_prefix + "_RES_" + conn->tag + "_" +
+         std::to_string(conn->next_artifact++);
+}
+
+std::string NextKeyTableName(const PhoenixConfig& config, ConnState* conn) {
+  return config.object_prefix + "_KEY_" + conn->tag + "_" +
+         std::to_string(conn->next_artifact++);
+}
+
+std::string StatusTableName(const PhoenixConfig& config,
+                            const ConnState& conn) {
+  return config.object_prefix + "_ST_" + conn.tag;
+}
+
+std::string ProxyTableName(const PhoenixConfig& config, const ConnState& conn) {
+  return config.object_prefix + "_PROXY_" + conn.tag;
+}
+
+std::string TempStandInName(const PhoenixConfig& config, const ConnState& conn,
+                            const std::string& original) {
+  std::string clean;
+  for (char c : original) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      clean.push_back(static_cast<char>(std::toupper((unsigned char)c)));
+    }
+  }
+  return config.object_prefix + "_TMP_" + conn.tag + "_" + clean;
+}
+
+}  // namespace phoenix::core

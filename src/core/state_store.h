@@ -1,0 +1,36 @@
+#ifndef PHOENIX_CORE_STATE_STORE_H_
+#define PHOENIX_CORE_STATE_STORE_H_
+
+#include <string>
+
+#include "core/virtual_session.h"
+
+namespace phoenix::core {
+
+/// Naming and bookkeeping for the server-side objects that materialize a
+/// session's volatile state. Pure string/bookkeeping logic — all I/O stays
+/// in the driver manager.
+
+/// Process-unique connection tag (embedded in object names so two Phoenix
+/// connections never collide, even against leftovers of a crashed client).
+std::string MakeConnTag();
+
+/// PHX_RES_<tag>_<n> — a materialized result-set table name.
+std::string NextResultTableName(const PhoenixConfig& config, ConnState* conn);
+
+/// PHX_KEY_<tag>_<n> — a materialized key-set table name.
+std::string NextKeyTableName(const PhoenixConfig& config, ConnState* conn);
+
+/// PHX_ST_<tag> — the per-connection DML status table.
+std::string StatusTableName(const PhoenixConfig& config, const ConnState& conn);
+
+/// PHX_PROXY_<tag> — the session-liveness proxy temp table.
+std::string ProxyTableName(const PhoenixConfig& config, const ConnState& conn);
+
+/// PHX_TMP_<tag>_<original> — the persistent stand-in for a temp object.
+std::string TempStandInName(const PhoenixConfig& config, const ConnState& conn,
+                            const std::string& original);
+
+}  // namespace phoenix::core
+
+#endif  // PHOENIX_CORE_STATE_STORE_H_

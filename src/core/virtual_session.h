@@ -1,0 +1,141 @@
+#ifndef PHOENIX_CORE_VIRTUAL_SESSION_H_
+#define PHOENIX_CORE_VIRTUAL_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "odbc/driver.h"
+#include "sql/ast.h"
+
+namespace phoenix::core {
+
+/// Tuning & policy knobs for the Phoenix layer.
+struct PhoenixConfig {
+  /// Master switch: disabled == behave exactly like the plain DM.
+  bool enabled = true;
+
+  /// Reconnect attempts before giving up and surfacing the comm error.
+  int reconnect_attempts = 200;
+  /// Invoked between reconnect attempts. Test harnesses and benches restart
+  /// the server from here; by default it spins briefly.
+  std::function<void()> retry_wait;
+
+  /// Rows per block fetch on Phoenix-internal server cursors.
+  uint64_t fetch_block = 64;
+
+  /// Reposition recovered result sets server-side via cursor Seek (the
+  /// paper's stored-procedure advance). false = ablation: re-fetch from the
+  /// start and discard client-side.
+  bool server_side_reposition = true;
+
+  /// Materialize results with a single server-side INSERT..SELECT (paper's
+  /// stored procedure P). false = ablation: pull rows to the client and
+  /// push them back with INSERT VALUES batches.
+  bool materialize_via_server = true;
+
+  /// Rows per INSERT VALUES batch for the client-roundtrip ablation.
+  uint64_t client_insert_batch = 256;
+
+  /// Prefix for every Phoenix-created server object.
+  std::string object_prefix = "PHX";
+};
+
+/// Counters and phase timings, exposed for tests and the Figure-2 bench.
+struct PhoenixStats {
+  uint64_t recoveries = 0;
+  uint64_t transient_retries = 0;
+  uint64_t materialized_results = 0;
+  uint64_t keyset_cursors = 0;
+  uint64_t dynamic_cursors = 0;
+  uint64_t dml_wrapped = 0;
+  uint64_t status_probes = 0;
+  uint64_t resubmissions = 0;
+  uint64_t lost_replies_recovered = 0;
+  uint64_t txn_replays = 0;
+  /// Phase timings of the most recent recovery (Figure 2's two series).
+  double last_detect_seconds = 0;
+  double last_virtual_session_seconds = 0;
+  double last_sql_state_seconds = 0;
+  double total_recovery_seconds = 0;
+};
+
+/// Per-statement Phoenix bookkeeping, hung off Hstmt::dm_state.
+struct StmtState {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kMaterialized,  ///< result persisted in `result_table`, cursor over it
+    kKeyset,        ///< keys persisted in `result_table`
+    kDynamic,       ///< keys persisted; ranges recomputed per fetch
+  };
+  Kind kind = Kind::kNone;
+
+  /// Phoenix-owned server table holding the result rows or the key set.
+  std::string result_table;
+
+  // Keyset/dynamic:
+  std::unique_ptr<sql::SelectStmt> original_select;  ///< rewritten names
+  std::vector<std::string> pk_columns;
+  uint64_t key_cursor_id = 0;       ///< static cursor over result_table
+  uint64_t keys_consumed = 0;       ///< position in the key stream
+  std::deque<Row> key_buffer;       ///< client-side block of keys
+  bool keys_done = false;
+  Row last_key;                     ///< dynamic: upper bound already fetched
+  bool range_started = false;
+  std::deque<Row> pending_rows;     ///< dynamic: rows fetched, undelivered
+};
+
+/// Per-connection Phoenix bookkeeping, hung off Hdbc::dm_state. This plus
+/// the persistent server tables *is* the virtual session: the client half
+/// holds exactly the state the paper says "is also saved on the client...
+/// to permit the synchronization of recovered server state with the client
+/// state".
+struct ConnState {
+  std::string tag;  ///< unique per connection; embedded in object names
+
+  // Saved connect/login info and the option replay log (phase-1 recovery).
+  std::string dsn;
+  std::string user;
+  std::vector<std::pair<std::string, std::string>> option_log;
+
+  /// Private database connection for Phoenix activity (materialization,
+  /// pings, probes) — masked from the application's connection.
+  std::unique_ptr<odbc::DriverConnection> private_conn;
+
+  /// Session-liveness proxy: a temp table in the *main* session; it exists
+  /// iff the pre-crash session still exists.
+  std::string proxy_table;
+
+  /// Testable-state table for DML outcomes.
+  std::string status_table;
+  bool status_table_created = false;
+
+  uint64_t next_artifact = 1;
+  uint64_t next_req_id = 1;
+
+  /// Temp-object name indirection (uppercased original -> actual).
+  std::map<std::string, std::string> temp_table_map;
+  std::map<std::string, std::string> temp_proc_map;
+
+  /// Every persistent object Phoenix created, for end-of-session cleanup.
+  std::vector<std::string> artifact_tables;
+  std::vector<std::string> artifact_procs;
+
+  /// Open-transaction tracking for post-crash replay.
+  bool in_txn = false;
+  std::vector<std::string> txn_log;
+  /// Commit-marker request id while a COMMIT is in flight (0 = none).
+  uint64_t pending_commit_req = 0;
+
+  /// Set when recovery gave up; subsequent calls fail fast.
+  bool broken = false;
+};
+
+}  // namespace phoenix::core
+
+#endif  // PHOENIX_CORE_VIRTUAL_SESSION_H_

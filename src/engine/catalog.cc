@@ -1,0 +1,56 @@
+#include "engine/catalog.h"
+
+#include "common/schema.h"
+
+namespace phoenix::eng {
+
+Status ProcRegistry::Register(std::unique_ptr<sql::CreateProcStmt> proc,
+                              uint64_t owner_session) {
+  std::string key = IdentUpper(proc->name);
+  if (procs_.count(key)) {
+    return Status::AlreadyExists("procedure already exists: " + proc->name);
+  }
+  procs_[key] = Entry{std::move(proc), owner_session};
+  return Status::Ok();
+}
+
+Status ProcRegistry::Unregister(const std::string& name) {
+  auto it = procs_.find(IdentUpper(name));
+  if (it == procs_.end()) {
+    return Status::NotFound("no such procedure: " + name);
+  }
+  procs_.erase(it);
+  return Status::Ok();
+}
+
+const sql::CreateProcStmt* ProcRegistry::Find(const std::string& name) const {
+  auto it = procs_.find(IdentUpper(name));
+  return it == procs_.end() ? nullptr : it->second.proc.get();
+}
+
+uint64_t ProcRegistry::OwnerOf(const std::string& name) const {
+  auto it = procs_.find(IdentUpper(name));
+  return it == procs_.end() ? 0 : it->second.owner_session;
+}
+
+std::vector<std::string> ProcRegistry::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(procs_.size());
+  for (const auto& [name, entry] : procs_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> ProcRegistry::DropSessionProcs(uint64_t session_id) {
+  std::vector<std::string> dropped;
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    if (it->second.owner_session == session_id) {
+      dropped.push_back(it->first);
+      it = procs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace phoenix::eng

@@ -1,0 +1,51 @@
+#ifndef PHOENIX_ENGINE_CATALOG_H_
+#define PHOENIX_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace phoenix::eng {
+
+/// Name of the hidden system table that persists stored-procedure bodies.
+/// Being an ordinary logged table, procedures survive crashes through the
+/// normal recovery path — exactly the property Phoenix relies on when it
+/// rewrites temp procedures into persistent ones.
+inline constexpr char kSysProcTable[] = "__PHXSYS_PROCS";
+
+/// In-memory registry for *temporary* stored procedures (session-scoped,
+/// lost on crash — faithful to server temp-object semantics). Persistent
+/// procedures live in kSysProcTable instead and are parsed on demand.
+class ProcRegistry {
+ public:
+  Status Register(std::unique_ptr<sql::CreateProcStmt> proc,
+                  uint64_t owner_session);
+  Status Unregister(const std::string& name);
+  /// nullptr when absent.
+  const sql::CreateProcStmt* Find(const std::string& name) const;
+  uint64_t OwnerOf(const std::string& name) const;
+
+  /// Drops all temp procs owned by a session; returns their names.
+  std::vector<std::string> DropSessionProcs(uint64_t session_id);
+
+  /// Uppercased names of all registered temp procedures.
+  std::vector<std::string> ListNames() const;
+
+  void Clear() { procs_.clear(); }
+  size_t size() const { return procs_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<sql::CreateProcStmt> proc;
+    uint64_t owner_session = 0;
+  };
+  std::map<std::string, Entry> procs_;  // keyed by uppercased name
+};
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_CATALOG_H_

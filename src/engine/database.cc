@@ -1,0 +1,410 @@
+#include "engine/database.h"
+
+#include "common/codec.h"
+#include "sql/parser.h"
+
+namespace phoenix::eng {
+
+using sql::Statement;
+using sql::StmtKind;
+
+Database::Database(storage::SimDisk* disk, DatabaseOptions opts)
+    : disk_(disk),
+      opts_(std::move(opts)),
+      durability_(disk, opts_.disk_prefix),
+      next_session_id_(opts_.first_session_id) {}
+
+Status Database::Open() {
+  if (open_) return Status::Internal("database already open");
+  PHX_RETURN_IF_ERROR(durability_.Recover(&store_, &recovery_info_));
+  txn_manager_.set_next_id(recovery_info_.next_txn_id);
+  open_ = true;
+  return Status::Ok();
+}
+
+Result<uint64_t> Database::CreateSession(const std::string& user) {
+  if (!open_) return Status::Internal("database not open");
+  auto session = std::make_unique<Session>();
+  session->id = next_session_id_++;
+  session->user = user;
+  uint64_t id = session->id;
+  sessions_[id] = std::move(session);
+  return id;
+}
+
+Status Database::CloseSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  Session* s = it->second.get();
+  if (s->txn != nullptr) {
+    PHX_RETURN_IF_ERROR(Rollback(s));
+  }
+  s->cursors.clear();
+  store_.DropSessionTemps(session_id);
+  temp_procs_.DropSessionProcs(session_id);
+  sessions_.erase(it);
+  return Status::Ok();
+}
+
+Session* Database::GetSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Result<std::vector<StatementResult>> Database::ExecuteScript(
+    uint64_t session_id, const std::string& sql) {
+  PHX_ASSIGN_OR_RETURN(auto stmts, sql::Parser::ParseScript(sql));
+  std::vector<StatementResult> results;
+  results.reserve(stmts.size());
+  for (const auto& stmt : stmts) {
+    PHX_ASSIGN_OR_RETURN(StatementResult r,
+                         ExecuteStatement(session_id, *stmt));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
+                                                   const Statement& stmt) {
+  Session* s = GetSession(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  switch (stmt.kind) {
+    case StmtKind::kBeginTxn:
+      if (s->txn != nullptr) {
+        return Status::SqlError("transaction already in progress");
+      }
+      s->txn = txn_manager_.Begin();
+      return StatementResult::Affected(0);
+    case StmtKind::kCommit:
+      if (s->txn == nullptr) {
+        return Status::SqlError("no transaction in progress");
+      }
+      PHX_RETURN_IF_ERROR(Commit(s));
+      return StatementResult::Affected(0);
+    case StmtKind::kRollback:
+      if (s->txn == nullptr) {
+        return Status::SqlError("no transaction in progress");
+      }
+      PHX_RETURN_IF_ERROR(Rollback(s));
+      return StatementResult::Affected(0);
+    default:
+      break;
+  }
+
+  bool autocommit = s->txn == nullptr;
+  if (autocommit) s->txn = txn_manager_.Begin();
+  s->txn->MarkStatement();
+  size_t undo_mark = s->txn->stmt_undo_mark;
+  size_t redo_mark = s->txn->stmt_redo_mark;
+
+  Executor ex(this, s);
+  auto result = ex.Execute(stmt);
+  if (!result.ok()) {
+    // Statement-level atomicity: roll back this statement's effects only.
+    Status undo_status =
+        txn_manager_.UndoTo(s->txn.get(), undo_mark, redo_mark, &store_,
+                            &temp_procs_);
+    if (autocommit) s->txn.reset();
+    if (!undo_status.ok()) return undo_status;
+    return result.status();
+  }
+  if (stmt.kind == StmtKind::kInsert || stmt.kind == StmtKind::kUpdate ||
+      stmt.kind == StmtKind::kDelete || stmt.kind == StmtKind::kExec) {
+    s->last_rowcount = result.value().affected < 0 ? 0 : result.value().affected;
+  }
+  if (autocommit) {
+    PHX_RETURN_IF_ERROR(Commit(s));
+  }
+  return result;
+}
+
+Status Database::Commit(Session* s) {
+  Txn* txn = s->txn.get();
+  if (!txn->redo.empty()) {
+    storage::WalCommitRecord record;
+    record.txn_id = txn->id;
+    record.ops = std::move(txn->redo);
+    PHX_RETURN_IF_ERROR(durability_.LogCommit(record));
+  }
+  s->txn.reset();
+  ++commit_count_;
+  ++commits_since_checkpoint_;
+  if (opts_.checkpoint_every_n_commits > 0 &&
+      commits_since_checkpoint_ >= opts_.checkpoint_every_n_commits &&
+      !AnyActiveTxn()) {
+    PHX_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::Ok();
+}
+
+Status Database::Rollback(Session* s) {
+  Status st = txn_manager_.UndoTo(s->txn.get(), 0, 0, &store_, &temp_procs_);
+  s->txn.reset();
+  return st;
+}
+
+bool Database::AnyActiveTxn() const {
+  for (const auto& [id, s] : sessions_) {
+    if (s->txn != nullptr) return true;
+  }
+  return false;
+}
+
+Status Database::Checkpoint() {
+  if (AnyActiveTxn()) {
+    return Status::InvalidArgument("cannot checkpoint with active transactions");
+  }
+  PHX_RETURN_IF_ERROR(
+      durability_.WriteCheckpoint(store_, txn_manager_.next_id()));
+  commits_since_checkpoint_ = 0;
+  return Status::Ok();
+}
+
+Result<Cursor*> Database::OpenCursor(uint64_t session_id,
+                                     const std::string& select_sql,
+                                     CursorType type) {
+  Session* s = GetSession(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                       sql::Parser::ParseStatement(select_sql));
+  if (stmt->kind != StmtKind::kSelect || !stmt->select->into_table.empty()) {
+    return Status::SqlError("cursors require a plain SELECT");
+  }
+  sql::SelectStmt* sel = stmt->select.get();
+
+  // Cursors execute outside any explicit transaction (read-only snapshot /
+  // key collection); no txn state is needed.
+  auto cursor = std::make_unique<Cursor>(s->next_cursor_id++, type);
+  Executor ex(this, s);
+
+  if (type == CursorType::kStatic) {
+    PHX_ASSIGN_OR_RETURN(StatementResult r, ex.ExecuteSelect(*sel));
+    if (!r.has_rows) return Status::SqlError("cursor query has no result set");
+    cursor->schema_ = std::move(r.schema);
+    cursor->static_rows_ = std::move(r.rows);
+  } else {
+    // Keyset/dynamic: single-table query over a PK'd table, no aggregation.
+    if (sel->from.size() != 1) {
+      return Status::NotSupported(std::string(CursorTypeName(type)) +
+                                  " cursors require a single-table query");
+    }
+    bool has_agg = !sel->group_by.empty() || sel->having != nullptr;
+    for (const auto& item : sel->items) {
+      if (item.expr->ContainsAggregate()) has_agg = true;
+    }
+    if (has_agg || sel->distinct || sel->limit >= 0 || !sel->order_by.empty()) {
+      return Status::NotSupported(
+          std::string(CursorTypeName(type)) +
+          " cursors do not support aggregation/DISTINCT/ORDER BY/LIMIT");
+    }
+    storage::Table* t = store_.Get(sel->from[0].name);
+    if (t == nullptr) {
+      return Status::SqlError("no such table: " + sel->from[0].name);
+    }
+    if (t->pk_columns().empty()) {
+      return Status::NotSupported(std::string(CursorTypeName(type)) +
+                                  " cursors require a primary key on " +
+                                  t->name());
+    }
+    BoundRows probe;
+    for (const Column& c : t->schema().columns()) {
+      probe.schema.AddColumn(c);
+      probe.qualifiers.push_back(sel->from[0].BindingName());
+    }
+    PHX_ASSIGN_OR_RETURN(cursor->schema_,
+                         ex.ProjectionSchema(sel->items, probe));
+    cursor->base_table_ = t->name();
+    cursor->select_ = sel->Clone();
+    if (type == CursorType::kKeyset) {
+      // Materialize the key set now, in PK order — membership is frozen.
+      for (const auto& [key, rid] : t->pk_index()) {
+        const Row* row = t->Find(rid);
+        if (row == nullptr) continue;
+        if (sel->where != nullptr) {
+          EvalEnv env;
+          env.schema = &probe.schema;
+          env.qualifiers = &probe.qualifiers;
+          env.row = row;
+          PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*sel->where, env));
+          if (!Truthy(v)) continue;
+        }
+        cursor->keys_.push_back(key);
+      }
+    }
+  }
+  Cursor* raw = cursor.get();
+  s->cursors[raw->id()] = std::move(cursor);
+  return raw;
+}
+
+Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
+                                               uint64_t cursor_id, size_t n,
+                                               bool* done) {
+  PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
+  return c->Fetch(this, GetSession(session_id), n, done);
+}
+
+Status Database::SeekCursor(uint64_t session_id, uint64_t cursor_id,
+                            uint64_t pos) {
+  PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
+  return c->Seek(pos);
+}
+
+Status Database::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
+  Session* s = GetSession(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  if (s->cursors.erase(cursor_id) == 0) {
+    return Status::NotFound("no such cursor: " + std::to_string(cursor_id));
+  }
+  return Status::Ok();
+}
+
+Result<Cursor*> Database::GetCursor(uint64_t session_id, uint64_t cursor_id) {
+  Session* s = GetSession(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  auto it = s->cursors.find(cursor_id);
+  if (it == s->cursors.end()) {
+    return Status::NotFound("no such cursor: " + std::to_string(cursor_id));
+  }
+  return it->second.get();
+}
+
+Result<storage::RowId> Database::TxInsert(Txn* txn, storage::Table* table,
+                                          Row row) {
+  if (txn == nullptr) return Status::Internal("TxInsert outside transaction");
+  PHX_ASSIGN_OR_RETURN(storage::RowId rid, table->Insert(std::move(row)));
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kInsert;
+  undo.table = table->name();
+  undo.rid = rid;
+  txn->undo.push_back(std::move(undo));
+  if (!table->temporary()) {
+    txn->redo.push_back(
+        storage::WalOp::Insert(table->name(), rid, *table->Find(rid)));
+  }
+  return rid;
+}
+
+Status Database::TxDelete(Txn* txn, storage::Table* table,
+                          storage::RowId rid) {
+  if (txn == nullptr) return Status::Internal("TxDelete outside transaction");
+  const Row* old = table->Find(rid);
+  if (old == nullptr) {
+    return Status::NotFound("no row " + std::to_string(rid));
+  }
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kDelete;
+  undo.table = table->name();
+  undo.rid = rid;
+  undo.row = *old;
+  PHX_RETURN_IF_ERROR(table->Delete(rid));
+  txn->undo.push_back(std::move(undo));
+  if (!table->temporary()) {
+    txn->redo.push_back(storage::WalOp::Delete(table->name(), rid));
+  }
+  return Status::Ok();
+}
+
+Status Database::TxUpdate(Txn* txn, storage::Table* table, storage::RowId rid,
+                          Row new_row) {
+  if (txn == nullptr) return Status::Internal("TxUpdate outside transaction");
+  const Row* old = table->Find(rid);
+  if (old == nullptr) {
+    return Status::NotFound("no row " + std::to_string(rid));
+  }
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kUpdate;
+  undo.table = table->name();
+  undo.rid = rid;
+  undo.row = *old;
+  PHX_RETURN_IF_ERROR(table->Update(rid, std::move(new_row)));
+  txn->undo.push_back(std::move(undo));
+  if (!table->temporary()) {
+    txn->redo.push_back(
+        storage::WalOp::Update(table->name(), rid, *table->Find(rid)));
+  }
+  return Status::Ok();
+}
+
+Result<storage::Table*> Database::TxCreateTable(Txn* txn,
+                                                const std::string& name,
+                                                Schema schema,
+                                                std::vector<int> pk_columns,
+                                                bool temporary,
+                                                uint64_t owner_session) {
+  if (txn == nullptr) {
+    return Status::Internal("TxCreateTable outside transaction");
+  }
+  PHX_ASSIGN_OR_RETURN(storage::Table * t,
+                       store_.CreateTable(name, schema, pk_columns, temporary));
+  t->set_owner_session(owner_session);
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kCreateTable;
+  undo.table = t->name();
+  txn->undo.push_back(std::move(undo));
+  if (!temporary) {
+    txn->redo.push_back(storage::WalOp::CreateTable(
+        t->name(), std::move(schema), std::move(pk_columns)));
+  }
+  return t;
+}
+
+Status Database::TxDropTable(Txn* txn, const std::string& name) {
+  if (txn == nullptr) {
+    return Status::Internal("TxDropTable outside transaction");
+  }
+  storage::Table* t = store_.Get(name);
+  if (t == nullptr) return Status::NotFound("no such table: " + name);
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kDropTable;
+  undo.table = t->name();
+  Encoder enc;
+  t->EncodeSnapshot(&enc);
+  undo.snapshot = enc.Take();
+  undo.snapshot_temporary = t->temporary();
+  undo.snapshot_owner = t->owner_session();
+  bool temporary = t->temporary();
+  std::string canonical = t->name();
+  PHX_RETURN_IF_ERROR(store_.DropTable(name));
+  txn->undo.push_back(std::move(undo));
+  if (!temporary) {
+    txn->redo.push_back(storage::WalOp::DropTable(canonical));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<sql::CreateProcStmt>> Database::FindProcedure(
+    const std::string& name, bool* is_temp) {
+  const sql::CreateProcStmt* tmp = temp_procs_.Find(name);
+  if (tmp != nullptr) {
+    if (is_temp != nullptr) *is_temp = true;
+    return tmp->Clone();
+  }
+  storage::Table* sys = store_.Get(kSysProcTable);
+  if (sys != nullptr) {
+    auto rid = sys->FindByPk(Row{Value::String(IdentUpper(name))});
+    if (rid.ok()) {
+      const Row* row = sys->Find(rid.value());
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                           sql::Parser::ParseStatement((*row)[1].AsString()));
+      if (stmt->kind != StmtKind::kCreateProc) {
+        return Status::Internal("corrupt procedure body for " + name);
+      }
+      if (is_temp != nullptr) *is_temp = false;
+      return std::move(stmt->create_proc);
+    }
+  }
+  return Status::NotFound("no such procedure: " + name);
+}
+
+}  // namespace phoenix::eng

@@ -1,0 +1,126 @@
+#ifndef PHOENIX_ENGINE_DATABASE_H_
+#define PHOENIX_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/cursor.h"
+#include "engine/executor.h"
+#include "engine/session.h"
+#include "engine/transaction.h"
+#include "storage/recovery.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
+
+namespace phoenix::eng {
+
+struct DatabaseOptions {
+  /// SimDisk file prefix ("<prefix>.wal", "<prefix>.ckpt").
+  std::string disk_prefix = "phxdb";
+  /// Auto-checkpoint after this many commits (0 = manual Checkpoint() only).
+  uint64_t checkpoint_every_n_commits = 0;
+  /// First session id to hand out. The server passes a value that keeps ids
+  /// unique across process restarts, so a stale pre-crash session id can
+  /// never accidentally name a post-crash session.
+  uint64_t first_session_id = 1;
+};
+
+/// The database server engine: storage + recovery + SQL execution +
+/// sessions. One Database instance == one running server process. Crashing
+/// the process is modeled by destroying the Database (volatile state gone)
+/// and constructing a new one over the same SimDisk (recovery runs).
+class Database {
+ public:
+  explicit Database(storage::SimDisk* disk, DatabaseOptions opts = {});
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Runs crash recovery from the SimDisk. Must be called exactly once.
+  Status Open();
+  bool is_open() const { return open_; }
+  const storage::RecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  // ---- Sessions --------------------------------------------------------
+  Result<uint64_t> CreateSession(const std::string& user);
+  /// Graceful termination: rolls back, drops temp objects, closes cursors.
+  Status CloseSession(uint64_t session_id);
+  bool HasSession(uint64_t session_id) const {
+    return sessions_.count(session_id) > 0;
+  }
+  Session* GetSession(uint64_t session_id);
+  size_t num_sessions() const { return sessions_.size(); }
+  uint64_t next_session_id() const { return next_session_id_; }
+
+  // ---- Statement execution ---------------------------------------------
+  /// Parses and runs a (possibly multi-statement) SQL batch. Stops at the
+  /// first failing statement; earlier autocommitted effects remain.
+  Result<std::vector<StatementResult>> ExecuteScript(uint64_t session_id,
+                                                     const std::string& sql);
+  Result<StatementResult> ExecuteStatement(uint64_t session_id,
+                                           const sql::Statement& stmt);
+
+  // ---- Server cursors ----------------------------------------------------
+  Result<Cursor*> OpenCursor(uint64_t session_id, const std::string& select_sql,
+                             CursorType type);
+  Result<std::vector<Row>> FetchCursor(uint64_t session_id, uint64_t cursor_id,
+                                       size_t n, bool* done);
+  Status SeekCursor(uint64_t session_id, uint64_t cursor_id, uint64_t pos);
+  Status CloseCursor(uint64_t session_id, uint64_t cursor_id);
+  Result<Cursor*> GetCursor(uint64_t session_id, uint64_t cursor_id);
+
+  // ---- Administration ----------------------------------------------------
+  /// Writes a checkpoint; fails if any transaction is active.
+  Status Checkpoint();
+  uint64_t commit_count() const { return commit_count_; }
+
+  storage::TableStore* store() { return &store_; }
+  const storage::TableStore* store() const { return &store_; }
+  ProcRegistry* temp_procs() { return &temp_procs_; }
+  TxnManager* txn_manager() { return &txn_manager_; }
+
+  // ---- Transactional mutation helpers (Executor/recovery use these) -----
+  Result<storage::RowId> TxInsert(Txn* txn, storage::Table* table, Row row);
+  Status TxDelete(Txn* txn, storage::Table* table, storage::RowId rid);
+  Status TxUpdate(Txn* txn, storage::Table* table, storage::RowId rid,
+                  Row new_row);
+  Result<storage::Table*> TxCreateTable(Txn* txn, const std::string& name,
+                                        Schema schema,
+                                        std::vector<int> pk_columns,
+                                        bool temporary, uint64_t owner_session);
+  Status TxDropTable(Txn* txn, const std::string& name);
+
+  /// Looks up a stored procedure: temp registry first, then the persistent
+  /// system table (body re-parsed on demand). Returns an owned clone.
+  Result<std::unique_ptr<sql::CreateProcStmt>> FindProcedure(
+      const std::string& name, bool* is_temp);
+
+ private:
+  friend class Executor;
+  friend class Cursor;
+
+  Status Commit(Session* session);
+  Status Rollback(Session* session);
+  bool AnyActiveTxn() const;
+
+  storage::SimDisk* disk_;
+  DatabaseOptions opts_;
+  storage::TableStore store_;
+  storage::DurabilityManager durability_;
+  storage::RecoveryInfo recovery_info_;
+  TxnManager txn_manager_;
+  ProcRegistry temp_procs_;
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  uint64_t commit_count_ = 0;
+  uint64_t commits_since_checkpoint_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_DATABASE_H_

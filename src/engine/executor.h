@@ -1,0 +1,106 @@
+#ifndef PHOENIX_ENGINE_EXECUTOR_H_
+#define PHOENIX_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/expression.h"
+#include "sql/ast.h"
+#include "storage/table_store.h"
+
+namespace phoenix::eng {
+
+class Database;
+struct Session;
+
+/// The server-side outcome of one statement: either a materialized result
+/// set or an affected-row count (never both).
+struct StatementResult {
+  bool has_rows = false;
+  Schema schema;
+  std::vector<Row> rows;
+  int64_t affected = -1;
+
+  static StatementResult Affected(int64_t n) {
+    StatementResult r;
+    r.affected = n;
+    return r;
+  }
+};
+
+/// A FROM-clause evaluation: joined, WHERE-filtered working set.
+struct BoundRows {
+  Schema schema;                       ///< combined input columns
+  std::vector<std::string> qualifiers; ///< binding name per column
+  std::vector<Row> rows;
+  /// RowIds parallel to `rows` — populated only for single-table sources
+  /// (needed by UPDATE/DELETE and keyset cursors).
+  std::vector<storage::RowId> rids;
+  storage::Table* single_table = nullptr;
+};
+
+/// Executes parsed statements against a Database on behalf of a Session.
+/// One Executor is constructed per request; it carries no state beyond the
+/// two borrowed pointers and the optional @param bindings.
+class Executor {
+ public:
+  Executor(Database* db, Session* session,
+           const std::map<std::string, Value>* params = nullptr)
+      : db_(db), session_(session), params_(params) {}
+
+  /// Dispatches on statement kind. Transaction-control statements are
+  /// handled by the Database, not here.
+  Result<StatementResult> Execute(const sql::Statement& stmt);
+
+  Result<StatementResult> ExecuteSelect(const sql::SelectStmt& sel);
+
+  /// Evaluates the FROM/WHERE part of a SELECT (used by cursors too).
+  Result<BoundRows> EvaluateFrom(const sql::SelectStmt& sel);
+
+  /// Computes the output schema of a projection over `input`.
+  /// Column names: alias > source column name > "C<i>".
+  Result<Schema> ProjectionSchema(const std::vector<sql::SelectItem>& items,
+                                  const BoundRows& input);
+
+  /// Projects one input row through the select items (non-aggregate path).
+  Result<Row> ProjectRow(const std::vector<sql::SelectItem>& items,
+                         const Schema& schema,
+                         const std::vector<std::string>* qualifiers,
+                         const Row& row);
+
+ private:
+  Result<StatementResult> ExecuteInsert(const sql::InsertStmt& ins);
+  Result<StatementResult> ExecuteUpdate(const sql::UpdateStmt& upd);
+  Result<StatementResult> ExecuteDelete(const sql::DeleteStmt& del);
+  Result<StatementResult> ExecuteCreateTable(const sql::CreateTableStmt& ct);
+  Result<StatementResult> ExecuteDropTable(const sql::DropTableStmt& dt);
+  Result<StatementResult> ExecuteCreateProc(const sql::CreateProcStmt& cp);
+  Result<StatementResult> ExecuteDropProc(const sql::DropProcStmt& dp);
+  Result<StatementResult> ExecuteExec(const sql::ExecStmt& ex);
+
+  /// Aggregation/grouping pipeline for selects containing aggregates or
+  /// GROUP BY.
+  Result<StatementResult> ExecuteAggregate(const sql::SelectStmt& sel,
+                                           BoundRows input);
+
+  Status ApplyOrderLimit(const sql::SelectStmt& sel, const BoundRows* input,
+                         const std::vector<Row>* input_rows,
+                         StatementResult* result);
+
+  EvalEnv MakeEnv(const Schema* schema,
+                  const std::vector<std::string>* qualifiers,
+                  const Row* row) const;
+
+  Database* db_;
+  Session* session_;
+  const std::map<std::string, Value>* params_;
+};
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_EXECUTOR_H_

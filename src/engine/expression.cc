@@ -1,0 +1,417 @@
+#include "engine/expression.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace phoenix::eng {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::UnOp;
+
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  switch (v.type()) {
+    case DataType::kBool: return v.AsBool();
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kDouble: return v.AsDouble() != 0.0;
+    case DataType::kString: return !v.AsString().empty();
+    case DataType::kDate: return true;
+  }
+  return false;
+}
+
+bool IsAggregateName(const std::string& n) {
+  return n == "COUNT" || n == "SUM" || n == "AVG" || n == "MIN" || n == "MAX";
+}
+
+void CollectAggregates(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kFunction && IsAggregateName(expr.func_name)) {
+    out->push_back(&expr);
+    return;  // aggregates do not nest
+  }
+  if (expr.left) CollectAggregates(*expr.left, out);
+  if (expr.right) CollectAggregates(*expr.right, out);
+  if (expr.extra) CollectAggregates(*expr.extra, out);
+  for (const auto& a : expr.args) CollectAggregates(*a, out);
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative greedy matcher with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' ||
+         std::toupper(static_cast<unsigned char>(pattern[p])) ==
+             std::toupper(static_cast<unsigned char>(text[t])))) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<int> ResolveColumn(const Schema& schema,
+                          const std::vector<std::string>* qualifiers,
+                          const std::string& qualifier,
+                          const std::string& column) {
+  int found = -1;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (!IdentEquals(schema.column(i).name, column)) continue;
+    if (!qualifier.empty()) {
+      if (qualifiers == nullptr || i >= qualifiers->size() ||
+          !IdentEquals((*qualifiers)[i], qualifier)) {
+        continue;
+      }
+    }
+    if (found >= 0) {
+      return Status::SqlError("ambiguous column reference: " + column);
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::string full = qualifier.empty() ? column : qualifier + "." + column;
+    return Status::SqlError("unknown column: " + full);
+  }
+  return found;
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& expr, const EvalEnv& env);
+
+Result<Value> EvalFunction(const Expr& expr, const EvalEnv& env) {
+  if (IsAggregateName(expr.func_name)) {
+    if (env.aggregates != nullptr) {
+      auto it = env.aggregates->find(&expr);
+      if (it != env.aggregates->end()) return it->second;
+    }
+    return Status::SqlError("aggregate " + expr.func_name +
+                            " not allowed in this context");
+  }
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const auto& a : expr.args) {
+    PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, env));
+    args.push_back(std::move(v));
+  }
+  const std::string& f = expr.func_name;
+  auto arity = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::SqlError(f + " expects " + std::to_string(n) + " args");
+    }
+    return Status::Ok();
+  };
+  if (f == "ABS") {
+    PHX_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null(DataType::kDouble);
+    if (args[0].type() == DataType::kDouble) {
+      return Value::Double(std::fabs(args[0].AsDouble()));
+    }
+    int64_t v = args[0].AsInt64();
+    return Value::Int64(v < 0 ? -v : v);
+  }
+  if (f == "ROUND") {
+    if (args.size() != 1 && args.size() != 2) {
+      return Status::SqlError("ROUND expects 1 or 2 args");
+    }
+    if (args[0].is_null()) return Value::Null(DataType::kDouble);
+    int digits = args.size() == 2 && !args[1].is_null()
+                     ? static_cast<int>(args[1].AsInt64())
+                     : 0;
+    double scale = std::pow(10.0, digits);
+    return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (f == "UPPER" || f == "LOWER") {
+    PHX_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null(DataType::kString);
+    std::string s = args[0].type() == DataType::kString
+                        ? args[0].AsString()
+                        : args[0].ToString();
+    for (char& c : s) {
+      c = f == "UPPER" ? static_cast<char>(std::toupper((unsigned char)c))
+                       : static_cast<char>(std::tolower((unsigned char)c));
+    }
+    return Value::String(std::move(s));
+  }
+  if (f == "LENGTH" || f == "LEN") {
+    PHX_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null(DataType::kInt64);
+    return Value::Int64(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (f == "SUBSTR" || f == "SUBSTRING") {
+    if (args.size() != 2 && args.size() != 3) {
+      return Status::SqlError("SUBSTR expects 2 or 3 args");
+    }
+    if (args[0].is_null()) return Value::Null(DataType::kString);
+    const std::string& s = args[0].AsString();
+    int64_t start = args[1].AsInt64();  // 1-based
+    if (start < 1) start = 1;
+    size_t from = static_cast<size_t>(start - 1);
+    if (from >= s.size()) return Value::String("");
+    size_t len = s.size() - from;
+    if (args.size() == 3 && !args[2].is_null()) {
+      int64_t want = args[2].AsInt64();
+      if (want < 0) want = 0;
+      len = std::min<size_t>(len, static_cast<size_t>(want));
+    }
+    return Value::String(s.substr(from, len));
+  }
+  if (f == "COALESCE") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return args.empty() ? Value::Null() : args.back();
+  }
+  if (f == "YEAR" || f == "MONTH" || f == "DAY") {
+    PHX_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null(DataType::kInt32);
+    std::string date = FormatDate(args[0].AsInt32());
+    int y = std::stoi(date.substr(0, 4));
+    int m = std::stoi(date.substr(5, 2));
+    int d = std::stoi(date.substr(8, 2));
+    return Value::Int32(f == "YEAR" ? y : (f == "MONTH" ? m : d));
+  }
+  if (f == "DATE_ADD_DAYS") {
+    PHX_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null() || args[1].is_null()) {
+      return Value::Null(DataType::kDate);
+    }
+    return Value::Date(args[0].AsInt32() +
+                       static_cast<int32_t>(args[1].AsInt64()));
+  }
+  if (f == "ROWCOUNT") {
+    PHX_RETURN_IF_ERROR(arity(0));
+    return Value::Int64(env.last_rowcount);
+  }
+  if (f == "CONCAT") {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_null()) continue;
+      out += v.type() == DataType::kString ? v.AsString() : v.ToString();
+    }
+    return Value::String(std::move(out));
+  }
+  return Status::SqlError("unknown function: " + f);
+}
+
+Result<Value> EvalArith(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null(DataType::kDouble);
+  if (!l.IsNumeric() || !r.IsNumeric()) {
+    return Status::SqlError("arithmetic on non-numeric operand");
+  }
+  bool as_double =
+      l.type() == DataType::kDouble || r.type() == DataType::kDouble;
+  if (as_double) {
+    double a = l.AsDouble(), b = r.AsDouble();
+    switch (op) {
+      case BinOp::kAdd: return Value::Double(a + b);
+      case BinOp::kSub: return Value::Double(a - b);
+      case BinOp::kMul: return Value::Double(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::SqlError("division by zero");
+        return Value::Double(a / b);
+      case BinOp::kMod:
+        if (b == 0) return Status::SqlError("division by zero");
+        return Value::Double(std::fmod(a, b));
+      default: break;
+    }
+  } else {
+    int64_t a = l.AsInt64(), b = r.AsInt64();
+    switch (op) {
+      case BinOp::kAdd: return Value::Int64(a + b);
+      case BinOp::kSub: return Value::Int64(a - b);
+      case BinOp::kMul: return Value::Int64(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::SqlError("division by zero");
+        return Value::Int64(a / b);
+      case BinOp::kMod:
+        if (b == 0) return Status::SqlError("division by zero");
+        return Value::Int64(a % b);
+      default: break;
+    }
+  }
+  return Status::Internal("bad arithmetic op");
+}
+
+Result<Value> EvalCompare(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null(DataType::kBool);
+  int c = l.Compare(r);
+  switch (op) {
+    case BinOp::kEq: return Value::Bool(c == 0);
+    case BinOp::kNe: return Value::Bool(c != 0);
+    case BinOp::kLt: return Value::Bool(c < 0);
+    case BinOp::kLe: return Value::Bool(c <= 0);
+    case BinOp::kGt: return Value::Bool(c > 0);
+    case BinOp::kGe: return Value::Bool(c >= 0);
+    default: break;
+  }
+  return Status::Internal("bad comparison op");
+}
+
+Result<Value> EvalBinary(const Expr& expr, const EvalEnv& env) {
+  // AND/OR get Kleene-logic short-circuit treatment.
+  if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+    PHX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.left, env));
+    bool l_null = l.is_null();
+    bool l_true = !l_null && Truthy(l);
+    if (expr.bin_op == BinOp::kAnd && !l_null && !l_true) {
+      return Value::Bool(false);
+    }
+    if (expr.bin_op == BinOp::kOr && l_true) return Value::Bool(true);
+    PHX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.right, env));
+    bool r_null = r.is_null();
+    bool r_true = !r_null && Truthy(r);
+    if (expr.bin_op == BinOp::kAnd) {
+      if (!r_null && !r_true) return Value::Bool(false);
+      if (l_null || r_null) return Value::Null(DataType::kBool);
+      return Value::Bool(true);
+    }
+    if (r_true) return Value::Bool(true);
+    if (l_null || r_null) return Value::Null(DataType::kBool);
+    return Value::Bool(false);
+  }
+  PHX_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.left, env));
+  PHX_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.right, env));
+  switch (expr.bin_op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod:
+      // '+' on strings is concatenation, T-SQL style.
+      if (expr.bin_op == BinOp::kAdd && (l.type() == DataType::kString ||
+                                         r.type() == DataType::kString)) {
+        if (l.is_null() || r.is_null()) return Value::Null(DataType::kString);
+        std::string a = l.type() == DataType::kString ? l.AsString()
+                                                      : l.ToString();
+        std::string b = r.type() == DataType::kString ? r.AsString()
+                                                      : r.ToString();
+        return Value::String(a + b);
+      }
+      return EvalArith(expr.bin_op, l, r);
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return EvalCompare(expr.bin_op, l, r);
+    case BinOp::kLike:
+    case BinOp::kNotLike: {
+      if (l.is_null() || r.is_null()) return Value::Null(DataType::kBool);
+      if (l.type() != DataType::kString || r.type() != DataType::kString) {
+        return Status::SqlError("LIKE requires string operands");
+      }
+      bool m = LikeMatch(l.AsString(), r.AsString());
+      return Value::Bool(expr.bin_op == BinOp::kLike ? m : !m);
+    }
+    default:
+      break;
+  }
+  return Status::Internal("bad binary op");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const EvalEnv& env) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (env.schema == nullptr || env.row == nullptr) {
+        return Status::SqlError("column reference outside row context: " +
+                                expr.column);
+      }
+      PHX_ASSIGN_OR_RETURN(
+          int idx, ResolveColumn(*env.schema, env.qualifiers,
+                                 expr.table_qualifier, expr.column));
+      return (*env.row)[idx];
+    }
+    case ExprKind::kStar:
+      return Status::SqlError("'*' is not a value expression");
+    case ExprKind::kUnary: {
+      PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      if (expr.un_op == UnOp::kNeg) {
+        if (v.is_null()) return v;
+        if (v.type() == DataType::kDouble) return Value::Double(-v.AsDouble());
+        if (v.IsNumeric()) return Value::Int64(-v.AsInt64());
+        return Status::SqlError("negation of non-numeric value");
+      }
+      if (v.is_null()) return Value::Null(DataType::kBool);
+      return Value::Bool(!Truthy(v));
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr, env);
+    case ExprKind::kFunction:
+      return EvalFunction(expr, env);
+    case ExprKind::kBetween: {
+      PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      PHX_ASSIGN_OR_RETURN(Value lo, EvalExpr(*expr.right, env));
+      PHX_ASSIGN_OR_RETURN(Value hi, EvalExpr(*expr.extra, env));
+      if (v.is_null() || lo.is_null() || hi.is_null()) {
+        return Value::Null(DataType::kBool);
+      }
+      bool in = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
+      return Value::Bool(expr.negated ? !in : in);
+    }
+    case ExprKind::kInList: {
+      PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      if (v.is_null()) return Value::Null(DataType::kBool);
+      bool saw_null = false;
+      for (const auto& item : expr.args) {
+        PHX_ASSIGN_OR_RETURN(Value iv, EvalExpr(*item, env));
+        if (iv.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (v.Compare(iv) == 0) return Value::Bool(!expr.negated);
+      }
+      if (saw_null) return Value::Null(DataType::kBool);
+      return Value::Bool(expr.negated);
+    }
+    case ExprKind::kIsNull: {
+      PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      bool null = v.is_null();
+      return Value::Bool(expr.negated ? !null : null);
+    }
+    case ExprKind::kParam: {
+      if (env.params != nullptr) {
+        auto it = env.params->find(IdentUpper(expr.param_name));
+        if (it != env.params->end()) return it->second;
+      }
+      return Status::SqlError("unbound parameter @" + expr.param_name);
+    }
+    case ExprKind::kCase: {
+      Value operand;
+      bool simple = expr.left != nullptr;
+      if (simple) {
+        PHX_ASSIGN_OR_RETURN(operand, EvalExpr(*expr.left, env));
+      }
+      for (size_t i = 0; i + 1 < expr.args.size(); i += 2) {
+        PHX_ASSIGN_OR_RETURN(Value when, EvalExpr(*expr.args[i], env));
+        bool hit = simple ? (!when.is_null() && !operand.is_null() &&
+                             operand.Compare(when) == 0)
+                          : Truthy(when);
+        if (hit) return EvalExpr(*expr.args[i + 1], env);
+      }
+      if (expr.extra != nullptr) return EvalExpr(*expr.extra, env);
+      return Value::Null();
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+}  // namespace phoenix::eng

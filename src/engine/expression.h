@@ -1,0 +1,59 @@
+#ifndef PHOENIX_ENGINE_EXPRESSION_H_
+#define PHOENIX_ENGINE_EXPRESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace phoenix::eng {
+
+/// Everything an expression may reference while being evaluated over one row.
+struct EvalEnv {
+  /// Combined schema of the current row (all FROM tables side by side).
+  const Schema* schema = nullptr;
+  /// Binding name (alias or table name) per schema column, for qualified
+  /// references; may be null when no qualifiers are in play.
+  const std::vector<std::string>* qualifiers = nullptr;
+  const Row* row = nullptr;
+  /// @param bindings (stored-procedure execution).
+  const std::map<std::string, Value>* params = nullptr;
+  /// Pre-computed aggregate values keyed by AST node (GROUP BY phase).
+  const std::map<const sql::Expr*, Value>* aggregates = nullptr;
+  /// Rows affected by the session's previous DML statement — the value
+  /// ROWCOUNT() reports (T-SQL @@ROWCOUNT analogue).
+  int64_t last_rowcount = 0;
+};
+
+/// Evaluates `expr` in `env`. SQL three-valued logic: comparisons involving
+/// NULL yield NULL(kBool); AND/OR follow Kleene tables.
+Result<Value> EvalExpr(const sql::Expr& expr, const EvalEnv& env);
+
+/// SQL truthiness for WHERE/HAVING: NULL and FALSE reject, everything
+/// non-zero accepts.
+bool Truthy(const Value& v);
+
+/// True if `name` is one of the five aggregate functions.
+bool IsAggregateName(const std::string& upper_name);
+
+/// Collects every aggregate-call node in the subtree (pre-order).
+void CollectAggregates(const sql::Expr& expr,
+                       std::vector<const sql::Expr*>* out);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Resolves a possibly-qualified column name against a schema+qualifiers
+/// pair. Returns the column index, or an error when absent/ambiguous.
+Result<int> ResolveColumn(const Schema& schema,
+                          const std::vector<std::string>* qualifiers,
+                          const std::string& qualifier,
+                          const std::string& column);
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_EXPRESSION_H_

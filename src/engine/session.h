@@ -1,0 +1,33 @@
+#ifndef PHOENIX_ENGINE_SESSION_H_
+#define PHOENIX_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/cursor.h"
+#include "engine/transaction.h"
+
+namespace phoenix::eng {
+
+/// Server-side session state — precisely the *volatile* state the paper is
+/// about: it does not survive a crash. Temp tables/procedures owned by the
+/// session are tracked via owner ids in the stores.
+struct Session {
+  uint64_t id = 0;
+  std::string user;
+  /// Client-settable connection options (SET <name> <value>).
+  std::map<std::string, std::string> options;
+  /// Explicit transaction in progress, if any.
+  std::unique_ptr<Txn> txn;
+  /// Open server cursors by id.
+  std::map<uint64_t, std::unique_ptr<Cursor>> cursors;
+  uint64_t next_cursor_id = 1;
+  /// Rows affected by the previous DML statement (ROWCOUNT()).
+  int64_t last_rowcount = 0;
+};
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_SESSION_H_

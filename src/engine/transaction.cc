@@ -1,0 +1,85 @@
+#include "engine/transaction.h"
+
+#include "common/codec.h"
+#include "engine/catalog.h"
+#include "sql/parser.h"
+
+namespace phoenix::eng {
+
+Status TxnManager::UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
+                          storage::TableStore* store, ProcRegistry* procs) {
+  while (txn->undo.size() > undo_from) {
+    UndoRecord rec = std::move(txn->undo.back());
+    txn->undo.pop_back();
+    PHX_RETURN_IF_ERROR(ApplyUndo(rec, store, procs));
+  }
+  if (txn->redo.size() > redo_from) txn->redo.resize(redo_from);
+  return Status::Ok();
+}
+
+Status TxnManager::ApplyUndo(const UndoRecord& rec,
+                             storage::TableStore* store, ProcRegistry* procs) {
+  switch (rec.kind) {
+    case UndoRecord::Kind::kInsert: {
+      storage::Table* t = store->Get(rec.table);
+      if (t == nullptr) return Status::Internal("undo-insert: missing table");
+      return t->Delete(rec.rid);
+    }
+    case UndoRecord::Kind::kDelete: {
+      storage::Table* t = store->Get(rec.table);
+      if (t == nullptr) return Status::Internal("undo-delete: missing table");
+      auto res = t->Insert(rec.row, rec.rid);
+      return res.status();
+    }
+    case UndoRecord::Kind::kUpdate: {
+      storage::Table* t = store->Get(rec.table);
+      if (t == nullptr) return Status::Internal("undo-update: missing table");
+      return t->Update(rec.rid, rec.row);
+    }
+    case UndoRecord::Kind::kCreateTable:
+      return store->DropTable(rec.table);
+    case UndoRecord::Kind::kDropTable: {
+      Decoder dec(rec.snapshot);
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<storage::Table> table,
+                           storage::Table::DecodeSnapshot(&dec));
+      // DecodeSnapshot always makes persistent tables; restore the flags via
+      // a fresh table when the dropped one was temporary.
+      if (!rec.snapshot_temporary) {
+        // Re-register as-is.
+        PHX_ASSIGN_OR_RETURN(
+            storage::Table * created,
+            store->CreateTable(table->name(), table->schema(),
+                               table->pk_columns(), /*temporary=*/false));
+        for (const auto& [rid, row] : table->rows()) {
+          auto ins = created->Insert(row, rid);
+          PHX_RETURN_IF_ERROR(ins.status());
+        }
+        return Status::Ok();
+      }
+      PHX_ASSIGN_OR_RETURN(
+          storage::Table * created,
+          store->CreateTable(table->name(), table->schema(),
+                             table->pk_columns(), /*temporary=*/true));
+      created->set_owner_session(rec.snapshot_owner);
+      for (const auto& [rid, row] : table->rows()) {
+        auto ins = created->Insert(row, rid);
+        PHX_RETURN_IF_ERROR(ins.status());
+      }
+      return Status::Ok();
+    }
+    case UndoRecord::Kind::kCreateTempProc:
+      return procs->Unregister(rec.table);
+    case UndoRecord::Kind::kDropTempProc: {
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<sql::Statement> stmt,
+                           sql::Parser::ParseStatement(rec.snapshot));
+      if (stmt->kind != sql::StmtKind::kCreateProc) {
+        return Status::Internal("undo-drop-proc: bad snapshot");
+      }
+      return procs->Register(std::move(stmt->create_proc),
+                             rec.snapshot_owner);
+    }
+  }
+  return Status::Internal("bad undo kind");
+}
+
+}  // namespace phoenix::eng

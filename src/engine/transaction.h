@@ -1,0 +1,82 @@
+#ifndef PHOENIX_ENGINE_TRANSACTION_H_
+#define PHOENIX_ENGINE_TRANSACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table_store.h"
+#include "storage/wal.h"
+
+namespace phoenix::eng {
+
+/// One compensating action, applied in reverse order on rollback. The engine
+/// runs a no-steal policy so undo lives purely in memory — it is never
+/// logged.
+struct UndoRecord {
+  enum class Kind : uint8_t {
+    kInsert,       ///< undo by deleting `rid`
+    kDelete,       ///< undo by re-inserting `row` at `rid`
+    kUpdate,       ///< undo by restoring `row` at `rid`
+    kCreateTable,  ///< undo by dropping `table`
+    kDropTable,    ///< undo by re-creating from `snapshot`
+    kCreateTempProc,  ///< undo by unregistering `table` (holds proc name)
+    kDropTempProc,    ///< undo by re-registering `snapshot` (proc SQL text)
+  };
+  Kind kind;
+  std::string table;
+  storage::RowId rid = 0;
+  Row row;
+  std::string snapshot;          ///< encoded Table or proc SQL text
+  bool snapshot_temporary = false;
+  uint64_t snapshot_owner = 0;
+};
+
+/// An open transaction: its durable redo tail and in-memory undo stack.
+struct Txn {
+  uint64_t id = 0;
+  std::vector<storage::WalOp> redo;
+  std::vector<UndoRecord> undo;
+
+  /// Index into `undo`/`redo` marking the start of the current statement,
+  /// for statement-level atomicity inside multi-statement transactions.
+  size_t stmt_undo_mark = 0;
+  size_t stmt_redo_mark = 0;
+
+  void MarkStatement() {
+    stmt_undo_mark = undo.size();
+    stmt_redo_mark = redo.size();
+  }
+};
+
+class ProcRegistry;  // catalog.h
+
+/// Allocates transaction ids and applies undo stacks.
+class TxnManager {
+ public:
+  explicit TxnManager(uint64_t next_id = 1) : next_id_(next_id) {}
+
+  std::unique_ptr<Txn> Begin() {
+    auto t = std::make_unique<Txn>();
+    t->id = next_id_++;
+    return t;
+  }
+
+  uint64_t next_id() const { return next_id_; }
+  void set_next_id(uint64_t id) { next_id_ = id; }
+
+  /// Undoes records [from, end) in reverse order and truncates them.
+  Status UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
+                storage::TableStore* store, ProcRegistry* procs);
+
+ private:
+  Status ApplyUndo(const UndoRecord& rec, storage::TableStore* store,
+                   ProcRegistry* procs);
+  uint64_t next_id_;
+};
+
+}  // namespace phoenix::eng
+
+#endif  // PHOENIX_ENGINE_TRANSACTION_H_

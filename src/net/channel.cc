@@ -1,0 +1,49 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+namespace phoenix::net {
+
+void Channel::SimulateWire(size_t bytes) const {
+  uint64_t ns = config_.round_trip_latency_us * 1000ull / 2 +
+                static_cast<uint64_t>(bytes) * config_.ns_per_byte;
+  if (ns == 0) return;
+  auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+    // Busy-wait: keeps simulated latency visible to wall-clock timers
+    // without descheduling noise.
+  }
+}
+
+Result<Response> Channel::RoundTrip(const Request& request) {
+  ++round_trips_;
+  if (disconnected_) {
+    return Status::CommError("connection closed by client");
+  }
+  if (drop_requests_ > 0) {
+    --drop_requests_;
+    return Status::CommError("connection reset (request lost)");
+  }
+  std::string wire_request = request.Encode();
+  bytes_sent_ += wire_request.size();
+  SimulateWire(wire_request.size());
+
+  if (!server_->alive()) {
+    // The TCP stack notices the peer is gone: error or hang → timeout.
+    return Status::CommError("connection reset by peer (server down)");
+  }
+  PHX_ASSIGN_OR_RETURN(Request decoded, Request::Decode(wire_request));
+  Response response = server_->Handle(decoded);
+  std::string wire_response = response.Encode();
+
+  if (lose_replies_ > 0) {
+    // The server executed the request, but the reply never arrives.
+    --lose_replies_;
+    return Status::Timeout("no response from server");
+  }
+  bytes_received_ += wire_response.size();
+  SimulateWire(wire_response.size());
+  return Response::Decode(wire_response);
+}
+
+}  // namespace phoenix::net

@@ -1,0 +1,105 @@
+#ifndef PHOENIX_NET_CHANNEL_H_
+#define PHOENIX_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/db_server.h"
+#include "net/protocol.h"
+
+namespace phoenix::net {
+
+/// Network behavior knobs for a connection.
+struct NetworkConfig {
+  /// Simulated one-way+return latency added to every round trip, in
+  /// microseconds (busy-wait so wall-clock measurements see it). 0 = off.
+  uint64_t round_trip_latency_us = 0;
+  /// Additional per-byte cost, in nanoseconds per byte (both directions).
+  uint64_t ns_per_byte = 0;
+};
+
+/// One client connection to a DbServer. Every request/response crosses this
+/// boundary as *serialized bytes* — the in-process shortcut never leaks
+/// object references — so message counts and sizes are faithful.
+///
+/// Failure semantics:
+///  - server crashed / not yet restarted → kCommError
+///  - fault injection can force the next request to kCommError or kTimeout
+///    (a request the server executed but whose reply was lost is the classic
+///    lost-reply case Phoenix must handle)
+class Channel {
+ public:
+  Channel(DbServer* server, NetworkConfig config)
+      : server_(server), config_(config) {}
+
+  /// Sends a request and waits for the reply.
+  Result<Response> RoundTrip(const Request& request);
+
+  /// The next `n` round trips fail with kCommError before reaching the
+  /// server (request lost).
+  void InjectDropRequests(int n) { drop_requests_ = n; }
+
+  /// The next `n` round trips reach the server and execute, but the reply
+  /// is lost; the caller sees kTimeout.
+  void InjectLoseReplies(int n) { lose_replies_ = n; }
+
+  /// Client-side hangup. Subsequent round trips fail with kCommError.
+  void Disconnect() { disconnected_ = true; }
+  bool disconnected() const { return disconnected_; }
+
+  DbServer* server() { return server_; }
+
+  uint64_t round_trips() const { return round_trips_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void SimulateWire(size_t bytes) const;
+
+  DbServer* server_;
+  NetworkConfig config_;
+  bool disconnected_ = false;
+  int drop_requests_ = 0;
+  int lose_replies_ = 0;
+  uint64_t round_trips_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+/// Name→server directory, the moral equivalent of DNS + the ODBC DSN list.
+/// Drivers resolve a data-source name here and open Channels.
+class Network {
+ public:
+  void RegisterServer(const std::string& name, DbServer* server) {
+    servers_[name] = server;
+  }
+
+  Result<std::unique_ptr<Channel>> Connect(const std::string& name) {
+    auto it = servers_.find(name);
+    if (it == servers_.end()) {
+      return Status::NotFound("unknown data source: " + name);
+    }
+    return std::make_unique<Channel>(it->second, config_);
+  }
+
+  Result<DbServer*> Lookup(const std::string& name) {
+    auto it = servers_.find(name);
+    if (it == servers_.end()) {
+      return Status::NotFound("unknown data source: " + name);
+    }
+    return it->second;
+  }
+
+  NetworkConfig* config() { return &config_; }
+
+ private:
+  std::map<std::string, DbServer*> servers_;
+  NetworkConfig config_;
+};
+
+}  // namespace phoenix::net
+
+#endif  // PHOENIX_NET_CHANNEL_H_

@@ -1,0 +1,119 @@
+#include "net/db_server.h"
+
+namespace phoenix::net {
+
+DbServer::DbServer(storage::SimDisk* disk, ServerOptions opts)
+    : disk_(disk), opts_(std::move(opts)) {}
+
+Status DbServer::Start() {
+  if (db_ != nullptr) return Status::Internal("server already started");
+  eng::DatabaseOptions db_opts = opts_.db;
+  db_opts.first_session_id = next_session_id_;
+  db_ = std::make_unique<eng::Database>(disk_, db_opts);
+  PHX_RETURN_IF_ERROR(db_->Open());
+  ++epoch_;
+  return Status::Ok();
+}
+
+void DbServer::Crash() {
+  if (db_ != nullptr) next_session_id_ = db_->next_session_id();
+  db_.reset();        // all volatile server state dies here
+  disk_->Crash();     // unsynced disk buffers die with the process
+}
+
+void DbServer::CrashWithPartialFlush(double keep_fraction) {
+  if (db_ != nullptr) next_session_id_ = db_->next_session_id();
+  db_.reset();
+  disk_->CrashWithPartialFlush(keep_fraction);
+}
+
+Status DbServer::Restart() {
+  if (db_ != nullptr) return Status::Internal("server is already running");
+  return Start();
+}
+
+Response DbServer::Handle(const Request& request) {
+  ++requests_handled_;
+  if (db_ == nullptr) {
+    return Response::MakeError(Status::CommError("server is down"));
+  }
+  return Dispatch(request);
+}
+
+Response DbServer::Dispatch(const Request& req) {
+  switch (req.kind) {
+    case Request::Kind::kConnect: {
+      auto res = db_->CreateSession(req.user);
+      if (!res.ok()) return Response::MakeError(res.status());
+      Response r;
+      r.kind = Response::Kind::kConnected;
+      r.session_id = res.value();
+      return r;
+    }
+    case Request::Kind::kDisconnect: {
+      Status s = db_->CloseSession(req.session_id);
+      if (!s.ok()) return Response::MakeError(s);
+      return Response::MakeOk();
+    }
+    case Request::Kind::kSetOption: {
+      eng::Session* s = db_->GetSession(req.session_id);
+      if (s == nullptr) {
+        return Response::MakeError(Status::NotFound("no such session"));
+      }
+      s->options[req.name] = req.value;
+      return Response::MakeOk();
+    }
+    case Request::Kind::kExecScript: {
+      auto res = db_->ExecuteScript(req.session_id, req.sql);
+      if (!res.ok()) return Response::MakeError(res.status());
+      Response r;
+      r.kind = Response::Kind::kResults;
+      r.results = std::move(res.value());
+      return r;
+    }
+    case Request::Kind::kOpenCursor: {
+      if (req.cursor_type > static_cast<uint8_t>(eng::CursorType::kDynamic)) {
+        return Response::MakeError(Status::InvalidArgument("bad cursor type"));
+      }
+      auto res = db_->OpenCursor(req.session_id, req.sql,
+                                 static_cast<eng::CursorType>(req.cursor_type));
+      if (!res.ok()) return Response::MakeError(res.status());
+      Response r;
+      r.kind = Response::Kind::kCursorOpened;
+      r.cursor_id = res.value()->id();
+      r.schema = res.value()->schema();
+      r.cursor_size = res.value()->known_size();
+      return r;
+    }
+    case Request::Kind::kFetch: {
+      bool done = false;
+      auto res = db_->FetchCursor(req.session_id, req.cursor_id,
+                                  static_cast<size_t>(req.n), &done);
+      if (!res.ok()) return Response::MakeError(res.status());
+      Response r;
+      r.kind = Response::Kind::kRows;
+      r.rows = std::move(res.value());
+      r.done = done;
+      return r;
+    }
+    case Request::Kind::kSeek: {
+      Status s = db_->SeekCursor(req.session_id, req.cursor_id, req.n);
+      if (!s.ok()) return Response::MakeError(s);
+      return Response::MakeOk();
+    }
+    case Request::Kind::kCloseCursor: {
+      Status s = db_->CloseCursor(req.session_id, req.cursor_id);
+      if (!s.ok()) return Response::MakeError(s);
+      return Response::MakeOk();
+    }
+    case Request::Kind::kPing: {
+      Response r;
+      r.kind = Response::Kind::kPong;
+      r.server_epoch = epoch_;
+      return r;
+    }
+  }
+  return Response::MakeError(Status::Internal("bad request kind"));
+}
+
+}  // namespace phoenix::net

@@ -1,0 +1,68 @@
+#ifndef PHOENIX_NET_DB_SERVER_H_
+#define PHOENIX_NET_DB_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "net/protocol.h"
+#include "storage/sim_disk.h"
+
+namespace phoenix::net {
+
+struct ServerOptions {
+  eng::DatabaseOptions db;
+};
+
+/// One database server *process*. Owns a Database over a SimDisk that it
+/// does NOT own — the disk survives the process.
+///
+/// Crash() models the machine/process failure the paper recovers from:
+/// the Database object (sessions, temp tables, cursors, open transactions)
+/// is destroyed, and every disk byte not yet synced is discarded. Restart()
+/// builds a fresh Database, which runs checkpoint+WAL recovery.
+class DbServer {
+ public:
+  DbServer(storage::SimDisk* disk, ServerOptions opts = {});
+
+  /// Boots the server (initial recovery). Must be called before use.
+  Status Start();
+
+  /// Hard process kill. Safe to call repeatedly.
+  void Crash();
+
+  /// Crash where the OS had flushed a fraction of buffered bytes (torn WAL
+  /// tail). Recovery must cope.
+  void CrashWithPartialFlush(double keep_fraction);
+
+  /// Boots a replacement process over the same disk.
+  Status Restart();
+
+  bool alive() const { return db_ != nullptr; }
+  /// Number of (re)starts — lets clients detect "server came back".
+  uint64_t epoch() const { return epoch_; }
+
+  /// The server's request dispatcher. Callers reach this through a Channel,
+  /// never directly (the Channel models the network).
+  Response Handle(const Request& request);
+
+  eng::Database* database() { return db_.get(); }
+  storage::SimDisk* disk() { return disk_; }
+
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  Response Dispatch(const Request& request);
+
+  storage::SimDisk* disk_;
+  ServerOptions opts_;
+  std::unique_ptr<eng::Database> db_;
+  uint64_t epoch_ = 0;
+  uint64_t next_session_id_ = 1;  ///< survives restarts: ids never repeat
+  uint64_t requests_handled_ = 0;
+};
+
+}  // namespace phoenix::net
+
+#endif  // PHOENIX_NET_DB_SERVER_H_

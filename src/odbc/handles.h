@@ -1,0 +1,110 @@
+#ifndef PHOENIX_ODBC_HANDLES_H_
+#define PHOENIX_ODBC_HANDLES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/cursor.h"
+#include "engine/executor.h"
+#include "odbc/driver.h"
+
+namespace phoenix::odbc {
+
+/// ODBC-style return codes.
+enum class SqlReturn : int8_t {
+  kSuccess = 0,
+  kSuccessWithInfo = 1,
+  kNoData = 100,
+  kError = -1,
+  kInvalidHandle = -2,
+};
+
+inline bool Succeeded(SqlReturn r) {
+  return r == SqlReturn::kSuccess || r == SqlReturn::kSuccessWithInfo;
+}
+
+/// Statement attributes settable before execution (SQLSetStmtAttr).
+enum class StmtAttr : uint8_t {
+  /// SQL_ATTR_CURSOR_TYPE: value is a CursorMode.
+  kCursorMode = 0,
+  /// Rows per block fetch when a server cursor is in use.
+  kBlockSize = 1,
+};
+
+/// How results are delivered (maps to the paper's §3 taxonomy).
+enum class CursorMode : int64_t {
+  /// Default result set: server ships every row at execute; client buffers.
+  kDefaultResultSet = 0,
+  /// Server-side static cursor, block fetches.
+  kStaticCursor = 1,
+  kKeysetCursor = 2,
+  kDynamicCursor = 3,
+};
+
+struct Henv;
+struct Hdbc;
+
+/// Client-side statement handle.
+struct Hstmt {
+  Hdbc* dbc = nullptr;
+
+  // Attributes (set before ExecDirect).
+  CursorMode cursor_mode = CursorMode::kDefaultResultSet;
+  uint64_t block_size = 64;
+
+  // Result state.
+  bool has_result = false;
+  Schema schema;
+  std::vector<Row> buffered;   ///< default-result-set rows (client buffer)
+  size_t buffer_pos = 0;
+  uint64_t server_cursor_id = 0;  ///< non-zero = server cursor open
+  bool server_done = false;
+  int64_t affected = -1;
+  Row current;                 ///< row delivered by the last Fetch
+  uint64_t rows_delivered = 0;
+  std::string last_sql;
+
+  /// Remaining results of a multi-statement batch (SQLMoreResults).
+  std::vector<eng::StatementResult> pending;
+  size_t pending_pos = 0;
+
+  /// SQLPrepare/SQLExecute state: statement text with '?' markers plus the
+  /// positionally bound parameter values (client-side substitution, as many
+  /// ODBC drivers do).
+  std::string prepared_sql;
+  std::vector<Value> bound_params;
+
+  Status diag;                 ///< last error (SQLGetDiagRec analogue)
+
+  /// Opaque per-statement state owned by an enhanced driver manager
+  /// (Phoenix hangs its bookkeeping here).
+  std::shared_ptr<void> dm_state;
+};
+
+/// Client-side connection handle.
+struct Hdbc {
+  Henv* env = nullptr;
+  bool connected = false;
+  std::string dsn;
+  std::string user;
+  std::unique_ptr<DriverConnection> driver;
+  std::vector<std::unique_ptr<Hstmt>> stmts;
+  Status diag;
+  std::shared_ptr<void> dm_state;  ///< enhanced-DM (Phoenix) bookkeeping
+};
+
+/// Environment handle.
+struct Henv {
+  std::vector<std::unique_ptr<Hdbc>> dbcs;
+  Status diag;
+};
+
+}  // namespace phoenix::odbc
+
+#endif  // PHOENIX_ODBC_HANDLES_H_

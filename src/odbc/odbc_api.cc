@@ -1,0 +1,103 @@
+#include "odbc/odbc_api.h"
+
+namespace phoenix::odbc {
+
+SqlReturn SqlAllocEnv(DriverManager* dm, Henv** env) {
+  *env = dm->AllocEnv();
+  return SqlReturn::kSuccess;
+}
+
+SqlReturn SqlFreeEnv(DriverManager* dm, Henv* env) {
+  dm->FreeEnv(env);
+  return SqlReturn::kSuccess;
+}
+
+SqlReturn SqlAllocConnect(DriverManager* dm, Henv* env, Hdbc** dbc) {
+  *dbc = dm->AllocConnect(env);
+  return SqlReturn::kSuccess;
+}
+
+SqlReturn SqlFreeConnect(DriverManager* dm, Hdbc* dbc) {
+  return dm->FreeConnect(dbc);
+}
+
+SqlReturn SqlConnect(DriverManager* dm, Hdbc* dbc, const std::string& dsn,
+                     const std::string& user) {
+  return dm->Connect(dbc, dsn, user);
+}
+
+SqlReturn SqlDisconnect(DriverManager* dm, Hdbc* dbc) {
+  return dm->Disconnect(dbc);
+}
+
+SqlReturn SqlSetConnectOption(DriverManager* dm, Hdbc* dbc,
+                              const std::string& name,
+                              const std::string& value) {
+  return dm->SetConnectOption(dbc, name, value);
+}
+
+SqlReturn SqlAllocStmt(DriverManager* dm, Hdbc* dbc, Hstmt** stmt) {
+  *stmt = dm->AllocStmt(dbc);
+  return SqlReturn::kSuccess;
+}
+
+SqlReturn SqlFreeStmt(DriverManager* dm, Hstmt* stmt) {
+  return dm->FreeStmt(stmt);
+}
+
+SqlReturn SqlSetStmtAttr(DriverManager* dm, Hstmt* stmt, StmtAttr attr,
+                         int64_t value) {
+  return dm->SetStmtAttr(stmt, attr, value);
+}
+
+SqlReturn SqlExecDirect(DriverManager* dm, Hstmt* stmt,
+                        const std::string& sql) {
+  return dm->ExecDirect(stmt, sql);
+}
+
+SqlReturn SqlPrepare(DriverManager* dm, Hstmt* stmt, const std::string& sql) {
+  return dm->Prepare(stmt, sql);
+}
+
+SqlReturn SqlBindParam(DriverManager* dm, Hstmt* stmt, size_t index,
+                       const Value& value) {
+  return dm->BindParam(stmt, index, value);
+}
+
+SqlReturn SqlExecute(DriverManager* dm, Hstmt* stmt) {
+  return dm->Execute(stmt);
+}
+
+SqlReturn SqlFetch(DriverManager* dm, Hstmt* stmt) { return dm->Fetch(stmt); }
+
+SqlReturn SqlSeekRow(DriverManager* dm, Hstmt* stmt, uint64_t position) {
+  return dm->SeekRow(stmt, position);
+}
+
+SqlReturn SqlMoreResults(DriverManager* dm, Hstmt* stmt) {
+  return dm->MoreResults(stmt);
+}
+
+SqlReturn SqlCloseCursor(DriverManager* dm, Hstmt* stmt) {
+  return dm->CloseCursor(stmt);
+}
+
+SqlReturn SqlNumResultCols(DriverManager* dm, Hstmt* stmt, size_t* count) {
+  return dm->NumResultCols(stmt, count);
+}
+
+SqlReturn SqlDescribeCol(DriverManager* dm, Hstmt* stmt, size_t index,
+                         Column* column) {
+  return dm->DescribeCol(stmt, index, column);
+}
+
+SqlReturn SqlGetData(DriverManager* dm, Hstmt* stmt, size_t index,
+                     Value* value) {
+  return dm->GetData(stmt, index, value);
+}
+
+SqlReturn SqlRowCount(DriverManager* dm, Hstmt* stmt, int64_t* count) {
+  return dm->RowCount(stmt, count);
+}
+
+}  // namespace phoenix::odbc

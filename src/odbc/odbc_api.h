@@ -1,0 +1,48 @@
+#ifndef PHOENIX_ODBC_ODBC_API_H_
+#define PHOENIX_ODBC_ODBC_API_H_
+
+#include <string>
+
+#include "odbc/driver_manager.h"
+
+namespace phoenix::odbc {
+
+/// SQL/CLI-flavored free-function facade over a DriverManager instance.
+/// Real ODBC applications call global entry points and the ambient driver
+/// manager routes them; here the DM is passed explicitly (first argument)
+/// so a program can run unchanged against the plain DM or Phoenix — which
+/// is precisely the paper's transparency claim.
+SqlReturn SqlAllocEnv(DriverManager* dm, Henv** env);
+SqlReturn SqlFreeEnv(DriverManager* dm, Henv* env);
+SqlReturn SqlAllocConnect(DriverManager* dm, Henv* env, Hdbc** dbc);
+SqlReturn SqlFreeConnect(DriverManager* dm, Hdbc* dbc);
+SqlReturn SqlConnect(DriverManager* dm, Hdbc* dbc, const std::string& dsn,
+                     const std::string& user);
+SqlReturn SqlDisconnect(DriverManager* dm, Hdbc* dbc);
+SqlReturn SqlSetConnectOption(DriverManager* dm, Hdbc* dbc,
+                              const std::string& name,
+                              const std::string& value);
+SqlReturn SqlAllocStmt(DriverManager* dm, Hdbc* dbc, Hstmt** stmt);
+SqlReturn SqlFreeStmt(DriverManager* dm, Hstmt* stmt);
+SqlReturn SqlSetStmtAttr(DriverManager* dm, Hstmt* stmt, StmtAttr attr,
+                         int64_t value);
+SqlReturn SqlExecDirect(DriverManager* dm, Hstmt* stmt,
+                        const std::string& sql);
+SqlReturn SqlPrepare(DriverManager* dm, Hstmt* stmt, const std::string& sql);
+SqlReturn SqlBindParam(DriverManager* dm, Hstmt* stmt, size_t index,
+                       const Value& value);
+SqlReturn SqlExecute(DriverManager* dm, Hstmt* stmt);
+SqlReturn SqlFetch(DriverManager* dm, Hstmt* stmt);
+SqlReturn SqlSeekRow(DriverManager* dm, Hstmt* stmt, uint64_t position);
+SqlReturn SqlMoreResults(DriverManager* dm, Hstmt* stmt);
+SqlReturn SqlCloseCursor(DriverManager* dm, Hstmt* stmt);
+SqlReturn SqlNumResultCols(DriverManager* dm, Hstmt* stmt, size_t* count);
+SqlReturn SqlDescribeCol(DriverManager* dm, Hstmt* stmt, size_t index,
+                         Column* column);
+SqlReturn SqlGetData(DriverManager* dm, Hstmt* stmt, size_t index,
+                     Value* value);
+SqlReturn SqlRowCount(DriverManager* dm, Hstmt* stmt, int64_t* count);
+
+}  // namespace phoenix::odbc
+
+#endif  // PHOENIX_ODBC_ODBC_API_H_

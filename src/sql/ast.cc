@@ -1,0 +1,455 @@
+#include "sql/ast.h"
+
+namespace phoenix::sql {
+
+const char* BinOpSql(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kLike: return "LIKE";
+    case BinOp::kNotLike: return "NOT LIKE";
+  }
+  return "?";
+}
+
+const char* StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kSelect: return "SELECT";
+    case StmtKind::kInsert: return "INSERT";
+    case StmtKind::kUpdate: return "UPDATE";
+    case StmtKind::kDelete: return "DELETE";
+    case StmtKind::kCreateTable: return "CREATE TABLE";
+    case StmtKind::kDropTable: return "DROP TABLE";
+    case StmtKind::kCreateProc: return "CREATE PROCEDURE";
+    case StmtKind::kDropProc: return "DROP PROCEDURE";
+    case StmtKind::kExec: return "EXEC";
+    case StmtKind::kBeginTxn: return "BEGIN TRANSACTION";
+    case StmtKind::kCommit: return "COMMIT";
+    case StmtKind::kRollback: return "ROLLBACK";
+    case StmtKind::kShow: return "SHOW";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Lit(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Col(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnOp op, std::unique_ptr<Expr> child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->left = std::move(child);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Func(std::string name,
+                                 std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Param(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table_qualifier = table_qualifier;
+  e->column = column;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  if (extra) e->extra = extra->Clone();
+  e->func_name = func_name;
+  e->distinct = distinct;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  e->negated = negated;
+  e->param_name = param_name;
+  return e;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFunction) {
+    if (func_name == "COUNT" || func_name == "SUM" || func_name == "AVG" ||
+        func_name == "MIN" || func_name == "MAX") {
+      return true;
+    }
+  }
+  if (left && left->ContainsAggregate()) return true;
+  if (right && right->ContainsAggregate()) return true;
+  if (extra && extra->ContainsAggregate()) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table_qualifier.empty() ? column : table_qualifier + "." + column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      if (un_op == UnOp::kNeg) return "(-" + left->ToSql() + ")";
+      return "(NOT " + left->ToSql() + ")";
+    case ExprKind::kBinary:
+      return "(" + left->ToSql() + " " + BinOpSql(bin_op) + " " +
+             right->ToSql() + ")";
+    case ExprKind::kFunction: {
+      std::string s = func_name + "(";
+      if (distinct) s += "DISTINCT ";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToSql();
+      }
+      s += ")";
+      return s;
+    }
+    case ExprKind::kBetween:
+      return "(" + left->ToSql() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             right->ToSql() + " AND " + extra->ToSql() + ")";
+    case ExprKind::kInList: {
+      std::string s = "(" + left->ToSql() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToSql();
+      }
+      s += "))";
+      return s;
+    }
+    case ExprKind::kIsNull:
+      return "(" + left->ToSql() + (negated ? " IS NOT NULL" : " IS NULL") + ")";
+    case ExprKind::kParam:
+      return "@" + param_name;
+    case ExprKind::kCase: {
+      std::string s = "CASE";
+      if (left) s += " " + left->ToSql();
+      for (size_t i = 0; i + 1 < args.size(); i += 2) {
+        s += " WHEN " + args[i]->ToSql() + " THEN " + args[i + 1]->ToSql();
+      }
+      if (extra) s += " ELSE " + extra->ToSql();
+      s += " END";
+      return s;
+    }
+  }
+  return "?";
+}
+
+std::string TableRef::ToSql() const {
+  return alias.empty() ? name : name + " " + alias;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto s = std::make_unique<SelectStmt>();
+  s->distinct = distinct;
+  for (const auto& it : items) {
+    s->items.push_back(SelectItem{it.expr->Clone(), it.alias});
+  }
+  s->into_table = into_table;
+  s->from = from;
+  for (const auto& j : joins) {
+    s->joins.push_back(JoinSpec{j.table_index, j.left,
+                                j.on ? j.on->Clone() : nullptr});
+  }
+  if (where) s->where = where->Clone();
+  for (const auto& g : group_by) s->group_by.push_back(g->Clone());
+  if (having) s->having = having->Clone();
+  for (const auto& o : order_by) {
+    s->order_by.push_back(OrderItem{o.expr->Clone(), o.desc});
+  }
+  s->limit = limit;
+  return s;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) s += ", ";
+    s += items[i].expr->ToSql();
+    if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+  }
+  if (!into_table.empty()) s += " INTO " + into_table;
+  if (!from.empty()) {
+    s += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      const JoinSpec* spec = nullptr;
+      for (const JoinSpec& j : joins) {
+        if (j.table_index == static_cast<int>(i)) spec = &j;
+      }
+      if (i == 0) {
+        s += from[i].ToSql();
+      } else if (spec != nullptr) {
+        s += spec->left ? " LEFT JOIN " : " JOIN ";
+        s += from[i].ToSql();
+        s += " ON " + spec->on->ToSql();
+      } else {
+        s += ", " + from[i].ToSql();
+      }
+    }
+  }
+  if (where) s += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) s += ", ";
+      s += group_by[i]->ToSql();
+    }
+  }
+  if (having) s += " HAVING " + having->ToSql();
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) s += ", ";
+      s += order_by[i].expr->ToSql();
+      if (order_by[i].desc) s += " DESC";
+    }
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  return s;
+}
+
+std::unique_ptr<InsertStmt> InsertStmt::Clone() const {
+  auto s = std::make_unique<InsertStmt>();
+  s->table = table;
+  s->columns = columns;
+  for (const auto& row : rows) {
+    std::vector<std::unique_ptr<Expr>> r;
+    for (const auto& e : row) r.push_back(e->Clone());
+    s->rows.push_back(std::move(r));
+  }
+  if (select) s->select = select->Clone();
+  return s;
+}
+
+std::string InsertStmt::ToSql() const {
+  std::string s = "INSERT INTO " + table;
+  if (!columns.empty()) {
+    s += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) s += ", ";
+      s += columns[i];
+    }
+    s += ")";
+  }
+  if (select) {
+    s += " " + select->ToSql();
+  } else {
+    s += " VALUES ";
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r) s += ", ";
+      s += "(";
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        if (i) s += ", ";
+        s += rows[r][i]->ToSql();
+      }
+      s += ")";
+    }
+  }
+  return s;
+}
+
+std::unique_ptr<UpdateStmt> UpdateStmt::Clone() const {
+  auto s = std::make_unique<UpdateStmt>();
+  s->table = table;
+  for (const auto& [col, e] : sets) s->sets.emplace_back(col, e->Clone());
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+std::string UpdateStmt::ToSql() const {
+  std::string s = "UPDATE " + table + " SET ";
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (i) s += ", ";
+    s += sets[i].first + " = " + sets[i].second->ToSql();
+  }
+  if (where) s += " WHERE " + where->ToSql();
+  return s;
+}
+
+std::unique_ptr<DeleteStmt> DeleteStmt::Clone() const {
+  auto s = std::make_unique<DeleteStmt>();
+  s->table = table;
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+std::string DeleteStmt::ToSql() const {
+  std::string s = "DELETE FROM " + table;
+  if (where) s += " WHERE " + where->ToSql();
+  return s;
+}
+
+std::unique_ptr<CreateTableStmt> CreateTableStmt::Clone() const {
+  auto s = std::make_unique<CreateTableStmt>();
+  *s = *this;
+  return s;
+}
+
+std::string CreateTableStmt::ToSql() const {
+  std::string s = "CREATE ";
+  if (temporary) s += "TEMPORARY ";
+  s += "TABLE " + table + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) s += ", ";
+    s += columns[i].name + " " + columns[i].type_name;
+    if (columns[i].not_null) s += " NOT NULL";
+    if (columns[i].primary_key) s += " PRIMARY KEY";
+  }
+  if (!pk_columns.empty()) {
+    s += ", PRIMARY KEY (";
+    for (size_t i = 0; i < pk_columns.size(); ++i) {
+      if (i) s += ", ";
+      s += pk_columns[i];
+    }
+    s += ")";
+  }
+  s += ")";
+  return s;
+}
+
+std::string DropTableStmt::ToSql() const {
+  return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") + table;
+}
+
+std::unique_ptr<CreateProcStmt> CreateProcStmt::Clone() const {
+  auto s = std::make_unique<CreateProcStmt>();
+  s->name = name;
+  s->temporary = temporary;
+  s->params = params;
+  for (const auto& st : body) s->body.push_back(st->Clone());
+  return s;
+}
+
+std::string CreateProcStmt::ToSql() const {
+  std::string s = "CREATE ";
+  if (temporary) s += "TEMPORARY ";
+  s += "PROCEDURE " + name;
+  if (!params.empty()) {
+    s += " (";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i) s += ", ";
+      s += "@" + params[i].name + " " + params[i].type_name;
+    }
+    s += ")";
+  }
+  s += " AS BEGIN ";
+  for (const auto& st : body) s += st->ToSql() + "; ";
+  s += "END";
+  return s;
+}
+
+std::string DropProcStmt::ToSql() const {
+  return std::string("DROP PROCEDURE ") + (if_exists ? "IF EXISTS " : "") + name;
+}
+
+std::unique_ptr<ExecStmt> ExecStmt::Clone() const {
+  auto s = std::make_unique<ExecStmt>();
+  s->proc_name = proc_name;
+  for (const auto& a : args) s->args.push_back(a->Clone());
+  return s;
+}
+
+std::string ExecStmt::ToSql() const {
+  std::string s = "EXEC " + proc_name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) s += ", ";
+    s += args[i]->ToSql();
+  }
+  s += ")";
+  return s;
+}
+
+std::string ShowStmt::ToSql() const {
+  if (what == What::kKeys) return "SHOW KEYS " + table;
+  if (what == What::kProcs) return "SHOW PROCEDURES";
+  return "SHOW TABLES";
+}
+
+std::unique_ptr<Statement> Statement::Clone() const {
+  auto s = std::make_unique<Statement>();
+  s->kind = kind;
+  if (select) s->select = select->Clone();
+  if (insert) s->insert = insert->Clone();
+  if (update) s->update = update->Clone();
+  if (del) s->del = del->Clone();
+  if (create_table) s->create_table = create_table->Clone();
+  if (drop_table) s->drop_table = std::make_unique<DropTableStmt>(*drop_table);
+  if (create_proc) s->create_proc = create_proc->Clone();
+  if (drop_proc) s->drop_proc = std::make_unique<DropProcStmt>(*drop_proc);
+  if (exec) s->exec = exec->Clone();
+  if (show) s->show = std::make_unique<ShowStmt>(*show);
+  return s;
+}
+
+std::string Statement::ToSql() const {
+  switch (kind) {
+    case StmtKind::kSelect: return select->ToSql();
+    case StmtKind::kInsert: return insert->ToSql();
+    case StmtKind::kUpdate: return update->ToSql();
+    case StmtKind::kDelete: return del->ToSql();
+    case StmtKind::kCreateTable: return create_table->ToSql();
+    case StmtKind::kDropTable: return drop_table->ToSql();
+    case StmtKind::kCreateProc: return create_proc->ToSql();
+    case StmtKind::kDropProc: return drop_proc->ToSql();
+    case StmtKind::kExec: return exec->ToSql();
+    case StmtKind::kBeginTxn: return "BEGIN TRANSACTION";
+    case StmtKind::kCommit: return "COMMIT";
+    case StmtKind::kRollback: return "ROLLBACK";
+    case StmtKind::kShow: return show->ToSql();
+  }
+  return "?";
+}
+
+}  // namespace phoenix::sql

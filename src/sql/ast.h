@@ -1,0 +1,256 @@
+#ifndef PHOENIX_SQL_AST_H_
+#define PHOENIX_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace phoenix::sql {
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kStar,      ///< '*' — only valid as a select item or COUNT(*) argument
+  kUnary,
+  kBinary,
+  kFunction,  ///< scalar or aggregate call, resolved by the executor
+  kBetween,   ///< left BETWEEN right AND extra
+  kInList,    ///< left IN (args...)
+  kIsNull,    ///< left IS [NOT] NULL
+  kParam,     ///< @name — stored-procedure parameter / host variable
+  kCase,      ///< CASE [left] WHEN args[2i] THEN args[2i+1] ... [ELSE extra] END
+};
+
+enum class UnOp : uint8_t { kNeg, kNot };
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike, kNotLike,
+};
+
+const char* BinOpSql(BinOp op);
+
+/// One expression node. A single struct with per-kind fields keeps the AST
+/// compact and makes Clone()/ToSql() exhaustive in one place.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                                   // kLiteral
+  std::string table_qualifier;                     // kColumnRef (may be "")
+  std::string column;                              // kColumnRef
+  UnOp un_op = UnOp::kNeg;                         // kUnary
+  BinOp bin_op = BinOp::kAdd;                      // kBinary
+  std::unique_ptr<Expr> left;                      // unary child / lhs
+  std::unique_ptr<Expr> right;                     // rhs / BETWEEN low
+  std::unique_ptr<Expr> extra;                     // BETWEEN high
+  std::string func_name;                           // kFunction (uppercased)
+  bool distinct = false;                           // COUNT(DISTINCT x)
+  std::vector<std::unique_ptr<Expr>> args;         // kFunction / kInList
+  bool negated = false;                            // NOT IN / IS NOT NULL / NOT BETWEEN
+  std::string param_name;                          // kParam
+
+  static std::unique_ptr<Expr> Lit(Value v);
+  static std::unique_ptr<Expr> Col(std::string qualifier, std::string column);
+  static std::unique_ptr<Expr> Star();
+  static std::unique_ptr<Expr> Unary(UnOp op, std::unique_ptr<Expr> child);
+  static std::unique_ptr<Expr> Binary(BinOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Func(std::string name,
+                                    std::vector<std::unique_ptr<Expr>> args);
+  static std::unique_ptr<Expr> Param(std::string name);
+
+  std::unique_ptr<Expr> Clone() const;
+  /// Re-emits parseable SQL (fully parenthesized where precedence matters).
+  std::string ToSql() const;
+
+  /// True if this subtree contains any aggregate function call.
+  bool ContainsAggregate() const;
+};
+
+/// A table in a FROM list: `name [AS] alias`.
+struct TableRef {
+  std::string name;
+  std::string alias;  // "" when none
+
+  std::string ToSql() const;
+  /// Alias if present, else the table name — what column qualifiers bind to.
+  const std::string& BindingName() const { return alias.empty() ? name : alias; }
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  // "" when none
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+/// An explicit JOIN in a FROM clause, tied to the table at
+/// `from[table_index]`. Comma-listed tables have no JoinSpec; inner-join ON
+/// conditions are semantically equivalent to WHERE conjuncts, LEFT joins
+/// null-pad unmatched left rows.
+struct JoinSpec {
+  int table_index = 0;
+  bool left = false;  ///< LEFT [OUTER] JOIN vs INNER JOIN
+  std::unique_ptr<Expr> on;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::string into_table;  ///< SELECT ... INTO t (engine creates t)
+  std::vector<TableRef> from;
+  /// Explicit JOINs (indices into `from`; from[0] never has one).
+  std::vector<JoinSpec> joins;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+
+  std::unique_ptr<SelectStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = full-schema order
+  /// Literal rows (INSERT ... VALUES (...), (...)) — exclusive with select.
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+  std::unique_ptr<SelectStmt> select;  ///< INSERT INTO t SELECT ...
+
+  std::unique_ptr<InsertStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> sets;
+  std::unique_ptr<Expr> where;
+
+  std::unique_ptr<UpdateStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+
+  std::unique_ptr<DeleteStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  bool temporary = false;
+  std::vector<ColumnDef> columns;
+  /// Table-level PRIMARY KEY (a, b); merged with per-column flags.
+  std::vector<std::string> pk_columns;
+
+  std::unique_ptr<CreateTableStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+
+  std::string ToSql() const;
+};
+
+struct ProcParam {
+  std::string name;       ///< without '@'
+  std::string type_name;
+};
+
+struct Statement;  // fwd
+
+struct CreateProcStmt {
+  std::string name;
+  bool temporary = false;
+  std::vector<ProcParam> params;
+  std::vector<std::unique_ptr<Statement>> body;
+
+  std::unique_ptr<CreateProcStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+struct DropProcStmt {
+  std::string name;
+  bool if_exists = false;
+
+  std::string ToSql() const;
+};
+
+struct ExecStmt {
+  std::string proc_name;
+  std::vector<std::unique_ptr<Expr>> args;
+
+  std::unique_ptr<ExecStmt> Clone() const;
+  std::string ToSql() const;
+};
+
+/// SHOW KEYS <table> (SQLPrimaryKeys analogue) / SHOW TABLES.
+struct ShowStmt {
+  enum class What : uint8_t { kKeys, kTables, kProcs };
+  What what = What::kTables;
+  std::string table;  ///< kKeys only
+
+  std::string ToSql() const;
+};
+
+enum class StmtKind : uint8_t {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kCreateProc,
+  kDropProc,
+  kExec,
+  kBeginTxn,
+  kCommit,
+  kRollback,
+  kShow,
+};
+
+const char* StmtKindName(StmtKind kind);
+
+/// Tagged union of all statement forms. Exactly one sub-pointer (matching
+/// `kind`) is non-null; txn-control kinds carry no payload.
+struct Statement {
+  StmtKind kind = StmtKind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<CreateProcStmt> create_proc;
+  std::unique_ptr<DropProcStmt> drop_proc;
+  std::unique_ptr<ExecStmt> exec;
+  std::unique_ptr<ShowStmt> show;
+
+  std::unique_ptr<Statement> Clone() const;
+  std::string ToSql() const;
+};
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_AST_H_

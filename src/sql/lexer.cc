@@ -1,0 +1,159 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace phoenix::sql {
+
+namespace {
+
+char UpperChar(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::SqlError("unterminated block comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // String literal.
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) return Status::SqlError("unterminated string literal");
+      tok.kind = TokKind::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < n && text[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          is_double = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+        } else {
+          i = save;  // 'e' belongs to a following identifier
+        }
+      }
+      tok.text = text.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokKind::kDouble;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokKind::kInt;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Parameter reference @name.
+    if (c == '@') {
+      size_t start = ++i;
+      while (i < n && IsIdentBody(text[i])) ++i;
+      if (i == start) return Status::SqlError("bare '@' in input");
+      tok.kind = TokKind::kParam;
+      tok.text = text.substr(start, i - start);
+      for (char ch : tok.text) tok.upper.push_back(UpperChar(ch));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentBody(text[i])) ++i;
+      tok.kind = TokKind::kIdent;
+      tok.text = text.substr(start, i - start);
+      for (char ch : tok.text) tok.upper.push_back(UpperChar(ch));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* op) {
+      return i + 1 < n && text[i] == op[0] && text[i + 1] == op[1];
+    };
+    if (two("<=") || two(">=") || two("<>") || two("!=")) {
+      tok.kind = TokKind::kSymbol;
+      tok.text = text.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "(),;*=<>+-/%.";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::SqlError(std::string("unexpected character '") + c +
+                            "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace phoenix::sql

@@ -1,0 +1,19 @@
+#ifndef PHOENIX_SQL_LEXER_H_
+#define PHOENIX_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace phoenix::sql {
+
+/// Tokenizes a SQL string. Handles '--' line comments, '/* */' block
+/// comments, '' escaping inside string literals, and multi-char operators
+/// (<=, >=, <>, !=).
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_LEXER_H_

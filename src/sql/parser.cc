@@ -1,0 +1,769 @@
+#include "sql/parser.h"
+
+#include "common/schema.h"
+#include "sql/lexer.h"
+
+namespace phoenix::sql {
+
+namespace {
+
+/// Keywords that terminate clauses — an unquoted identifier equal to one of
+/// these is never treated as an implicit alias.
+bool IsReserved(const std::string& upper) {
+  static const char* kReserved[] = {
+      "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT",
+      "OFFSET", "INTO", "AS", "ON", "JOIN", "INNER", "LEFT", "RIGHT",
+      "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "ASC",
+      "DESC", "VALUES", "SET", "UNION", "DISTINCT", "BY", "END", "BEGIN",
+      "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "EXEC", "EXECUTE",
+      "CASE", "WHEN", "THEN", "ELSE",
+  };
+  for (const char* kw : kReserved) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<Statement>>> Parser::ParseScript(
+    const std::string& text) {
+  PHX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  std::vector<std::unique_ptr<Statement>> stmts;
+  while (!p.Cur().Is(TokKind::kEnd)) {
+    if (p.AcceptSymbol(";")) continue;
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Statement> s, p.ParseStmt());
+    stmts.push_back(std::move(s));
+    if (!p.Cur().Is(TokKind::kEnd)) {
+      PHX_RETURN_IF_ERROR(p.ExpectSymbol(";"));
+    }
+  }
+  if (stmts.empty()) return Status::SqlError("empty statement");
+  return stmts;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatement(
+    const std::string& text) {
+  PHX_ASSIGN_OR_RETURN(auto stmts, ParseScript(text));
+  if (stmts.size() != 1) {
+    return Status::SqlError("expected exactly one statement, got " +
+                            std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseExpression(const std::string& text) {
+  PHX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, p.ParseExpr());
+  if (!p.Cur().Is(TokKind::kEnd)) return p.Error("trailing input");
+  return e;
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+bool Parser::AcceptKeyword(const char* kw) {
+  if (Cur().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::AcceptSymbol(const char* s) {
+  if (Cur().IsSymbol(s)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!AcceptKeyword(kw)) return Error(std::string("expected ") + kw);
+  return Status::Ok();
+}
+
+Status Parser::ExpectSymbol(const char* s) {
+  if (!AcceptSymbol(s)) return Error(std::string("expected '") + s + "'");
+  return Status::Ok();
+}
+
+Status Parser::Error(const std::string& what) const {
+  return Status::SqlError(what + " near '" +
+                          (Cur().Is(TokKind::kEnd) ? "<end>" : Cur().text) +
+                          "' (offset " + std::to_string(Cur().offset) + ")");
+}
+
+Result<std::string> Parser::ExpectIdent() {
+  if (!Cur().Is(TokKind::kIdent)) return Error("expected identifier");
+  std::string name = Cur().text;
+  Advance();
+  return name;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseStmt() {
+  const Token& t = Cur();
+  if (t.IsKeyword("SELECT")) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kSelect;
+    PHX_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return stmt;
+  }
+  if (t.IsKeyword("INSERT")) return ParseInsert();
+  if (t.IsKeyword("UPDATE")) return ParseUpdate();
+  if (t.IsKeyword("DELETE")) return ParseDelete();
+  if (t.IsKeyword("CREATE")) return ParseCreate();
+  if (t.IsKeyword("DROP")) return ParseDrop();
+  if (t.IsKeyword("EXEC") || t.IsKeyword("EXECUTE")) return ParseExec();
+  if (t.IsKeyword("SHOW")) {
+    Advance();
+    auto show = std::make_unique<ShowStmt>();
+    if (AcceptKeyword("KEYS")) {
+      show->what = ShowStmt::What::kKeys;
+      PHX_ASSIGN_OR_RETURN(show->table, ExpectIdent());
+    } else if (AcceptKeyword("TABLES")) {
+      show->what = ShowStmt::What::kTables;
+    } else if (AcceptKeyword("PROCEDURES") || AcceptKeyword("PROCS")) {
+      show->what = ShowStmt::What::kProcs;
+    } else {
+      return Error("expected KEYS, TABLES, or PROCEDURES after SHOW");
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kShow;
+    stmt->show = std::move(show);
+    return stmt;
+  }
+  if (t.IsKeyword("BEGIN")) {
+    Advance();
+    // Optional TRANSACTION/TRAN/WORK.
+    if (!AcceptKeyword("TRANSACTION") && !AcceptKeyword("TRAN")) {
+      AcceptKeyword("WORK");
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kBeginTxn;
+    return stmt;
+  }
+  if (t.IsKeyword("COMMIT")) {
+    Advance();
+    if (!AcceptKeyword("TRANSACTION") && !AcceptKeyword("TRAN")) {
+      AcceptKeyword("WORK");
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kCommit;
+    return stmt;
+  }
+  if (t.IsKeyword("ROLLBACK")) {
+    Advance();
+    if (!AcceptKeyword("TRANSACTION") && !AcceptKeyword("TRAN")) {
+      AcceptKeyword("WORK");
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kRollback;
+    return stmt;
+  }
+  return Error("expected a statement");
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto sel = std::make_unique<SelectStmt>();
+  if (AcceptKeyword("DISTINCT")) sel->distinct = true;
+  // TOP n (T-SQL flavor) is accepted as a LIMIT synonym.
+  if (AcceptKeyword("TOP")) {
+    if (!Cur().Is(TokKind::kInt)) return Error("expected integer after TOP");
+    sel->limit = Cur().int_value;
+    Advance();
+  }
+  // Select list.
+  while (true) {
+    SelectItem item;
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      item.expr = Expr::Star();
+    } else {
+      PHX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        PHX_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Cur().Is(TokKind::kIdent) && !IsReserved(Cur().upper)) {
+        item.alias = Cur().text;
+        Advance();
+      }
+    }
+    sel->items.push_back(std::move(item));
+    if (!AcceptSymbol(",")) break;
+  }
+  if (AcceptKeyword("INTO")) {
+    PHX_ASSIGN_OR_RETURN(sel->into_table, ExpectIdent());
+  }
+  if (AcceptKeyword("FROM")) {
+    auto parse_table_ref = [&]() -> Status {
+      TableRef ref;
+      PHX_ASSIGN_OR_RETURN(ref.name, ExpectIdent());
+      if (AcceptKeyword("AS")) {
+        PHX_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+      } else if (Cur().Is(TokKind::kIdent) && !IsReserved(Cur().upper)) {
+        ref.alias = Cur().text;
+        Advance();
+      }
+      sel->from.push_back(std::move(ref));
+      return Status::Ok();
+    };
+    PHX_RETURN_IF_ERROR(parse_table_ref());
+    while (true) {
+      if (AcceptSymbol(",")) {
+        PHX_RETURN_IF_ERROR(parse_table_ref());
+        continue;
+      }
+      if (Cur().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) Advance();
+      bool left = false;
+      if (Cur().IsKeyword("LEFT") &&
+          (Peek(1).IsKeyword("JOIN") ||
+           (Peek(1).IsKeyword("OUTER") && Peek(2).IsKeyword("JOIN")))) {
+        left = true;
+        Advance();
+        AcceptKeyword("OUTER");
+      }
+      if (AcceptKeyword("JOIN")) {
+        PHX_RETURN_IF_ERROR(parse_table_ref());
+        PHX_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> cond, ParseExpr());
+        sel->joins.push_back(JoinSpec{
+            static_cast<int>(sel->from.size()) - 1, left, std::move(cond)});
+        continue;
+      }
+      if (left) return Error("expected JOIN after LEFT");
+      break;
+    }
+  }
+  if (AcceptKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+  }
+  if (AcceptKeyword("GROUP")) {
+    PHX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> g, ParseExpr());
+      sel->group_by.push_back(std::move(g));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("HAVING")) {
+    PHX_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+  }
+  if (AcceptKeyword("ORDER")) {
+    PHX_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      OrderItem item;
+      PHX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      sel->order_by.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("LIMIT")) {
+    if (!Cur().Is(TokKind::kInt)) return Error("expected integer after LIMIT");
+    sel->limit = Cur().int_value;
+    Advance();
+  }
+  return sel;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseInsert() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  PHX_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto ins = std::make_unique<InsertStmt>();
+  PHX_ASSIGN_OR_RETURN(ins->table, ExpectIdent());
+  if (Cur().IsSymbol("(") && !Peek(1).IsKeyword("SELECT")) {
+    // Column list (as opposed to a parenthesized SELECT).
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      ins->columns.push_back(std::move(col));
+      if (!AcceptSymbol(",")) break;
+    }
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  if (AcceptKeyword("VALUES")) {
+    while (true) {
+      PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<std::unique_ptr<Expr>> row;
+      while (true) {
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!AcceptSymbol(",")) break;
+      }
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ins->rows.push_back(std::move(row));
+      if (!AcceptSymbol(",")) break;
+    }
+  } else {
+    bool parenthesized = AcceptSymbol("(");
+    PHX_ASSIGN_OR_RETURN(ins->select, ParseSelect());
+    if (parenthesized) PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = StmtKind::kInsert;
+  stmt->insert = std::move(ins);
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseUpdate() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  auto upd = std::make_unique<UpdateStmt>();
+  PHX_ASSIGN_OR_RETURN(upd->table, ExpectIdent());
+  PHX_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  while (true) {
+    PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+    PHX_RETURN_IF_ERROR(ExpectSymbol("="));
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+    upd->sets.emplace_back(std::move(col), std::move(e));
+    if (!AcceptSymbol(",")) break;
+  }
+  if (AcceptKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(upd->where, ParseExpr());
+  }
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = StmtKind::kUpdate;
+  stmt->update = std::move(upd);
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDelete() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  PHX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto del = std::make_unique<DeleteStmt>();
+  PHX_ASSIGN_OR_RETURN(del->table, ExpectIdent());
+  if (AcceptKeyword("WHERE")) {
+    PHX_ASSIGN_OR_RETURN(del->where, ParseExpr());
+  }
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = StmtKind::kDelete;
+  stmt->del = std::move(del);
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  bool temporary = false;
+  if (AcceptKeyword("TEMP") || AcceptKeyword("TEMPORARY")) temporary = true;
+  if (AcceptKeyword("TABLE")) {
+    auto ct = std::make_unique<CreateTableStmt>();
+    ct->temporary = temporary;
+    PHX_ASSIGN_OR_RETURN(ct->table, ExpectIdent());
+    // '#name' is the T-SQL temp-table convention; honor it.
+    if (!ct->table.empty() && ct->table[0] == '#') ct->temporary = true;
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      if (AcceptKeyword("PRIMARY")) {
+        PHX_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          ct->pk_columns.push_back(std::move(col));
+          if (!AcceptSymbol(",")) break;
+        }
+        PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        ColumnDef def;
+        PHX_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+        PHX_ASSIGN_OR_RETURN(def.type_name, ExpectIdent());
+        // VARCHAR(30) style length suffix: parsed and ignored.
+        if (AcceptSymbol("(")) {
+          if (!Cur().Is(TokKind::kInt)) return Error("expected length");
+          Advance();
+          if (AcceptSymbol(",")) {  // DECIMAL(p, s)
+            if (!Cur().Is(TokKind::kInt)) return Error("expected scale");
+            Advance();
+          }
+          PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        while (true) {
+          if (AcceptKeyword("NOT")) {
+            PHX_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+            def.not_null = true;
+            continue;
+          }
+          if (AcceptKeyword("NULL")) continue;
+          if (AcceptKeyword("PRIMARY")) {
+            PHX_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+            def.primary_key = true;
+            def.not_null = true;
+            continue;
+          }
+          break;
+        }
+        ct->columns.push_back(std::move(def));
+      }
+      if (!AcceptSymbol(",")) break;
+    }
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kCreateTable;
+    stmt->create_table = std::move(ct);
+    return stmt;
+  }
+  if (AcceptKeyword("PROCEDURE") || AcceptKeyword("PROC")) {
+    auto cp = std::make_unique<CreateProcStmt>();
+    cp->temporary = temporary;
+    PHX_ASSIGN_OR_RETURN(cp->name, ExpectIdent());
+    if (!cp->name.empty() && cp->name[0] == '#') cp->temporary = true;
+    if (AcceptSymbol("(")) {
+      while (true) {
+        if (!Cur().Is(TokKind::kParam)) return Error("expected @param");
+        ProcParam p;
+        p.name = Cur().text;
+        Advance();
+        PHX_ASSIGN_OR_RETURN(p.type_name, ExpectIdent());
+        if (AcceptSymbol("(")) {  // VARCHAR(30)
+          if (!Cur().Is(TokKind::kInt)) return Error("expected length");
+          Advance();
+          PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        cp->params.push_back(std::move(p));
+        if (!AcceptSymbol(",")) break;
+      }
+      PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    PHX_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    if (AcceptKeyword("BEGIN")) {
+      while (!Cur().IsKeyword("END")) {
+        if (Cur().Is(TokKind::kEnd)) return Error("unterminated procedure body");
+        if (AcceptSymbol(";")) continue;
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<Statement> s, ParseStmt());
+        cp->body.push_back(std::move(s));
+      }
+      PHX_RETURN_IF_ERROR(ExpectKeyword("END"));
+    } else {
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Statement> s, ParseStmt());
+      cp->body.push_back(std::move(s));
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kCreateProc;
+    stmt->create_proc = std::move(cp);
+    return stmt;
+  }
+  return Error("expected TABLE or PROCEDURE after CREATE");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDrop() {
+  PHX_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  bool is_table = AcceptKeyword("TABLE");
+  if (!is_table) {
+    if (!AcceptKeyword("PROCEDURE") && !AcceptKeyword("PROC")) {
+      return Error("expected TABLE or PROCEDURE after DROP");
+    }
+  }
+  bool if_exists = false;
+  if (AcceptKeyword("IF")) {
+    PHX_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    if_exists = true;
+  }
+  PHX_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+  auto stmt = std::make_unique<Statement>();
+  if (is_table) {
+    stmt->kind = StmtKind::kDropTable;
+    stmt->drop_table = std::make_unique<DropTableStmt>();
+    stmt->drop_table->table = std::move(name);
+    stmt->drop_table->if_exists = if_exists;
+  } else {
+    stmt->kind = StmtKind::kDropProc;
+    stmt->drop_proc = std::make_unique<DropProcStmt>();
+    stmt->drop_proc->name = std::move(name);
+    stmt->drop_proc->if_exists = if_exists;
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseExec() {
+  Advance();  // EXEC or EXECUTE
+  auto ex = std::make_unique<ExecStmt>();
+  PHX_ASSIGN_OR_RETURN(ex->proc_name, ExpectIdent());
+  if (AcceptSymbol("(")) {
+    if (!Cur().IsSymbol(")")) {
+      while (true) {
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        ex->args.push_back(std::move(e));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+  } else if (!Cur().Is(TokKind::kEnd) && !Cur().IsSymbol(";")) {
+    // T-SQL style: EXEC proc arg1, arg2
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+      ex->args.push_back(std::move(e));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = StmtKind::kExec;
+  stmt->exec = std::move(ex);
+  return stmt;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseExpr() { return ParseOr(); }
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAnd());
+  while (AcceptKeyword("OR")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAnd());
+    left = Expr::Binary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseNot());
+  while (AcceptKeyword("AND")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseNot());
+    left = Expr::Binary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (AcceptKeyword("NOT")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseNot());
+    return Expr::Unary(UnOp::kNot, std::move(child));
+  }
+  return ParseComparison();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseComparison() {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAdditive());
+  // Single (non-chaining) comparison suffix.
+  struct CmpMap {
+    const char* sym;
+    BinOp op;
+  };
+  static const CmpMap kCmp[] = {
+      {"=", BinOp::kEq}, {"<>", BinOp::kNe}, {"!=", BinOp::kNe},
+      {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"<", BinOp::kLt},
+      {">", BinOp::kGt},
+  };
+  for (const CmpMap& m : kCmp) {
+    if (Cur().IsSymbol(m.sym)) {
+      Advance();
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAdditive());
+      return Expr::Binary(m.op, std::move(left), std::move(right));
+    }
+  }
+  bool negated = false;
+  if (Cur().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("BETWEEN") ||
+       Peek(1).IsKeyword("IN"))) {
+    negated = true;
+    Advance();
+  }
+  if (AcceptKeyword("LIKE")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAdditive());
+    return Expr::Binary(negated ? BinOp::kNotLike : BinOp::kLike,
+                        std::move(left), std::move(right));
+  }
+  if (AcceptKeyword("BETWEEN")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> low, ParseAdditive());
+    PHX_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> high, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->left = std::move(left);
+    e->right = std::move(low);
+    e->extra = std::move(high);
+    e->negated = negated;
+    return e;
+  }
+  if (AcceptKeyword("IN")) {
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInList;
+    e->left = std::move(left);
+    e->negated = negated;
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseExpr());
+      e->args.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (AcceptKeyword("IS")) {
+    bool is_not = AcceptKeyword("NOT");
+    PHX_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->left = std::move(left);
+    e->negated = is_not;
+    return e;
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseMultiplicative());
+  while (true) {
+    BinOp op;
+    if (Cur().IsSymbol("+")) {
+      op = BinOp::kAdd;
+    } else if (Cur().IsSymbol("-")) {
+      op = BinOp::kSub;
+    } else {
+      break;
+    }
+    Advance();
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseMultiplicative());
+    left = Expr::Binary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseUnary());
+  while (true) {
+    BinOp op;
+    if (Cur().IsSymbol("*")) {
+      op = BinOp::kMul;
+    } else if (Cur().IsSymbol("/")) {
+      op = BinOp::kDiv;
+    } else if (Cur().IsSymbol("%")) {
+      op = BinOp::kMod;
+    } else {
+      break;
+    }
+    Advance();
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseUnary());
+    left = Expr::Binary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (AcceptSymbol("-")) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
+    return Expr::Unary(UnOp::kNeg, std::move(child));
+  }
+  AcceptSymbol("+");
+  return ParsePrimary();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& t = Cur();
+  switch (t.kind) {
+    case TokKind::kInt: {
+      int64_t v = t.int_value;
+      Advance();
+      return Expr::Lit(Value::Int64(v));
+    }
+    case TokKind::kDouble: {
+      double v = t.double_value;
+      Advance();
+      return Expr::Lit(Value::Double(v));
+    }
+    case TokKind::kString: {
+      std::string v = t.text;
+      Advance();
+      return Expr::Lit(Value::String(std::move(v)));
+    }
+    case TokKind::kParam: {
+      std::string name = t.text;
+      Advance();
+      return Expr::Param(std::move(name));
+    }
+    case TokKind::kSymbol:
+      if (t.text == "(") {
+        Advance();
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+      return Error("expected expression");
+    case TokKind::kIdent: {
+      if (t.IsKeyword("NULL")) {
+        Advance();
+        return Expr::Lit(Value::Null());
+      }
+      if (t.IsKeyword("TRUE")) {
+        Advance();
+        return Expr::Lit(Value::Bool(true));
+      }
+      if (t.IsKeyword("FALSE")) {
+        Advance();
+        return Expr::Lit(Value::Bool(false));
+      }
+      if (t.IsKeyword("CASE")) {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCase;
+        if (!Cur().IsKeyword("WHEN")) {
+          // Simple CASE: CASE operand WHEN value THEN ...
+          PHX_ASSIGN_OR_RETURN(e->left, ParseExpr());
+        }
+        while (AcceptKeyword("WHEN")) {
+          PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> when, ParseExpr());
+          PHX_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+          PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> then, ParseExpr());
+          e->args.push_back(std::move(when));
+          e->args.push_back(std::move(then));
+        }
+        if (e->args.empty()) return Error("CASE requires at least one WHEN");
+        if (AcceptKeyword("ELSE")) {
+          PHX_ASSIGN_OR_RETURN(e->extra, ParseExpr());
+        }
+        PHX_RETURN_IF_ERROR(ExpectKeyword("END"));
+        return e;
+      }
+      if (t.IsKeyword("DATE") && Peek(1).Is(TokKind::kString)) {
+        Advance();
+        PHX_ASSIGN_OR_RETURN(int32_t day, ParseDate(Cur().text));
+        Advance();
+        return Expr::Lit(Value::Date(day));
+      }
+      // Function call?
+      if (Peek(1).IsSymbol("(")) {
+        std::string fname = t.upper;
+        Advance();
+        Advance();  // '('
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->func_name = std::move(fname);
+        if (AcceptKeyword("DISTINCT")) e->distinct = true;
+        if (!Cur().IsSymbol(")")) {
+          while (true) {
+            if (Cur().IsSymbol("*")) {
+              Advance();
+              e->args.push_back(Expr::Star());
+            } else {
+              PHX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+            }
+            if (!AcceptSymbol(",")) break;
+          }
+        }
+        PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+      // Column reference, possibly qualified. Reserved words never name
+      // columns (catches malformed input like "SELECT FROM t" early).
+      if (IsReserved(t.upper)) return Error("expected expression");
+      std::string first = t.text;
+      Advance();
+      if (AcceptSymbol(".")) {
+        PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return Expr::Col(std::move(first), std::move(col));
+      }
+      return Expr::Col("", std::move(first));
+    }
+    case TokKind::kEnd:
+      return Error("unexpected end of input");
+  }
+  return Error("expected expression");
+}
+
+}  // namespace phoenix::sql

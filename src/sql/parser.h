@@ -1,0 +1,66 @@
+#ifndef PHOENIX_SQL_PARSER_H_
+#define PHOENIX_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace phoenix::sql {
+
+/// Recursive-descent SQL parser for the dialect described in DESIGN.md §2/S3.
+class Parser {
+ public:
+  /// Parses a semicolon-separated script (a "command batch").
+  static Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+      const std::string& text);
+
+  /// Parses exactly one statement (trailing ';' tolerated).
+  static Result<std::unique_ptr<Statement>> ParseStatement(
+      const std::string& text);
+
+  /// Parses a standalone expression (used by tests and the rewriter).
+  static Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Cur() const { return Peek(0); }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+  bool AcceptKeyword(const char* kw);
+  bool AcceptSymbol(const char* s);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectSymbol(const char* s);
+  Status Error(const std::string& what) const;
+  Result<std::string> ExpectIdent();
+
+  Result<std::unique_ptr<Statement>> ParseStmt();
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<std::unique_ptr<Statement>> ParseInsert();
+  Result<std::unique_ptr<Statement>> ParseUpdate();
+  Result<std::unique_ptr<Statement>> ParseDelete();
+  Result<std::unique_ptr<Statement>> ParseCreate();
+  Result<std::unique_ptr<Statement>> ParseDrop();
+  Result<std::unique_ptr<Statement>> ParseExec();
+
+  Result<std::unique_ptr<Expr>> ParseExpr();
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseNot();
+  Result<std::unique_ptr<Expr>> ParseComparison();
+  Result<std::unique_ptr<Expr>> ParseAdditive();
+  Result<std::unique_ptr<Expr>> ParseMultiplicative();
+  Result<std::unique_ptr<Expr>> ParseUnary();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_PARSER_H_

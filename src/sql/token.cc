@@ -1,0 +1,18 @@
+#include "sql/token.h"
+
+namespace phoenix::sql {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd: return "end-of-input";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kString: return "string";
+    case TokKind::kInt: return "integer";
+    case TokKind::kDouble: return "double";
+    case TokKind::kSymbol: return "symbol";
+    case TokKind::kParam: return "parameter";
+  }
+  return "?";
+}
+
+}  // namespace phoenix::sql

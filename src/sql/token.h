@@ -1,0 +1,41 @@
+#ifndef PHOENIX_SQL_TOKEN_H_
+#define PHOENIX_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix::sql {
+
+enum class TokKind : uint8_t {
+  kEnd = 0,
+  kIdent,    ///< bare identifier, possibly a keyword (check via IsKeyword)
+  kString,   ///< 'quoted literal' (quotes stripped, '' unescaped)
+  kInt,      ///< integer literal
+  kDouble,   ///< decimal literal
+  kSymbol,   ///< punctuation / operator, text holds the exact lexeme
+  kParam,    ///< @name parameter reference (text holds name without @)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;       ///< raw lexeme (identifiers keep original case)
+  std::string upper;      ///< uppercased text, for keyword matching
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;      ///< byte offset in the source, for error messages
+
+  bool Is(TokKind k) const { return kind == k; }
+  /// True if this is an identifier whose uppercase form equals `kw`.
+  bool IsKeyword(const char* kw) const {
+    return kind == TokKind::kIdent && upper == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == TokKind::kSymbol && text == s;
+  }
+};
+
+const char* TokKindName(TokKind kind);
+
+}  // namespace phoenix::sql
+
+#endif  // PHOENIX_SQL_TOKEN_H_

@@ -1,0 +1,91 @@
+#include "storage/recovery.h"
+
+namespace phoenix::storage {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x50485843;  // "PHXC"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Status ApplyWalOp(const WalOp& op, TableStore* store) {
+  switch (op.kind) {
+    case WalOpKind::kCreateTable: {
+      auto res = store->CreateTable(op.table, op.schema, op.pk_columns,
+                                    /*temporary=*/false);
+      return res.status();
+    }
+    case WalOpKind::kDropTable:
+      return store->DropTable(op.table);
+    case WalOpKind::kInsert: {
+      Table* t = store->Get(op.table);
+      if (t == nullptr) return Status::Internal("redo insert into missing " + op.table);
+      auto res = t->Insert(op.row, op.rid);
+      return res.status();
+    }
+    case WalOpKind::kDelete: {
+      Table* t = store->Get(op.table);
+      if (t == nullptr) return Status::Internal("redo delete from missing " + op.table);
+      return t->Delete(op.rid);
+    }
+    case WalOpKind::kUpdate: {
+      Table* t = store->Get(op.table);
+      if (t == nullptr) return Status::Internal("redo update of missing " + op.table);
+      return t->Update(op.rid, op.row);
+    }
+  }
+  return Status::Internal("bad WAL op kind");
+}
+
+DurabilityManager::DurabilityManager(SimDisk* disk, std::string prefix)
+    : disk_(disk),
+      wal_file_(prefix + ".wal"),
+      ckpt_file_(prefix + ".ckpt"),
+      wal_writer_(disk, wal_file_) {}
+
+Status DurabilityManager::LogCommit(const WalCommitRecord& record) {
+  return wal_writer_.AppendCommit(record);
+}
+
+Status DurabilityManager::WriteCheckpoint(const TableStore& store,
+                                          uint64_t next_txn_id) {
+  Encoder enc;
+  enc.PutU32(kCheckpointMagic);
+  enc.PutU32(kCheckpointVersion);
+  enc.PutU64(next_txn_id);
+  store.EncodeSnapshot(&enc);
+  PHX_RETURN_IF_ERROR(disk_->WriteAtomic(ckpt_file_, enc.Take()));
+  return wal_writer_.Reset();
+}
+
+Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
+  store->Clear();
+  RecoveryInfo local;
+  if (disk_->Exists(ckpt_file_)) {
+    PHX_ASSIGN_OR_RETURN(std::string bytes, disk_->ReadDurable(ckpt_file_));
+    if (!bytes.empty()) {
+      Decoder dec(bytes);
+      PHX_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
+      PHX_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
+      if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+        return Status::IoError("bad checkpoint header");
+      }
+      PHX_ASSIGN_OR_RETURN(local.next_txn_id, dec.GetU64());
+      PHX_RETURN_IF_ERROR(store->DecodeSnapshot(&dec));
+      local.had_checkpoint = true;
+    }
+  }
+  PHX_ASSIGN_OR_RETURN(std::vector<WalCommitRecord> records,
+                       WalReader::ReadAll(*disk_, wal_file_));
+  for (const WalCommitRecord& rec : records) {
+    for (const WalOp& op : rec.ops) {
+      PHX_RETURN_IF_ERROR(ApplyWalOp(op, store));
+      ++local.ops_replayed;
+    }
+    ++local.records_replayed;
+    if (rec.txn_id >= local.next_txn_id) local.next_txn_id = rec.txn_id + 1;
+  }
+  if (info != nullptr) *info = local;
+  return Status::Ok();
+}
+
+}  // namespace phoenix::storage

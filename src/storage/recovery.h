@@ -1,0 +1,62 @@
+#ifndef PHOENIX_STORAGE_RECOVERY_H_
+#define PHOENIX_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
+#include "storage/wal.h"
+
+namespace phoenix::storage {
+
+/// What Recover() found on disk — exposed so tests and the server can assert
+/// on the recovery path taken.
+struct RecoveryInfo {
+  bool had_checkpoint = false;
+  uint64_t records_replayed = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t next_txn_id = 1;
+};
+
+/// Applies one redo op to the store. Replay is idempotent in the sense that
+/// a whole committed record either was fully reflected in the checkpoint or
+/// not at all, so ops are applied blindly and any mismatch is an error.
+Status ApplyWalOp(const WalOp& op, TableStore* store);
+
+/// Owns the durability protocol: redo-only WAL + atomic full checkpoints.
+///
+/// Write path:  LogCommit(record) — forced append (write-ahead rule), after
+///              which the in-memory TableStore mutation is allowed to be
+///              considered durable.
+/// Checkpoint:  snapshot of all persistent tables + next txn id, written
+///              atomically, then the WAL is truncated.
+/// Recovery:    load checkpoint (if any), then redo every complete,
+///              checksum-valid WAL record.
+class DurabilityManager {
+ public:
+  /// Files used: "<prefix>.wal" and "<prefix>.ckpt" on `disk`.
+  DurabilityManager(SimDisk* disk, std::string prefix);
+
+  Status LogCommit(const WalCommitRecord& record);
+
+  Status WriteCheckpoint(const TableStore& store, uint64_t next_txn_id);
+
+  /// Rebuilds `store` (cleared first) from durable state.
+  Status Recover(TableStore* store, RecoveryInfo* info);
+
+  SimDisk* disk() { return disk_; }
+  const std::string& wal_file() const { return wal_file_; }
+  const std::string& ckpt_file() const { return ckpt_file_; }
+
+ private:
+  SimDisk* disk_;
+  std::string wal_file_;
+  std::string ckpt_file_;
+  WalWriter wal_writer_;
+};
+
+}  // namespace phoenix::storage
+
+#endif  // PHOENIX_STORAGE_RECOVERY_H_

@@ -1,0 +1,73 @@
+#include "storage/sim_disk.h"
+
+namespace phoenix::storage {
+
+Status SimDisk::Append(const std::string& file, const std::string& data) {
+  files_[file].tail += data;
+  bytes_written_ += data.size();
+  return Status::Ok();
+}
+
+Status SimDisk::Sync(const std::string& file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file: " + file);
+  it->second.durable += it->second.tail;
+  it->second.tail.clear();
+  ++sync_count_;
+  return Status::Ok();
+}
+
+Status SimDisk::WriteAtomic(const std::string& file, const std::string& data) {
+  FileState& f = files_[file];
+  f.durable = data;
+  f.tail.clear();
+  bytes_written_ += data.size();
+  ++sync_count_;
+  return Status::Ok();
+}
+
+Result<std::string> SimDisk::Read(const std::string& file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file: " + file);
+  return it->second.durable + it->second.tail;
+}
+
+Result<std::string> SimDisk::ReadDurable(const std::string& file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file: " + file);
+  return it->second.durable;
+}
+
+bool SimDisk::Exists(const std::string& file) const {
+  return files_.count(file) > 0;
+}
+
+Status SimDisk::Delete(const std::string& file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no such file: " + file);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> SimDisk::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, state] : files_) names.push_back(name);
+  return names;
+}
+
+void SimDisk::Crash() {
+  for (auto& [name, state] : files_) state.tail.clear();
+}
+
+void SimDisk::CrashWithPartialFlush(double keep_fraction) {
+  if (keep_fraction < 0) keep_fraction = 0;
+  if (keep_fraction > 1) keep_fraction = 1;
+  for (auto& [name, state] : files_) {
+    size_t keep = static_cast<size_t>(state.tail.size() * keep_fraction);
+    state.durable += state.tail.substr(0, keep);
+    state.tail.clear();
+  }
+}
+
+}  // namespace phoenix::storage

@@ -1,0 +1,75 @@
+#ifndef PHOENIX_STORAGE_SIM_DISK_H_
+#define PHOENIX_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoenix::storage {
+
+/// Simulated stable storage with explicit durability semantics.
+///
+/// Every write lands in a volatile tail (the "OS page cache" of the server
+/// process) and only becomes durable at Sync(). Crash() models the server
+/// process dying: all volatile tails vanish, durable bytes survive. This is
+/// the substrate against which the paper's claim — that session state
+/// materialized into ordinary tables is recovered "for free" by the database
+/// recovery mechanism — is actually tested.
+///
+/// The object itself outlives server crashes (it *is* the disk); a restarted
+/// server re-attaches to the same SimDisk.
+class SimDisk {
+ public:
+  SimDisk() = default;
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Appends bytes to the volatile tail of `file` (created if absent).
+  Status Append(const std::string& file, const std::string& data);
+
+  /// Makes all buffered bytes of `file` durable (fsync analogue).
+  Status Sync(const std::string& file);
+
+  /// Atomically replaces the full durable content of `file`
+  /// (write-temp + rename + fsync analogue). Used for checkpoints.
+  Status WriteAtomic(const std::string& file, const std::string& data);
+
+  /// Reads the *current process view*: durable prefix + volatile tail.
+  Result<std::string> Read(const std::string& file) const;
+
+  /// Reads only the durable bytes (what a post-crash process would see).
+  Result<std::string> ReadDurable(const std::string& file) const;
+
+  bool Exists(const std::string& file) const;
+  Status Delete(const std::string& file);
+  std::vector<std::string> List() const;
+
+  /// Server process death: every volatile tail is discarded.
+  void Crash();
+
+  /// Crash where a prefix of each volatile tail had already been flushed by
+  /// the OS — produces torn WAL records, which recovery must tolerate.
+  /// `keep_fraction` in [0,1] selects how much of each tail survives.
+  void CrashWithPartialFlush(double keep_fraction);
+
+  /// Cumulative bytes appended (volatile) since construction.
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// Number of Sync()/WriteAtomic() durability points.
+  uint64_t sync_count() const { return sync_count_; }
+
+ private:
+  struct FileState {
+    std::string durable;
+    std::string tail;
+  };
+  std::map<std::string, FileState> files_;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace phoenix::storage
+
+#endif  // PHOENIX_STORAGE_SIM_DISK_H_

@@ -1,0 +1,193 @@
+#include "storage/table_store.h"
+
+namespace phoenix::storage {
+
+Result<RowId> Table::Insert(Row row, RowId rid_hint) {
+  PHX_RETURN_IF_ERROR(schema_.CoerceRow(&row));
+  Row pk = PkOf(row);
+  if (!pk.empty() && pk_index_.count(pk)) {
+    return Status::Constraint("duplicate primary key " + RowToString(pk) +
+                              " in table " + name_);
+  }
+  RowId rid = rid_hint != 0 ? rid_hint : next_rid_;
+  if (rows_.count(rid)) {
+    return Status::Internal("RowId collision in table " + name_);
+  }
+  if (rid >= next_rid_) next_rid_ = rid + 1;
+  if (!pk.empty()) pk_index_[pk] = rid;
+  rows_[rid] = std::move(row);
+  return rid;
+}
+
+Status Table::Delete(RowId rid) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  Row pk = PkOf(it->second);
+  if (!pk.empty()) pk_index_.erase(pk);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+Status Table::Update(RowId rid, Row new_row) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  PHX_RETURN_IF_ERROR(schema_.CoerceRow(&new_row));
+  Row old_pk = PkOf(it->second);
+  Row new_pk = PkOf(new_row);
+  if (!new_pk.empty() && !(RowLess{}(old_pk, new_pk) == false &&
+                           RowLess{}(new_pk, old_pk) == false)) {
+    // PK changed: check uniqueness of the new key.
+    if (pk_index_.count(new_pk)) {
+      return Status::Constraint("duplicate primary key on update in " + name_);
+    }
+    pk_index_.erase(old_pk);
+    pk_index_[new_pk] = rid;
+  }
+  it->second = std::move(new_row);
+  return Status::Ok();
+}
+
+const Row* Table::Find(RowId rid) const {
+  auto it = rows_.find(rid);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Result<RowId> Table::FindByPk(const Row& key) const {
+  if (pk_columns_.empty()) {
+    return Status::NotFound("table " + name_ + " has no primary key");
+  }
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("key " + RowToString(key) + " not in " + name_);
+  }
+  return it->second;
+}
+
+Row Table::PkOf(const Row& row) const {
+  Row pk;
+  pk.reserve(pk_columns_.size());
+  for (int c : pk_columns_) pk.push_back(row[c]);
+  return pk;
+}
+
+void Table::EncodeSnapshot(Encoder* enc) const {
+  enc->PutString(name_);
+  enc->PutSchema(schema_);
+  enc->PutU32(static_cast<uint32_t>(pk_columns_.size()));
+  for (int c : pk_columns_) enc->PutI32(c);
+  enc->PutU64(next_rid_);
+  enc->PutU64(rows_.size());
+  for (const auto& [rid, row] : rows_) {
+    enc->PutU64(rid);
+    enc->PutRow(row);
+  }
+}
+
+Result<std::unique_ptr<Table>> Table::DecodeSnapshot(Decoder* dec) {
+  PHX_ASSIGN_OR_RETURN(std::string name, dec->GetString());
+  PHX_ASSIGN_OR_RETURN(Schema schema, dec->GetSchema());
+  PHX_ASSIGN_OR_RETURN(uint32_t num_pk, dec->GetU32());
+  std::vector<int> pk_cols;
+  for (uint32_t i = 0; i < num_pk; ++i) {
+    PHX_ASSIGN_OR_RETURN(int32_t c, dec->GetI32());
+    pk_cols.push_back(c);
+  }
+  auto table = std::make_unique<Table>(std::move(name), std::move(schema),
+                                       std::move(pk_cols), /*temporary=*/false);
+  PHX_ASSIGN_OR_RETURN(uint64_t next_rid, dec->GetU64());
+  PHX_ASSIGN_OR_RETURN(uint64_t num_rows, dec->GetU64());
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    PHX_ASSIGN_OR_RETURN(uint64_t rid, dec->GetU64());
+    PHX_ASSIGN_OR_RETURN(Row row, dec->GetRow());
+    PHX_ASSIGN_OR_RETURN(RowId got, table->Insert(std::move(row), rid));
+    (void)got;
+  }
+  // Restore next_rid last: Insert() advances it, but the checkpoint value is
+  // authoritative (rows may have been deleted at the high end).
+  if (next_rid > table->next_rid_) table->next_rid_ = next_rid;
+  return table;
+}
+
+Result<Table*> TableStore::CreateTable(const std::string& name, Schema schema,
+                                       std::vector<int> pk_columns,
+                                       bool temporary) {
+  std::string key = IdentUpper(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  for (int c : pk_columns) {
+    if (c < 0 || static_cast<size_t>(c) >= schema.num_columns()) {
+      return Status::InvalidArgument("primary key column out of range");
+    }
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema),
+                                       std::move(pk_columns), temporary);
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Status TableStore::DropTable(const std::string& name) {
+  auto it = tables_.find(IdentUpper(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+Table* TableStore::Get(const std::string& name) {
+  auto it = tables_.find(IdentUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* TableStore::Get(const std::string& name) const {
+  auto it = tables_.find(IdentUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TableStore::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> TableStore::DropSessionTemps(uint64_t session_id) {
+  std::vector<std::string> dropped;
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (it->second->temporary() && it->second->owner_session() == session_id) {
+      dropped.push_back(it->first);
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void TableStore::EncodeSnapshot(Encoder* enc) const {
+  uint32_t persistent = 0;
+  for (const auto& [name, table] : tables_) {
+    if (!table->temporary()) ++persistent;
+  }
+  enc->PutU32(persistent);
+  for (const auto& [name, table] : tables_) {
+    if (!table->temporary()) table->EncodeSnapshot(enc);
+  }
+}
+
+Status TableStore::DecodeSnapshot(Decoder* dec) {
+  PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    PHX_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                         Table::DecodeSnapshot(dec));
+    std::string key = table->name();
+    tables_[key] = std::move(table);
+  }
+  return Status::Ok();
+}
+
+}  // namespace phoenix::storage

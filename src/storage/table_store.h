@@ -1,0 +1,121 @@
+#ifndef PHOENIX_STORAGE_TABLE_STORE_H_
+#define PHOENIX_STORAGE_TABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace phoenix::storage {
+
+using RowId = uint64_t;
+
+/// Lexicographic comparator over rows of Values (for PK indexes).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// One heap table: rows addressed by stable RowIds, an optional unique
+/// primary-key index, and a temporary flag (temp tables are never logged,
+/// never checkpointed, and die with their owning session or the server).
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::vector<int> pk_columns,
+        bool temporary)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        pk_columns_(std::move(pk_columns)),
+        temporary_(temporary) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<int>& pk_columns() const { return pk_columns_; }
+  bool temporary() const { return temporary_; }
+
+  /// Session that owns this temp table (0 = not session-scoped).
+  uint64_t owner_session() const { return owner_session_; }
+  void set_owner_session(uint64_t s) { owner_session_ = s; }
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Inserts after schema coercion and PK-uniqueness check. `rid_hint` != 0
+  /// forces a specific RowId (used by WAL replay so ids match pre-crash).
+  Result<RowId> Insert(Row row, RowId rid_hint = 0);
+  Status Delete(RowId rid);
+  Status Update(RowId rid, Row new_row);
+
+  /// nullptr when absent.
+  const Row* Find(RowId rid) const;
+
+  /// Looks up a full PK value; kNotFound when absent or no PK declared.
+  Result<RowId> FindByPk(const Row& key) const;
+
+  /// Ordered-by-RowId row map: stable scan order == insertion order.
+  const std::map<RowId, Row>& rows() const { return rows_; }
+
+  /// PK-ordered index (empty when the table has no primary key). Dynamic
+  /// cursors key-range-scan this to recompute membership per fetch.
+  const std::map<Row, RowId, RowLess>& pk_index() const { return pk_index_; }
+
+  RowId next_rid() const { return next_rid_; }
+
+  /// Extracts the PK projection of a row (empty if no PK).
+  Row PkOf(const Row& row) const;
+
+  void EncodeSnapshot(Encoder* enc) const;
+  static Result<std::unique_ptr<Table>> DecodeSnapshot(Decoder* dec);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<int> pk_columns_;
+  bool temporary_;
+  uint64_t owner_session_ = 0;
+  RowId next_rid_ = 1;
+  std::map<RowId, Row> rows_;
+  std::map<Row, RowId, RowLess> pk_index_;
+};
+
+/// The set of all tables. Names are case-insensitive (stored uppercased).
+class TableStore {
+ public:
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             std::vector<int> pk_columns, bool temporary);
+  Status DropTable(const std::string& name);
+  /// nullptr when absent.
+  Table* Get(const std::string& name);
+  const Table* Get(const std::string& name) const;
+  bool Exists(const std::string& name) const { return Get(name) != nullptr; }
+
+  std::vector<std::string> ListNames() const;
+
+  /// Drops every temp table owned by `session_id`; returns their names.
+  std::vector<std::string> DropSessionTemps(uint64_t session_id);
+
+  /// Serializes all *persistent* tables (checkpoint payload).
+  void EncodeSnapshot(Encoder* enc) const;
+  Status DecodeSnapshot(Decoder* dec);
+
+  void Clear() { tables_.clear(); }
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace phoenix::storage
+
+#endif  // PHOENIX_STORAGE_TABLE_STORE_H_

@@ -1,0 +1,177 @@
+#include "storage/wal.h"
+
+namespace phoenix::storage {
+
+WalOp WalOp::CreateTable(std::string table, Schema schema,
+                         std::vector<int> pk_columns) {
+  WalOp op;
+  op.kind = WalOpKind::kCreateTable;
+  op.table = std::move(table);
+  op.schema = std::move(schema);
+  op.pk_columns = std::move(pk_columns);
+  return op;
+}
+
+WalOp WalOp::DropTable(std::string table) {
+  WalOp op;
+  op.kind = WalOpKind::kDropTable;
+  op.table = std::move(table);
+  return op;
+}
+
+WalOp WalOp::Insert(std::string table, uint64_t rid, Row row) {
+  WalOp op;
+  op.kind = WalOpKind::kInsert;
+  op.table = std::move(table);
+  op.rid = rid;
+  op.row = std::move(row);
+  return op;
+}
+
+WalOp WalOp::Delete(std::string table, uint64_t rid) {
+  WalOp op;
+  op.kind = WalOpKind::kDelete;
+  op.table = std::move(table);
+  op.rid = rid;
+  return op;
+}
+
+WalOp WalOp::Update(std::string table, uint64_t rid, Row row) {
+  WalOp op;
+  op.kind = WalOpKind::kUpdate;
+  op.table = std::move(table);
+  op.rid = rid;
+  op.row = std::move(row);
+  return op;
+}
+
+void EncodeWalOp(const WalOp& op, Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(op.kind));
+  enc->PutString(op.table);
+  switch (op.kind) {
+    case WalOpKind::kCreateTable:
+      enc->PutSchema(op.schema);
+      enc->PutU32(static_cast<uint32_t>(op.pk_columns.size()));
+      for (int c : op.pk_columns) enc->PutI32(c);
+      break;
+    case WalOpKind::kDropTable:
+      break;
+    case WalOpKind::kInsert:
+    case WalOpKind::kUpdate:
+      enc->PutU64(op.rid);
+      enc->PutRow(op.row);
+      break;
+    case WalOpKind::kDelete:
+      enc->PutU64(op.rid);
+      break;
+  }
+}
+
+Result<WalOp> DecodeWalOp(Decoder* dec) {
+  WalOp op;
+  PHX_ASSIGN_OR_RETURN(uint8_t kind_raw, dec->GetU8());
+  if (kind_raw > static_cast<uint8_t>(WalOpKind::kUpdate)) {
+    return Status::IoError("bad WAL op kind");
+  }
+  op.kind = static_cast<WalOpKind>(kind_raw);
+  PHX_ASSIGN_OR_RETURN(op.table, dec->GetString());
+  switch (op.kind) {
+    case WalOpKind::kCreateTable: {
+      PHX_ASSIGN_OR_RETURN(op.schema, dec->GetSchema());
+      PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+      for (uint32_t i = 0; i < n; ++i) {
+        PHX_ASSIGN_OR_RETURN(int32_t c, dec->GetI32());
+        op.pk_columns.push_back(c);
+      }
+      break;
+    }
+    case WalOpKind::kDropTable:
+      break;
+    case WalOpKind::kInsert:
+    case WalOpKind::kUpdate: {
+      PHX_ASSIGN_OR_RETURN(op.rid, dec->GetU64());
+      PHX_ASSIGN_OR_RETURN(op.row, dec->GetRow());
+      break;
+    }
+    case WalOpKind::kDelete: {
+      PHX_ASSIGN_OR_RETURN(op.rid, dec->GetU64());
+      break;
+    }
+  }
+  return op;
+}
+
+uint32_t WalChecksum(const std::string& payload) {
+  uint32_t h = 2166136261u;
+  for (char c : payload) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+namespace {
+
+std::string FrameRecord(const WalCommitRecord& record) {
+  Encoder payload;
+  payload.PutU64(record.txn_id);
+  payload.PutU32(static_cast<uint32_t>(record.ops.size()));
+  for (const WalOp& op : record.ops) EncodeWalOp(op, &payload);
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(WalChecksum(payload.data()));
+  frame.PutBytes(payload.data().data(), payload.size());
+  return frame.Take();
+}
+
+}  // namespace
+
+Status WalWriter::AppendCommit(const WalCommitRecord& record) {
+  PHX_RETURN_IF_ERROR(disk_->Append(file_, FrameRecord(record)));
+  return disk_->Sync(file_);
+}
+
+Status WalWriter::AppendCommitNoSync(const WalCommitRecord& record) {
+  return disk_->Append(file_, FrameRecord(record));
+}
+
+Status WalWriter::Reset() { return disk_->WriteAtomic(file_, ""); }
+
+Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
+    const SimDisk& disk, const std::string& file) {
+  std::vector<WalCommitRecord> records;
+  if (!disk.Exists(file)) return records;
+  PHX_ASSIGN_OR_RETURN(std::string bytes, disk.ReadDurable(file));
+  size_t pos = 0;
+  const char* data = bytes.data();
+  size_t size = bytes.size();
+  while (pos + 8 <= size) {
+    Decoder head(data + pos, 8);
+    uint32_t len = head.GetU32().value();
+    uint32_t crc = head.GetU32().value();
+    if (pos + 8 + len > size) break;
+    std::string payload(data + pos + 8, len);
+    if (WalChecksum(payload) != crc) break;
+    Decoder body(payload);
+    WalCommitRecord rec;
+    auto txn_res = body.GetU64();
+    auto nops_res = txn_res.ok() ? body.GetU32() : Result<uint32_t>(txn_res.status());
+    if (!txn_res.ok() || !nops_res.ok()) break;
+    rec.txn_id = txn_res.value();
+    bool ok = true;
+    for (uint32_t i = 0; i < nops_res.value(); ++i) {
+      auto op_res = DecodeWalOp(&body);
+      if (!op_res.ok()) {
+        ok = false;
+        break;
+      }
+      rec.ops.push_back(op_res.take());
+    }
+    if (!ok) break;
+    records.push_back(std::move(rec));
+    pos += 8 + len;
+  }
+  return records;
+}
+
+}  // namespace phoenix::storage

@@ -1,0 +1,90 @@
+#ifndef PHOENIX_STORAGE_WAL_H_
+#define PHOENIX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/sim_disk.h"
+
+namespace phoenix::storage {
+
+/// Logical redo operations. The engine uses a no-steal buffer policy, so the
+/// log never needs undo records: a transaction's ops are written as one
+/// atomic commit record at commit time, after which they are guaranteed
+/// redo-able.
+enum class WalOpKind : uint8_t {
+  kCreateTable = 0,
+  kDropTable = 1,
+  kInsert = 2,
+  kDelete = 3,
+  kUpdate = 4,
+};
+
+struct WalOp {
+  WalOpKind kind = WalOpKind::kInsert;
+  std::string table;
+  // kCreateTable only:
+  Schema schema;
+  std::vector<int> pk_columns;
+  // kInsert/kDelete/kUpdate:
+  uint64_t rid = 0;
+  Row row;  // new row for insert/update; unused for delete/drop.
+
+  static WalOp CreateTable(std::string table, Schema schema,
+                           std::vector<int> pk_columns);
+  static WalOp DropTable(std::string table);
+  static WalOp Insert(std::string table, uint64_t rid, Row row);
+  static WalOp Delete(std::string table, uint64_t rid);
+  static WalOp Update(std::string table, uint64_t rid, Row row);
+};
+
+/// One committed transaction: all of its ops, applied atomically at replay.
+struct WalCommitRecord {
+  uint64_t txn_id = 0;
+  std::vector<WalOp> ops;
+};
+
+void EncodeWalOp(const WalOp& op, Encoder* enc);
+Result<WalOp> DecodeWalOp(Decoder* dec);
+
+/// Appends framed, checksummed commit records to a SimDisk file and forces
+/// them durable before reporting success (write-ahead rule).
+class WalWriter {
+ public:
+  WalWriter(SimDisk* disk, std::string file)
+      : disk_(disk), file_(std::move(file)) {}
+
+  /// Frames, checksums, appends, and Sync()s one commit record.
+  Status AppendCommit(const WalCommitRecord& record);
+
+  /// Appends without syncing (used to test loss of unforced commits).
+  Status AppendCommitNoSync(const WalCommitRecord& record);
+
+  /// Truncates the log (after a checkpoint made its contents redundant).
+  Status Reset();
+
+  const std::string& file() const { return file_; }
+
+ private:
+  SimDisk* disk_;
+  std::string file_;
+};
+
+/// Reads every complete, checksum-valid commit record; silently stops at the
+/// first torn or corrupt frame (the crash-truncated tail).
+class WalReader {
+ public:
+  static Result<std::vector<WalCommitRecord>> ReadAll(const SimDisk& disk,
+                                                      const std::string& file);
+};
+
+/// FNV-1a over the payload — cheap torn-write detector for WAL frames.
+uint32_t WalChecksum(const std::string& payload);
+
+}  // namespace phoenix::storage
+
+#endif  // PHOENIX_STORAGE_WAL_H_

@@ -1,0 +1,286 @@
+#include "tpch/dbgen.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "tpch/schema.h"
+
+namespace phoenix::tpch {
+
+namespace {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+
+constexpr size_t kInsertBatch = 200;
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",  "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN", "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",  "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kTypeSyll1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                            "PROMO"};
+const char* kTypeSyll2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                            "BRUSHED"};
+const char* kTypeSyll3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+/// Accumulates VALUES-rows and flushes multi-row INSERT statements.
+class BatchInserter {
+ public:
+  BatchInserter(DriverManager* dm, Hstmt* stmt, std::string table)
+      : dm_(dm), stmt_(stmt), table_(std::move(table)) {}
+
+  void Add(const std::string& row_tuple) {
+    rows_.push_back(row_tuple);
+    if (rows_.size() >= kInsertBatch) status_ = Flush();
+  }
+
+  Status Finish() {
+    if (!status_.ok()) return status_;
+    return Flush();
+  }
+
+ private:
+  Status Flush() {
+    if (!status_.ok()) return status_;
+    if (rows_.empty()) return Status::Ok();
+    std::string sql = "INSERT INTO " + table_ + " VALUES ";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i) sql += ", ";
+      sql += rows_[i];
+    }
+    rows_.clear();
+    if (!Succeeded(dm_->ExecDirect(stmt_, sql))) {
+      return DriverManager::Diag(stmt_);
+    }
+    return Status::Ok();
+  }
+
+  DriverManager* dm_;
+  Hstmt* stmt_;
+  std::string table_;
+  std::vector<std::string> rows_;
+  Status status_;
+};
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+struct OrderSpec {
+  int64_t key;
+  int64_t custkey;
+  int32_t orderdate;  // day number
+};
+
+/// Emits one order plus its lineitems into the given inserters; returns the
+/// order's total price.
+double EmitOrder(const OrderSpec& spec, const TpchScale& scale, Rng* rng,
+                 BatchInserter* orders, BatchInserter* lineitems) {
+  int n_items = 1 + static_cast<int>(rng->NextBelow(7));
+  double total = 0;
+  int32_t last_ship = spec.orderdate;
+  for (int ln = 1; ln <= n_items; ++ln) {
+    int64_t partkey = 1 + static_cast<int64_t>(rng->NextBelow(
+                              static_cast<uint64_t>(scale.parts())));
+    int64_t suppkey = 1 + static_cast<int64_t>(rng->NextBelow(
+                              static_cast<uint64_t>(scale.suppliers())));
+    double qty = 1 + static_cast<double>(rng->NextBelow(50));
+    double price = qty * (900.0 + static_cast<double>(rng->NextBelow(1100)));
+    double discount = static_cast<double>(rng->NextBelow(11)) / 100.0;
+    double tax = static_cast<double>(rng->NextBelow(9)) / 100.0;
+    int32_t shipdate =
+        spec.orderdate + 1 + static_cast<int32_t>(rng->NextBelow(121));
+    if (shipdate > last_ship) last_ship = shipdate;
+    // TPC-H: items shipped before the receipt-date cutoff are returned 'R'
+    // or accepted 'A'; later ones are 'N'. We key off a fixed horizon date.
+    const int32_t kHorizon = 10340;  // 1998-04-24
+    std::string returnflag =
+        shipdate <= kHorizon ? (rng->NextBool() ? "R" : "A") : "N";
+    std::string linestatus = shipdate <= kHorizon ? "F" : "O";
+    total += price * (1 - discount) * (1 + tax);
+    std::string row = "(" + std::to_string(spec.key) + ", " +
+                      std::to_string(partkey) + ", " +
+                      std::to_string(suppkey) + ", " + std::to_string(ln) +
+                      ", " + Money(qty) + ", " + Money(price) + ", " +
+                      Money(discount) + ", " + Money(tax) + ", " +
+                      Quoted(returnflag) + ", " + Quoted(linestatus) +
+                      ", DATE '" + FormatDate(shipdate) + "')";
+    lineitems->Add(row);
+  }
+  const int32_t kHorizon = 10340;
+  std::string status = last_ship <= kHorizon ? "F" : "O";
+  std::string row =
+      "(" + std::to_string(spec.key) + ", " + std::to_string(spec.custkey) +
+      ", " + Quoted(status) + ", " + Money(total) + ", DATE '" +
+      FormatDate(spec.orderdate) + "', " +
+      Quoted(kPriorities[rng->NextBelow(5)]) + ", " +
+      std::to_string(rng->NextBelow(2)) + ")";
+  orders->Add(row);
+  return total;
+}
+
+}  // namespace
+
+Status Populate(DriverManager* dm, Hdbc* dbc, const TpchScale& scale) {
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  auto run = [&](const std::string& sql) -> Status {
+    if (!Succeeded(dm->ExecDirect(stmt, sql))) {
+      return DriverManager::Diag(stmt);
+    }
+    return Status::Ok();
+  };
+
+  for (const std::string& ddl : SchemaDdl()) {
+    PHX_RETURN_IF_ERROR(run(ddl));
+  }
+
+  Rng rng(scale.seed);
+
+  // REGION / NATION.
+  {
+    BatchInserter regions(dm, stmt, "REGION");
+    for (int64_t i = 0; i < scale.regions(); ++i) {
+      regions.Add("(" + std::to_string(i) + ", " + Quoted(kRegionNames[i]) +
+                  ")");
+    }
+    PHX_RETURN_IF_ERROR(regions.Finish());
+    BatchInserter nations(dm, stmt, "NATION");
+    for (int64_t i = 0; i < scale.nations(); ++i) {
+      nations.Add("(" + std::to_string(i) + ", " + Quoted(kNationNames[i]) +
+                  ", " + std::to_string(i % 5) + ")");
+    }
+    PHX_RETURN_IF_ERROR(nations.Finish());
+  }
+
+  // SUPPLIER.
+  {
+    BatchInserter suppliers(dm, stmt, "SUPPLIER");
+    for (int64_t i = 1; i <= scale.suppliers(); ++i) {
+      // Nations are assigned round-robin so every nation has suppliers even
+      // at tiny scale factors (Q5/Q11 depend on specific nations).
+      suppliers.Add("(" + std::to_string(i) + ", 'Supplier#" +
+                    std::to_string(i) + "', " +
+                    std::to_string((i - 1) % scale.nations()) + ", " +
+                    Money(-999.99 + rng.NextDouble() * 10998.98) + ")");
+    }
+    PHX_RETURN_IF_ERROR(suppliers.Finish());
+  }
+
+  // PART / PARTSUPP.
+  {
+    BatchInserter parts(dm, stmt, "PART");
+    BatchInserter partsupp(dm, stmt, "PARTSUPP");
+    for (int64_t i = 1; i <= scale.parts(); ++i) {
+      std::string type = std::string(kTypeSyll1[rng.NextBelow(6)]) + " " +
+                         kTypeSyll2[rng.NextBelow(5)] + " " +
+                         kTypeSyll3[rng.NextBelow(5)];
+      std::string brand = "Brand#" + std::to_string(1 + rng.NextBelow(5)) +
+                          std::to_string(1 + rng.NextBelow(5));
+      parts.Add("(" + std::to_string(i) + ", 'part " + rng.NextString(8) +
+                "', " + Quoted(brand) + ", " + Quoted(type) + ", " +
+                std::to_string(1 + rng.NextBelow(50)) + ", " +
+                Money(900 + static_cast<double>(rng.NextBelow(1100))) + ")");
+      for (int64_t s = 0; s < scale.suppliers_per_part(); ++s) {
+        int64_t suppkey =
+            1 + (i + s * (scale.suppliers() / 4 + 1)) % scale.suppliers();
+        partsupp.Add("(" + std::to_string(i) + ", " + std::to_string(suppkey) +
+                     ", " + std::to_string(1 + rng.NextBelow(9999)) + ", " +
+                     Money(1.0 + rng.NextDouble() * 999.0) + ")");
+      }
+    }
+    PHX_RETURN_IF_ERROR(parts.Finish());
+    PHX_RETURN_IF_ERROR(partsupp.Finish());
+  }
+
+  // CUSTOMER.
+  {
+    BatchInserter customers(dm, stmt, "CUSTOMER");
+    for (int64_t i = 1; i <= scale.customers(); ++i) {
+      customers.Add("(" + std::to_string(i) + ", 'Customer#" +
+                    std::to_string(i) + "', " +
+                    std::to_string(rng.NextBelow(25)) + ", " +
+                    Money(-999.99 + rng.NextDouble() * 10998.98) + ", " +
+                    Quoted(kSegments[rng.NextBelow(5)]) + ")");
+    }
+    PHX_RETURN_IF_ERROR(customers.Finish());
+  }
+
+  // ORDERS / LINEITEM. Order dates span 1992-01-01 .. 1998-08-02.
+  const int32_t kDateLo = 8035;   // 1992-01-01
+  const int32_t kDateHi = 10440;  // 1998-08-02
+  {
+    BatchInserter orders(dm, stmt, "ORDERS");
+    BatchInserter lineitems(dm, stmt, "LINEITEM");
+    int64_t orderkey = 1;
+    for (int64_t c = 1; c <= scale.customers(); ++c) {
+      if (c % 3 == 0) continue;  // a third of customers never order (Q13)
+      for (int64_t o = 0; o < scale.orders_per_customer(); ++o) {
+        OrderSpec spec;
+        spec.key = orderkey++;
+        spec.custkey = c;
+        spec.orderdate = kDateLo + static_cast<int32_t>(rng.NextBelow(
+                                       static_cast<uint64_t>(kDateHi - kDateLo)));
+        EmitOrder(spec, scale, &rng, &orders, &lineitems);
+      }
+    }
+    PHX_RETURN_IF_ERROR(orders.Finish());
+    PHX_RETURN_IF_ERROR(lineitems.Finish());
+  }
+
+  // Refresh staging rows, in the reserved key range.
+  {
+    BatchInserter orders(dm, stmt, "ORDERS_RF");
+    BatchInserter lineitems(dm, stmt, "LINEITEM_RF");
+    int64_t base = scale.refresh_key_base();
+    for (int64_t i = 0; i < scale.refresh_orders(); ++i) {
+      OrderSpec spec;
+      spec.key = base + i;
+      spec.custkey = 1 + static_cast<int64_t>(rng.NextBelow(
+                             static_cast<uint64_t>(scale.customers())));
+      spec.orderdate = kDateLo + static_cast<int32_t>(rng.NextBelow(
+                                     static_cast<uint64_t>(kDateHi - kDateLo)));
+      EmitOrder(spec, scale, &rng, &orders, &lineitems);
+    }
+    PHX_RETURN_IF_ERROR(orders.Finish());
+    PHX_RETURN_IF_ERROR(lineitems.Finish());
+  }
+
+  dm->FreeStmt(stmt);
+  return Status::Ok();
+}
+
+Result<int64_t> CountRows(DriverManager* dm, Hdbc* dbc,
+                          const std::string& table) {
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  Status failure;
+  int64_t count = -1;
+  if (Succeeded(dm->ExecDirect(stmt, "SELECT COUNT(*) AS N FROM " + table)) &&
+      Succeeded(dm->Fetch(stmt))) {
+    Value v;
+    dm->GetData(stmt, 0, &v);
+    count = v.AsInt64();
+  } else {
+    failure = DriverManager::Diag(stmt);
+  }
+  dm->FreeStmt(stmt);
+  if (count < 0) return failure;
+  return count;
+}
+
+}  // namespace phoenix::tpch

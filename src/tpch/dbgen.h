@@ -1,0 +1,56 @@
+#ifndef PHOENIX_TPCH_DBGEN_H_
+#define PHOENIX_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "odbc/driver_manager.h"
+
+namespace phoenix::tpch {
+
+/// Scale knobs. sf=1 ≈ 150 customers / 1.5k orders / ~6k lineitems — the
+/// TPC-H row ratios at laptop scale. All values derive deterministically
+/// from `seed`.
+struct TpchScale {
+  double sf = 1.0;
+  uint64_t seed = 19990614;  // EDBT 2000 submission era
+
+  int64_t regions() const { return 5; }
+  int64_t nations() const { return 25; }
+  int64_t suppliers() const { return std::max<int64_t>(10, int64_t(20 * sf)); }
+  int64_t parts() const { return std::max<int64_t>(40, int64_t(200 * sf)); }
+  int64_t suppliers_per_part() const { return 4; }
+  int64_t customers() const { return std::max<int64_t>(30, int64_t(150 * sf)); }
+  int64_t orders_per_customer() const { return 10; }
+  /// Like TPC-H, a third of customers never place an order (every custkey
+  /// divisible by 3 is absent from ORDERS) — Q13's childless population.
+  int64_t ordering_customers() const { return customers() - customers() / 3; }
+  int64_t total_orders() const {
+    return ordering_customers() * orders_per_customer();
+  }
+  /// Refresh set: ~1% of the order count (paper inserted/deleted 0.1% at
+  /// full TPC-H scale; at micro scale 1% keeps the row counts meaningful).
+  int64_t refresh_orders() const {
+    return std::max<int64_t>(10, customers() * orders_per_customer() / 100);
+  }
+  /// Order keys for refresh rows occupy [refresh_key_base, ...): RF2 can
+  /// delete them with simple key-range predicates.
+  int64_t refresh_key_base() const {
+    return customers() * orders_per_customer() + 1000000;
+  }
+};
+
+/// Creates the schema and deterministically populates all base tables plus
+/// the ORDERS_RF / LINEITEM_RF staging tables, through the given driver
+/// manager and connection (multi-row INSERT batches).
+Status Populate(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                const TpchScale& scale);
+
+/// Convenience: rows currently in `table` (COUNT(*) round trip).
+Result<int64_t> CountRows(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                          const std::string& table);
+
+}  // namespace phoenix::tpch
+
+#endif  // PHOENIX_TPCH_DBGEN_H_

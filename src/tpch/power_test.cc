@@ -1,0 +1,89 @@
+#include "tpch/power_test.h"
+
+#include "common/rng.h"
+#include "tpch/queries.h"
+#include "tpch/refresh.h"
+
+namespace phoenix::tpch {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+
+Result<int64_t> ExecAndDrain(DriverManager* dm, Hdbc* dbc,
+                             const std::string& sql) {
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  Status failure;
+  int64_t rows = -1;
+  if (Succeeded(dm->ExecDirect(stmt, sql))) {
+    size_t cols = 0;
+    dm->NumResultCols(stmt, &cols);
+    if (cols == 0) {
+      dm->RowCount(stmt, &rows);
+    } else {
+      rows = 0;
+      while (true) {
+        SqlReturn r = dm->Fetch(stmt);
+        if (r == SqlReturn::kNoData) break;
+        if (!Succeeded(r)) {
+          failure = DriverManager::Diag(stmt);
+          rows = -1;
+          break;
+        }
+        ++rows;
+      }
+    }
+  } else {
+    failure = DriverManager::Diag(stmt);
+  }
+  dm->FreeStmt(stmt);
+  if (rows < 0) return failure;
+  return rows;
+}
+
+Result<PassTiming> RunPowerPass(DriverManager* dm, Hdbc* dbc,
+                                const TpchScale& scale) {
+  PassTiming out;
+  for (const QueryDef& q : QuerySuite()) {
+    StopWatch watch;
+    PHX_ASSIGN_OR_RETURN(int64_t rows, ExecAndDrain(dm, dbc, q.sql));
+    double s = watch.ElapsedSeconds();
+    out.seconds[q.id] = s;
+    out.counts[q.id] = rows;
+    out.query_total += s;
+  }
+  {
+    StopWatch watch;
+    PHX_ASSIGN_OR_RETURN(int64_t rows, RunRF1(dm, dbc, scale));
+    out.seconds["RF1"] = watch.ElapsedSeconds();
+    out.counts["RF1"] = rows;
+    out.update_total += out.seconds["RF1"];
+  }
+  {
+    StopWatch watch;
+    PHX_ASSIGN_OR_RETURN(int64_t rows, RunRF2(dm, dbc, scale));
+    out.seconds["RF2"] = watch.ElapsedSeconds();
+    out.counts["RF2"] = rows;
+    out.update_total += out.seconds["RF2"];
+  }
+  return out;
+}
+
+PassTiming AveragePasses(const std::vector<PassTiming>& passes) {
+  PassTiming avg;
+  if (passes.empty()) return avg;
+  for (const PassTiming& p : passes) {
+    for (const auto& [id, s] : p.seconds) avg.seconds[id] += s;
+    for (const auto& [id, n] : p.counts) avg.counts[id] = n;
+    avg.query_total += p.query_total;
+    avg.update_total += p.update_total;
+  }
+  double n = static_cast<double>(passes.size());
+  for (auto& [id, s] : avg.seconds) s /= n;
+  avg.query_total /= n;
+  avg.update_total /= n;
+  return avg;
+}
+
+}  // namespace phoenix::tpch

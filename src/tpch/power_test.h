@@ -1,0 +1,41 @@
+#ifndef PHOENIX_TPCH_POWER_TEST_H_
+#define PHOENIX_TPCH_POWER_TEST_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "odbc/driver_manager.h"
+#include "tpch/dbgen.h"
+
+namespace phoenix::tpch {
+
+/// Timings and cardinalities of one power-test pass (every query executed
+/// once, in order, result fully fetched; then RF1 and RF2).
+struct PassTiming {
+  /// Per item ("Q1".."Q16", "RF1", "RF2"): elapsed seconds.
+  std::map<std::string, double> seconds;
+  /// Result rows (queries) or rows modified (refresh functions).
+  std::map<std::string, int64_t> counts;
+  double query_total = 0;
+  double update_total = 0;
+};
+
+/// Runs all queries and refresh functions once through (dm, dbc) and times
+/// them individually — "executes all queries and update functions defined
+/// in the benchmark one at a time in order".
+Result<PassTiming> RunPowerPass(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                                const TpchScale& scale);
+
+/// Executes one SQL statement and drains its full result set through the
+/// SQLFetch loop (what an application would do). Returns rows fetched, or
+/// the affected-row count for non-queries.
+Result<int64_t> ExecAndDrain(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                             const std::string& sql);
+
+/// Averages several passes element-wise.
+PassTiming AveragePasses(const std::vector<PassTiming>& passes);
+
+}  // namespace phoenix::tpch
+
+#endif  // PHOENIX_TPCH_POWER_TEST_H_

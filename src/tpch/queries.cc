@@ -1,0 +1,152 @@
+#include "tpch/queries.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phoenix::tpch {
+
+const std::vector<QueryDef>& QuerySuite() {
+  static const std::vector<QueryDef>* kSuite = new std::vector<QueryDef>{
+      {"Q1", "pricing summary report",
+       "SELECT L_RETURNFLAG, L_LINESTATUS,"
+       " SUM(L_QUANTITY) AS SUM_QTY,"
+       " SUM(L_EXTENDEDPRICE) AS SUM_BASE_PRICE,"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS SUM_DISC_PRICE,"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT) * (1 + L_TAX)) AS SUM_CHARGE,"
+       " AVG(L_QUANTITY) AS AVG_QTY,"
+       " AVG(L_EXTENDEDPRICE) AS AVG_PRICE,"
+       " AVG(L_DISCOUNT) AS AVG_DISC,"
+       " COUNT(*) AS COUNT_ORDER"
+       " FROM LINEITEM"
+       " WHERE L_SHIPDATE <= DATE '1998-09-02'"
+       " GROUP BY L_RETURNFLAG, L_LINESTATUS"
+       " ORDER BY L_RETURNFLAG, L_LINESTATUS"},
+
+      {"Q3", "shipping priority",
+       "SELECT L_ORDERKEY,"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS REVENUE,"
+       " O_ORDERDATE, O_SHIPPRIORITY"
+       " FROM CUSTOMER, ORDERS, LINEITEM"
+       " WHERE C_MKTSEGMENT = 'BUILDING'"
+       " AND C_CUSTKEY = O_CUSTKEY"
+       " AND L_ORDERKEY = O_ORDERKEY"
+       " AND O_ORDERDATE < DATE '1995-03-15'"
+       " AND L_SHIPDATE > DATE '1995-03-15'"
+       " GROUP BY L_ORDERKEY, O_ORDERDATE, O_SHIPPRIORITY"
+       " ORDER BY REVENUE DESC, O_ORDERDATE"
+       " LIMIT 10"},
+
+      {"Q4", "order priority checking (simplified: status flag stands in "
+             "for the EXISTS-late-lineitem test)",
+       "SELECT O_ORDERPRIORITY, COUNT(*) AS ORDER_COUNT,"
+       " SUM(CASE WHEN O_ORDERSTATUS = 'F' THEN 1 ELSE 0 END) AS FINISHED"
+       " FROM ORDERS"
+       " WHERE O_ORDERDATE >= DATE '1993-07-01'"
+       " AND O_ORDERDATE < DATE '1993-10-01'"
+       " GROUP BY O_ORDERPRIORITY"
+       " ORDER BY O_ORDERPRIORITY"},
+
+      {"Q5", "local supplier volume",
+       "SELECT N_NAME,"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS REVENUE"
+       " FROM CUSTOMER, ORDERS, LINEITEM, SUPPLIER, NATION, REGION"
+       " WHERE C_CUSTKEY = O_CUSTKEY"
+       " AND L_ORDERKEY = O_ORDERKEY"
+       " AND L_SUPPKEY = S_SUPPKEY"
+       " AND C_NATIONKEY = S_NATIONKEY"
+       " AND S_NATIONKEY = N_NATIONKEY"
+       " AND N_REGIONKEY = R_REGIONKEY"
+       " AND R_NAME = 'ASIA'"
+       " AND O_ORDERDATE >= DATE '1994-01-01'"
+       " AND O_ORDERDATE < DATE '1995-01-01'"
+       " GROUP BY N_NAME"
+       " ORDER BY REVENUE DESC"},
+
+      {"Q6", "forecasting revenue change",
+       "SELECT SUM(L_EXTENDEDPRICE * L_DISCOUNT) AS REVENUE"
+       " FROM LINEITEM"
+       " WHERE L_SHIPDATE >= DATE '1994-01-01'"
+       " AND L_SHIPDATE < DATE '1995-01-01'"
+       " AND L_DISCOUNT BETWEEN 0.05 AND 0.07"
+       " AND L_QUANTITY < 24"},
+
+      {"Q8", "national market share (simplified: no part dimension)",
+       "SELECT YEAR(O_ORDERDATE) AS O_YEAR,"
+       " SUM(CASE WHEN N_NAME = 'CHINA'"
+       " THEN L_EXTENDEDPRICE * (1 - L_DISCOUNT) ELSE 0 END) /"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS MKT_SHARE"
+       " FROM ORDERS, LINEITEM, SUPPLIER, NATION, REGION"
+       " WHERE O_ORDERKEY = L_ORDERKEY"
+       " AND L_SUPPKEY = S_SUPPKEY"
+       " AND S_NATIONKEY = N_NATIONKEY"
+       " AND N_REGIONKEY = R_REGIONKEY"
+       " AND R_NAME = 'ASIA'"
+       " AND O_ORDERDATE BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'"
+       " GROUP BY YEAR(O_ORDERDATE)"
+       " ORDER BY O_YEAR"},
+
+      {"Q10", "returned item reporting",
+       "SELECT C_CUSTKEY, C_NAME,"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS REVENUE,"
+       " C_ACCTBAL, N_NAME"
+       " FROM CUSTOMER, ORDERS, LINEITEM, NATION"
+       " WHERE C_CUSTKEY = O_CUSTKEY"
+       " AND L_ORDERKEY = O_ORDERKEY"
+       " AND O_ORDERDATE >= DATE '1993-10-01'"
+       " AND O_ORDERDATE < DATE '1994-01-01'"
+       " AND L_RETURNFLAG = 'R'"
+       " AND C_NATIONKEY = N_NATIONKEY"
+       " GROUP BY C_CUSTKEY, C_NAME, C_ACCTBAL, N_NAME"
+       " ORDER BY REVENUE DESC"
+       " LIMIT 20"},
+
+      {"Q11", "important stock identification",
+       "SELECT PS_PARTKEY,"
+       " SUM(PS_SUPPLYCOST * PS_AVAILQTY) AS STOCK_VALUE"
+       " FROM PARTSUPP, SUPPLIER, NATION"
+       " WHERE PS_SUPPKEY = S_SUPPKEY"
+       " AND S_NATIONKEY = N_NATIONKEY"
+       " AND N_NAME = 'GERMANY'"
+       " GROUP BY PS_PARTKEY"
+       " ORDER BY STOCK_VALUE DESC"},
+
+      {"Q13", "customer distribution (simplified: order counts per "
+              "customer, childless customers included)",
+       "SELECT C_CUSTKEY, COUNT(O_ORDERKEY) AS C_COUNT"
+       " FROM CUSTOMER LEFT JOIN ORDERS ON C_CUSTKEY = O_CUSTKEY"
+       " GROUP BY C_CUSTKEY"
+       " ORDER BY C_COUNT DESC, C_CUSTKEY"
+       " LIMIT 25"},
+
+      {"Q14", "promotion effect",
+       "SELECT 100.0 * SUM(CASE WHEN P_TYPE LIKE 'PROMO%'"
+       " THEN L_EXTENDEDPRICE * (1 - L_DISCOUNT) ELSE 0 END) /"
+       " SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS PROMO_REVENUE"
+       " FROM LINEITEM, PART"
+       " WHERE L_PARTKEY = P_PARTKEY"
+       " AND L_SHIPDATE >= DATE '1995-09-01'"
+       " AND L_SHIPDATE < DATE '1995-10-01'"},
+
+      {"Q16", "parts/supplier relationship",
+       "SELECT P_BRAND, P_TYPE, P_SIZE,"
+       " COUNT(DISTINCT PS_SUPPKEY) AS SUPPLIER_CNT"
+       " FROM PARTSUPP, PART"
+       " WHERE P_PARTKEY = PS_PARTKEY"
+       " AND P_BRAND <> 'Brand#45'"
+       " AND P_TYPE NOT LIKE 'MEDIUM POLISHED%'"
+       " AND P_SIZE IN (49, 14, 23, 45, 19, 3, 36, 9)"
+       " GROUP BY P_BRAND, P_TYPE, P_SIZE"
+       " ORDER BY SUPPLIER_CNT DESC, P_BRAND, P_TYPE, P_SIZE"},
+  };
+  return *kSuite;
+}
+
+const QueryDef& GetQuery(const std::string& id) {
+  for (const QueryDef& q : QuerySuite()) {
+    if (q.id == id) return q;
+  }
+  std::fprintf(stderr, "unknown TPC-H query id: %s\n", id.c_str());
+  std::abort();
+}
+
+}  // namespace phoenix::tpch

@@ -1,0 +1,25 @@
+#ifndef PHOENIX_TPCH_QUERIES_H_
+#define PHOENIX_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace phoenix::tpch {
+
+struct QueryDef {
+  std::string id;           ///< "Q1", "Q3", ...
+  std::string description;  ///< TPC-H name
+  std::string sql;
+};
+
+/// The TPC-H-lite decision-support query suite (analogues of Q1, Q3, Q5,
+/// Q6, Q10, Q11, Q14, Q16 expressed in the engine's dialect; simplifications
+/// are documented in DESIGN.md).
+const std::vector<QueryDef>& QuerySuite();
+
+/// Lookup by id; aborts on unknown id (programmer error).
+const QueryDef& GetQuery(const std::string& id);
+
+}  // namespace phoenix::tpch
+
+#endif  // PHOENIX_TPCH_QUERIES_H_

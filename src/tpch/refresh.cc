@@ -1,0 +1,90 @@
+#include "tpch/refresh.h"
+
+namespace phoenix::tpch {
+
+namespace {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+
+struct KeyRange {
+  int64_t lo;
+  int64_t hi;  // inclusive
+};
+
+/// The two per-transaction halves of the refresh key range.
+void SplitRange(const TpchScale& scale, KeyRange* first, KeyRange* second) {
+  int64_t base = scale.refresh_key_base();
+  int64_t count = scale.refresh_orders();
+  int64_t mid = base + count / 2;
+  *first = {base, mid - 1};
+  *second = {mid, base + count - 1};
+}
+
+class StmtRunner {
+ public:
+  StmtRunner(DriverManager* dm, Hdbc* dbc) : dm_(dm) {
+    stmt_ = dm->AllocStmt(dbc);
+  }
+  ~StmtRunner() { dm_->FreeStmt(stmt_); }
+
+  /// Executes and accumulates affected-row counts.
+  Status Run(const std::string& sql) {
+    if (!Succeeded(dm_->ExecDirect(stmt_, sql))) {
+      return DriverManager::Diag(stmt_);
+    }
+    int64_t n = 0;
+    dm_->RowCount(stmt_, &n);
+    if (n > 0) affected_ += n;
+    return Status::Ok();
+  }
+
+  int64_t affected() const { return affected_; }
+
+ private:
+  DriverManager* dm_;
+  Hstmt* stmt_;
+  int64_t affected_ = 0;
+};
+
+std::string Between(const std::string& column, const KeyRange& range) {
+  return column + " BETWEEN " + std::to_string(range.lo) + " AND " +
+         std::to_string(range.hi);
+}
+
+}  // namespace
+
+Result<int64_t> RunRF1(DriverManager* dm, Hdbc* dbc, const TpchScale& scale) {
+  KeyRange halves[2];
+  SplitRange(scale, &halves[0], &halves[1]);
+  StmtRunner runner(dm, dbc);
+  for (const KeyRange& range : halves) {
+    PHX_RETURN_IF_ERROR(runner.Run("BEGIN TRANSACTION"));
+    PHX_RETURN_IF_ERROR(
+        runner.Run("INSERT INTO ORDERS SELECT * FROM ORDERS_RF WHERE " +
+                   Between("O_ORDERKEY", range)));
+    PHX_RETURN_IF_ERROR(
+        runner.Run("INSERT INTO LINEITEM SELECT * FROM LINEITEM_RF WHERE " +
+                   Between("L_ORDERKEY", range)));
+    PHX_RETURN_IF_ERROR(runner.Run("COMMIT"));
+  }
+  return runner.affected();
+}
+
+Result<int64_t> RunRF2(DriverManager* dm, Hdbc* dbc, const TpchScale& scale) {
+  KeyRange halves[2];
+  SplitRange(scale, &halves[0], &halves[1]);
+  StmtRunner runner(dm, dbc);
+  for (const KeyRange& range : halves) {
+    PHX_RETURN_IF_ERROR(runner.Run("BEGIN TRANSACTION"));
+    PHX_RETURN_IF_ERROR(runner.Run("DELETE FROM LINEITEM WHERE " +
+                                   Between("L_ORDERKEY", range)));
+    PHX_RETURN_IF_ERROR(runner.Run("DELETE FROM ORDERS WHERE " +
+                                   Between("O_ORDERKEY", range)));
+    PHX_RETURN_IF_ERROR(runner.Run("COMMIT"));
+  }
+  return runner.affected();
+}
+
+}  // namespace phoenix::tpch

@@ -1,0 +1,24 @@
+#ifndef PHOENIX_TPCH_REFRESH_H_
+#define PHOENIX_TPCH_REFRESH_H_
+
+#include "common/status.h"
+#include "odbc/driver_manager.h"
+#include "tpch/dbgen.h"
+
+namespace phoenix::tpch {
+
+/// RF1 (new sales): moves the staged refresh orders/lineitems into the base
+/// tables. As in the paper, the function is decomposed into two
+/// transactions, each receiving one half of the key range and submitting
+/// two INSERT requests. Returns total rows inserted.
+Result<int64_t> RunRF1(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                       const TpchScale& scale);
+
+/// RF2 (stale data removal): deletes exactly the rows RF1 inserted, again
+/// as two transactions of two DELETE requests each. Returns rows deleted.
+Result<int64_t> RunRF2(odbc::DriverManager* dm, odbc::Hdbc* dbc,
+                       const TpchScale& scale);
+
+}  // namespace phoenix::tpch
+
+#endif  // PHOENIX_TPCH_REFRESH_H_

@@ -1,0 +1,18 @@
+#ifndef PHOENIX_TPCH_SCHEMA_H_
+#define PHOENIX_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace phoenix::tpch {
+
+/// DDL for the TPC-H-lite schema (eight base tables) plus the refresh-set
+/// staging tables ORDERS_RF / LINEITEM_RF used by RF1/RF2.
+std::vector<std::string> SchemaDdl();
+
+/// Names of all tables created by SchemaDdl, in creation order.
+std::vector<std::string> TableNames();
+
+}  // namespace phoenix::tpch
+
+#endif  // PHOENIX_TPCH_SCHEMA_H_

@@ -1,0 +1,213 @@
+// Chaos property test — the strongest statement of the paper's claim:
+//
+//   For ANY workload and ANY schedule of server crashes, lost requests,
+//   and lost replies, an application running over Phoenix/ODBC observes
+//   exactly the same results as the same application running over native
+//   ODBC with no failures at all.
+//
+// A deterministic workload (seeded) runs twice: once against a fault-free
+// reference server through the plain driver manager, once against a server
+// bombarded with injected faults through Phoenix. Every query result,
+// every affected-row count, and the final database image must match.
+
+#include <set>
+
+#include "common/rng.h"
+
+#include "core/phoenix_driver_manager.h"
+#include "test_util.h"
+
+namespace phoenix::core {
+namespace {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using testutil::TestCluster;
+
+struct Op {
+  std::string sql;
+  bool is_query = false;
+};
+
+/// Generates a deterministic workload: keyed DML, scans, aggregates,
+/// transactions (committed and rolled back), and temp-table traffic.
+std::vector<Op> MakeWorkload(uint64_t seed, int n_ops) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.push_back({"CREATE TABLE ACC (K INTEGER PRIMARY KEY, BAL INTEGER)"});
+  ops.push_back({"CREATE TEMPORARY TABLE NOTES (N INTEGER)"});
+  std::set<int64_t> keys;
+  int64_t next_key = 1;
+  while (static_cast<int>(ops.size()) < n_ops) {
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1: {  // insert
+        int64_t k = next_key++;
+        ops.push_back({"INSERT INTO ACC VALUES (" + std::to_string(k) + ", " +
+                       std::to_string(rng.NextBelow(1000)) + ")"});
+        keys.insert(k);
+        break;
+      }
+      case 2: {  // update
+        if (keys.empty()) break;
+        int64_t k = static_cast<int64_t>(rng.NextBelow(next_key));
+        ops.push_back({"UPDATE ACC SET BAL = BAL + " +
+                       std::to_string(rng.NextBelow(50)) +
+                       " WHERE K = " + std::to_string(k)});
+        break;
+      }
+      case 3: {  // delete
+        if (keys.empty()) break;
+        auto it = keys.begin();
+        std::advance(it, rng.NextBelow(keys.size()));
+        ops.push_back({"DELETE FROM ACC WHERE K = " + std::to_string(*it)});
+        keys.erase(it);
+        break;
+      }
+      case 4:  // scan
+        ops.push_back({"SELECT K, BAL FROM ACC ORDER BY K", true});
+        break;
+      case 5:  // aggregate
+        ops.push_back(
+            {"SELECT COUNT(*) AS N, SUM(BAL) AS S, MIN(K) AS LO, "
+             "MAX(K) AS HI FROM ACC",
+             true});
+        break;
+      case 6: {  // transaction block
+        bool commit = rng.NextBool(0.7);
+        ops.push_back({"BEGIN TRANSACTION"});
+        int body = 1 + static_cast<int>(rng.NextBelow(3));
+        for (int i = 0; i < body; ++i) {
+          int64_t k = next_key++;
+          ops.push_back({"INSERT INTO ACC VALUES (" + std::to_string(k) +
+                         ", " + std::to_string(rng.NextBelow(1000)) + ")"});
+          if (commit) keys.insert(k);
+        }
+        ops.push_back({commit ? "COMMIT" : "ROLLBACK"});
+        break;
+      }
+      default:  // temp-table traffic
+        ops.push_back({"INSERT INTO NOTES VALUES (" +
+                       std::to_string(rng.NextBelow(100)) + ")"});
+        ops.push_back({"SELECT COUNT(*) AS N FROM NOTES", true});
+        break;
+    }
+  }
+  ops.push_back({"SELECT K, BAL FROM ACC ORDER BY K", true});
+  ops.push_back({"SELECT COUNT(*) AS N FROM NOTES", true});
+  return ops;
+}
+
+struct Observation {
+  std::vector<Row> rows;
+  int64_t affected = -1;
+};
+
+Observation RunOp(DriverManager* dm, Hdbc* dbc, const Op& op) {
+  Observation obs;
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  EXPECT_EQ(dm->ExecDirect(stmt, op.sql), SqlReturn::kSuccess)
+      << op.sql << " -> " << DriverManager::Diag(stmt).ToString();
+  if (op.is_query) {
+    size_t cols = 0;
+    dm->NumResultCols(stmt, &cols);
+    while (Succeeded(dm->Fetch(stmt))) {
+      Row row;
+      for (size_t c = 0; c < cols; ++c) {
+        Value v;
+        dm->GetData(stmt, c, &v);
+        row.push_back(std::move(v));
+      }
+      obs.rows.push_back(std::move(row));
+    }
+  } else {
+    dm->RowCount(stmt, &obs.affected);
+  }
+  dm->FreeStmt(stmt);
+  return obs;
+}
+
+void ExpectSame(const Observation& ref, const Observation& got,
+                const Op& op, size_t index) {
+  ASSERT_EQ(ref.affected, got.affected)
+      << "op " << index << ": " << op.sql;
+  ASSERT_EQ(ref.rows.size(), got.rows.size())
+      << "op " << index << ": " << op.sql;
+  for (size_t r = 0; r < ref.rows.size(); ++r) {
+    ASSERT_EQ(ref.rows[r].size(), got.rows[r].size());
+    for (size_t c = 0; c < ref.rows[r].size(); ++c) {
+      ASSERT_EQ(ref.rows[r][c].Compare(got.rows[r][c]), 0)
+          << "op " << index << " row " << r << " col " << c << ": " << op.sql;
+    }
+  }
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, PhoenixUnderFaultsEqualsNativeWithoutFaults) {
+  const uint64_t seed = GetParam();
+  std::vector<Op> ops = MakeWorkload(seed, 120);
+
+  // Reference: plain DM, fault-free server.
+  TestCluster ref_cluster;
+  DriverManager native(&ref_cluster.network);
+  Hdbc* ref_dbc = native.AllocConnect(native.AllocEnv());
+  ASSERT_EQ(native.Connect(ref_dbc, "testdb", "ref"), SqlReturn::kSuccess);
+
+  // Chaos: Phoenix DM, faults injected before operations.
+  TestCluster chaos_cluster;
+  PhoenixDriverManager phoenix(
+      &chaos_cluster.network,
+      testutil::AutoRestartConfig(&chaos_cluster.server));
+  Hdbc* chaos_dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(chaos_dbc, "testdb", "chaos"),
+            SqlReturn::kSuccess);
+
+  Rng fault_rng(seed ^ 0xFA17);
+  int crashes = 0, drops = 0, losses = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (fault_rng.NextBool(0.18)) {
+      switch (fault_rng.NextBelow(3)) {
+        case 0:
+          chaos_cluster.server.Crash();
+          ++crashes;
+          break;
+        case 1:
+          chaos_dbc->driver->channel()->InjectDropRequests(1);
+          ++drops;
+          break;
+        default:
+          chaos_dbc->driver->channel()->InjectLoseReplies(1);
+          ++losses;
+          break;
+      }
+    }
+    Observation ref = RunOp(&native, ref_dbc, ops[i]);
+    Observation got = RunOp(&phoenix, chaos_dbc, ops[i]);
+    ExpectSame(ref, got, ops[i], i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Final database images match (modulo Phoenix's own artifacts).
+  Observation ref_final =
+      RunOp(&native, ref_dbc, {"SELECT K, BAL FROM ACC ORDER BY K", true});
+  Observation got_final =
+      RunOp(&phoenix, chaos_dbc, {"SELECT K, BAL FROM ACC ORDER BY K", true});
+  ExpectSame(ref_final, got_final, {"final image", true}, ops.size());
+
+  // The schedule must actually have exercised something.
+  EXPECT_GT(crashes + drops + losses, 5) << "fault schedule too tame";
+  EXPECT_EQ(phoenix.stats().recoveries >= 1, crashes >= 1);
+
+  phoenix.Disconnect(chaos_dbc);
+  native.Disconnect(ref_dbc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+}  // namespace
+}  // namespace phoenix::core

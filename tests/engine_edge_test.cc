@@ -1,0 +1,223 @@
+// Engine edge cases: date functions in queries, coercion corners, NULL
+// ordering, aggregate subtleties, and cross-layer interactions that the
+// per-module tests do not reach.
+
+#include "engine/database.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::eng {
+namespace {
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&disk_);
+    ASSERT_TRUE(db_->Open().ok());
+    sid_ = *db_->CreateSession("t");
+  }
+
+  StatementResult Exec(const std::string& sql) {
+    auto r = db_->ExecuteScript(sid_, sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    if (!r.ok()) return StatementResult{};
+    return std::move(r->back());
+  }
+
+  Status TryExec(const std::string& sql) {
+    return db_->ExecuteScript(sid_, sql).status();
+  }
+
+  storage::SimDisk disk_;
+  std::unique_ptr<Database> db_;
+  uint64_t sid_ = 0;
+};
+
+TEST_F(EngineEdgeTest, NullsSortFirstAscLastDesc) {
+  Exec("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  Exec("INSERT INTO T VALUES (1, 5), (2, NULL), (3, 1)");
+  StatementResult asc = Exec("SELECT K FROM T ORDER BY V");
+  EXPECT_EQ(asc.rows[0][0].AsInt64(), 2);  // NULL first ascending
+  StatementResult desc = Exec("SELECT K FROM T ORDER BY V DESC");
+  EXPECT_EQ(desc.rows[2][0].AsInt64(), 2);  // NULL last descending
+}
+
+TEST_F(EngineEdgeTest, DateFunctionsInWhereAndGroupBy) {
+  Exec("CREATE TABLE E (ID INTEGER PRIMARY KEY, D DATE)");
+  Exec("INSERT INTO E VALUES (1, DATE '1995-03-15'), (2, DATE '1995-07-01'),"
+       " (3, DATE '1996-03-15')");
+  StatementResult by_year = Exec(
+      "SELECT YEAR(D) AS Y, COUNT(*) AS N FROM E GROUP BY YEAR(D) "
+      "ORDER BY Y");
+  ASSERT_EQ(by_year.rows.size(), 2u);
+  EXPECT_EQ(by_year.rows[0][1].AsInt64(), 2);
+  StatementResult march =
+      Exec("SELECT COUNT(*) AS N FROM E WHERE MONTH(D) = 3");
+  EXPECT_EQ(march.rows[0][0].AsInt64(), 2);
+  StatementResult shifted = Exec(
+      "SELECT COUNT(*) AS N FROM E "
+      "WHERE DATE_ADD_DAYS(D, 30) > DATE '1995-07-15'");
+  EXPECT_EQ(shifted.rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(EngineEdgeTest, StringDateLiteralsCoerceOnInsert) {
+  Exec("CREATE TABLE E (D DATE)");
+  Exec("INSERT INTO E VALUES ('1999-12-31')");
+  StatementResult r = Exec("SELECT D FROM E");
+  EXPECT_EQ(r.rows[0][0].type(), DataType::kDate);
+  EXPECT_EQ(FormatDate(r.rows[0][0].AsInt32()), "1999-12-31");
+  EXPECT_EQ(TryExec("INSERT INTO E VALUES ('not a date')").code(),
+            StatusCode::kSqlError);
+}
+
+TEST_F(EngineEdgeTest, MixedTypeEquiJoinKey) {
+  // INTEGER joined against BIGINT: hashing must agree with comparison.
+  Exec("CREATE TABLE A (K INTEGER PRIMARY KEY)");
+  Exec("CREATE TABLE B (K BIGINT PRIMARY KEY, V VARCHAR)");
+  Exec("INSERT INTO A VALUES (1), (2), (3)");
+  Exec("INSERT INTO B VALUES (2, 'two'), (3, 'three'), (4, 'four')");
+  StatementResult r =
+      Exec("SELECT B.V FROM A, B WHERE A.K = B.K ORDER BY B.K");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "two");
+}
+
+TEST_F(EngineEdgeTest, AggregatesSkipNulls) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1), (NULL), (3), (NULL)");
+  StatementResult r = Exec(
+      "SELECT COUNT(*) AS ALL_ROWS, COUNT(V) AS NON_NULL, SUM(V) AS S, "
+      "AVG(V) AS A, MIN(V) AS LO FROM T");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 2.0);
+  EXPECT_EQ(r.rows[0][4].AsInt64(), 1);
+}
+
+TEST_F(EngineEdgeTest, SumPromotesToDoubleOnlyWhenNeeded) {
+  Exec("CREATE TABLE T (I INTEGER, D DOUBLE)");
+  Exec("INSERT INTO T VALUES (1, 0.5), (2, 0.25)");
+  StatementResult r = Exec("SELECT SUM(I) AS SI, SUM(D) AS SD FROM T");
+  EXPECT_EQ(r.rows[0][0].type(), DataType::kInt64);
+  EXPECT_EQ(r.rows[0][1].type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 0.75);
+}
+
+TEST_F(EngineEdgeTest, GroupByExpressionKey) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1), (2), (3), (4), (5), (6)");
+  StatementResult r = Exec(
+      "SELECT V % 3 AS BUCKET, COUNT(*) AS N FROM T GROUP BY V % 3 "
+      "ORDER BY BUCKET");
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) EXPECT_EQ(row[1].AsInt64(), 2);
+}
+
+TEST_F(EngineEdgeTest, HavingWithoutGroupByActsOnGlobalAggregate) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1), (2)");
+  EXPECT_EQ(Exec("SELECT SUM(V) AS S FROM T HAVING SUM(V) > 2").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT SUM(V) AS S FROM T HAVING SUM(V) > 99").rows.size(),
+            0u);
+}
+
+TEST_F(EngineEdgeTest, DistinctTreatsNullsAsEqual) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (NULL), (NULL), (1)");
+  EXPECT_EQ(Exec("SELECT DISTINCT V FROM T").rows.size(), 2u);
+}
+
+TEST_F(EngineEdgeTest, UpdateEveryRowWithoutWhere) {
+  Exec("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  Exec("INSERT INTO T VALUES (1, 1), (2, 2)");
+  EXPECT_EQ(Exec("UPDATE T SET V = V * 10").affected, 2);
+  StatementResult r = Exec("SELECT SUM(V) AS S FROM T");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 30);
+}
+
+TEST_F(EngineEdgeTest, PkUpdateCollisionInsideMultiRowUpdateRollsBack) {
+  Exec("CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  Exec("INSERT INTO T VALUES (1), (2)");
+  // Shifting every key by +1 collides midway; the statement must undo.
+  Status st = TryExec("UPDATE T SET K = K + 1");
+  EXPECT_EQ(st.code(), StatusCode::kConstraint);
+  StatementResult r = Exec("SELECT K FROM T ORDER BY K");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt64(), 2);
+}
+
+TEST_F(EngineEdgeTest, SelfReferentialInsertSelect) {
+  Exec("CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  Exec("INSERT INTO T VALUES (1), (2)");
+  // INSERT INTO T SELECT from T: the select materializes before inserts.
+  EXPECT_EQ(Exec("INSERT INTO T SELECT K + 10 FROM T").affected, 2);
+  EXPECT_EQ(Exec("SELECT COUNT(*) AS N FROM T").rows[0][0].AsInt64(), 4);
+}
+
+TEST_F(EngineEdgeTest, OrderByDateColumn) {
+  Exec("CREATE TABLE E (ID INTEGER PRIMARY KEY, D DATE)");
+  Exec("INSERT INTO E VALUES (1, DATE '1996-01-01'), (2, DATE '1994-06-15'),"
+       " (3, DATE '1995-01-01')");
+  StatementResult r = Exec("SELECT ID FROM E ORDER BY D");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(r.rows[2][0].AsInt64(), 1);
+}
+
+TEST_F(EngineEdgeTest, LikeOnNonStringColumnRejected) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1)");
+  EXPECT_EQ(TryExec("SELECT * FROM T WHERE V LIKE '1%'").code(),
+            StatusCode::kSqlError);
+}
+
+TEST_F(EngineEdgeTest, ConstantTrueWhereKeepsEverything) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1), (2)");
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE 1 = 1").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE 2 > 1 AND V > 0").rows.size(), 2u);
+}
+
+TEST_F(EngineEdgeTest, RowcountUnaffectedBySelects) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("INSERT INTO T VALUES (1), (2), (3)");
+  Exec("SELECT * FROM T");
+  EXPECT_EQ(Exec("SELECT ROWCOUNT() AS N").rows[0][0].AsInt64(), 3);
+}
+
+TEST_F(EngineEdgeTest, ProcedureSeesCurrentDataNotDefinitionTime) {
+  Exec("CREATE TABLE T (V INTEGER)");
+  Exec("CREATE PROCEDURE CNT AS SELECT COUNT(*) AS N FROM T");
+  EXPECT_EQ(Exec("EXEC CNT").rows[0][0].AsInt64(), 0);
+  Exec("INSERT INTO T VALUES (1)");
+  EXPECT_EQ(Exec("EXEC CNT").rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(EngineEdgeTest, DeepExpressionNesting) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  StatementResult r = Exec("SELECT " + expr + " AS V");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 201);
+}
+
+TEST_F(EngineEdgeTest, WideRowsRoundTrip) {
+  std::string ddl = "CREATE TABLE W (C0 INTEGER PRIMARY KEY";
+  std::string cols;
+  for (int i = 1; i < 60; ++i) {
+    ddl += ", C" + std::to_string(i) + " INTEGER";
+  }
+  ddl += ")";
+  Exec(ddl);
+  std::string insert = "INSERT INTO W VALUES (0";
+  for (int i = 1; i < 60; ++i) insert += ", " + std::to_string(i);
+  insert += ")";
+  Exec(insert);
+  StatementResult r = Exec("SELECT * FROM W");
+  ASSERT_EQ(r.schema.num_columns(), 60u);
+  EXPECT_EQ(r.rows[0][59].AsInt64(), 59);
+}
+
+}  // namespace
+}  // namespace phoenix::eng

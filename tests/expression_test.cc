@@ -1,0 +1,213 @@
+// Expression evaluation: arithmetic, three-valued logic, LIKE, scalar
+// functions, parameters.
+
+#include "engine/expression.h"
+
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::eng {
+namespace {
+
+Value Eval(const std::string& text, const EvalEnv& env = {}) {
+  auto expr = sql::Parser::ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  auto v = EvalExpr(**expr, env);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return v.ok() ? v.take() : Value();
+}
+
+Status EvalError(const std::string& text, const EvalEnv& env = {}) {
+  auto expr = sql::Parser::ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << text;
+  return EvalExpr(**expr, env).status();
+}
+
+TEST(Expression, IntegerArithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3").AsInt64(), 7);
+  EXPECT_EQ(Eval("(1 + 2) * 3").AsInt64(), 9);
+  EXPECT_EQ(Eval("7 / 2").AsInt64(), 3);
+  EXPECT_EQ(Eval("7 % 3").AsInt64(), 1);
+  EXPECT_EQ(Eval("-5 + 2").AsInt64(), -3);
+}
+
+TEST(Expression, MixedArithmeticPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(Eval("7 / 2.0").AsDouble(), 3.5);
+  EXPECT_EQ(Eval("1 + 2.5").type(), DataType::kDouble);
+}
+
+TEST(Expression, DivisionByZeroIsError) {
+  EXPECT_EQ(EvalError("1 / 0").code(), StatusCode::kSqlError);
+  EXPECT_EQ(EvalError("1.0 / 0.0").code(), StatusCode::kSqlError);
+  EXPECT_EQ(EvalError("5 % 0").code(), StatusCode::kSqlError);
+}
+
+TEST(Expression, StringConcatenationWithPlus) {
+  EXPECT_EQ(Eval("'foo' + 'bar'").AsString(), "foobar");
+  EXPECT_EQ(Eval("'n=' + 3").AsString(), "n=3");
+}
+
+TEST(Expression, Comparisons) {
+  EXPECT_TRUE(Eval("1 < 2").AsBool());
+  EXPECT_TRUE(Eval("2 <= 2").AsBool());
+  EXPECT_TRUE(Eval("'abc' < 'abd'").AsBool());
+  EXPECT_TRUE(Eval("3 <> 4").AsBool());
+  EXPECT_FALSE(Eval("3 != 3").AsBool());
+  EXPECT_TRUE(Eval("DATE '1995-01-01' < DATE '1996-01-01'").AsBool());
+}
+
+TEST(Expression, ThreeValuedLogicComparisons) {
+  EXPECT_TRUE(Eval("NULL = 1").is_null());
+  EXPECT_TRUE(Eval("NULL <> NULL").is_null());
+  EXPECT_TRUE(Eval("1 + NULL").is_null());
+}
+
+TEST(Expression, KleeneAndOr) {
+  EXPECT_FALSE(Eval("FALSE AND NULL").is_null());
+  EXPECT_FALSE(Eval("FALSE AND NULL").AsBool());
+  EXPECT_TRUE(Eval("TRUE AND NULL").is_null());
+  EXPECT_TRUE(Eval("TRUE OR NULL").AsBool());
+  EXPECT_TRUE(Eval("FALSE OR NULL").is_null());
+  EXPECT_TRUE(Eval("NOT NULL").is_null());
+  EXPECT_FALSE(Eval("NOT TRUE").AsBool());
+}
+
+TEST(Expression, ShortCircuitPreventsRhsError) {
+  // RHS would divide by zero; short-circuit must skip it.
+  EXPECT_FALSE(Eval("FALSE AND (1 / 0 = 1)").AsBool());
+  EXPECT_TRUE(Eval("TRUE OR (1 / 0 = 1)").AsBool());
+}
+
+TEST(Expression, BetweenAndIn) {
+  EXPECT_TRUE(Eval("5 BETWEEN 1 AND 10").AsBool());
+  EXPECT_FALSE(Eval("0 BETWEEN 1 AND 10").AsBool());
+  EXPECT_TRUE(Eval("0 NOT BETWEEN 1 AND 10").AsBool());
+  EXPECT_TRUE(Eval("NULL BETWEEN 1 AND 2").is_null());
+  EXPECT_TRUE(Eval("2 IN (1, 2, 3)").AsBool());
+  EXPECT_FALSE(Eval("9 IN (1, 2, 3)").AsBool());
+  EXPECT_TRUE(Eval("9 NOT IN (1, 2, 3)").AsBool());
+  // SQL semantics: 9 IN (1, NULL) is NULL, 1 IN (1, NULL) is TRUE.
+  EXPECT_TRUE(Eval("9 IN (1, NULL)").is_null());
+  EXPECT_TRUE(Eval("1 IN (1, NULL)").AsBool());
+}
+
+TEST(Expression, IsNull) {
+  EXPECT_TRUE(Eval("NULL IS NULL").AsBool());
+  EXPECT_FALSE(Eval("1 IS NULL").AsBool());
+  EXPECT_TRUE(Eval("1 IS NOT NULL").AsBool());
+}
+
+TEST(Expression, LikePatterns) {
+  EXPECT_TRUE(LikeMatch("PROMO BRUSHED TIN", "PROMO%"));
+  EXPECT_FALSE(LikeMatch("STANDARD TIN", "PROMO%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abbc", "a_c"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("xay", "%a%"));
+  EXPECT_TRUE(LikeMatch("MEDIUM POLISHED COPPER", "MEDIUM POLISHED%"));
+  EXPECT_TRUE(LikeMatch("CaseFold", "casefold"));  // case-insensitive
+  EXPECT_FALSE(LikeMatch("ab", "a"));
+  EXPECT_TRUE(Eval("'smith' LIKE 'SM%'").AsBool());
+  EXPECT_TRUE(Eval("'x' NOT LIKE 'y%'").AsBool());
+  EXPECT_TRUE(Eval("NULL LIKE 'a'").is_null());
+}
+
+TEST(Expression, ScalarFunctions) {
+  EXPECT_EQ(Eval("ABS(-7)").AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Eval("ABS(-2.5)").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("ROUND(2.567, 2)").AsDouble(), 2.57);
+  EXPECT_DOUBLE_EQ(Eval("ROUND(2.5)").AsDouble(), 3.0);
+  EXPECT_EQ(Eval("UPPER('abc')").AsString(), "ABC");
+  EXPECT_EQ(Eval("LOWER('AbC')").AsString(), "abc");
+  EXPECT_EQ(Eval("LENGTH('hello')").AsInt64(), 5);
+  EXPECT_EQ(Eval("SUBSTR('hello', 2, 3)").AsString(), "ell");
+  EXPECT_EQ(Eval("SUBSTR('hello', 4)").AsString(), "lo");
+  EXPECT_EQ(Eval("SUBSTR('hi', 9)").AsString(), "");
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 3)").AsInt64(), 3);
+  EXPECT_TRUE(Eval("COALESCE(NULL, NULL)").is_null());
+  EXPECT_EQ(Eval("CONCAT('a', 1, NULL, 'b')").AsString(), "a1b");
+  EXPECT_EQ(Eval("YEAR(DATE '1995-03-15')").AsInt32(), 1995);
+  EXPECT_EQ(Eval("MONTH(DATE '1995-03-15')").AsInt32(), 3);
+  EXPECT_EQ(Eval("DAY(DATE '1995-03-15')").AsInt32(), 15);
+  Value d = Eval("DATE_ADD_DAYS(DATE '1995-03-15', 17)");
+  EXPECT_EQ(FormatDate(d.AsInt32()), "1995-04-01");
+}
+
+TEST(Expression, FunctionArityErrors) {
+  EXPECT_FALSE(EvalError("ABS(1, 2)").ok());
+  EXPECT_FALSE(EvalError("UNKNOWN_FN(1)").ok());
+  EXPECT_FALSE(EvalError("LENGTH()").ok());
+}
+
+TEST(Expression, RowcountReadsEnv) {
+  EvalEnv env;
+  env.last_rowcount = 42;
+  EXPECT_EQ(Eval("ROWCOUNT()", env).AsInt64(), 42);
+}
+
+TEST(Expression, ColumnResolution) {
+  Schema schema;
+  schema.AddColumn(Column{"A", DataType::kInt64, false});
+  schema.AddColumn(Column{"B", DataType::kString, true});
+  std::vector<std::string> quals{"t", "t"};
+  Row row{Value::Int64(11), Value::String("x")};
+  EvalEnv env;
+  env.schema = &schema;
+  env.qualifiers = &quals;
+  env.row = &row;
+  EXPECT_EQ(Eval("A + 1", env).AsInt64(), 12);
+  EXPECT_EQ(Eval("t.B", env).AsString(), "x");
+  EXPECT_FALSE(EvalError("u.A", env).ok());
+  EXPECT_FALSE(EvalError("missing", env).ok());
+}
+
+TEST(Expression, AmbiguousColumnIsError) {
+  Schema schema;
+  schema.AddColumn(Column{"K", DataType::kInt64, false});
+  schema.AddColumn(Column{"K", DataType::kInt64, false});
+  std::vector<std::string> quals{"a", "b"};
+  Row row{Value::Int64(1), Value::Int64(2)};
+  EvalEnv env;
+  env.schema = &schema;
+  env.qualifiers = &quals;
+  env.row = &row;
+  EXPECT_FALSE(EvalError("K", env).ok());
+  EXPECT_EQ(Eval("a.K", env).AsInt64(), 1);
+  EXPECT_EQ(Eval("b.K", env).AsInt64(), 2);
+}
+
+TEST(Expression, ParamsResolveCaseInsensitively) {
+  std::map<std::string, Value> params{{"T", Value::String("tbl")}};
+  EvalEnv env;
+  env.params = &params;
+  EXPECT_EQ(Eval("@t", env).AsString(), "tbl");
+  EXPECT_FALSE(EvalError("@missing", env).ok());
+}
+
+TEST(Expression, AggregateOutsideGroupContextIsError) {
+  EXPECT_FALSE(EvalError("SUM(1)").ok());
+}
+
+TEST(Expression, CollectAggregatesFindsAllNodes) {
+  auto expr = sql::Parser::ParseExpression(
+      "SUM(a) / COUNT(*) + MAX(b) - LENGTH(c)");
+  ASSERT_TRUE(expr.ok());
+  std::vector<const sql::Expr*> aggs;
+  CollectAggregates(**expr, &aggs);
+  EXPECT_EQ(aggs.size(), 3u);
+}
+
+TEST(Expression, TruthyRules) {
+  EXPECT_FALSE(Truthy(Value::Null()));
+  EXPECT_FALSE(Truthy(Value::Bool(false)));
+  EXPECT_TRUE(Truthy(Value::Bool(true)));
+  EXPECT_FALSE(Truthy(Value::Int64(0)));
+  EXPECT_TRUE(Truthy(Value::Int64(-1)));
+  EXPECT_FALSE(Truthy(Value::String("")));
+  EXPECT_TRUE(Truthy(Value::String("x")));
+}
+
+}  // namespace
+}  // namespace phoenix::eng

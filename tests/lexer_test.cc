@@ -1,0 +1,110 @@
+// SQL lexer behavior: literals, comments, operators, parameters.
+
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  auto r = Lex(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.take() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  auto toks = MustLex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].Is(TokKind::kEnd));
+}
+
+TEST(Lexer, IdentifiersKeepCaseAndCarryUpper) {
+  auto toks = MustLex("Select FooBar");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].text, "FooBar");
+  EXPECT_EQ(toks[1].upper, "FOOBAR");
+}
+
+TEST(Lexer, TempTableNamesWithHash) {
+  auto toks = MustLex("#tmp_1");
+  EXPECT_EQ(toks[0].text, "#tmp_1");
+  EXPECT_TRUE(toks[0].Is(TokKind::kIdent));
+}
+
+TEST(Lexer, IntegerAndDoubleLiterals) {
+  auto toks = MustLex("42 3.14 0.5 2e3 1.5E-2");
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_TRUE(toks[0].Is(TokKind::kInt));
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 0.5);
+  EXPECT_DOUBLE_EQ(toks[3].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[4].double_value, 0.015);
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  auto toks = MustLex("'it''s'");
+  ASSERT_TRUE(toks[0].Is(TokKind::kString));
+  EXPECT_EQ(toks[0].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  auto toks = MustLex("SELECT -- a comment\n 1 /* block\n comment */ + 2");
+  ASSERT_EQ(toks.size(), 5u);  // SELECT 1 + 2 <end>
+  EXPECT_EQ(toks[1].int_value, 1);
+  EXPECT_TRUE(toks[2].IsSymbol("+"));
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Lex("1 /* never closed").ok());
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto toks = MustLex("<= >= <> != < > =");
+  EXPECT_TRUE(toks[0].IsSymbol("<="));
+  EXPECT_TRUE(toks[1].IsSymbol(">="));
+  EXPECT_TRUE(toks[2].IsSymbol("<>"));
+  EXPECT_TRUE(toks[3].IsSymbol("!="));
+  EXPECT_TRUE(toks[4].IsSymbol("<"));
+  EXPECT_TRUE(toks[5].IsSymbol(">"));
+  EXPECT_TRUE(toks[6].IsSymbol("="));
+}
+
+TEST(Lexer, Parameters) {
+  auto toks = MustLex("@T @count2");
+  ASSERT_TRUE(toks[0].Is(TokKind::kParam));
+  EXPECT_EQ(toks[0].text, "T");
+  EXPECT_EQ(toks[1].text, "count2");
+}
+
+TEST(Lexer, BareAtSignFails) {
+  EXPECT_FALSE(Lex("@ foo").ok());
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  auto r = Lex("SELECT ^");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSqlError);
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+  auto toks = MustLex("SELECT  foo");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 8u);
+}
+
+TEST(Lexer, NumberFollowedByIdentifierEdge) {
+  // '2e' should not eat the identifier when no exponent digits follow.
+  auto toks = MustLex("2eggs");
+  EXPECT_TRUE(toks[0].Is(TokKind::kInt));
+  EXPECT_EQ(toks[0].int_value, 2);
+  EXPECT_EQ(toks[1].text, "eggs");
+}
+
+}  // namespace
+}  // namespace phoenix::sql

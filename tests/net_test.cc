@@ -1,0 +1,249 @@
+// Wire protocol round trips, channel fault injection, and the crashable
+// server process model.
+
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "net/protocol.h"
+
+#include "common/rng.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::net {
+namespace {
+
+TEST(Protocol, RequestRoundTripAllFields) {
+  Request req;
+  req.kind = Request::Kind::kOpenCursor;
+  req.session_id = 42;
+  req.user = "alice";
+  req.name = "opt";
+  req.value = "val";
+  req.sql = "SELECT * FROM T";
+  req.cursor_type = 2;
+  req.cursor_id = 7;
+  req.n = 64;
+  auto back = Request::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, req.kind);
+  EXPECT_EQ(back->session_id, 42u);
+  EXPECT_EQ(back->user, "alice");
+  EXPECT_EQ(back->sql, "SELECT * FROM T");
+  EXPECT_EQ(back->cursor_type, 2);
+  EXPECT_EQ(back->cursor_id, 7u);
+  EXPECT_EQ(back->n, 64u);
+}
+
+TEST(Protocol, ResponseRoundTripWithResults) {
+  Response resp;
+  resp.kind = Response::Kind::kResults;
+  eng::StatementResult r1;
+  r1.has_rows = true;
+  r1.schema.AddColumn(Column{"A", DataType::kInt64, false});
+  r1.rows.push_back(Row{Value::Int64(1)});
+  r1.rows.push_back(Row{Value::Int64(2)});
+  resp.results.push_back(std::move(r1));
+  resp.results.push_back(eng::StatementResult::Affected(5));
+  auto back = Response::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->results.size(), 2u);
+  EXPECT_TRUE(back->results[0].has_rows);
+  EXPECT_EQ(back->results[0].rows.size(), 2u);
+  EXPECT_EQ(back->results[1].affected, 5);
+}
+
+TEST(Protocol, ErrorResponseCarriesStatus) {
+  Response resp = Response::MakeError(Status::Timeout("slow"));
+  auto back = Response::Decode(resp.Encode());
+  ASSERT_TRUE(back.ok());
+  Status st = back->ToStatus();
+  EXPECT_TRUE(st.IsTimeout());
+  EXPECT_EQ(st.message(), "slow");
+}
+
+TEST(Protocol, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Request::Decode("").ok());
+  EXPECT_FALSE(Response::Decode("xx").ok());
+  std::string bad(1, '\xFF');
+  EXPECT_FALSE(Request::Decode(bad + std::string(40, 0)).ok());
+}
+
+struct ServerFixture {
+  storage::SimDisk disk;
+  DbServer server{&disk};
+  Network network;
+  ServerFixture() {
+    EXPECT_TRUE(server.Start().ok());
+    network.RegisterServer("db", &server);
+  }
+  std::unique_ptr<Channel> Connect() {
+    auto c = network.Connect("db");
+    EXPECT_TRUE(c.ok());
+    return c.take();
+  }
+  Response Call(Channel* ch, const Request& req) {
+    auto r = ch->RoundTrip(req);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.take() : Response{};
+  }
+};
+
+Request ConnectReq(const std::string& user = "u") {
+  Request r;
+  r.kind = Request::Kind::kConnect;
+  r.user = user;
+  return r;
+}
+
+Request ExecReq(uint64_t sid, const std::string& sql) {
+  Request r;
+  r.kind = Request::Kind::kExecScript;
+  r.session_id = sid;
+  r.sql = sql;
+  return r;
+}
+
+TEST(Channel, ConnectExecuteDisconnect) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  Response conn = fx.Call(ch.get(), ConnectReq());
+  ASSERT_EQ(conn.kind, Response::Kind::kConnected);
+  uint64_t sid = conn.session_id;
+  Response made =
+      fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE T (A INTEGER)"));
+  EXPECT_EQ(made.kind, Response::Kind::kResults);
+  Response sel = fx.Call(ch.get(), ExecReq(sid, "SELECT 1 + 1 AS X"));
+  ASSERT_EQ(sel.results.size(), 1u);
+  EXPECT_EQ(sel.results[0].rows[0][0].AsInt64(), 2);
+  Request disc;
+  disc.kind = Request::Kind::kDisconnect;
+  disc.session_id = sid;
+  EXPECT_EQ(fx.Call(ch.get(), disc).kind, Response::Kind::kOk);
+}
+
+TEST(Channel, ServerErrorsTravelAsErrorResponses) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  auto r = ch->RoundTrip(ExecReq(sid, "SELECT * FROM MISSING"));
+  ASSERT_TRUE(r.ok());  // transport succeeded
+  EXPECT_EQ(r->kind, Response::Kind::kError);
+  EXPECT_EQ(r->ToStatus().code(), StatusCode::kSqlError);
+}
+
+TEST(Channel, UnknownDsnRejected) {
+  ServerFixture fx;
+  EXPECT_TRUE(fx.network.Connect("nope").status().IsNotFound());
+}
+
+TEST(Channel, CrashedServerYieldsCommError) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.server.Crash();
+  auto r = ch->RoundTrip(ExecReq(sid, "SELECT 1"));
+  EXPECT_TRUE(r.status().IsCommError());
+  // Ping also fails while down.
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  EXPECT_TRUE(ch->RoundTrip(ping).status().IsCommError());
+}
+
+TEST(Channel, StaleSessionAfterRestartIsNotFound) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.server.Crash();
+  ASSERT_TRUE(fx.server.Restart().ok());
+  auto r = ch->RoundTrip(ExecReq(sid, "SELECT 1"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToStatus().code(), StatusCode::kNotFound);
+  EXPECT_NE(r->ToStatus().message().find("session"), std::string::npos);
+}
+
+TEST(Channel, SessionIdsNeverReusedAcrossRestarts) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid1 = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.server.Crash();
+  ASSERT_TRUE(fx.server.Restart().ok());
+  auto ch2 = fx.Connect();
+  uint64_t sid2 = fx.Call(ch2.get(), ConnectReq()).session_id;
+  EXPECT_GT(sid2, sid1);
+}
+
+TEST(Channel, EpochCountsRestarts) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  EXPECT_EQ(fx.Call(ch.get(), ping).server_epoch, 1u);
+  fx.server.Crash();
+  ASSERT_TRUE(fx.server.Restart().ok());
+  EXPECT_EQ(fx.Call(ch.get(), ping).server_epoch, 2u);
+}
+
+TEST(Channel, InjectDropRequestsFailsBeforeServer) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  uint64_t handled = fx.server.requests_handled();
+  ch->InjectDropRequests(2);
+  EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsCommError());
+  EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsCommError());
+  EXPECT_EQ(fx.server.requests_handled(), handled);  // never reached it
+  EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).ok());
+}
+
+TEST(Channel, InjectLoseRepliesExecutesButTimesOut) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE T (A INTEGER)"));
+  ch->InjectLoseReplies(1);
+  auto r = ch->RoundTrip(ExecReq(sid, "INSERT INTO T VALUES (1)"));
+  EXPECT_TRUE(r.status().IsTimeout());
+  // The lost-reply request DID execute — the classic ambiguity Phoenix's
+  // status table resolves.
+  Response check = fx.Call(ch.get(), ExecReq(sid, "SELECT COUNT(*) AS N FROM T"));
+  EXPECT_EQ(check.results[0].rows[0][0].AsInt64(), 1);
+}
+
+TEST(Channel, ClientDisconnectClosesChannel) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  ch->Disconnect();
+  EXPECT_TRUE(ch->RoundTrip(ConnectReq()).status().IsCommError());
+}
+
+TEST(Channel, StatsCountTraffic) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  fx.Call(ch.get(), ConnectReq());
+  EXPECT_EQ(ch->round_trips(), 1u);
+  EXPECT_GT(ch->bytes_sent(), 0u);
+  EXPECT_GT(ch->bytes_received(), 0u);
+}
+
+TEST(Server, RestartWhileAliveRejected) {
+  ServerFixture fx;
+  EXPECT_FALSE(fx.server.Restart().ok());
+}
+
+TEST(Server, DurableDataVisibleAfterRestart) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE T (A INTEGER)"));
+  fx.Call(ch.get(), ExecReq(sid, "INSERT INTO T VALUES (7)"));
+  fx.server.Crash();
+  ASSERT_TRUE(fx.server.Restart().ok());
+  auto ch2 = fx.Connect();
+  uint64_t sid2 = fx.Call(ch2.get(), ConnectReq()).session_id;
+  Response r = fx.Call(ch2.get(), ExecReq(sid2, "SELECT A FROM T"));
+  ASSERT_EQ(r.results[0].rows.size(), 1u);
+  EXPECT_EQ(r.results[0].rows[0][0].AsInt64(), 7);
+}
+
+}  // namespace
+}  // namespace phoenix::net

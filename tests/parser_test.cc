@@ -1,0 +1,344 @@
+// Parser coverage: every statement form, expression precedence, the ToSql
+// round-trip property, and error reporting.
+
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::sql {
+namespace {
+
+std::unique_ptr<Statement> MustParse(const std::string& sql) {
+  auto r = Parser::ParseStatement(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? r.take() : nullptr;
+}
+
+std::unique_ptr<Expr> MustParseExpr(const std::string& text) {
+  auto r = Parser::ParseExpression(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? r.take() : nullptr;
+}
+
+TEST(Parser, SimpleSelect) {
+  auto s = MustParse("SELECT a, b FROM t WHERE a > 1");
+  ASSERT_EQ(s->kind, StmtKind::kSelect);
+  EXPECT_EQ(s->select->items.size(), 2u);
+  EXPECT_EQ(s->select->from.size(), 1u);
+  EXPECT_NE(s->select->where, nullptr);
+}
+
+TEST(Parser, SelectStarAndDistinctAndLimit) {
+  auto s = MustParse("SELECT DISTINCT * FROM t LIMIT 5");
+  EXPECT_TRUE(s->select->distinct);
+  EXPECT_EQ(s->select->items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(s->select->limit, 5);
+}
+
+TEST(Parser, TopIsLimitSynonym) {
+  auto s = MustParse("SELECT TOP 7 a FROM t");
+  EXPECT_EQ(s->select->limit, 7);
+}
+
+TEST(Parser, AliasesWithAndWithoutAs) {
+  auto s = MustParse("SELECT a AS x, b y FROM t u, v AS w");
+  EXPECT_EQ(s->select->items[0].alias, "x");
+  EXPECT_EQ(s->select->items[1].alias, "y");
+  EXPECT_EQ(s->select->from[0].alias, "u");
+  EXPECT_EQ(s->select->from[1].alias, "w");
+  EXPECT_EQ(s->select->from[1].BindingName(), "w");
+}
+
+TEST(Parser, ExplicitJoinsRecorded) {
+  auto s = MustParse(
+      "SELECT a FROM t1 JOIN t2 ON t1.id = t2.id "
+      "INNER JOIN t3 ON t2.k = t3.k WHERE t3.x > 0");
+  EXPECT_EQ(s->select->from.size(), 3u);
+  ASSERT_EQ(s->select->joins.size(), 2u);
+  EXPECT_EQ(s->select->joins[0].table_index, 1);
+  EXPECT_FALSE(s->select->joins[0].left);
+  EXPECT_EQ(s->select->joins[1].table_index, 2);
+  EXPECT_NE(s->select->where, nullptr);
+}
+
+TEST(Parser, LeftJoinForms) {
+  auto s1 = MustParse("SELECT a FROM t1 LEFT JOIN t2 ON t1.id = t2.id");
+  ASSERT_EQ(s1->select->joins.size(), 1u);
+  EXPECT_TRUE(s1->select->joins[0].left);
+  auto s2 =
+      MustParse("SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.id = t2.id");
+  EXPECT_TRUE(s2->select->joins[0].left);
+  // Mixed comma + left join.
+  auto s3 = MustParse(
+      "SELECT a FROM t1, t2 LEFT JOIN t3 ON t2.k = t3.k WHERE t1.x = t2.x");
+  ASSERT_EQ(s3->select->joins.size(), 1u);
+  EXPECT_EQ(s3->select->joins[0].table_index, 2);
+  EXPECT_FALSE(MustParse("SELECT a FROM t1") == nullptr);
+}
+
+TEST(Parser, GroupByHavingOrderBy) {
+  auto s = MustParse(
+      "SELECT a, SUM(b) AS s FROM t GROUP BY a HAVING SUM(b) > 10 "
+      "ORDER BY s DESC, a ASC");
+  EXPECT_EQ(s->select->group_by.size(), 1u);
+  EXPECT_NE(s->select->having, nullptr);
+  ASSERT_EQ(s->select->order_by.size(), 2u);
+  EXPECT_TRUE(s->select->order_by[0].desc);
+  EXPECT_FALSE(s->select->order_by[1].desc);
+}
+
+TEST(Parser, SelectInto) {
+  auto s = MustParse("SELECT a INTO t2 FROM t1");
+  EXPECT_EQ(s->select->into_table, "t2");
+}
+
+TEST(Parser, InsertValuesMultiRow) {
+  auto s = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_EQ(s->kind, StmtKind::kInsert);
+  EXPECT_EQ(s->insert->columns.size(), 2u);
+  EXPECT_EQ(s->insert->rows.size(), 2u);
+}
+
+TEST(Parser, InsertSelect) {
+  auto s = MustParse("INSERT INTO t SELECT a, b FROM u WHERE a > 0");
+  ASSERT_NE(s->insert->select, nullptr);
+  EXPECT_TRUE(s->insert->rows.empty());
+}
+
+TEST(Parser, InsertParenthesizedSelect) {
+  auto s = MustParse("INSERT INTO t (SELECT a FROM u)");
+  ASSERT_NE(s->insert->select, nullptr);
+}
+
+TEST(Parser, UpdateMultipleSets) {
+  auto s = MustParse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3");
+  ASSERT_EQ(s->kind, StmtKind::kUpdate);
+  EXPECT_EQ(s->update->sets.size(), 2u);
+  EXPECT_NE(s->update->where, nullptr);
+}
+
+TEST(Parser, DeleteWithAndWithoutWhere) {
+  EXPECT_NE(MustParse("DELETE FROM t WHERE a = 1")->del->where, nullptr);
+  EXPECT_EQ(MustParse("DELETE FROM t")->del->where, nullptr);
+}
+
+TEST(Parser, CreateTableFull) {
+  auto s = MustParse(
+      "CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR(30), "
+      "price DECIMAL(12, 2), d DATE, PRIMARY KEY (id))");
+  ASSERT_EQ(s->kind, StmtKind::kCreateTable);
+  EXPECT_EQ(s->create_table->columns.size(), 4u);
+  EXPECT_TRUE(s->create_table->columns[0].primary_key);
+  EXPECT_TRUE(s->create_table->columns[0].not_null);
+  EXPECT_EQ(s->create_table->pk_columns.size(), 1u);
+  EXPECT_FALSE(s->create_table->temporary);
+}
+
+TEST(Parser, CreateTemporaryTableForms) {
+  EXPECT_TRUE(MustParse("CREATE TEMPORARY TABLE t (a INT)")
+                  ->create_table->temporary);
+  EXPECT_TRUE(MustParse("CREATE TEMP TABLE t (a INT)")
+                  ->create_table->temporary);
+  EXPECT_TRUE(MustParse("CREATE TABLE #t (a INT)")->create_table->temporary);
+}
+
+TEST(Parser, DropTableIfExists) {
+  auto s = MustParse("DROP TABLE IF EXISTS t");
+  ASSERT_EQ(s->kind, StmtKind::kDropTable);
+  EXPECT_TRUE(s->drop_table->if_exists);
+}
+
+TEST(Parser, CreateProcedureWithBody) {
+  auto s = MustParse(
+      "CREATE PROCEDURE p (@a INT, @name VARCHAR(20)) AS BEGIN "
+      "INSERT INTO t VALUES (@a, @name); SELECT * FROM t; END");
+  ASSERT_EQ(s->kind, StmtKind::kCreateProc);
+  EXPECT_EQ(s->create_proc->params.size(), 2u);
+  EXPECT_EQ(s->create_proc->body.size(), 2u);
+}
+
+TEST(Parser, CreateProcedureSingleStatementBody) {
+  auto s = MustParse("CREATE PROC p AS DELETE FROM t");
+  EXPECT_EQ(s->create_proc->body.size(), 1u);
+}
+
+TEST(Parser, ExecForms) {
+  auto s1 = MustParse("EXEC p(1, 'x')");
+  EXPECT_EQ(s1->exec->args.size(), 2u);
+  auto s2 = MustParse("EXECUTE p 1, 'x'");
+  EXPECT_EQ(s2->exec->args.size(), 2u);
+  auto s3 = MustParse("EXEC p()");
+  EXPECT_TRUE(s3->exec->args.empty());
+  auto s4 = MustParse("EXEC p");
+  EXPECT_TRUE(s4->exec->args.empty());
+}
+
+TEST(Parser, TransactionControl) {
+  EXPECT_EQ(MustParse("BEGIN TRANSACTION")->kind, StmtKind::kBeginTxn);
+  EXPECT_EQ(MustParse("BEGIN TRAN")->kind, StmtKind::kBeginTxn);
+  EXPECT_EQ(MustParse("BEGIN WORK")->kind, StmtKind::kBeginTxn);
+  EXPECT_EQ(MustParse("BEGIN")->kind, StmtKind::kBeginTxn);
+  EXPECT_EQ(MustParse("COMMIT")->kind, StmtKind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK TRANSACTION")->kind, StmtKind::kRollback);
+}
+
+TEST(Parser, ShowStatements) {
+  auto s1 = MustParse("SHOW KEYS lineitem");
+  ASSERT_EQ(s1->kind, StmtKind::kShow);
+  EXPECT_EQ(s1->show->what, ShowStmt::What::kKeys);
+  EXPECT_EQ(s1->show->table, "lineitem");
+  auto s2 = MustParse("SHOW TABLES");
+  EXPECT_EQ(s2->show->what, ShowStmt::What::kTables);
+}
+
+TEST(Parser, ScriptSplitsOnSemicolons) {
+  auto r = Parser::ParseScript("SELECT 1; ; SELECT 2;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Parser, EmptyScriptFails) {
+  EXPECT_FALSE(Parser::ParseScript("").ok());
+  EXPECT_FALSE(Parser::ParseScript(" ; ; ").ok());
+}
+
+TEST(Parser, ParseStatementRejectsBatch) {
+  EXPECT_FALSE(Parser::ParseStatement("SELECT 1; SELECT 2").ok());
+}
+
+// ---- expressions ----------------------------------------------------------
+
+TEST(Parser, ArithmeticPrecedence) {
+  auto e = MustParseExpr("1 + 2 * 3");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e->right->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, BooleanPrecedence) {
+  auto e = MustParseExpr("a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(e->bin_op, BinOp::kOr);
+  EXPECT_EQ(e->right->bin_op, BinOp::kAnd);
+}
+
+TEST(Parser, NotBindsTighterThanAnd) {
+  auto e = MustParseExpr("NOT a AND b");
+  EXPECT_EQ(e->bin_op, BinOp::kAnd);
+  EXPECT_EQ(e->left->kind, ExprKind::kUnary);
+}
+
+TEST(Parser, ComparisonSuffixForms) {
+  auto between = MustParseExpr("x BETWEEN 1 AND 10");
+  EXPECT_EQ(between->kind, ExprKind::kBetween);
+  auto not_between = MustParseExpr("x NOT BETWEEN 1 AND 10");
+  EXPECT_TRUE(not_between->negated);
+  auto in = MustParseExpr("x IN (1, 2, 3)");
+  EXPECT_EQ(in->kind, ExprKind::kInList);
+  EXPECT_EQ(in->args.size(), 3u);
+  auto not_in = MustParseExpr("x NOT IN (1)");
+  EXPECT_TRUE(not_in->negated);
+  auto like = MustParseExpr("s LIKE 'PROMO%'");
+  EXPECT_EQ(like->bin_op, BinOp::kLike);
+  auto not_like = MustParseExpr("s NOT LIKE '%x%'");
+  EXPECT_EQ(not_like->bin_op, BinOp::kNotLike);
+  auto is_null = MustParseExpr("x IS NULL");
+  EXPECT_EQ(is_null->kind, ExprKind::kIsNull);
+  auto is_not_null = MustParseExpr("x IS NOT NULL");
+  EXPECT_TRUE(is_not_null->negated);
+}
+
+TEST(Parser, FunctionCalls) {
+  auto e = MustParseExpr("COUNT(*)");
+  EXPECT_EQ(e->kind, ExprKind::kFunction);
+  EXPECT_EQ(e->args[0]->kind, ExprKind::kStar);
+  auto d = MustParseExpr("COUNT(DISTINCT ps_suppkey)");
+  EXPECT_TRUE(d->distinct);
+  auto f = MustParseExpr("SUBSTR(name, 1, 3)");
+  EXPECT_EQ(f->args.size(), 3u);
+  EXPECT_EQ(f->func_name, "SUBSTR");
+}
+
+TEST(Parser, DateLiteral) {
+  auto e = MustParseExpr("DATE '1995-03-15'");
+  ASSERT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->literal.type(), DataType::kDate);
+}
+
+TEST(Parser, QualifiedColumnRef) {
+  auto e = MustParseExpr("t1.col");
+  EXPECT_EQ(e->table_qualifier, "t1");
+  EXPECT_EQ(e->column, "col");
+}
+
+TEST(Parser, LiteralsAndUnary) {
+  EXPECT_TRUE(MustParseExpr("NULL")->literal.is_null());
+  EXPECT_TRUE(MustParseExpr("TRUE")->literal.AsBool());
+  EXPECT_EQ(MustParseExpr("-5")->kind, ExprKind::kUnary);
+  EXPECT_EQ(MustParseExpr("+5")->kind, ExprKind::kLiteral);
+}
+
+TEST(Parser, ErrorsCarryContext) {
+  auto r = Parser::ParseStatement("SELECT FROM");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("near"), std::string::npos);
+  EXPECT_FALSE(Parser::ParseStatement("FROBNICATE x").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::ParseStatement("INSERT INTO t VALUES (1,)").ok());
+  EXPECT_FALSE(Parser::ParseStatement("CREATE TABLE t ()").ok());
+}
+
+// Property: ToSql output re-parses to a tree whose ToSql is a fixed point.
+TEST(Parser, ToSqlRoundTripProperty) {
+  const char* kStatements[] = {
+      "SELECT a, b + 1 AS c FROM t u WHERE (a > 1 AND b < 2) OR u.c IS NULL",
+      "SELECT DISTINCT * FROM t ORDER BY a DESC LIMIT 3",
+      "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS rev "
+      "FROM customer, orders, lineitem WHERE c_custkey = o_custkey "
+      "GROUP BY l_orderkey HAVING SUM(x) > 5 ORDER BY rev DESC",
+      "SELECT a, COUNT(b) AS n FROM t LEFT JOIN u ON t.id = u.id "
+      "GROUP BY a",
+      "SELECT a FROM t JOIN u ON t.id = u.id LEFT OUTER JOIN v ON u.k = v.k",
+      "SELECT a INTO t2 FROM t1 WHERE x BETWEEN 1 AND 2",
+      "INSERT INTO t (a, b) VALUES (1, 'it''s'), (NULL, DATE '1999-01-01')",
+      "INSERT INTO t SELECT * FROM u",
+      "UPDATE t SET a = a % 2, b = UPPER(b) WHERE a IN (1, 2, 3)",
+      "DELETE FROM t WHERE name NOT LIKE 'x%'",
+      "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR, PRIMARY KEY (a))",
+      "CREATE TEMPORARY TABLE t (a INTEGER)",
+      "DROP TABLE IF EXISTS t",
+      "CREATE PROCEDURE p (@x INT) AS BEGIN INSERT INTO t VALUES (@x); END",
+      "DROP PROCEDURE p",
+      "EXEC p(1, 2)",
+      "BEGIN TRANSACTION",
+      "COMMIT",
+      "ROLLBACK",
+      "SHOW KEYS t",
+      "SHOW TABLES",
+  };
+  for (const char* sql : kStatements) {
+    auto first = Parser::ParseStatement(sql);
+    ASSERT_TRUE(first.ok()) << sql << ": " << first.status().ToString();
+    std::string emitted = (*first)->ToSql();
+    auto second = Parser::ParseStatement(emitted);
+    ASSERT_TRUE(second.ok()) << emitted << ": " << second.status().ToString();
+    EXPECT_EQ(emitted, (*second)->ToSql()) << "not a fixed point: " << sql;
+  }
+}
+
+// Property: Clone produces an identical tree (via ToSql equality).
+TEST(Parser, CloneEqualsOriginalProperty) {
+  const char* kStatements[] = {
+      "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a",
+      "INSERT INTO t VALUES (1, 2.5, 'x')",
+      "UPDATE t SET a = 1 WHERE b IS NOT NULL",
+      "CREATE PROCEDURE p (@a INT) AS BEGIN DELETE FROM t WHERE x = @a; END",
+  };
+  for (const char* sql : kStatements) {
+    auto parsed = Parser::ParseStatement(sql);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ((*parsed)->ToSql(), (*parsed)->Clone()->ToSql());
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::sql

@@ -1,0 +1,300 @@
+// Phoenix/ODBC in failure-free operation: transparency (identical results
+// to the plain DM), materialization mechanics, temp-object redirection,
+// DML wrapping, cleanup.
+
+#include "core/phoenix_driver_manager.h"
+
+#include "test_util.h"
+
+namespace phoenix::core {
+namespace {
+
+using odbc::CursorMode;
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Henv;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using odbc::StmtAttr;
+using testutil::MustExec;
+using testutil::MustQuery;
+using testutil::TestCluster;
+
+class PhoenixBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dm_ = std::make_unique<PhoenixDriverManager>(&cluster_.network);
+    env_ = dm_->AllocEnv();
+    dbc_ = dm_->AllocConnect(env_);
+    ASSERT_EQ(dm_->Connect(dbc_, "testdb", "app"), SqlReturn::kSuccess);
+    MustExec(dm_.get(), dbc_,
+             "CREATE TABLE T (K INTEGER PRIMARY KEY, V VARCHAR, X DOUBLE)");
+    MustExec(dm_.get(), dbc_,
+             "INSERT INTO T VALUES (1, 'a', 1.5), (2, 'b', 2.5), "
+             "(3, 'c', 3.5), (4, 'd', 4.5), (5, 'e', 5.5)");
+    dm_->ResetStats();  // the setup INSERT was itself wrapped DML
+  }
+
+  eng::Database* ServerDb() { return cluster_.server.database(); }
+
+  TestCluster cluster_;
+  std::unique_ptr<PhoenixDriverManager> dm_;
+  Henv* env_ = nullptr;
+  Hdbc* dbc_ = nullptr;
+};
+
+TEST_F(PhoenixBasicTest, ConnectCreatesPrivateConnectionAndProxy) {
+  // Two server sessions: the app's and Phoenix's private one.
+  EXPECT_EQ(ServerDb()->num_sessions(), 2u);
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc_);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_NE(ServerDb()->store()->Get(cs->proxy_table), nullptr);
+  EXPECT_TRUE(ServerDb()->store()->Get(cs->proxy_table)->temporary());
+}
+
+TEST_F(PhoenixBasicTest, SelectIsMaterializedAsPersistentTable) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT K, V FROM T WHERE K <= 3"),
+            SqlReturn::kSuccess);
+  StmtState* vs = PhoenixDriverManager::stmt_state(stmt);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_EQ(vs->kind, StmtState::Kind::kMaterialized);
+  storage::Table* t = ServerDb()->store()->Get(vs->result_table);
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->temporary());  // the point: it survives crashes
+  EXPECT_EQ(t->num_rows(), 3u);
+  // Application sees the original metadata, not the internal table's.
+  size_t cols = 0;
+  dm_->NumResultCols(stmt, &cols);
+  EXPECT_EQ(cols, 2u);
+  Column c;
+  dm_->DescribeCol(stmt, 0, &c);
+  EXPECT_EQ(c.name, "K");
+}
+
+TEST_F(PhoenixBasicTest, ResultsIdenticalToNativeOdbc) {
+  DriverManager native(&cluster_.network);
+  Henv* nenv = native.AllocEnv();
+  Hdbc* ndbc = native.AllocConnect(nenv);
+  ASSERT_EQ(native.Connect(ndbc, "testdb", "native"), SqlReturn::kSuccess);
+
+  const char* kQueries[] = {
+      "SELECT * FROM T ORDER BY K",
+      "SELECT V, X * 2 AS XX FROM T WHERE K % 2 = 1 ORDER BY K DESC",
+      "SELECT COUNT(*) AS N, SUM(X) AS S FROM T",
+      "SELECT V FROM T WHERE K BETWEEN 2 AND 4 ORDER BY V",
+      "SELECT DISTINCT UPPER(V) AS U FROM T ORDER BY U",
+  };
+  for (const char* q : kQueries) {
+    std::vector<Row> phoenix_rows = MustQuery(dm_.get(), dbc_, q);
+    std::vector<Row> native_rows = MustQuery(&native, ndbc, q);
+    ASSERT_EQ(phoenix_rows.size(), native_rows.size()) << q;
+    for (size_t i = 0; i < native_rows.size(); ++i) {
+      ASSERT_EQ(phoenix_rows[i].size(), native_rows[i].size());
+      for (size_t j = 0; j < native_rows[i].size(); ++j) {
+        EXPECT_EQ(phoenix_rows[i][j].Compare(native_rows[i][j]), 0)
+            << q << " row " << i << " col " << j;
+      }
+    }
+  }
+  native.Disconnect(ndbc);
+}
+
+TEST_F(PhoenixBasicTest, DmlWrappedWithStatusRecord) {
+  int64_t n = MustExec(dm_.get(), dbc_, "UPDATE T SET X = 0 WHERE K >= 4");
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(dm_->stats().dml_wrapped, 1u);
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc_);
+  storage::Table* status = ServerDb()->store()->Get(cs->status_table);
+  ASSERT_NE(status, nullptr);
+  ASSERT_GE(status->num_rows(), 1u);
+  // Affected count persisted server-side matches what the app saw: the
+  // newest status row is this request's.
+  const Row& row = status->rows().rbegin()->second;
+  EXPECT_EQ(row[1].AsInt64(), 2);
+}
+
+TEST_F(PhoenixBasicTest, SelectIntoTreatedAsDml) {
+  int64_t n =
+      MustExec(dm_.get(), dbc_, "SELECT K, V INTO KEEP FROM T WHERE K <= 2");
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(dm_->stats().dml_wrapped, 1u);
+  EXPECT_EQ(MustQuery(dm_.get(), dbc_, "SELECT * FROM KEEP").size(), 2u);
+}
+
+TEST_F(PhoenixBasicTest, TempTableRedirectedToPersistent) {
+  MustExec(dm_.get(), dbc_, "CREATE TEMPORARY TABLE SCRATCH (A INTEGER)");
+  MustExec(dm_.get(), dbc_, "INSERT INTO SCRATCH VALUES (1), (2)");
+  auto rows = MustQuery(dm_.get(), dbc_, "SELECT A FROM SCRATCH ORDER BY A");
+  ASSERT_EQ(rows.size(), 2u);
+  // Under the covers the table is persistent with a Phoenix name; the
+  // app-visible name does not exist server-side.
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc_);
+  EXPECT_EQ(ServerDb()->store()->Get("SCRATCH"), nullptr);
+  std::string actual = cs->temp_table_map.at("SCRATCH");
+  ASSERT_NE(ServerDb()->store()->Get(actual), nullptr);
+  EXPECT_FALSE(ServerDb()->store()->Get(actual)->temporary());
+}
+
+TEST_F(PhoenixBasicTest, HashPrefixTempTableAlsoRedirected) {
+  MustExec(dm_.get(), dbc_, "CREATE TABLE #w (A INTEGER)");
+  MustExec(dm_.get(), dbc_, "INSERT INTO #w VALUES (9)");
+  auto rows = MustQuery(dm_.get(), dbc_, "SELECT #w.A FROM #w");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 9);
+  MustExec(dm_.get(), dbc_, "DROP TABLE #w");
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc_);
+  EXPECT_TRUE(cs->temp_table_map.empty());
+}
+
+TEST_F(PhoenixBasicTest, TempProcedureRedirected) {
+  MustExec(dm_.get(), dbc_,
+           "CREATE TEMPORARY PROCEDURE BUMP (@k INT) AS "
+           "UPDATE T SET X = X + 1 WHERE K = @k");
+  MustExec(dm_.get(), dbc_, "EXEC BUMP(1)");
+  auto rows = MustQuery(dm_.get(), dbc_, "SELECT X FROM T WHERE K = 1");
+  EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 2.5);
+}
+
+TEST_F(PhoenixBasicTest, DisconnectCleansUpAllArtifacts) {
+  MustQuery(dm_.get(), dbc_, "SELECT * FROM T");  // creates a result table
+  MustExec(dm_.get(), dbc_, "UPDATE T SET X = 0 WHERE K = 1");  // status tbl
+  MustExec(dm_.get(), dbc_, "CREATE TEMP TABLE SCRATCH (A INTEGER)");
+  ASSERT_EQ(dm_->Disconnect(dbc_), SqlReturn::kSuccess);
+  // Only the application's base table remains (plus engine internals).
+  for (const std::string& name : ServerDb()->store()->ListNames()) {
+    EXPECT_EQ(name.rfind("PHX_", 0), std::string::npos)
+        << "leaked artifact: " << name;
+  }
+  EXPECT_EQ(ServerDb()->num_sessions(), 0u);
+}
+
+TEST_F(PhoenixBasicTest, StatementReuseDropsOldState) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT K FROM T"), SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT V FROM T WHERE K = 1"),
+            SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  Value v;
+  dm_->GetData(stmt, 0, &v);
+  EXPECT_EQ(v.AsString(), "a");
+}
+
+TEST_F(PhoenixBasicTest, ExplicitTxnPassesThroughAndLogs) {
+  MustExec(dm_.get(), dbc_, "BEGIN TRANSACTION");
+  MustExec(dm_.get(), dbc_, "INSERT INTO T VALUES (6, 'f', 6.5)");
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc_);
+  EXPECT_TRUE(cs->in_txn);
+  EXPECT_EQ(cs->txn_log.size(), 1u);
+  MustExec(dm_.get(), dbc_, "COMMIT");
+  EXPECT_FALSE(cs->in_txn);
+  EXPECT_TRUE(cs->txn_log.empty());
+  EXPECT_EQ(MustQuery(dm_.get(), dbc_, "SELECT * FROM T").size(), 6u);
+}
+
+TEST_F(PhoenixBasicTest, RollbackWorksThroughPhoenix) {
+  MustExec(dm_.get(), dbc_, "BEGIN");
+  MustExec(dm_.get(), dbc_, "DELETE FROM T");
+  MustExec(dm_.get(), dbc_, "ROLLBACK");
+  EXPECT_EQ(MustQuery(dm_.get(), dbc_, "SELECT * FROM T").size(), 5u);
+}
+
+TEST_F(PhoenixBasicTest, KeysetCursorThroughPhoenix) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  dm_->SetStmtAttr(stmt, StmtAttr::kCursorMode,
+                   static_cast<int64_t>(CursorMode::kKeysetCursor));
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT K, V FROM T WHERE K <= 4"),
+            SqlReturn::kSuccess)
+      << DriverManager::Diag(stmt).ToString();
+  EXPECT_EQ(dm_->stats().keyset_cursors, 1u);
+  // Key table persisted server-side.
+  StmtState* vs = PhoenixDriverManager::stmt_state(stmt);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_EQ(vs->kind, StmtState::Kind::kKeyset);
+  EXPECT_EQ(ServerDb()->store()->Get(vs->result_table)->num_rows(), 4u);
+  // Updates between fetches are visible (keyset property).
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  MustExec(dm_.get(), dbc_, "UPDATE T SET V = 'patched' WHERE K = 3");
+  Value v;
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);  // K=2
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);  // K=3
+  dm_->GetData(stmt, 1, &v);
+  EXPECT_EQ(v.AsString(), "patched");
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);  // K=4
+  EXPECT_EQ(dm_->Fetch(stmt), SqlReturn::kNoData);
+}
+
+TEST_F(PhoenixBasicTest, KeysetSkipsRowsDeletedMidScan) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  dm_->SetStmtAttr(stmt, StmtAttr::kCursorMode,
+                   static_cast<int64_t>(CursorMode::kKeysetCursor));
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT K FROM T"), SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);  // K=1
+  MustExec(dm_.get(), dbc_, "DELETE FROM T WHERE K = 2");
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  Value v;
+  dm_->GetData(stmt, 0, &v);
+  EXPECT_EQ(v.AsInt64(), 3);  // 2 skipped
+}
+
+TEST_F(PhoenixBasicTest, DynamicCursorSeesInsertsInRange) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  dm_->SetStmtAttr(stmt, StmtAttr::kCursorMode,
+                   static_cast<int64_t>(CursorMode::kDynamicCursor));
+  ASSERT_EQ(dm_->ExecDirect(stmt, "SELECT K FROM T"), SqlReturn::kSuccess)
+      << DriverManager::Diag(stmt).ToString();
+  EXPECT_EQ(dm_->stats().dynamic_cursors, 1u);
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);  // K=1
+  // Delete a not-yet-delivered member and insert a row mid-range: a dynamic
+  // cursor reflects both.
+  MustExec(dm_.get(), dbc_, "DELETE FROM T WHERE K = 3");
+  MustExec(dm_.get(), dbc_,
+           "INSERT INTO T (K, V, X) VALUES (3, 'resurrected', 0.0)");
+  MustExec(dm_.get(), dbc_, "DELETE FROM T WHERE K = 4");
+  std::vector<int64_t> seen{1};
+  while (true) {
+    SqlReturn r = dm_->Fetch(stmt);
+    if (r == SqlReturn::kNoData) break;
+    ASSERT_EQ(r, SqlReturn::kSuccess);
+    Value v;
+    dm_->GetData(stmt, 0, &v);
+    seen.push_back(v.AsInt64());
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 5}));
+}
+
+TEST_F(PhoenixBasicTest, DisabledPhoenixBehavesLikePlainDm) {
+  PhoenixConfig off;
+  off.enabled = false;
+  PhoenixDriverManager plain(&cluster_.network, off);
+  Henv* env = plain.AllocEnv();
+  Hdbc* dbc = plain.AllocConnect(env);
+  ASSERT_EQ(plain.Connect(dbc, "testdb", "x"), SqlReturn::kSuccess);
+  EXPECT_EQ(PhoenixDriverManager::conn_state(dbc), nullptr);
+  auto rows = MustQuery(&plain, dbc, "SELECT K FROM T ORDER BY K");
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(plain.stats().materialized_results, 0u);
+  plain.Disconnect(dbc);
+}
+
+TEST_F(PhoenixBasicTest, GarbageSqlPassedThroughForServerDiagnostics) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  EXPECT_EQ(dm_->ExecDirect(stmt, "COMPLETELY ~ INVALID"), SqlReturn::kError);
+  EXPECT_EQ(DriverManager::Diag(stmt).code(), StatusCode::kSqlError);
+}
+
+TEST_F(PhoenixBasicTest, MultipleConnectionsGetDistinctNamespaces) {
+  Hdbc* dbc2 = dm_->AllocConnect(env_);
+  ASSERT_EQ(dm_->Connect(dbc2, "testdb", "app2"), SqlReturn::kSuccess);
+  MustExec(dm_.get(), dbc_, "CREATE TEMP TABLE W (A INTEGER)");
+  MustExec(dm_.get(), dbc2, "CREATE TEMP TABLE W (A INTEGER)");
+  MustExec(dm_.get(), dbc_, "INSERT INTO W VALUES (1)");
+  MustExec(dm_.get(), dbc2, "INSERT INTO W VALUES (2)");
+  MustExec(dm_.get(), dbc2, "INSERT INTO W VALUES (3)");
+  EXPECT_EQ(MustQuery(dm_.get(), dbc_, "SELECT * FROM W").size(), 1u);
+  EXPECT_EQ(MustQuery(dm_.get(), dbc2, "SELECT * FROM W").size(), 2u);
+  dm_->Disconnect(dbc2);
+}
+
+}  // namespace
+}  // namespace phoenix::core

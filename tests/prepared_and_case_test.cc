@@ -1,0 +1,235 @@
+// Prepared statements (SQLPrepare/SQLBindParameter/SQLExecute) and CASE
+// expressions, through both driver managers.
+
+#include "core/phoenix_driver_manager.h"
+#include "odbc/odbc_api.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace phoenix {
+namespace {
+
+using core::PhoenixDriverManager;
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using testutil::MustExec;
+using testutil::MustQuery;
+using testutil::TestCluster;
+
+// ---------------------------------------------------------------------------
+// Parameter substitution (pure)
+// ---------------------------------------------------------------------------
+
+TEST(SubstituteParams, ReplacesMarkersInOrder) {
+  auto r = DriverManager::SubstituteParams(
+      "SELECT * FROM t WHERE a = ? AND b < ?",
+      {Value::Int64(7), Value::Double(2.5)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "SELECT * FROM t WHERE a = 7 AND b < 2.5");
+}
+
+TEST(SubstituteParams, StringParamsAreQuotedAndEscaped) {
+  auto r = DriverManager::SubstituteParams("INSERT INTO t VALUES (?)",
+                                           {Value::String("it's")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "INSERT INTO t VALUES ('it''s')");
+}
+
+TEST(SubstituteParams, QuestionMarkInsideLiteralIsData) {
+  auto r = DriverManager::SubstituteParams(
+      "SELECT * FROM t WHERE a = 'what?' AND b = ?", {Value::Int64(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "SELECT * FROM t WHERE a = 'what?' AND b = 1");
+}
+
+TEST(SubstituteParams, EscapedQuoteDoesNotEndLiteral) {
+  auto r = DriverManager::SubstituteParams(
+      "SELECT * FROM t WHERE a = 'don''t?' AND b = ?", {Value::Int64(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->find("'don''t?'"), std::string::npos);
+  EXPECT_NE(r->find("b = 1"), std::string::npos);
+}
+
+TEST(SubstituteParams, ArityMismatchesRejected) {
+  EXPECT_FALSE(DriverManager::SubstituteParams("SELECT ?", {}).ok());
+  EXPECT_FALSE(DriverManager::SubstituteParams(
+                   "SELECT 1", {Value::Int64(1)})
+                   .ok());
+}
+
+TEST(SubstituteParams, NullAndDateParams) {
+  auto r = DriverManager::SubstituteParams(
+      "INSERT INTO t VALUES (?, ?)",
+      {Value::Null(), Value::Date(*ParseDate("1999-12-31"))});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "INSERT INTO t VALUES (NULL, DATE '1999-12-31')");
+}
+
+// ---------------------------------------------------------------------------
+// Prepared execution through the stack
+// ---------------------------------------------------------------------------
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dm_ = std::make_unique<PhoenixDriverManager>(
+        &cluster_.network, testutil::AutoRestartConfig(&cluster_.server));
+    dbc_ = dm_->AllocConnect(dm_->AllocEnv());
+    ASSERT_EQ(dm_->Connect(dbc_, "testdb", "app"), SqlReturn::kSuccess);
+    MustExec(dm_.get(), dbc_,
+             "CREATE TABLE T (K INTEGER PRIMARY KEY, V VARCHAR)");
+    MustExec(dm_.get(), dbc_,
+             "INSERT INTO T VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  }
+
+  TestCluster cluster_;
+  std::unique_ptr<PhoenixDriverManager> dm_;
+  Hdbc* dbc_ = nullptr;
+};
+
+TEST_F(PreparedTest, PrepareBindExecuteQuery) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  ASSERT_EQ(dm_->Prepare(stmt, "SELECT V FROM T WHERE K >= ? ORDER BY K"),
+            SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->BindParam(stmt, 0, Value::Int64(2)), SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->Execute(stmt), SqlReturn::kSuccess)
+      << DriverManager::Diag(stmt).ToString();
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  Value v;
+  dm_->GetData(stmt, 0, &v);
+  EXPECT_EQ(v.AsString(), "b");
+}
+
+TEST_F(PreparedTest, ReExecuteWithNewBindings) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  ASSERT_EQ(dm_->Prepare(stmt, "INSERT INTO T VALUES (?, ?)"),
+            SqlReturn::kSuccess);
+  for (int k = 10; k < 15; ++k) {
+    dm_->BindParam(stmt, 0, Value::Int64(k));
+    dm_->BindParam(stmt, 1, Value::String("v" + std::to_string(k)));
+    ASSERT_EQ(dm_->Execute(stmt), SqlReturn::kSuccess)
+        << DriverManager::Diag(stmt).ToString();
+    int64_t n = 0;
+    dm_->RowCount(stmt, &n);
+    EXPECT_EQ(n, 1);
+  }
+  EXPECT_EQ(MustQuery(dm_.get(), dbc_, "SELECT * FROM T").size(), 8u);
+}
+
+TEST_F(PreparedTest, ExecuteWithoutPrepareFails) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  EXPECT_EQ(dm_->Execute(stmt), SqlReturn::kError);
+  EXPECT_EQ(dm_->BindParam(stmt, 0, Value::Int64(1)), SqlReturn::kError);
+}
+
+TEST_F(PreparedTest, PreparedSelectSurvivesCrash) {
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  dm_->SetStmtAttr(stmt, odbc::StmtAttr::kBlockSize, 1);
+  ASSERT_EQ(dm_->Prepare(stmt, "SELECT K FROM T WHERE K <= ? ORDER BY K"),
+            SqlReturn::kSuccess);
+  dm_->BindParam(stmt, 0, Value::Int64(3));
+  ASSERT_EQ(dm_->Execute(stmt), SqlReturn::kSuccess);
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  cluster_.server.Crash();
+  ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
+  Value v;
+  dm_->GetData(stmt, 0, &v);
+  EXPECT_EQ(v.AsInt64(), 2);
+  EXPECT_GE(dm_->stats().recoveries, 1u);
+  // Re-execution after recovery also works (new bindings, new result).
+  dm_->BindParam(stmt, 0, Value::Int64(1));
+  ASSERT_EQ(dm_->Execute(stmt), SqlReturn::kSuccess);
+  int rows = 0;
+  while (dm_->Fetch(stmt) == SqlReturn::kSuccess) ++rows;
+  EXPECT_EQ(rows, 1);
+}
+
+// ---------------------------------------------------------------------------
+// CASE expressions
+// ---------------------------------------------------------------------------
+
+class CaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<eng::Database>(&disk_);
+    ASSERT_TRUE(db_->Open().ok());
+    sid_ = *db_->CreateSession("t");
+  }
+
+  eng::StatementResult Exec(const std::string& sql) {
+    auto r = db_->ExecuteScript(sid_, sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    if (!r.ok()) return eng::StatementResult{};
+    return std::move(r->back());
+  }
+
+  storage::SimDisk disk_;
+  std::unique_ptr<eng::Database> db_;
+  uint64_t sid_ = 0;
+};
+
+TEST_F(CaseTest, SearchedCase) {
+  eng::StatementResult r = Exec(
+      "SELECT CASE WHEN 1 > 2 THEN 'no' WHEN 2 > 1 THEN 'yes' "
+      "ELSE 'never' END AS X");
+  EXPECT_EQ(r.rows[0][0].AsString(), "yes");
+}
+
+TEST_F(CaseTest, SimpleCaseWithOperand) {
+  eng::StatementResult r =
+      Exec("SELECT CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END AS X");
+  EXPECT_EQ(r.rows[0][0].AsString(), "two");
+}
+
+TEST_F(CaseTest, NoMatchNoElseIsNull) {
+  eng::StatementResult r = Exec("SELECT CASE WHEN FALSE THEN 1 END AS X");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(CaseTest, NullOperandMatchesNothing) {
+  eng::StatementResult r =
+      Exec("SELECT CASE NULL WHEN NULL THEN 'eq' ELSE 'no' END AS X");
+  EXPECT_EQ(r.rows[0][0].AsString(), "no");  // NULL = NULL is not a match
+}
+
+TEST_F(CaseTest, CaseInsideAggregate) {
+  Exec("CREATE TABLE S (GRP VARCHAR, AMT INTEGER)");
+  Exec("INSERT INTO S VALUES ('a', 10), ('b', 20), ('a', 5), ('b', 1)");
+  eng::StatementResult r = Exec(
+      "SELECT SUM(CASE WHEN GRP = 'a' THEN AMT ELSE 0 END) AS A_SUM, "
+      "SUM(AMT) AS TOTAL FROM S");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 15);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 36);
+}
+
+TEST_F(CaseTest, CaseInWhereAndOrderBy) {
+  Exec("CREATE TABLE S (NAME VARCHAR, RANK INTEGER)");
+  Exec("INSERT INTO S VALUES ('x', 3), ('y', 1), ('z', 2)");
+  eng::StatementResult r = Exec(
+      "SELECT NAME FROM S WHERE CASE WHEN RANK > 1 THEN TRUE ELSE FALSE END "
+      "ORDER BY CASE NAME WHEN 'z' THEN 0 ELSE 1 END, NAME");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "z");
+  EXPECT_EQ(r.rows[1][0].AsString(), "x");
+}
+
+TEST_F(CaseTest, ToSqlRoundTrip) {
+  const char* sql =
+      "SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' ELSE 'z' END AS c "
+      "FROM t";
+  auto first = sql::Parser::ParseStatement(sql);
+  ASSERT_TRUE(first.ok());
+  auto second = sql::Parser::ParseStatement((*first)->ToSql());
+  ASSERT_TRUE(second.ok()) << (*first)->ToSql();
+  EXPECT_EQ((*first)->ToSql(), (*second)->ToSql());
+}
+
+TEST_F(CaseTest, CaseRequiresWhen) {
+  EXPECT_FALSE(sql::Parser::ParseStatement("SELECT CASE END").ok());
+  EXPECT_FALSE(sql::Parser::ParseStatement("SELECT CASE WHEN 1 END").ok());
+}
+
+}  // namespace
+}  // namespace phoenix

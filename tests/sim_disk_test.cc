@@ -1,0 +1,96 @@
+// SimDisk durability semantics: the crash model everything else rests on.
+
+#include "storage/sim_disk.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::storage {
+namespace {
+
+TEST(SimDisk, AppendThenReadSeesBufferedBytes) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "hello").ok());
+  auto r = disk.Read("f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST(SimDisk, UnsyncedBytesDieInCrash) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "durable").ok());
+  ASSERT_TRUE(disk.Sync("f").ok());
+  ASSERT_TRUE(disk.Append("f", "+volatile").ok());
+  disk.Crash();
+  EXPECT_EQ(*disk.Read("f"), "durable");
+}
+
+TEST(SimDisk, ReadDurableIgnoresTail) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "abc").ok());
+  ASSERT_TRUE(disk.Sync("f").ok());
+  ASSERT_TRUE(disk.Append("f", "def").ok());
+  EXPECT_EQ(*disk.Read("f"), "abcdef");
+  EXPECT_EQ(*disk.ReadDurable("f"), "abc");
+}
+
+TEST(SimDisk, SyncOfMissingFileFails) {
+  SimDisk disk;
+  EXPECT_EQ(disk.Sync("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(SimDisk, WriteAtomicReplacesDurably) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "old").ok());
+  ASSERT_TRUE(disk.Sync("f").ok());
+  ASSERT_TRUE(disk.WriteAtomic("f", "new-content").ok());
+  disk.Crash();
+  EXPECT_EQ(*disk.Read("f"), "new-content");
+}
+
+TEST(SimDisk, PartialFlushKeepsPrefix) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "0123456789").ok());
+  disk.CrashWithPartialFlush(0.5);
+  EXPECT_EQ(*disk.Read("f"), "01234");
+}
+
+TEST(SimDisk, PartialFlushFractionClamped) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "abcd").ok());
+  disk.CrashWithPartialFlush(7.0);
+  EXPECT_EQ(*disk.Read("f"), "abcd");
+  ASSERT_TRUE(disk.Append("g", "abcd").ok());
+  disk.CrashWithPartialFlush(-1.0);
+  EXPECT_EQ(*disk.Read("g"), "");
+}
+
+TEST(SimDisk, DeleteAndList) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("a", "1").ok());
+  ASSERT_TRUE(disk.Append("b", "2").ok());
+  EXPECT_EQ(disk.List().size(), 2u);
+  ASSERT_TRUE(disk.Delete("a").ok());
+  EXPECT_FALSE(disk.Exists("a"));
+  EXPECT_EQ(disk.Delete("a").code(), StatusCode::kNotFound);
+}
+
+TEST(SimDisk, StatsAccumulate) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "12345").ok());
+  ASSERT_TRUE(disk.Sync("f").ok());
+  ASSERT_TRUE(disk.WriteAtomic("g", "123").ok());
+  EXPECT_EQ(disk.bytes_written(), 8u);
+  EXPECT_EQ(disk.sync_count(), 2u);
+}
+
+TEST(SimDisk, CrashIsIdempotent) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Append("f", "x").ok());
+  ASSERT_TRUE(disk.Sync("f").ok());
+  disk.Crash();
+  disk.Crash();
+  EXPECT_EQ(*disk.Read("f"), "x");
+}
+
+}  // namespace
+}  // namespace phoenix::storage

@@ -1,0 +1,225 @@
+// TPC-H-lite workload: population invariants, query plausibility, refresh
+// functions, native-vs-Phoenix result equality, and crash-under-workload.
+
+#include "tpch/dbgen.h"
+
+#include "core/phoenix_driver_manager.h"
+#include "test_util.h"
+#include "tpch/power_test.h"
+#include "tpch/queries.h"
+#include "tpch/refresh.h"
+#include "tpch/schema.h"
+#include "sql/parser.h"
+
+namespace phoenix::tpch {
+namespace {
+
+using core::PhoenixDriverManager;
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Henv;
+using odbc::SqlReturn;
+using testutil::MustQuery;
+using testutil::TestCluster;
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static constexpr double kSf = 0.5;
+
+  void SetUp() override {
+    dm_ = std::make_unique<DriverManager>(&cluster_.network);
+    env_ = dm_->AllocEnv();
+    dbc_ = dm_->AllocConnect(env_);
+    ASSERT_EQ(dm_->Connect(dbc_, "testdb", "loader"), SqlReturn::kSuccess);
+    scale_.sf = kSf;
+    auto st = Populate(dm_.get(), dbc_, scale_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  int64_t Rows(const std::string& table) {
+    auto r = CountRows(dm_.get(), dbc_, table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : -1;
+  }
+
+  TestCluster cluster_;
+  TpchScale scale_;
+  std::unique_ptr<DriverManager> dm_;
+  Henv* env_ = nullptr;
+  Hdbc* dbc_ = nullptr;
+};
+
+TEST_F(TpchTest, PopulationMatchesScale) {
+  EXPECT_EQ(Rows("REGION"), scale_.regions());
+  EXPECT_EQ(Rows("NATION"), scale_.nations());
+  EXPECT_EQ(Rows("SUPPLIER"), scale_.suppliers());
+  EXPECT_EQ(Rows("PART"), scale_.parts());
+  EXPECT_EQ(Rows("PARTSUPP"), scale_.parts() * scale_.suppliers_per_part());
+  EXPECT_EQ(Rows("CUSTOMER"), scale_.customers());
+  EXPECT_EQ(Rows("ORDERS"), scale_.total_orders());
+  int64_t lineitems = Rows("LINEITEM");
+  int64_t orders = Rows("ORDERS");
+  EXPECT_GE(lineitems, orders);       // ≥1 item per order
+  EXPECT_LE(lineitems, orders * 7);   // ≤7 items per order
+  EXPECT_EQ(Rows("ORDERS_RF"), scale_.refresh_orders());
+}
+
+TEST_F(TpchTest, PopulationIsDeterministic) {
+  TestCluster other;
+  DriverManager dm2(&other.network);
+  Hdbc* dbc2 = dm2.AllocConnect(dm2.AllocEnv());
+  ASSERT_EQ(dm2.Connect(dbc2, "testdb", "loader2"), SqlReturn::kSuccess);
+  ASSERT_TRUE(Populate(&dm2, dbc2, scale_).ok());
+  const char* probe =
+      "SELECT SUM(L_EXTENDEDPRICE) AS S, COUNT(*) AS N FROM LINEITEM";
+  auto a = MustQuery(dm_.get(), dbc_, probe);
+  auto b = MustQuery(&dm2, dbc2, probe);
+  EXPECT_EQ(a[0][0].Compare(b[0][0]), 0);
+  EXPECT_EQ(a[0][1].Compare(b[0][1]), 0);
+}
+
+TEST_F(TpchTest, EveryQueryInSuiteRuns) {
+  for (const QueryDef& q : QuerySuite()) {
+    auto rows = MustQuery(dm_.get(), dbc_, q.sql);
+    if (q.id == "Q6" || q.id == "Q14") {
+      EXPECT_EQ(rows.size(), 1u) << q.id;  // single-aggregate queries
+    } else {
+      EXPECT_FALSE(rows.empty()) << q.id << " returned nothing";
+    }
+  }
+}
+
+TEST_F(TpchTest, Q1ShapesAreSane) {
+  const QueryDef& q1 = GetQuery("Q1");
+  auto rows = MustQuery(dm_.get(), dbc_, q1.sql);
+  // At most 4 (returnflag, linestatus) combinations: (A,F),(N,F),(N,O),(R,F).
+  EXPECT_LE(rows.size(), 4u);
+  EXPECT_GE(rows.size(), 3u);
+  for (const Row& r : rows) {
+    EXPECT_GT(r[2].AsDouble(), 0);             // SUM_QTY positive
+    EXPECT_GE(r[5].AsDouble(), r[4].AsDouble());  // charge >= disc price
+    EXPECT_GT(r[9].AsInt64(), 0);              // COUNT positive
+  }
+}
+
+TEST_F(TpchTest, Q3RespectsLimitAndOrdering) {
+  auto rows = MustQuery(dm_.get(), dbc_, GetQuery("Q3").sql);
+  ASSERT_LE(rows.size(), 10u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1][1].AsDouble(), rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(TpchTest, Q11OrderedByValueDesc) {
+  auto rows = MustQuery(dm_.get(), dbc_, GetQuery("Q11").sql);
+  ASSERT_FALSE(rows.empty());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1][1].AsDouble(), rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(TpchTest, RefreshFunctionsInverse) {
+  int64_t orders_before = Rows("ORDERS");
+  int64_t items_before = Rows("LINEITEM");
+  auto rf1 = RunRF1(dm_.get(), dbc_, scale_);
+  ASSERT_TRUE(rf1.ok()) << rf1.status().ToString();
+  EXPECT_EQ(Rows("ORDERS"), orders_before + scale_.refresh_orders());
+  EXPECT_GT(Rows("LINEITEM"), items_before);
+  auto rf2 = RunRF2(dm_.get(), dbc_, scale_);
+  ASSERT_TRUE(rf2.ok()) << rf2.status().ToString();
+  EXPECT_EQ(*rf1, *rf2);  // RF2 removes exactly what RF1 added
+  EXPECT_EQ(Rows("ORDERS"), orders_before);
+  EXPECT_EQ(Rows("LINEITEM"), items_before);
+}
+
+TEST_F(TpchTest, RefreshFunctionsRepeatable) {
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(RunRF1(dm_.get(), dbc_, scale_).ok());
+    ASSERT_TRUE(RunRF2(dm_.get(), dbc_, scale_).ok());
+  }
+  EXPECT_EQ(Rows("ORDERS"), scale_.total_orders());
+}
+
+TEST_F(TpchTest, PowerPassProducesTimings) {
+  auto pass = RunPowerPass(dm_.get(), dbc_, scale_);
+  ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+  EXPECT_EQ(pass->seconds.size(), QuerySuite().size() + 2);  // +RF1 +RF2
+  EXPECT_GT(pass->query_total, 0.0);
+  EXPECT_GT(pass->update_total, 0.0);
+  EXPECT_GT(pass->counts.at("RF1"), 0);
+}
+
+TEST_F(TpchTest, PhoenixReturnsIdenticalQueryResults) {
+  PhoenixDriverManager phoenix(&cluster_.network);
+  Hdbc* pdbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(pdbc, "testdb", "phx"), SqlReturn::kSuccess);
+  for (const QueryDef& q : QuerySuite()) {
+    auto native_rows = MustQuery(dm_.get(), dbc_, q.sql);
+    auto phoenix_rows = MustQuery(&phoenix, pdbc, q.sql);
+    ASSERT_EQ(native_rows.size(), phoenix_rows.size()) << q.id;
+    for (size_t i = 0; i < native_rows.size(); ++i) {
+      for (size_t j = 0; j < native_rows[i].size(); ++j) {
+        ASSERT_EQ(native_rows[i][j].Compare(phoenix_rows[i][j]), 0)
+            << q.id << " row " << i << " col " << j;
+      }
+    }
+  }
+  phoenix.Disconnect(pdbc);
+}
+
+TEST_F(TpchTest, PhoenixSurvivesCrashMidQ11Delivery) {
+  // The paper's recovery experiment: run Q11, fetch until near the end,
+  // crash the server, keep fetching.
+  PhoenixDriverManager phoenix(&cluster_.network,
+                               testutil::AutoRestartConfig(&cluster_.server));
+  Hdbc* pdbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(pdbc, "testdb", "phx"), SqlReturn::kSuccess);
+
+  auto expected = MustQuery(dm_.get(), dbc_, GetQuery("Q11").sql);
+  ASSERT_GT(expected.size(), 5u);
+
+  odbc::Hstmt* stmt = phoenix.AllocStmt(pdbc);
+  phoenix.SetStmtAttr(stmt, odbc::StmtAttr::kBlockSize, 2);
+  ASSERT_EQ(phoenix.ExecDirect(stmt, GetQuery("Q11").sql),
+            SqlReturn::kSuccess);
+  std::vector<Row> got;
+  size_t crash_at = expected.size() - 3;
+  while (got.size() < crash_at) {
+    ASSERT_EQ(phoenix.Fetch(stmt), SqlReturn::kSuccess);
+    Row row;
+    for (size_t c = 0; c < 2; ++c) {
+      Value v;
+      phoenix.GetData(stmt, c, &v);
+      row.push_back(v);
+    }
+    got.push_back(std::move(row));
+  }
+  cluster_.server.Crash();
+  while (phoenix.Fetch(stmt) == SqlReturn::kSuccess) {
+    Row row;
+    for (size_t c = 0; c < 2; ++c) {
+      Value v;
+      phoenix.GetData(stmt, c, &v);
+      row.push_back(v);
+    }
+    got.push_back(std::move(row));
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      ASSERT_EQ(got[i][j].Compare(expected[i][j]), 0) << "row " << i;
+    }
+  }
+  EXPECT_EQ(phoenix.stats().recoveries, 1u);
+  phoenix.Disconnect(pdbc);
+}
+
+TEST_F(TpchTest, SchemaDdlAllParses) {
+  for (const std::string& ddl : SchemaDdl()) {
+    EXPECT_TRUE(sql::Parser::ParseStatement(ddl).ok()) << ddl;
+  }
+  EXPECT_EQ(TableNames().size(), 10u);
+}
+
+}  // namespace
+}  // namespace phoenix::tpch

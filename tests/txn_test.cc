@@ -1,0 +1,187 @@
+// Transaction semantics: explicit BEGIN/COMMIT/ROLLBACK, statement-level
+// atomicity, DDL undo, temp-object undo.
+
+#include "engine/database.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::eng {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&disk_);
+    ASSERT_TRUE(db_->Open().ok());
+    sid_ = *db_->CreateSession("t");
+    Exec("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  }
+
+  StatementResult Exec(const std::string& sql) {
+    auto r = db_->ExecuteScript(sid_, sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    if (!r.ok()) return StatementResult{};
+    return std::move(r->back());
+  }
+
+  Status TryExec(const std::string& sql) {
+    return db_->ExecuteScript(sid_, sql).status();
+  }
+
+  int64_t Count() {
+    return Exec("SELECT COUNT(*) AS N FROM T").rows[0][0].AsInt64();
+  }
+
+  storage::SimDisk disk_;
+  std::unique_ptr<Database> db_;
+  uint64_t sid_ = 0;
+};
+
+TEST_F(TxnTest, CommitMakesChangesVisible) {
+  Exec("BEGIN TRANSACTION");
+  Exec("INSERT INTO T VALUES (1, 10)");
+  Exec("INSERT INTO T VALUES (2, 20)");
+  Exec("COMMIT");
+  EXPECT_EQ(Count(), 2);
+}
+
+TEST_F(TxnTest, RollbackUndoesEverything) {
+  Exec("INSERT INTO T VALUES (1, 10)");
+  Exec("BEGIN TRANSACTION");
+  Exec("INSERT INTO T VALUES (2, 20)");
+  Exec("UPDATE T SET V = 99 WHERE K = 1");
+  Exec("DELETE FROM T WHERE K = 1");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Count(), 1);
+  EXPECT_EQ(Exec("SELECT V FROM T WHERE K = 1").rows[0][0].AsInt64(), 10);
+}
+
+TEST_F(TxnTest, RollbackRestoresUpdatesInReverseOrder) {
+  Exec("INSERT INTO T VALUES (1, 10)");
+  Exec("BEGIN");
+  Exec("UPDATE T SET V = 11 WHERE K = 1");
+  Exec("UPDATE T SET V = 12 WHERE K = 1");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Exec("SELECT V FROM T WHERE K = 1").rows[0][0].AsInt64(), 10);
+}
+
+TEST_F(TxnTest, NestedBeginRejected) {
+  Exec("BEGIN");
+  EXPECT_EQ(TryExec("BEGIN").code(), StatusCode::kSqlError);
+  Exec("ROLLBACK");
+}
+
+TEST_F(TxnTest, CommitWithoutBeginRejected) {
+  EXPECT_EQ(TryExec("COMMIT").code(), StatusCode::kSqlError);
+  EXPECT_EQ(TryExec("ROLLBACK").code(), StatusCode::kSqlError);
+}
+
+TEST_F(TxnTest, FailedStatementInsideTxnRollsBackOnlyItself) {
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (1, 10)");
+  // This statement fails mid-way (third row collides with the first).
+  Status st = TryExec("INSERT INTO T VALUES (2, 20), (3, 30), (1, 0)");
+  EXPECT_EQ(st.code(), StatusCode::kConstraint);
+  // The transaction is still alive and holds only the first insert.
+  Exec("INSERT INTO T VALUES (4, 40)");
+  Exec("COMMIT");
+  EXPECT_EQ(Count(), 2);
+  EXPECT_TRUE(Exec("SELECT * FROM T WHERE K = 2").rows.empty());
+}
+
+TEST_F(TxnTest, DdlIsTransactional) {
+  Exec("BEGIN");
+  Exec("CREATE TABLE T2 (A INTEGER)");
+  Exec("INSERT INTO T2 VALUES (1)");
+  Exec("ROLLBACK");
+  EXPECT_EQ(TryExec("SELECT * FROM T2").code(), StatusCode::kSqlError);
+}
+
+TEST_F(TxnTest, DropTableRollbackRestoresContents) {
+  Exec("INSERT INTO T VALUES (1, 10), (2, 20)");
+  Exec("BEGIN");
+  Exec("DROP TABLE T");
+  EXPECT_EQ(TryExec("SELECT * FROM T").code(), StatusCode::kSqlError);
+  Exec("ROLLBACK");
+  EXPECT_EQ(Count(), 2);
+  // PK index must be restored too.
+  EXPECT_EQ(TryExec("INSERT INTO T VALUES (1, 0)").code(),
+            StatusCode::kConstraint);
+}
+
+TEST_F(TxnTest, TempProcCreateRollsBack) {
+  Exec("BEGIN");
+  Exec("CREATE TEMPORARY PROCEDURE TP AS SELECT 1");
+  Exec("ROLLBACK");
+  EXPECT_EQ(TryExec("EXEC TP").code(), StatusCode::kNotFound);
+}
+
+TEST_F(TxnTest, TempProcDropRollsBack) {
+  Exec("CREATE TEMPORARY PROCEDURE TP AS SELECT 7 AS X");
+  Exec("BEGIN");
+  Exec("DROP PROCEDURE TP");
+  Exec("ROLLBACK");
+  StatementResult r = Exec("EXEC TP");
+  ASSERT_TRUE(r.has_rows);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 7);
+}
+
+TEST_F(TxnTest, PersistentProcIsTransactional) {
+  Exec("BEGIN");
+  Exec("CREATE PROCEDURE PP AS SELECT 1 AS X");
+  Exec("ROLLBACK");
+  EXPECT_EQ(TryExec("EXEC PP").code(), StatusCode::kNotFound);
+}
+
+TEST_F(TxnTest, SessionCloseRollsBackOpenTxn) {
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (1, 10)");
+  ASSERT_TRUE(db_->CloseSession(sid_).ok());
+  sid_ = *db_->CreateSession("t2");
+  EXPECT_EQ(Count(), 0);
+}
+
+TEST_F(TxnTest, TwoSessionsInterleave) {
+  uint64_t other = *db_->CreateSession("other");
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (1, 10)");
+  // The other session inserts and commits independently (autocommit).
+  ASSERT_TRUE(db_->ExecuteScript(other, "INSERT INTO T VALUES (2, 20)").ok());
+  Exec("ROLLBACK");
+  EXPECT_EQ(Count(), 1);
+  EXPECT_EQ(Exec("SELECT K FROM T").rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(TxnTest, CheckpointBlockedDuringActiveTxn) {
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (1, 10)");
+  EXPECT_EQ(db_->Checkpoint().code(), StatusCode::kInvalidArgument);
+  Exec("COMMIT");
+  EXPECT_TRUE(db_->Checkpoint().ok());
+}
+
+TEST_F(TxnTest, AutoCheckpointAfterNCommits) {
+  storage::SimDisk disk;
+  DatabaseOptions opts;
+  opts.checkpoint_every_n_commits = 3;
+  Database db(&disk, opts);
+  ASSERT_TRUE(db.Open().ok());
+  uint64_t sid = *db.CreateSession("x");
+  ASSERT_TRUE(db.ExecuteScript(sid, "CREATE TABLE C (A INTEGER)").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.ExecuteScript(sid, "INSERT INTO C VALUES (1)").ok());
+  }
+  // At least one checkpoint happened: the WAL was truncated at some point.
+  EXPECT_TRUE(disk.Exists("phxdb.ckpt"));
+}
+
+TEST_F(TxnTest, EmptyTxnCommitWritesNothing) {
+  uint64_t syncs = disk_.sync_count();
+  Exec("BEGIN");
+  Exec("SELECT * FROM T");
+  Exec("COMMIT");
+  EXPECT_EQ(disk_.sync_count(), syncs);  // read-only txn forces no WAL
+}
+
+}  // namespace
+}  // namespace phoenix::eng
