@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_ablation.dir/bench_checkpoint_ablation.cc.o"
+  "CMakeFiles/bench_checkpoint_ablation.dir/bench_checkpoint_ablation.cc.o.d"
+  "bench_checkpoint_ablation"
+  "bench_checkpoint_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

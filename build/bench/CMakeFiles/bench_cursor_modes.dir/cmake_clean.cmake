@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cursor_modes.dir/bench_cursor_modes.cc.o"
+  "CMakeFiles/bench_cursor_modes.dir/bench_cursor_modes.cc.o.d"
+  "bench_cursor_modes"
+  "bench_cursor_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cursor_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materialize_ablation.dir/bench_materialize_ablation.cc.o"
+  "CMakeFiles/bench_materialize_ablation.dir/bench_materialize_ablation.cc.o.d"
+  "bench_materialize_ablation"
+  "bench_materialize_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materialize_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_vs_recompute.dir/bench_recovery_vs_recompute.cc.o"
+  "CMakeFiles/bench_recovery_vs_recompute.dir/bench_recovery_vs_recompute.cc.o.d"
+  "bench_recovery_vs_recompute"
+  "bench_recovery_vs_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

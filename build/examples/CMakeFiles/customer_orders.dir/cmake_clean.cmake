@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_orders.dir/customer_orders.cpp.o"
+  "CMakeFiles/customer_orders.dir/customer_orders.cpp.o.d"
+  "customer_orders"
+  "customer_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_report.dir/resilient_report.cpp.o"
+  "CMakeFiles/resilient_report.dir/resilient_report.cpp.o.d"
+  "resilient_report"
+  "resilient_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_common.dir/common/codec.cc.o"
+  "CMakeFiles/phx_common.dir/common/codec.cc.o.d"
+  "CMakeFiles/phx_common.dir/common/rng.cc.o"
+  "CMakeFiles/phx_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/phx_common.dir/common/schema.cc.o"
+  "CMakeFiles/phx_common.dir/common/schema.cc.o.d"
+  "CMakeFiles/phx_common.dir/common/status.cc.o"
+  "CMakeFiles/phx_common.dir/common/status.cc.o.d"
+  "CMakeFiles/phx_common.dir/common/value.cc.o"
+  "CMakeFiles/phx_common.dir/common/value.cc.o.d"
+  "libphx_common.a"
+  "libphx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

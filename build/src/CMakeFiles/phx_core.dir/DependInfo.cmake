@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/CMakeFiles/phx_core.dir/core/classifier.cc.o" "gcc" "src/CMakeFiles/phx_core.dir/core/classifier.cc.o.d"
+  "/root/repo/src/core/phoenix_driver_manager.cc" "src/CMakeFiles/phx_core.dir/core/phoenix_driver_manager.cc.o" "gcc" "src/CMakeFiles/phx_core.dir/core/phoenix_driver_manager.cc.o.d"
+  "/root/repo/src/core/recovery_manager.cc" "src/CMakeFiles/phx_core.dir/core/recovery_manager.cc.o" "gcc" "src/CMakeFiles/phx_core.dir/core/recovery_manager.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "src/CMakeFiles/phx_core.dir/core/rewriter.cc.o" "gcc" "src/CMakeFiles/phx_core.dir/core/rewriter.cc.o.d"
+  "/root/repo/src/core/state_store.cc" "src/CMakeFiles/phx_core.dir/core/state_store.cc.o" "gcc" "src/CMakeFiles/phx_core.dir/core/state_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phx_odbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_core.dir/core/classifier.cc.o"
+  "CMakeFiles/phx_core.dir/core/classifier.cc.o.d"
+  "CMakeFiles/phx_core.dir/core/phoenix_driver_manager.cc.o"
+  "CMakeFiles/phx_core.dir/core/phoenix_driver_manager.cc.o.d"
+  "CMakeFiles/phx_core.dir/core/recovery_manager.cc.o"
+  "CMakeFiles/phx_core.dir/core/recovery_manager.cc.o.d"
+  "CMakeFiles/phx_core.dir/core/rewriter.cc.o"
+  "CMakeFiles/phx_core.dir/core/rewriter.cc.o.d"
+  "CMakeFiles/phx_core.dir/core/state_store.cc.o"
+  "CMakeFiles/phx_core.dir/core/state_store.cc.o.d"
+  "libphx_core.a"
+  "libphx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/phx_engine.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/cursor.cc" "src/CMakeFiles/phx_engine.dir/engine/cursor.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/cursor.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/phx_engine.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/phx_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/expression.cc" "src/CMakeFiles/phx_engine.dir/engine/expression.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/expression.cc.o.d"
+  "/root/repo/src/engine/transaction.cc" "src/CMakeFiles/phx_engine.dir/engine/transaction.cc.o" "gcc" "src/CMakeFiles/phx_engine.dir/engine/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

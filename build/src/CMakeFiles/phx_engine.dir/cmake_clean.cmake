@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_engine.dir/engine/catalog.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/catalog.cc.o.d"
+  "CMakeFiles/phx_engine.dir/engine/cursor.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/cursor.cc.o.d"
+  "CMakeFiles/phx_engine.dir/engine/database.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/phx_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/phx_engine.dir/engine/expression.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/expression.cc.o.d"
+  "CMakeFiles/phx_engine.dir/engine/transaction.cc.o"
+  "CMakeFiles/phx_engine.dir/engine/transaction.cc.o.d"
+  "libphx_engine.a"
+  "libphx_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

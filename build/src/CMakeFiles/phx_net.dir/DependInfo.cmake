@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/phx_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/phx_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/db_server.cc" "src/CMakeFiles/phx_net.dir/net/db_server.cc.o" "gcc" "src/CMakeFiles/phx_net.dir/net/db_server.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/CMakeFiles/phx_net.dir/net/protocol.cc.o" "gcc" "src/CMakeFiles/phx_net.dir/net/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phx_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

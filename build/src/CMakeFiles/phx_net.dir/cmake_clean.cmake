@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_net.dir/net/channel.cc.o"
+  "CMakeFiles/phx_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/phx_net.dir/net/db_server.cc.o"
+  "CMakeFiles/phx_net.dir/net/db_server.cc.o.d"
+  "CMakeFiles/phx_net.dir/net/protocol.cc.o"
+  "CMakeFiles/phx_net.dir/net/protocol.cc.o.d"
+  "libphx_net.a"
+  "libphx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

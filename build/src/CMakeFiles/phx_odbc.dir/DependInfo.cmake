@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odbc/driver.cc" "src/CMakeFiles/phx_odbc.dir/odbc/driver.cc.o" "gcc" "src/CMakeFiles/phx_odbc.dir/odbc/driver.cc.o.d"
+  "/root/repo/src/odbc/driver_manager.cc" "src/CMakeFiles/phx_odbc.dir/odbc/driver_manager.cc.o" "gcc" "src/CMakeFiles/phx_odbc.dir/odbc/driver_manager.cc.o.d"
+  "/root/repo/src/odbc/odbc_api.cc" "src/CMakeFiles/phx_odbc.dir/odbc/odbc_api.cc.o" "gcc" "src/CMakeFiles/phx_odbc.dir/odbc/odbc_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_odbc.dir/odbc/driver.cc.o"
+  "CMakeFiles/phx_odbc.dir/odbc/driver.cc.o.d"
+  "CMakeFiles/phx_odbc.dir/odbc/driver_manager.cc.o"
+  "CMakeFiles/phx_odbc.dir/odbc/driver_manager.cc.o.d"
+  "CMakeFiles/phx_odbc.dir/odbc/odbc_api.cc.o"
+  "CMakeFiles/phx_odbc.dir/odbc/odbc_api.cc.o.d"
+  "libphx_odbc.a"
+  "libphx_odbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_odbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/phx_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/phx_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/phx_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/phx_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/phx_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/phx_sql.dir/sql/token.cc.o"
+  "CMakeFiles/phx_sql.dir/sql/token.cc.o.d"
+  "libphx_sql.a"
+  "libphx_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

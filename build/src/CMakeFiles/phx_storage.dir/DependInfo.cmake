@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/recovery.cc" "src/CMakeFiles/phx_storage.dir/storage/recovery.cc.o" "gcc" "src/CMakeFiles/phx_storage.dir/storage/recovery.cc.o.d"
+  "/root/repo/src/storage/sim_disk.cc" "src/CMakeFiles/phx_storage.dir/storage/sim_disk.cc.o" "gcc" "src/CMakeFiles/phx_storage.dir/storage/sim_disk.cc.o.d"
+  "/root/repo/src/storage/table_store.cc" "src/CMakeFiles/phx_storage.dir/storage/table_store.cc.o" "gcc" "src/CMakeFiles/phx_storage.dir/storage/table_store.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/phx_storage.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/phx_storage.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_storage.dir/storage/recovery.cc.o"
+  "CMakeFiles/phx_storage.dir/storage/recovery.cc.o.d"
+  "CMakeFiles/phx_storage.dir/storage/sim_disk.cc.o"
+  "CMakeFiles/phx_storage.dir/storage/sim_disk.cc.o.d"
+  "CMakeFiles/phx_storage.dir/storage/table_store.cc.o"
+  "CMakeFiles/phx_storage.dir/storage/table_store.cc.o.d"
+  "CMakeFiles/phx_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/phx_storage.dir/storage/wal.cc.o.d"
+  "libphx_storage.a"
+  "libphx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

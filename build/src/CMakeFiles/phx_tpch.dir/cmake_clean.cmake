@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phx_tpch.dir/tpch/dbgen.cc.o"
+  "CMakeFiles/phx_tpch.dir/tpch/dbgen.cc.o.d"
+  "CMakeFiles/phx_tpch.dir/tpch/power_test.cc.o"
+  "CMakeFiles/phx_tpch.dir/tpch/power_test.cc.o.d"
+  "CMakeFiles/phx_tpch.dir/tpch/queries.cc.o"
+  "CMakeFiles/phx_tpch.dir/tpch/queries.cc.o.d"
+  "CMakeFiles/phx_tpch.dir/tpch/refresh.cc.o"
+  "CMakeFiles/phx_tpch.dir/tpch/refresh.cc.o.d"
+  "CMakeFiles/phx_tpch.dir/tpch/schema.cc.o"
+  "CMakeFiles/phx_tpch.dir/tpch/schema.cc.o.d"
+  "libphx_tpch.a"
+  "libphx_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phx_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

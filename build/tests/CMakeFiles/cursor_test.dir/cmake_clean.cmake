@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursor_test.dir/cursor_test.cc.o"
+  "CMakeFiles/cursor_test.dir/cursor_test.cc.o.d"
+  "cursor_test"
+  "cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

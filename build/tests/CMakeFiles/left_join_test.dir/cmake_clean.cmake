@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_join_test.dir/left_join_test.cc.o"
+  "CMakeFiles/left_join_test.dir/left_join_test.cc.o.d"
+  "left_join_test"
+  "left_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

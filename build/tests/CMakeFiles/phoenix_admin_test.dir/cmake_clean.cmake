@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_admin_test.dir/phoenix_admin_test.cc.o"
+  "CMakeFiles/phoenix_admin_test.dir/phoenix_admin_test.cc.o.d"
+  "phoenix_admin_test"
+  "phoenix_admin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_basic_test.dir/phoenix_basic_test.cc.o"
+  "CMakeFiles/phoenix_basic_test.dir/phoenix_basic_test.cc.o.d"
+  "phoenix_basic_test"
+  "phoenix_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_recovery_test.dir/phoenix_recovery_test.cc.o"
+  "CMakeFiles/phoenix_recovery_test.dir/phoenix_recovery_test.cc.o.d"
+  "phoenix_recovery_test"
+  "phoenix_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_and_multiclient_test.dir/seek_and_multiclient_test.cc.o"
+  "CMakeFiles/seek_and_multiclient_test.dir/seek_and_multiclient_test.cc.o.d"
+  "seek_and_multiclient_test"
+  "seek_and_multiclient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_and_multiclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_recovery_test.dir/storage_recovery_test.cc.o"
+  "CMakeFiles/storage_recovery_test.dir/storage_recovery_test.cc.o.d"
+  "storage_recovery_test"
+  "storage_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
