@@ -77,5 +77,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_checkpoint_ablation");
   return 0;
 }

@@ -127,5 +127,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_cursor_modes");
   return 0;
 }

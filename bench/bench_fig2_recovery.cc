@@ -186,5 +186,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_fig2_recovery");
   return 0;
 }

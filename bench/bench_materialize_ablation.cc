@@ -94,5 +94,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_materialize_ablation");
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "benchmark/benchmark.h"
 
+#include "bench_util.h"
+
 #include "engine/database.h"
 #include "net/protocol.h"
 #include "sql/parser.h"
@@ -149,4 +151,11 @@ BENCHMARK(BM_WireCodecRow);
 }  // namespace
 }  // namespace phoenix
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  phoenix::bench::DumpMetrics("bench_micro_engine");
+  return 0;
+}

@@ -93,5 +93,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_overhead_sweep");
   return 0;
 }

@@ -98,5 +98,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_recovery_vs_recompute");
   return 0;
 }

@@ -97,5 +97,6 @@ void Main() {
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::DumpMetrics("bench_table1_power");
   return 0;
 }

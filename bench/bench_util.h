@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "core/phoenix_driver_manager.h"
+#include "obs/metrics.h"
 #include "net/channel.h"
 #include "net/db_server.h"
 #include "odbc/driver_manager.h"
@@ -84,6 +85,28 @@ inline int64_t MustDrain(odbc::DriverManager* dm, odbc::Hdbc* dbc,
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Dumps the process-wide metrics registry as JSON — to stdout (tagged so
+/// trajectory scrapers can find it) and to "<bench_name>_metrics.json"
+/// alongside the timing output. Call once, at the end of the bench.
+inline void DumpMetrics(const char* bench_name) {
+  // Pre-register the headline counters so every bench snapshot carries them
+  // (as 0 when the run never exercised that path, e.g. no injected crash).
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  for (const char* name :
+       {"storage.wal.syncs", "net.round_trips", "net.bytes_sent",
+        "net.bytes_received", "core.rows_redelivered", "core.recoveries"}) {
+    reg->GetCounter(name);
+  }
+  std::string json = reg->ExportJson();
+  std::printf("\nMETRICS_JSON %s %s\n", bench_name, json.c_str());
+  std::string path = std::string(bench_name) + "_metrics.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
 }
 
 }  // namespace phoenix::bench

@@ -4,6 +4,8 @@
 #include "core/phoenix_driver_manager.h"
 #include "core/rewriter.h"
 #include "core/state_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 // Server-failure detection and two-phase virtual-session recovery — the
 // machinery behind §3 "Server and Session Crash Recovery" of the paper.
@@ -33,12 +35,16 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   if (cs == nullptr) return Status::Internal("recovery on a non-Phoenix dbc");
   if (cs->broken) return Status::CommError("session unrecoverable");
 
+  auto* reg = obs::MetricsRegistry::Default();
+  obs::Tracer::Default()->Emit("core.recovery.start", {{"tag", cs->tag}});
   StopWatch detect_watch;
   // ---- Detection: re-contact the server --------------------------------
   // Ping/reconnect loop. If the server never answers within the budget, the
   // failure is passed to the application (the paper's give-up path).
   std::unique_ptr<DriverConnection> fresh;
   for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
+    ++stats_.reconnect_attempts;
+    reg->GetCounter("core.reconnect_attempts")->Increment();
     auto conn = DriverConnection::Open(network_, cs->dsn, cs->user);
     if (conn.ok()) {
       fresh = conn.take();
@@ -65,10 +71,15 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   if (probe.ok()) {
     fresh->Disconnect();
     ++stats_.transient_retries;
+    reg->GetCounter("core.transient_retries")->Increment();
+    obs::Tracer::Default()->Emit("core.recovery.transient", {{"tag", cs->tag}});
     return RecoveryOutcome::kTransient;
   }
   stats_.last_detect_seconds = detect_watch.ElapsedSeconds();
   ++stats_.recoveries;
+  reg->GetCounter("core.recoveries")->Increment();
+  reg->GetHistogram("core.recovery.detect_us")
+      ->Record(static_cast<uint64_t>(stats_.last_detect_seconds * 1e6));
 
   // ---- Phase 1: re-map the virtual session ------------------------------
   StopWatch vs_watch;
@@ -90,14 +101,20 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   }
   cs->private_conn = priv.take();
   stats_.last_virtual_session_seconds = vs_watch.ElapsedSeconds();
+  reg->GetHistogram("core.recovery.virtual_session_us")
+      ->Record(
+          static_cast<uint64_t>(stats_.last_virtual_session_seconds * 1e6));
 
   // ---- Phase 2: reinstall SQL state --------------------------------------
   StopWatch sql_watch;
   PHX_RETURN_IF_ERROR(ReinstallSqlState(dbc, cs));
   stats_.last_sql_state_seconds = sql_watch.ElapsedSeconds();
+  reg->GetHistogram("core.recovery.sql_state_us")
+      ->Record(static_cast<uint64_t>(stats_.last_sql_state_seconds * 1e6));
   stats_.total_recovery_seconds += stats_.last_detect_seconds +
                                    stats_.last_virtual_session_seconds +
                                    stats_.last_sql_state_seconds;
+  obs::Tracer::Default()->Emit("core.recovery.done", {{"tag", cs->tag}});
   return RecoveryOutcome::kRemapped;
 }
 
@@ -114,6 +131,9 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
     if (committed) {
       // The in-flight COMMIT made it to disk; only the reply was lost.
       ++stats_.lost_replies_recovered;
+      obs::MetricsRegistry::Default()
+          ->GetCounter("core.lost_reply_resolutions")
+          ->Increment();
       cs->in_txn = false;
       cs->txn_log.clear();
       cs->pending_commit_req = 0;
@@ -125,6 +145,9 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
         PHX_RETURN_IF_ERROR(dbc->driver->ExecScript(sql).status());
       }
       ++stats_.txn_replays;
+      obs::MetricsRegistry::Default()
+          ->GetCounter("core.txn_replays")
+          ->Increment();
     }
   }
 
@@ -133,6 +156,13 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
     Hstmt* stmt = stmt_ptr.get();
     StmtState* vs = stmt_state(stmt);
     if (vs == nullptr) continue;
+    if (vs->kind != StmtState::Kind::kNone) {
+      vs->recovered = true;
+      ++stats_.state_reinstalls;
+      obs::MetricsRegistry::Default()
+          ->GetCounter("core.state_reinstalls")
+          ->Increment();
+    }
     switch (vs->kind) {
       case StmtState::Kind::kMaterialized: {
         uint64_t cursor_id = 0;
@@ -186,6 +216,12 @@ Status PhoenixDriverManager::RepositionCursor(Hdbc* dbc,
     PHX_ASSIGN_OR_RETURN(odbc::FetchResult block,
                          dbc->driver->Fetch(info.cursor_id, want));
     discarded += block.rows.size();
+    // These rows re-crossed the wire only to be thrown away — the very cost
+    // the server-side seek avoids. They count as redelivered.
+    stats_.rows_redelivered += block.rows.size();
+    obs::MetricsRegistry::Default()
+        ->GetCounter("core.rows_redelivered")
+        ->Increment(block.rows.size());
     if (block.done) break;
     if (block.rows.empty()) break;
   }

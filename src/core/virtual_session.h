@@ -49,6 +49,7 @@ struct PhoenixConfig {
 /// Counters and phase timings, exposed for tests and the Figure-2 bench.
 struct PhoenixStats {
   uint64_t recoveries = 0;
+  uint64_t reconnect_attempts = 0;  ///< Ping probes sent while detecting
   uint64_t transient_retries = 0;
   uint64_t materialized_results = 0;
   uint64_t keyset_cursors = 0;
@@ -58,6 +59,8 @@ struct PhoenixStats {
   uint64_t resubmissions = 0;
   uint64_t lost_replies_recovered = 0;
   uint64_t txn_replays = 0;
+  uint64_t state_reinstalls = 0;   ///< statements re-installed by recovery
+  uint64_t rows_redelivered = 0;   ///< rows delivered via a recovered stmt
   /// Phase timings of the most recent recovery (Figure 2's two series).
   double last_detect_seconds = 0;
   double last_virtual_session_seconds = 0;
@@ -88,6 +91,11 @@ struct StmtState {
   Row last_key;                     ///< dynamic: upper bound already fetched
   bool range_started = false;
   std::deque<Row> pending_rows;     ///< dynamic: rows fetched, undelivered
+
+  /// Set when recovery re-installed this statement's SQL state. Rows
+  /// delivered afterwards count as "redelivered" (they reach the app only
+  /// because the virtual session survived the crash).
+  bool recovered = false;
 };
 
 /// Per-connection Phoenix bookkeeping, hung off Hdbc::dm_state. This plus

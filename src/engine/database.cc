@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include "common/codec.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace phoenix::eng {
@@ -68,6 +69,9 @@ Result<std::vector<StatementResult>> Database::ExecuteScript(
 
 Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
                                                    const Statement& stmt) {
+  obs::MetricsRegistry::Default()
+      ->GetCounter("engine.statements_executed")
+      ->Increment();
   Session* s = GetSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
@@ -240,6 +244,15 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
   }
   Cursor* raw = cursor.get();
   s->cursors[raw->id()] = std::move(cursor);
+  auto* reg = obs::MetricsRegistry::Default();
+  const char* kind = type == CursorType::kStatic    ? "static"
+                     : type == CursorType::kKeyset ? "keyset"
+                                                   : "dynamic";
+  reg->GetCounter(std::string("engine.cursor_opens.") + kind)->Increment();
+  if (type == CursorType::kStatic) {
+    reg->GetCounter("engine.rows_materialized")
+        ->Increment(raw->static_rows_.size());
+  }
   return raw;
 }
 
@@ -247,7 +260,13 @@ Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
                                                uint64_t cursor_id, size_t n,
                                                bool* done) {
   PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
-  return c->Fetch(this, GetSession(session_id), n, done);
+  auto res = c->Fetch(this, GetSession(session_id), n, done);
+  if (res.ok()) {
+    obs::MetricsRegistry::Default()
+        ->GetCounter("engine.rows_fetched")
+        ->Increment(res.value().size());
+  }
+  return res;
 }
 
 Status Database::SeekCursor(uint64_t session_id, uint64_t cursor_id,

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace phoenix::net {
 
 void Channel::SimulateWire(size_t bytes) const {
@@ -15,21 +18,54 @@ void Channel::SimulateWire(size_t bytes) const {
   }
 }
 
+namespace {
+
+void TraceOutcome(uint64_t request_id, Request::Kind kind, const char* what) {
+  obs::Tracer::Default()->Emit(
+      what, {{"request_id", std::to_string(request_id)},
+             {"kind", RequestKindName(kind)}});
+}
+
+}  // namespace
+
 Result<Response> Channel::RoundTrip(const Request& request) {
-  ++round_trips_;
+  auto* reg = obs::MetricsRegistry::Default();
+  ++stats_.round_trips;
+  reg->GetCounter("net.round_trips")->Increment();
+  reg->GetCounter(std::string("net.requests.") + RequestKindName(request.kind))
+      ->Increment();
+
+  Request req = request;
+  if (req.request_id == 0) req.request_id = ++next_request_id_;
+  TraceOutcome(req.request_id, req.kind, "net.request");
+  uint64_t start_us = obs::MonotonicNanos() / 1000;
+  auto record_latency = [&] {
+    reg->GetHistogram("net.request_latency_us")
+        ->Record(obs::MonotonicNanos() / 1000 - start_us);
+  };
+
   if (disconnected_) {
+    record_latency();
+    TraceOutcome(req.request_id, req.kind, "net.client_closed");
     return Status::CommError("connection closed by client");
   }
   if (drop_requests_ > 0) {
     --drop_requests_;
+    ++stats_.faults_injected;
+    reg->GetCounter("net.faults.dropped_requests")->Increment();
+    record_latency();
+    TraceOutcome(req.request_id, req.kind, "net.fault.request_dropped");
     return Status::CommError("connection reset (request lost)");
   }
-  std::string wire_request = request.Encode();
-  bytes_sent_ += wire_request.size();
+  std::string wire_request = req.Encode();
+  stats_.bytes_sent += wire_request.size();
+  reg->GetCounter("net.bytes_sent")->Increment(wire_request.size());
   SimulateWire(wire_request.size());
 
   if (!server_->alive()) {
     // The TCP stack notices the peer is gone: error or hang → timeout.
+    record_latency();
+    TraceOutcome(req.request_id, req.kind, "net.server_down");
     return Status::CommError("connection reset by peer (server down)");
   }
   PHX_ASSIGN_OR_RETURN(Request decoded, Request::Decode(wire_request));
@@ -39,10 +75,17 @@ Result<Response> Channel::RoundTrip(const Request& request) {
   if (lose_replies_ > 0) {
     // The server executed the request, but the reply never arrives.
     --lose_replies_;
+    ++stats_.faults_injected;
+    reg->GetCounter("net.faults.lost_replies")->Increment();
+    record_latency();
+    TraceOutcome(req.request_id, req.kind, "net.fault.reply_lost");
     return Status::Timeout("no response from server");
   }
-  bytes_received_ += wire_response.size();
+  stats_.bytes_received += wire_response.size();
+  reg->GetCounter("net.bytes_received")->Increment(wire_response.size());
   SimulateWire(wire_response.size());
+  record_latency();
+  TraceOutcome(req.request_id, req.kind, "net.response");
   return Response::Decode(wire_response);
 }
 

@@ -21,6 +21,16 @@ struct NetworkConfig {
   uint64_t ns_per_byte = 0;
 };
 
+/// Point-in-time traffic counters for one Channel. The same quantities are
+/// also aggregated across all channels into the process-wide
+/// MetricsRegistry under "net.*" (see DESIGN.md §Observability).
+struct ChannelStats {
+  uint64_t round_trips = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t faults_injected = 0;  ///< drops + lost replies actually consumed
+};
+
 /// One client connection to a DbServer. Every request/response crosses this
 /// boundary as *serialized bytes* — the in-process shortcut never leaks
 /// object references — so message counts and sizes are faithful.
@@ -52,9 +62,14 @@ class Channel {
 
   DbServer* server() { return server_; }
 
-  uint64_t round_trips() const { return round_trips_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t bytes_received() const { return bytes_received_; }
+  /// Snapshot of this channel's traffic counters.
+  ChannelStats stats() const { return stats_; }
+
+  /// Deprecated accessors — prefer stats(). Kept as thin forwarders so
+  /// pre-redesign callers compile unchanged.
+  uint64_t round_trips() const { return stats_.round_trips; }
+  uint64_t bytes_sent() const { return stats_.bytes_sent; }
+  uint64_t bytes_received() const { return stats_.bytes_received; }
 
  private:
   void SimulateWire(size_t bytes) const;
@@ -64,9 +79,8 @@ class Channel {
   bool disconnected_ = false;
   int drop_requests_ = 0;
   int lose_replies_ = 0;
-  uint64_t round_trips_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t bytes_received_ = 0;
+  uint64_t next_request_id_ = 0;
+  ChannelStats stats_;
 };
 
 /// Name→server directory, the moral equivalent of DNS + the ODBC DSN list.

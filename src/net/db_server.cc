@@ -1,5 +1,7 @@
 #include "net/db_server.h"
 
+#include "obs/metrics.h"
+
 namespace phoenix::net {
 
 DbServer::DbServer(storage::SimDisk* disk, ServerOptions opts)
@@ -33,11 +35,19 @@ Status DbServer::Restart() {
 }
 
 Response DbServer::Handle(const Request& request) {
-  ++requests_handled_;
+  ++stats_.requests_handled;
+  obs::MetricsRegistry::Default()
+      ->GetCounter("server.requests_handled")
+      ->Increment();
+  Response response;
   if (db_ == nullptr) {
-    return Response::MakeError(Status::CommError("server is down"));
+    ++stats_.requests_rejected_down;
+    response = Response::MakeError(Status::CommError("server is down"));
+  } else {
+    response = Dispatch(request);
   }
-  return Dispatch(request);
+  response.request_id = request.request_id;
+  return response;
 }
 
 Response DbServer::Dispatch(const Request& req) {

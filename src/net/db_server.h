@@ -15,6 +15,13 @@ struct ServerOptions {
   eng::DatabaseOptions db;
 };
 
+/// Point-in-time counters for one DbServer; the same quantities aggregate
+/// into the process-wide MetricsRegistry under "server.*".
+struct ServerStats {
+  uint64_t requests_handled = 0;
+  uint64_t requests_rejected_down = 0;  ///< arrived while crashed
+};
+
 /// One database server *process*. Owns a Database over a SimDisk that it
 /// does NOT own — the disk survives the process.
 ///
@@ -50,7 +57,12 @@ class DbServer {
   eng::Database* database() { return db_.get(); }
   storage::SimDisk* disk() { return disk_; }
 
-  uint64_t requests_handled() const { return requests_handled_; }
+  /// Snapshot of this server's request counters.
+  ServerStats stats() const { return stats_; }
+
+  /// Deprecated: prefer stats().requests_handled. Thin forwarder kept so
+  /// pre-redesign callers compile unchanged.
+  uint64_t requests_handled() const { return stats_.requests_handled; }
 
  private:
   Response Dispatch(const Request& request);
@@ -60,7 +72,7 @@ class DbServer {
   std::unique_ptr<eng::Database> db_;
   uint64_t epoch_ = 0;
   uint64_t next_session_id_ = 1;  ///< survives restarts: ids never repeat
-  uint64_t requests_handled_ = 0;
+  ServerStats stats_;
 };
 
 }  // namespace phoenix::net

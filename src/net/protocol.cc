@@ -5,6 +5,7 @@ namespace phoenix::net {
 std::string Request::Encode() const {
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU64(request_id);
   enc.PutU64(session_id);
   enc.PutString(user);
   enc.PutString(name);
@@ -24,6 +25,7 @@ Result<Request> Request::Decode(const std::string& bytes) {
     return Status::IoError("bad request kind");
   }
   r.kind = static_cast<Kind>(kind_raw);
+  PHX_ASSIGN_OR_RETURN(r.request_id, dec.GetU64());
   PHX_ASSIGN_OR_RETURN(r.session_id, dec.GetU64());
   PHX_ASSIGN_OR_RETURN(r.user, dec.GetString());
   PHX_ASSIGN_OR_RETURN(r.name, dec.GetString());
@@ -57,6 +59,21 @@ Result<eng::StatementResult> DecodeStatementResult(Decoder* dec) {
   return r;
 }
 
+const char* RequestKindName(Request::Kind kind) {
+  switch (kind) {
+    case Request::Kind::kConnect: return "connect";
+    case Request::Kind::kDisconnect: return "disconnect";
+    case Request::Kind::kSetOption: return "set_option";
+    case Request::Kind::kExecScript: return "exec_script";
+    case Request::Kind::kOpenCursor: return "open_cursor";
+    case Request::Kind::kFetch: return "fetch";
+    case Request::Kind::kSeek: return "seek";
+    case Request::Kind::kCloseCursor: return "close_cursor";
+    case Request::Kind::kPing: return "ping";
+  }
+  return "unknown";
+}
+
 Response Response::MakeError(const Status& s) {
   Response r;
   r.kind = Kind::kError;
@@ -73,6 +90,7 @@ Status Response::ToStatus() const {
 std::string Response::Encode() const {
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU64(request_id);
   enc.PutU8(static_cast<uint8_t>(error_code));
   enc.PutString(error_message);
   enc.PutU64(session_id);
@@ -96,6 +114,7 @@ Result<Response> Response::Decode(const std::string& bytes) {
     return Status::IoError("bad response kind");
   }
   r.kind = static_cast<Kind>(kind_raw);
+  PHX_ASSIGN_OR_RETURN(r.request_id, dec.GetU64());
   PHX_ASSIGN_OR_RETURN(uint8_t code_raw, dec.GetU8());
   if (code_raw > static_cast<uint8_t>(StatusCode::kInternal)) {
     return Status::IoError("bad status code");

@@ -28,6 +28,11 @@ struct Request {
   };
 
   Kind kind = Kind::kPing;
+  /// Client-assigned correlation id, echoed verbatim in the Response. The
+  /// Channel fills it in (monotonic per channel) when the caller leaves it 0;
+  /// traces carry it so a retry and the original it duplicates are
+  /// distinguishable in chaos-test logs.
+  uint64_t request_id = 0;
   uint64_t session_id = 0;
   std::string user;      ///< kConnect
   std::string name;      ///< kSetOption option name
@@ -54,6 +59,7 @@ struct Response {
   };
 
   Kind kind = Kind::kOk;
+  uint64_t request_id = 0;  ///< echo of Request::request_id
   StatusCode error_code = StatusCode::kOk;
   std::string error_message;
   uint64_t session_id = 0;                    ///< kConnected
@@ -77,6 +83,10 @@ struct Response {
 
 void EncodeStatementResult(const eng::StatementResult& r, Encoder* enc);
 Result<eng::StatementResult> DecodeStatementResult(Decoder* dec);
+
+/// Lowercase metric-friendly name ("connect", "fetch", ...) — used as the
+/// <kind> suffix of the "net.requests.<kind>" counters.
+const char* RequestKindName(Request::Kind kind);
 
 }  // namespace phoenix::net
 

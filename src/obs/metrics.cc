@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace phoenix::obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBoundsUs();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+std::vector<uint64_t> Histogram::LatencyBoundsUs() {
+  return {1,    2,    5,    10,    20,    50,    100,     200,     500,
+          1000, 2000, 5000, 10000, 20000, 50000, 100000,  200000,  500000,
+          1000000, 2000000, 5000000, 10000000};
+}
+
+void Histogram::Record(uint64_t value) {
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> out(bounds_.size());
+  uint64_t running = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::QuantileBound(double q) const {
+  uint64_t n = Count();
+  if (n == 0 || bounds_.empty()) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (target == 0) target = 1;
+  uint64_t running = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    if (running >= target) return bounds_[i];
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.cumulative = h->CumulativeCounts();
+    data.count = h->Count();
+    data.sum = h->Sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+namespace {
+
+/// Metric names are dotted identifiers, but escape defensively anyway.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, v] : snap.counters) out << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges) out << name << " " << v << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " count=" << h.count << " sum=" << h.sum;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (h.cumulative[i] == 0) continue;
+      out << " le" << h.bounds[i] << "=" << h.cumulative[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"buckets\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out << ",";
+      out << "{\"le\":" << h.bounds[i] << ",\"count\":" << h.cumulative[i]
+          << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace phoenix::obs

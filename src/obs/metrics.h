@@ -1,0 +1,137 @@
+#ifndef PHOENIX_OBS_METRICS_H_
+#define PHOENIX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace phoenix::obs {
+
+/// Lightweight, thread-safe metrics for the whole stack. Design goals, in
+/// order: (1) negligible hot-path cost — one relaxed atomic RMW per update,
+/// no locks, no allocation; (2) stable pointers — a Counter* obtained from a
+/// registry stays valid for the registry's lifetime, so call sites cache it;
+/// (3) human- and machine-readable snapshots (plain text and JSON) that the
+/// benches dump next to their timing output.
+///
+/// Canonical metric names are dotted paths, "<subsystem>.<noun>[.<detail>]"
+/// (e.g. "storage.wal.syncs", "net.bytes_sent"). DESIGN.md lists the full
+/// set per subsystem.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (open cursors, live sessions, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at creation,
+/// so recording is a binary search plus one relaxed increment — safe and
+/// cheap under concurrent writers.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  /// Default bounds for latencies in microseconds: 1,2,5 decades up to 10s.
+  static std::vector<uint64_t> LatencyBoundsUs();
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds[i] (last entry == Count()).
+  std::vector<uint64_t> CumulativeCounts() const;
+  double Mean() const;
+  /// Upper bound of the bucket containing quantile q in [0,1]; the largest
+  /// finite bound when q lands in the overflow bucket.
+  uint64_t QuantileBound(double q) const;
+  /// Zeroes all buckets; bounds are kept.
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every metric in a registry, detached from the
+/// live atomics so callers can diff, print, or serialize at leisure.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> cumulative;  ///< same length as bounds
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counter value by name (0 when absent) — snapshot-diff convenience.
+  uint64_t counter(const std::string& name) const;
+};
+
+/// Named metric directory. Get*() registers on first use and returns a
+/// stable pointer; concurrent Get*() and updates are safe. One process-wide
+/// Default() registry aggregates across components; tests that need
+/// isolation construct their own and pass it down.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Bounds apply only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  /// "name value" lines, sorted by name; histograms as count/sum/buckets.
+  std::string ExportText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — the canonical
+  /// snapshot format documented in DESIGN.md §Observability.
+  std::string ExportJson() const;
+
+  /// Zeroes every registered metric (histogram bucket shapes are kept).
+  void Reset();
+
+  /// The process-wide registry every subsystem reports into by default.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, never the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_METRICS_H_

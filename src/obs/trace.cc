@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace phoenix::obs {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const std::string& TraceEvent::Get(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : kv) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void Tracer::Emit(std::string name,
+                  std::vector<std::pair<std::string, std::string>> kv) {
+  TraceEvent ev;
+  ev.ts_ns = MonotonicNanos();
+  ev.name = std::move(name);
+  ev.kv = std::move(kv);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  if (size_ < capacity_) {
+    ring_[(start_ + size_) % capacity_] = std::move(ev);
+    ++size_;
+  } else {
+    ring_[start_] = std::move(ev);
+    start_ = (start_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(std::move(ring_[(start_ + i) % capacity_]));
+  }
+  start_ = 0;
+  size_ = 0;
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t Tracer::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_ = 0;
+  size_ = 0;
+}
+
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::ExportJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i) out << ",";
+    out << "{\"seq\":" << ev.seq << ",\"ts_ns\":" << ev.ts_ns
+        << ",\"name\":" << JsonString(ev.name) << ",\"kv\":{";
+    for (size_t j = 0; j < ev.kv.size(); ++j) {
+      if (j) out << ",";
+      out << JsonString(ev.kv[j].first) << ":" << JsonString(ev.kv[j].second);
+    }
+    out << "}}";
+  }
+  out << "]";
+  return out.str();
+}
+
+Tracer* Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+}  // namespace phoenix::obs

@@ -1,0 +1,78 @@
+#ifndef PHOENIX_OBS_TRACE_H_
+#define PHOENIX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace phoenix::obs {
+
+/// One structured trace event: a name, a monotonic timestamp, and a small
+/// bag of key/value pairs ("request_id"=17, "kind"="kFetch", ...). Events
+/// are cheap enough to emit on every network round trip; correlation keys
+/// like request_id make retry/lost-reply sequences in the chaos tests
+/// reconstructable after the fact.
+struct TraceEvent {
+  uint64_t seq = 0;    ///< global emission order, never reused
+  uint64_t ts_ns = 0;  ///< monotonic (steady_clock) nanoseconds
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  /// Value for `key`, or "" when absent.
+  const std::string& Get(const std::string& key) const;
+};
+
+/// Bounded ring buffer of TraceEvents. When full, the oldest event is
+/// overwritten and `dropped()` is bumped — tracing must never block or
+/// grow without bound under heavy traffic. A mutex (not atomics) guards
+/// the ring: events carry strings, and emission rate is per-round-trip,
+/// not per-row, so contention is negligible.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Emit(std::string name,
+            std::vector<std::pair<std::string, std::string>> kv = {});
+
+  /// Events currently in the ring, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Snapshot + clear (dropped count is kept).
+  std::vector<TraceEvent> Drain();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+  /// Total events ever emitted (== next seq).
+  uint64_t emitted() const;
+
+  void Clear();
+
+  /// [{"seq":..,"ts_ns":..,"name":"..","kv":{..}}, ...], oldest first.
+  std::string ExportJson() const;
+
+  /// Process-wide tracer used by the instrumented subsystems.
+  static Tracer* Default();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< ring_[ (start_ + i) % capacity_ ]
+  size_t start_ = 0;
+  size_t size_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+uint64_t MonotonicNanos();
+
+}  // namespace phoenix::obs
+
+#endif  // PHOENIX_OBS_TRACE_H_

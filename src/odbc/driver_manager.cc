@@ -337,12 +337,21 @@ SqlReturn DriverManager::RowCount(Hstmt* stmt, int64_t* count) {
   return SqlReturn::kSuccess;
 }
 
+// Failures bubble up the handle hierarchy (stmt → dbc → env) so
+// SqlGetDiagRec on any ancestor handle reports the most recent failing
+// call beneath it — the diagnostic chaining ODBC applications rely on.
+
 SqlReturn DriverManager::Fail(Hstmt* stmt, Status status) {
+  if (stmt->dbc != nullptr) {
+    stmt->dbc->diag = status;
+    if (stmt->dbc->env != nullptr) stmt->dbc->env->diag = status;
+  }
   stmt->diag = std::move(status);
   return SqlReturn::kError;
 }
 
 SqlReturn DriverManager::Fail(Hdbc* dbc, Status status) {
+  if (dbc->env != nullptr) dbc->env->diag = status;
   dbc->diag = std::move(status);
   return SqlReturn::kError;
 }

@@ -100,4 +100,37 @@ SqlReturn SqlRowCount(DriverManager* dm, Hstmt* stmt, int64_t* count) {
   return dm->RowCount(stmt, count);
 }
 
+namespace {
+
+SqlReturn GetDiagFrom(const Status& diag, StatusCode* code,
+                      std::string* message) {
+  if (diag.ok()) return SqlReturn::kNoData;
+  if (code != nullptr) *code = diag.code();
+  if (message != nullptr) *message = diag.message();
+  return SqlReturn::kSuccess;
+}
+
+}  // namespace
+
+SqlReturn SqlGetDiagRec(DriverManager* dm, Henv* env, StatusCode* code,
+                        std::string* message) {
+  (void)dm;  // diagnostics are client-local: no round trip, no DM routing
+  if (env == nullptr) return SqlReturn::kInvalidHandle;
+  return GetDiagFrom(env->diag, code, message);
+}
+
+SqlReturn SqlGetDiagRec(DriverManager* dm, Hdbc* dbc, StatusCode* code,
+                        std::string* message) {
+  (void)dm;
+  if (dbc == nullptr) return SqlReturn::kInvalidHandle;
+  return GetDiagFrom(dbc->diag, code, message);
+}
+
+SqlReturn SqlGetDiagRec(DriverManager* dm, Hstmt* stmt, StatusCode* code,
+                        std::string* message) {
+  (void)dm;
+  if (stmt == nullptr) return SqlReturn::kInvalidHandle;
+  return GetDiagFrom(stmt->diag, code, message);
+}
+
 }  // namespace phoenix::odbc

@@ -43,6 +43,19 @@ SqlReturn SqlGetData(DriverManager* dm, Hstmt* stmt, size_t index,
                      Value* value);
 SqlReturn SqlRowCount(DriverManager* dm, Hstmt* stmt, int64_t* count);
 
+/// SQLGetDiagRec analogue: retrieves the diagnostic record of the most
+/// recent failing call on a handle. Failures bubble up stmt → dbc → env,
+/// so asking an ancestor handle reports the newest failure beneath it.
+/// Returns kInvalidHandle for a null handle, kNoData when no diagnostic is
+/// pending, kSuccess otherwise (code/message filled in; either out-pointer
+/// may be null).
+SqlReturn SqlGetDiagRec(DriverManager* dm, Henv* env, StatusCode* code,
+                        std::string* message);
+SqlReturn SqlGetDiagRec(DriverManager* dm, Hdbc* dbc, StatusCode* code,
+                        std::string* message);
+SqlReturn SqlGetDiagRec(DriverManager* dm, Hstmt* stmt, StatusCode* code,
+                        std::string* message);
+
 }  // namespace phoenix::odbc
 
 #endif  // PHOENIX_ODBC_ODBC_API_H_

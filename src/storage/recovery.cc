@@ -1,5 +1,8 @@
 #include "storage/recovery.h"
 
+#include "common/rng.h"
+#include "obs/metrics.h"
+
 namespace phoenix::storage {
 
 namespace {
@@ -48,16 +51,27 @@ Status DurabilityManager::LogCommit(const WalCommitRecord& record) {
 
 Status DurabilityManager::WriteCheckpoint(const TableStore& store,
                                           uint64_t next_txn_id) {
+  StopWatch watch;
   Encoder enc;
   enc.PutU32(kCheckpointMagic);
   enc.PutU32(kCheckpointVersion);
   enc.PutU64(next_txn_id);
   store.EncodeSnapshot(&enc);
+  size_t bytes = enc.size();
   PHX_RETURN_IF_ERROR(disk_->WriteAtomic(ckpt_file_, enc.Take()));
-  return wal_writer_.Reset();
+  PHX_RETURN_IF_ERROR(wal_writer_.Reset());
+  auto* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("storage.checkpoints")->Increment();
+  reg->GetCounter("storage.checkpoint.bytes")->Increment(bytes);
+  reg->GetHistogram("storage.checkpoint.duration_us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return Status::Ok();
 }
 
 Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
+  auto* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("storage.recoveries")->Increment();
+  StopWatch watch;
   store->Clear();
   RecoveryInfo local;
   if (disk_->Exists(ckpt_file_)) {
@@ -74,6 +88,9 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
       local.had_checkpoint = true;
     }
   }
+  reg->GetHistogram("storage.recovery.checkpoint_load_us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  watch.Restart();
   PHX_ASSIGN_OR_RETURN(std::vector<WalCommitRecord> records,
                        WalReader::ReadAll(*disk_, wal_file_));
   for (const WalCommitRecord& rec : records) {
@@ -84,6 +101,12 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
     ++local.records_replayed;
     if (rec.txn_id >= local.next_txn_id) local.next_txn_id = rec.txn_id + 1;
   }
+  reg->GetHistogram("storage.recovery.wal_replay_us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  reg->GetCounter("storage.recovery.records_replayed")
+      ->Increment(local.records_replayed);
+  reg->GetCounter("storage.recovery.ops_replayed")
+      ->Increment(local.ops_replayed);
   if (info != nullptr) *info = local;
   return Status::Ok();
 }

@@ -1,5 +1,7 @@
 #include "storage/wal.h"
 
+#include "obs/metrics.h"
+
 namespace phoenix::storage {
 
 WalOp WalOp::CreateTable(std::string table, Schema schema,
@@ -126,13 +128,28 @@ std::string FrameRecord(const WalCommitRecord& record) {
 
 }  // namespace
 
+namespace {
+
+void CountAppend(size_t bytes) {
+  auto* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("storage.wal.appends")->Increment();
+  reg->GetCounter("storage.wal.bytes")->Increment(bytes);
+}
+
+}  // namespace
+
 Status WalWriter::AppendCommit(const WalCommitRecord& record) {
-  PHX_RETURN_IF_ERROR(disk_->Append(file_, FrameRecord(record)));
+  std::string frame = FrameRecord(record);
+  CountAppend(frame.size());
+  PHX_RETURN_IF_ERROR(disk_->Append(file_, std::move(frame)));
+  obs::MetricsRegistry::Default()->GetCounter("storage.wal.syncs")->Increment();
   return disk_->Sync(file_);
 }
 
 Status WalWriter::AppendCommitNoSync(const WalCommitRecord& record) {
-  return disk_->Append(file_, FrameRecord(record));
+  std::string frame = FrameRecord(record);
+  CountAppend(frame.size());
+  return disk_->Append(file_, std::move(frame));
 }
 
 Status WalWriter::Reset() { return disk_->WriteAtomic(file_, ""); }

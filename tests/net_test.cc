@@ -15,6 +15,7 @@ namespace {
 TEST(Protocol, RequestRoundTripAllFields) {
   Request req;
   req.kind = Request::Kind::kOpenCursor;
+  req.request_id = 99;
   req.session_id = 42;
   req.user = "alice";
   req.name = "opt";
@@ -26,6 +27,7 @@ TEST(Protocol, RequestRoundTripAllFields) {
   auto back = Request::Decode(req.Encode());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->kind, req.kind);
+  EXPECT_EQ(back->request_id, 99u);
   EXPECT_EQ(back->session_id, 42u);
   EXPECT_EQ(back->user, "alice");
   EXPECT_EQ(back->sql, "SELECT * FROM T");
@@ -37,6 +39,7 @@ TEST(Protocol, RequestRoundTripAllFields) {
 TEST(Protocol, ResponseRoundTripWithResults) {
   Response resp;
   resp.kind = Response::Kind::kResults;
+  resp.request_id = 99;
   eng::StatementResult r1;
   r1.has_rows = true;
   r1.schema.AddColumn(Column{"A", DataType::kInt64, false});
@@ -46,6 +49,7 @@ TEST(Protocol, ResponseRoundTripWithResults) {
   resp.results.push_back(eng::StatementResult::Affected(5));
   auto back = Response::Decode(resp.Encode());
   ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, 99u);
   ASSERT_EQ(back->results.size(), 2u);
   EXPECT_TRUE(back->results[0].has_rows);
   EXPECT_EQ(back->results[0].rows.size(), 2u);
@@ -220,9 +224,64 @@ TEST(Channel, StatsCountTraffic) {
   ServerFixture fx;
   auto ch = fx.Connect();
   fx.Call(ch.get(), ConnectReq());
-  EXPECT_EQ(ch->round_trips(), 1u);
-  EXPECT_GT(ch->bytes_sent(), 0u);
-  EXPECT_GT(ch->bytes_received(), 0u);
+  // Redesigned surface: one snapshot struct...
+  ChannelStats stats = ch->stats();
+  EXPECT_EQ(stats.round_trips, 1u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.bytes_received, 0u);
+  EXPECT_EQ(stats.faults_injected, 0u);
+  // ...with the deprecated forwarders still agreeing.
+  EXPECT_EQ(ch->round_trips(), stats.round_trips);
+  EXPECT_EQ(ch->bytes_sent(), stats.bytes_sent);
+  EXPECT_EQ(ch->bytes_received(), stats.bytes_received);
+  EXPECT_EQ(fx.server.stats().requests_handled, fx.server.requests_handled());
+}
+
+TEST(Channel, StatsCountInjectedFaults) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  ch->InjectDropRequests(1);
+  EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsCommError());
+  ch->InjectLoseReplies(1);
+  EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsTimeout());
+  EXPECT_EQ(ch->stats().faults_injected, 2u);
+}
+
+TEST(Channel, RequestIdAssignedAndEchoed) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  // Channel assigns monotonically increasing ids when the caller leaves 0,
+  // and the server echoes them back — a retry resent with the same id is
+  // correlatable against the original in the trace stream.
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  auto r1 = ch->RoundTrip(ping);
+  auto r2 = ch->RoundTrip(ping);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->request_id, 1u);
+  EXPECT_EQ(r2->request_id, 2u);
+  Request tagged;
+  tagged.kind = Request::Kind::kPing;
+  tagged.request_id = 777;
+  auto r3 = ch->RoundTrip(tagged);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->request_id, 777u);
+}
+
+TEST(Channel, RequestIdEchoedOnServerDownError) {
+  ServerFixture fx;
+  auto ch = fx.Connect();
+  fx.server.Crash();
+  ASSERT_TRUE(fx.server.Restart().ok());
+  // Even an error Response carries the echo (the "server is down" reply is
+  // produced before dispatch; stale-session errors go through Dispatch).
+  Request req = ExecReq(12345, "SELECT 1");
+  req.request_id = 55;
+  auto r = ch->RoundTrip(req);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, Response::Kind::kError);
+  EXPECT_EQ(r->request_id, 55u);
 }
 
 TEST(Server, RestartWhileAliveRejected) {

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace phoenix::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddNegative) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.Value(), -15);
+}
+
+TEST(CounterTest, ConcurrentWritersLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Exercise both the registration race and the increment path.
+      Counter* c = reg.GetCounter("test.shared");
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GetCounter("test.shared")->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketingAndQuantiles) {
+  Histogram h({10, 100, 1000});
+  h.Record(5);     // <= 10
+  h.Record(10);    // <= 10 (bounds are inclusive)
+  h.Record(50);    // <= 100
+  h.Record(5000);  // overflow
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 5065u);
+  std::vector<uint64_t> cum = h.CumulativeCounts();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_EQ(cum[0], 2u);
+  EXPECT_EQ(cum[1], 3u);
+  EXPECT_EQ(cum[2], 3u);  // overflow bucket not included
+  EXPECT_DOUBLE_EQ(h.Mean(), 5065.0 / 4.0);
+  EXPECT_EQ(h.QuantileBound(0.5), 10u);
+  EXPECT_EQ(h.QuantileBound(1.0), 1000u);  // overflow clamps to last bound
+}
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  Histogram h(Histogram::LatencyBoundsUs());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * 37 + i) % 2000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  std::vector<uint64_t> cum = h.CumulativeCounts();
+  // Every recorded value is < 2000 <= the largest bound, so the cumulative
+  // tail must account for all of them.
+  EXPECT_EQ(cum.back(), h.Count());
+}
+
+TEST(RegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.a");
+  EXPECT_EQ(a, reg.GetCounter("x.a"));
+  a->Increment(7);
+  reg.GetGauge("x.g")->Set(-3);
+  reg.GetHistogram("x.h", {1, 2})->Record(2);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("x.a"), 7u);
+  EXPECT_EQ(snap.counter("x.missing"), 0u);
+  EXPECT_EQ(snap.gauges.at("x.g"), -3);
+  EXPECT_EQ(snap.histograms.at("x.h").count, 1u);
+
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("x.a")->Value(), 0u);
+  EXPECT_EQ(reg.GetHistogram("x.h")->Count(), 0u);
+}
+
+TEST(RegistryTest, ExportRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("net.round_trips")->Increment(3);
+  reg.GetGauge("engine.open_cursors")->Set(2);
+  reg.GetHistogram("net.request_latency_us", {10, 100})->Record(42);
+
+  std::string text = reg.ExportText();
+  EXPECT_NE(text.find("net.round_trips 3"), std::string::npos);
+  EXPECT_NE(text.find("engine.open_cursors 2"), std::string::npos);
+
+  std::string json = reg.ExportJson();
+  // Spot-check the canonical shape documented in DESIGN.md §Observability.
+  EXPECT_NE(json.find("\"counters\":{\"net.round_trips\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"engine.open_cursors\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"net.request_latency_us\":{\"count\":1,\"sum\":42"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\":100,\"count\":1}"), std::string::npos);
+}
+
+TEST(TracerTest, EmitAndSnapshot) {
+  Tracer tracer(8);
+  tracer.Emit("net.request", {{"request_id", "1"}, {"kind", "fetch"}});
+  tracer.Emit("net.response", {{"request_id", "1"}});
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "net.request");
+  EXPECT_EQ(events[0].Get("kind"), "fetch");
+  EXPECT_EQ(events[1].Get("request_id"), "1");
+  EXPECT_EQ(events[1].Get("missing"), "");
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST(TracerTest, RingOverflowKeepsNewest) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Emit("e", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order, holding the newest four events.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].Get("i"), std::to_string(6 + i));
+    EXPECT_EQ(events[i].seq, static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(TracerTest, DrainEmptiesButKeepsDropCount) {
+  Tracer tracer(2);
+  tracer.Emit("a");
+  tracer.Emit("b");
+  tracer.Emit("c");  // overwrites "a"
+  std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "b");
+  EXPECT_EQ(events[1].name, "c");
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.Emit("d");
+  EXPECT_EQ(tracer.Snapshot().at(0).name, "d");
+}
+
+TEST(TracerTest, ConcurrentEmittersAccountForEveryEvent) {
+  Tracer tracer(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) tracer.Emit("ev");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.emitted(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.size() + tracer.dropped(), tracer.emitted());
+}
+
+TEST(TracerTest, ExportJsonShape) {
+  Tracer tracer(4);
+  tracer.Emit("core.recovery.start", {{"tag", "T1"}});
+  std::string json = tracer.ExportJson();
+  EXPECT_NE(json.find("\"name\":\"core.recovery.start\""), std::string::npos);
+  EXPECT_NE(json.find("\"kv\":{\"tag\":\"T1\"}"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+}  // namespace
+}  // namespace phoenix::obs

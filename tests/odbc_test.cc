@@ -60,13 +60,23 @@ TEST_F(OdbcTest, FacadeFunctionsWork) {
 
 TEST_F(OdbcTest, ConnectTwiceRejected) {
   EXPECT_EQ(dm_->Connect(dbc_, "testdb", "x"), SqlReturn::kError);
-  EXPECT_EQ(DriverManager::Diag(dbc_).code(), StatusCode::kInvalidArgument);
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), dbc_, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kInvalidArgument);
+  EXPECT_NE(message.find("connected"), std::string::npos) << message;
 }
 
 TEST_F(OdbcTest, ConnectUnknownDsnFails) {
   Hdbc* dbc2 = dm_->AllocConnect(env_);
   EXPECT_EQ(dm_->Connect(dbc2, "wrong", "x"), SqlReturn::kError);
-  EXPECT_TRUE(DriverManager::Diag(dbc2).IsNotFound());
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), dbc2, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kNotFound);
+  EXPECT_NE(message.find("wrong"), std::string::npos) << message;
 }
 
 TEST_F(OdbcTest, DescribeColReturnsMetadata) {
@@ -161,8 +171,61 @@ TEST_F(OdbcTest, BadStmtAttrRejected) {
 TEST_F(OdbcTest, SqlErrorsSurfaceInDiag) {
   Hstmt* stmt = dm_->AllocStmt(dbc_);
   EXPECT_EQ(dm_->ExecDirect(stmt, "SELECT * FROM MISSING"), SqlReturn::kError);
-  EXPECT_EQ(DriverManager::Diag(stmt).code(), StatusCode::kSqlError);
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), stmt, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kSqlError);
+  EXPECT_NE(message.find("MISSING"), std::string::npos) << message;
   EXPECT_EQ(dm_->ExecDirect(stmt, "THIS IS NOT SQL"), SqlReturn::kError);
+}
+
+TEST_F(OdbcTest, DiagRecAvailableOnAllThreeHandleTypes) {
+  // No failure yet: every handle reports kNoData.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  EXPECT_EQ(SqlGetDiagRec(dm_.get(), env_, &code, &message),
+            SqlReturn::kNoData);
+  EXPECT_EQ(SqlGetDiagRec(dm_.get(), dbc_, &code, &message),
+            SqlReturn::kNoData);
+  Hstmt* stmt = dm_->AllocStmt(dbc_);
+  EXPECT_EQ(SqlGetDiagRec(dm_.get(), stmt, &code, &message),
+            SqlReturn::kNoData);
+
+  // A statement-level failure bubbles to its connection and environment, so
+  // each handle type reports the most recent failing call beneath it.
+  EXPECT_EQ(dm_->ExecDirect(stmt, "SELECT * FROM MISSING"), SqlReturn::kError);
+  for (int handle = 0; handle < 3; ++handle) {
+    code = StatusCode::kOk;
+    message.clear();
+    SqlReturn r = handle == 0   ? SqlGetDiagRec(dm_.get(), stmt, &code, &message)
+                  : handle == 1 ? SqlGetDiagRec(dm_.get(), dbc_, &code, &message)
+                                : SqlGetDiagRec(dm_.get(), env_, &code, &message);
+    ASSERT_EQ(r, SqlReturn::kSuccess) << "handle " << handle;
+    EXPECT_EQ(code, StatusCode::kSqlError) << "handle " << handle;
+    EXPECT_NE(message.find("MISSING"), std::string::npos) << message;
+  }
+
+  // A newer connection-level failure supersedes the older record on dbc and
+  // env but leaves the statement's record untouched.
+  EXPECT_EQ(dm_->Connect(dbc_, "testdb", "x"), SqlReturn::kError);
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), dbc_, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kInvalidArgument);
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), env_, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kInvalidArgument);
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), stmt, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kSqlError);
+
+  // Null handles are rejected, not dereferenced.
+  EXPECT_EQ(SqlGetDiagRec(dm_.get(), static_cast<Henv*>(nullptr), &code,
+                          &message),
+            SqlReturn::kInvalidHandle);
+  EXPECT_EQ(SqlGetDiagRec(dm_.get(), static_cast<Hstmt*>(nullptr), &code,
+                          &message),
+            SqlReturn::kInvalidHandle);
 }
 
 TEST_F(OdbcTest, SetConnectOptionReachesServer) {
@@ -191,7 +254,12 @@ TEST_F(OdbcTest, CrashWithoutPhoenixSurfacesCommError) {
   // ...but any new server interaction fails hard — the paper's baseline.
   Hstmt* stmt2 = dm_->AllocStmt(dbc_);
   EXPECT_EQ(dm_->ExecDirect(stmt2, "SELECT K FROM T"), SqlReturn::kError);
-  EXPECT_TRUE(DriverManager::Diag(stmt2).IsCommError());
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  ASSERT_EQ(SqlGetDiagRec(dm_.get(), stmt2, &code, &message),
+            SqlReturn::kSuccess);
+  EXPECT_EQ(code, StatusCode::kCommError);
+  EXPECT_FALSE(message.empty());
 }
 
 TEST_F(OdbcTest, ServerCursorCrashBreaksPlainDm) {

@@ -5,6 +5,7 @@
 
 #include "core/phoenix_driver_manager.h"
 
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace phoenix::core {
@@ -59,6 +60,7 @@ TEST_F(PhoenixRecoveryTest, FetchResumesExactlyWhereItStopped) {
   for (int i = 1; i <= 40; ++i) {
     ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess);
   }
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
   Crash();
   for (int i = 41; i <= 100; ++i) {
     ASSERT_EQ(dm_->Fetch(stmt), SqlReturn::kSuccess) << "row " << i;
@@ -72,6 +74,22 @@ TEST_F(PhoenixRecoveryTest, FetchResumesExactlyWhereItStopped) {
   EXPECT_EQ(dm_->stats().recoveries, 1u);
   EXPECT_GT(dm_->stats().last_virtual_session_seconds, 0.0);
   EXPECT_GT(dm_->stats().last_sql_state_seconds, 0.0);
+
+  // Rows 41..64 were already in the client block buffer (fetch_block = 64)
+  // when the server died, so recovery fires at row 65: the 36 remaining
+  // rows reach the app through the re-installed statement.
+  EXPECT_EQ(dm_->stats().rows_redelivered, 36u);
+  EXPECT_GT(dm_->stats().reconnect_attempts, 0u);
+  EXPECT_EQ(dm_->stats().state_reinstalls, 1u);
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(after.counter("core.rows_redelivered") -
+                before.counter("core.rows_redelivered"),
+            36u);
+  EXPECT_GT(after.counter("core.reconnect_attempts"),
+            before.counter("core.reconnect_attempts"));
+  EXPECT_GT(after.counter("core.recoveries"), before.counter("core.recoveries"));
+  EXPECT_GT(after.counter("core.state_reinstalls"),
+            before.counter("core.state_reinstalls"));
 }
 
 TEST_F(PhoenixRecoveryTest, CrashBeforeFirstFetch) {
