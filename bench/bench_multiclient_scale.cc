@@ -1,0 +1,150 @@
+// Multi-client scaling sweep: N concurrent clients, each with its own
+// Channel and session, hammer one DbServer with a read-mostly workload.
+// With the worker-pool dispatcher, throughput should scale well past 2x
+// from 1 to 8 clients — the paper's client/server sessions are independent,
+// so only the short mutation sections serialize.
+//
+// Uses the sleep wire model (NetworkConfig::sleep_wire): clients spend most
+// of each round trip descheduled in simulated LAN latency, so their wire
+// time overlaps even on a single-core host. Busy-wait latency would
+// serialize on the CPU and measure core count, not server concurrency.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr uint64_t kRoundTripLatencyUs = 200;
+constexpr int kOpsPerClient = 250;
+constexpr int kInsertEvery = 8;  // 1 insert per 8 ops; the rest are SELECTs
+
+/// One client's life: connect, run the op mix, disconnect. Returns ops done.
+int RunClient(net::Network* network, int client_id, int key_base,
+              std::atomic<bool>* go) {
+  auto chan_res = network->Connect("tpch");
+  BenchEnv::Check(chan_res.status(), "connect channel");
+  std::unique_ptr<net::Channel> chan = std::move(chan_res.value());
+
+  net::Request connect;
+  connect.kind = net::Request::Kind::kConnect;
+  connect.user = "client-" + std::to_string(client_id);
+  auto conn = chan->RoundTrip(connect);
+  BenchEnv::Check(conn.status(), "connect session");
+  uint64_t sid = conn.value().session_id;
+
+  while (!go->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  int done = 0;
+  for (int i = 0; i < kOpsPerClient; ++i) {
+    net::Request req;
+    req.kind = net::Request::Kind::kExecScript;
+    req.session_id = sid;
+    if (i % kInsertEvery == 0) {
+      int key = key_base + client_id * 100000 + i;
+      req.sql = "INSERT INTO HITS VALUES (" + std::to_string(key) + ", " +
+                std::to_string(client_id) + ")";
+    } else {
+      req.sql = "SELECT COUNT(*) AS N FROM ITEMS WHERE K <= " +
+                std::to_string((i % 50) + 1);
+    }
+    auto res = chan->RoundTrip(req);
+    BenchEnv::Check(res.status(), "round trip");
+    BenchEnv::Check(res.value().ToStatus(), req.sql.c_str());
+    ++done;
+  }
+
+  net::Request bye;
+  bye.kind = net::Request::Kind::kDisconnect;
+  bye.session_id = sid;
+  chan->RoundTrip(bye);
+  return done;
+}
+
+void Main() {
+  storage::SimDisk disk;
+  net::ServerOptions opts;
+  opts.worker_threads = 8;
+  opts.queue_capacity = 256;
+  net::DbServer server(&disk, opts);
+  BenchEnv::Check(server.Start(), "server start");
+  net::Network network;
+  network.RegisterServer("tpch", &server);
+  network.config()->round_trip_latency_us = kRoundTripLatencyUs;
+  network.config()->sleep_wire = true;
+
+  {
+    odbc::DriverManager dm(&network);
+    odbc::Hdbc* dbc = Connect(&dm, "loader");
+    MustDrain(&dm, dbc,
+              "CREATE TABLE ITEMS (K INTEGER PRIMARY KEY, V INTEGER)");
+    MustDrain(&dm, dbc,
+              "CREATE TABLE HITS (K INTEGER PRIMARY KEY, CLIENT INTEGER)");
+    std::string sql = "INSERT INTO ITEMS VALUES ";
+    for (int i = 1; i <= 50; ++i) {
+      if (i > 1) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i * 7) + ")";
+    }
+    MustDrain(&dm, dbc, sql);
+  }
+
+  std::printf("Multi-client scaling: %d ops/client, %lluus RT latency, "
+              "%zu worker threads\n",
+              kOpsPerClient,
+              static_cast<unsigned long long>(kRoundTripLatencyUs),
+              opts.worker_threads);
+  PrintRule();
+  std::printf("%8s %10s %12s %12s %10s\n", "clients", "ops", "elapsed (s)",
+              "ops/sec", "speedup");
+  PrintRule();
+
+  double baseline_ops_per_sec = 0;
+  double speedup_1_to_8 = 0;
+  int sweep = 0;
+  for (int clients : {1, 2, 4, 8, 16}) {
+    int key_base = 1000000 * ++sweep;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    std::atomic<int> total_ops{0};
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        total_ops.fetch_add(RunClient(&network, c, key_base, &go));
+      });
+    }
+    StopWatch watch;
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    double elapsed = watch.ElapsedSeconds();
+    double ops_per_sec = total_ops.load() / elapsed;
+    if (clients == 1) baseline_ops_per_sec = ops_per_sec;
+    double speedup = ops_per_sec / baseline_ops_per_sec;
+    if (clients == 8) speedup_1_to_8 = speedup;
+    std::printf("%8d %10d %12.3f %12.0f %9.2fx\n", clients, total_ops.load(),
+                elapsed, ops_per_sec, speedup);
+  }
+  PrintRule();
+  std::printf("1 -> 8 client speedup: %.2fx (acceptance floor: 2x)\n",
+              speedup_1_to_8);
+  if (net::WorkerPool* pool = server.pool()) {
+    std::printf("pool: %llu tasks executed, queue high-water %zu\n",
+                static_cast<unsigned long long>(pool->tasks_executed()),
+                pool->queue_high_water());
+  }
+
+  DumpMetrics("bench_multiclient_scale");
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Main();
+  return 0;
+}

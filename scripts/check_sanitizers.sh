@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Sanitizer lanes: build the whole tree and run the full test suite under
+#   1. AddressSanitizer + UndefinedBehaviorSanitizer  (memory / UB)
+#   2. ThreadSanitizer                                (data races)
+# TSan is a separate lane because it cannot be combined with ASan. The TSan
+# lane is the merge gate for anything touching the concurrent DbServer,
+# worker pool, or engine locking: it must pass with zero reports.
+#
+# Usage: scripts/check_sanitizers.sh [asan|tsan]   (default: both)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_lane() {
+  lane_name="$1"
+  sanitizers="$2"
+  build_dir="build-$lane_name"
+  echo "==> [$lane_name] configure ($sanitizers)"
+  cmake -B "$build_dir" -S . -DPHOENIX_SANITIZE="$sanitizers" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> [$lane_name] build"
+  cmake --build "$build_dir" -j "$JOBS" >/dev/null
+  echo "==> [$lane_name] ctest"
+  # halt_on_error makes any sanitizer report fail the test that produced it.
+  ASAN_OPTIONS="halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -j 2
+  echo "==> [$lane_name] OK"
+}
+
+want="${1:-both}"
+case "$want" in
+  asan) run_lane asan address,undefined ;;
+  tsan) run_lane tsan thread ;;
+  both)
+    run_lane asan address,undefined
+    run_lane tsan thread
+    ;;
+  *) echo "usage: $0 [asan|tsan]" >&2; exit 2 ;;
+esac

@@ -26,32 +26,63 @@ Status Database::Open() {
 Result<uint64_t> Database::CreateSession(const std::string& user) {
   if (!open_) return Status::Internal("database not open");
   auto session = std::make_unique<Session>();
-  session->id = next_session_id_++;
+  session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   session->user = user;
   uint64_t id = session->id;
+  std::unique_lock<std::shared_mutex> lk(sessions_mu_);
   sessions_[id] = std::move(session);
   return id;
 }
 
 Status Database::CloseSession(uint64_t session_id) {
-  auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) {
+  // Exclusive: rollback and temp-object teardown mutate shared state.
+  std::unique_lock<std::shared_mutex> data_lk(data_mu_);
+  Session* s = FindSession(session_id);
+  if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
-  Session* s = it->second.get();
   if (s->txn != nullptr) {
     PHX_RETURN_IF_ERROR(Rollback(s));
   }
   s->cursors.clear();
   store_.DropSessionTemps(session_id);
   temp_procs_.DropSessionProcs(session_id);
-  sessions_.erase(it);
+  std::unique_lock<std::shared_mutex> lk(sessions_mu_);
+  sessions_.erase(session_id);
   return Status::Ok();
 }
 
-Session* Database::GetSession(uint64_t session_id) {
+Status Database::SetSessionOption(uint64_t session_id, const std::string& name,
+                                  const std::string& value) {
+  // Session contents are serialized per session by the server, so the map
+  // lock (pointer lookup) is the only lock needed.
+  std::shared_lock<std::shared_mutex> lk(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  it->second->options[name] = value;
+  return Status::Ok();
+}
+
+Session* Database::FindSession(uint64_t session_id) const {
+  std::shared_lock<std::shared_mutex> lk(sessions_mu_);
   auto it = sessions_.find(session_id);
   return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Session* Database::GetSession(uint64_t session_id) {
+  return FindSession(session_id);
+}
+
+bool Database::HasSession(uint64_t session_id) const {
+  std::shared_lock<std::shared_mutex> lk(sessions_mu_);
+  return sessions_.count(session_id) > 0;
+}
+
+size_t Database::num_sessions() const {
+  std::shared_lock<std::shared_mutex> lk(sessions_mu_);
+  return sessions_.size();
 }
 
 Result<std::vector<StatementResult>> Database::ExecuteScript(
@@ -72,7 +103,21 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
   obs::MetricsRegistry::Default()
       ->GetCounter("engine.statements_executed")
       ->Increment();
-  Session* s = GetSession(session_id);
+  // Plain SELECT (no INTO) only reads shared state; everything else —
+  // DML, DDL, EXEC, transaction control — may mutate it.
+  bool read_only =
+      stmt.kind == StmtKind::kSelect && stmt.select->into_table.empty();
+  if (read_only) {
+    std::shared_lock<std::shared_mutex> lk(data_mu_);
+    return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/false);
+  }
+  std::unique_lock<std::shared_mutex> lk(data_mu_);
+  return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/true);
+}
+
+Result<StatementResult> Database::ExecuteStatementLocked(
+    uint64_t session_id, const Statement& stmt, bool can_checkpoint) {
+  Session* s = FindSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
@@ -87,7 +132,7 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
       if (s->txn == nullptr) {
         return Status::SqlError("no transaction in progress");
       }
-      PHX_RETURN_IF_ERROR(Commit(s));
+      PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint));
       return StatementResult::Affected(0);
     case StmtKind::kRollback:
       if (s->txn == nullptr) {
@@ -121,12 +166,12 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
     s->last_rowcount = result.value().affected < 0 ? 0 : result.value().affected;
   }
   if (autocommit) {
-    PHX_RETURN_IF_ERROR(Commit(s));
+    PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint));
   }
   return result;
 }
 
-Status Database::Commit(Session* s) {
+Status Database::Commit(Session* s, bool can_checkpoint) {
   Txn* txn = s->txn.get();
   if (!txn->redo.empty()) {
     storage::WalCommitRecord record;
@@ -135,12 +180,16 @@ Status Database::Commit(Session* s) {
     PHX_RETURN_IF_ERROR(durability_.LogCommit(record));
   }
   s->txn.reset();
-  ++commit_count_;
-  ++commits_since_checkpoint_;
-  if (opts_.checkpoint_every_n_commits > 0 &&
-      commits_since_checkpoint_ >= opts_.checkpoint_every_n_commits &&
-      !AnyActiveTxn()) {
-    PHX_RETURN_IF_ERROR(Checkpoint());
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t since =
+      commits_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Checkpointing rewrites the disk image, so it is allowed only when the
+  // caller holds data_mu_ exclusively (can_checkpoint). A read-only commit
+  // that crosses the threshold just leaves the counter high; the next
+  // mutating commit picks it up.
+  if (can_checkpoint && opts_.checkpoint_every_n_commits > 0 &&
+      since >= opts_.checkpoint_every_n_commits && !AnyActiveTxn()) {
+    PHX_RETURN_IF_ERROR(CheckpointLocked());
   }
   return Status::Ok();
 }
@@ -152,6 +201,7 @@ Status Database::Rollback(Session* s) {
 }
 
 bool Database::AnyActiveTxn() const {
+  std::shared_lock<std::shared_mutex> lk(sessions_mu_);
   for (const auto& [id, s] : sessions_) {
     if (s->txn != nullptr) return true;
   }
@@ -159,19 +209,26 @@ bool Database::AnyActiveTxn() const {
 }
 
 Status Database::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lk(data_mu_);
   if (AnyActiveTxn()) {
     return Status::InvalidArgument("cannot checkpoint with active transactions");
   }
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   PHX_RETURN_IF_ERROR(
       durability_.WriteCheckpoint(store_, txn_manager_.next_id()));
-  commits_since_checkpoint_ = 0;
+  commits_since_checkpoint_.store(0, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Result<Cursor*> Database::OpenCursor(uint64_t session_id,
                                      const std::string& select_sql,
                                      CursorType type) {
-  Session* s = GetSession(session_id);
+  // Shared: opening a cursor reads tables and mutates only session state.
+  std::shared_lock<std::shared_mutex> data_lk(data_mu_);
+  Session* s = FindSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
@@ -259,8 +316,9 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
 Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
                                                uint64_t cursor_id, size_t n,
                                                bool* done) {
+  std::shared_lock<std::shared_mutex> data_lk(data_mu_);
   PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
-  auto res = c->Fetch(this, GetSession(session_id), n, done);
+  auto res = c->Fetch(this, FindSession(session_id), n, done);
   if (res.ok()) {
     obs::MetricsRegistry::Default()
         ->GetCounter("engine.rows_fetched")
@@ -271,12 +329,13 @@ Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
 
 Status Database::SeekCursor(uint64_t session_id, uint64_t cursor_id,
                             uint64_t pos) {
+  std::shared_lock<std::shared_mutex> data_lk(data_mu_);
   PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
   return c->Seek(pos);
 }
 
 Status Database::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
-  Session* s = GetSession(session_id);
+  Session* s = FindSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
@@ -287,7 +346,7 @@ Status Database::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
 }
 
 Result<Cursor*> Database::GetCursor(uint64_t session_id, uint64_t cursor_id) {
-  Session* s = GetSession(session_id);
+  Session* s = FindSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }

@@ -1,9 +1,12 @@
 #ifndef PHOENIX_ENGINE_DATABASE_H_
 #define PHOENIX_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +37,19 @@ struct DatabaseOptions {
 /// sessions. One Database instance == one running server process. Crashing
 /// the process is modeled by destroying the Database (volatile state gone)
 /// and constructing a new one over the same SimDisk (recovery runs).
+///
+/// Concurrency model (DESIGN.md §Concurrency):
+///  - data_mu_ is a reader/writer lock over all shared engine state (tables,
+///    catalog, WAL tail, temp procs). Plain SELECTs and cursor operations
+///    take it SHARED; everything that can mutate (DML, DDL, transaction
+///    control, EXEC, session close, checkpoint) takes it EXCLUSIVE.
+///  - sessions_mu_ guards only the session *map*. Session *contents* need no
+///    lock: the server serializes requests per session, so at most one
+///    thread touches a given Session at a time.
+///  - Lock order: data_mu_ before sessions_mu_. WAL/disk locks are leaves.
+///  - Auto-checkpoint fires only on the exclusive (mutating) commit path;
+///    read-only commits just bump the atomic counters.
+/// Open() is not thread-safe; it runs before the server accepts requests.
 class Database {
  public:
   explicit Database(storage::SimDisk* disk, DatabaseOptions opts = {});
@@ -49,12 +65,15 @@ class Database {
   Result<uint64_t> CreateSession(const std::string& user);
   /// Graceful termination: rolls back, drops temp objects, closes cursors.
   Status CloseSession(uint64_t session_id);
-  bool HasSession(uint64_t session_id) const {
-    return sessions_.count(session_id) > 0;
-  }
+  /// Sets a client connection option (SET <name> <value>) on the session.
+  Status SetSessionOption(uint64_t session_id, const std::string& name,
+                          const std::string& value);
+  bool HasSession(uint64_t session_id) const;
   Session* GetSession(uint64_t session_id);
-  size_t num_sessions() const { return sessions_.size(); }
-  uint64_t next_session_id() const { return next_session_id_; }
+  size_t num_sessions() const;
+  uint64_t next_session_id() const {
+    return next_session_id_.load(std::memory_order_relaxed);
+  }
 
   // ---- Statement execution ---------------------------------------------
   /// Parses and runs a (possibly multi-statement) SQL batch. Stops at the
@@ -76,8 +95,12 @@ class Database {
   // ---- Administration ----------------------------------------------------
   /// Writes a checkpoint; fails if any transaction is active.
   Status Checkpoint();
-  uint64_t commit_count() const { return commit_count_; }
+  uint64_t commit_count() const {
+    return commit_count_.load(std::memory_order_relaxed);
+  }
 
+  // Callers of the accessors below must hold data_mu_ (Executor and Cursor
+  // run inside a locked statement; tests use them single-threaded).
   storage::TableStore* store() { return &store_; }
   const storage::TableStore* store() const { return &store_; }
   ProcRegistry* temp_procs() { return &temp_procs_; }
@@ -103,8 +126,15 @@ class Database {
   friend class Executor;
   friend class Cursor;
 
-  Status Commit(Session* session);
+  /// Body of ExecuteStatement; caller holds data_mu_ (shared for read-only
+  /// statements, exclusive otherwise — can_checkpoint says which).
+  Result<StatementResult> ExecuteStatementLocked(uint64_t session_id,
+                                                 const sql::Statement& stmt,
+                                                 bool can_checkpoint);
+  Session* FindSession(uint64_t session_id) const;
+  Status Commit(Session* session, bool can_checkpoint);
   Status Rollback(Session* session);
+  Status CheckpointLocked();
   bool AnyActiveTxn() const;
 
   storage::SimDisk* disk_;
@@ -114,10 +144,17 @@ class Database {
   storage::RecoveryInfo recovery_info_;
   TxnManager txn_manager_;
   ProcRegistry temp_procs_;
+
+  /// Reader/writer lock over tables, catalog, temp procs, and the WAL tail.
+  mutable std::shared_mutex data_mu_;
+  /// Guards sessions_ (the map, not the Session objects). Never acquired
+  /// before data_mu_ is released — lock order is data_mu_ → sessions_mu_.
+  mutable std::shared_mutex sessions_mu_;
   std::map<uint64_t, std::unique_ptr<Session>> sessions_;
-  uint64_t next_session_id_ = 1;
-  uint64_t commit_count_ = 0;
-  uint64_t commits_since_checkpoint_ = 0;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> commit_count_{0};
+  std::atomic<uint64_t> commits_since_checkpoint_{0};
   bool open_ = false;
 };
 

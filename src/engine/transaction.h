@@ -1,6 +1,7 @@
 #ifndef PHOENIX_ENGINE_TRANSACTION_H_
 #define PHOENIX_ENGINE_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -53,19 +54,23 @@ struct Txn {
 
 class ProcRegistry;  // catalog.h
 
-/// Allocates transaction ids and applies undo stacks.
+/// Allocates transaction ids and applies undo stacks. Id allocation is
+/// atomic — Begin() may be called from concurrent read-only statements that
+/// hold the data lock only in shared mode.
 class TxnManager {
  public:
   explicit TxnManager(uint64_t next_id = 1) : next_id_(next_id) {}
 
   std::unique_ptr<Txn> Begin() {
     auto t = std::make_unique<Txn>();
-    t->id = next_id_++;
+    t->id = next_id_.fetch_add(1, std::memory_order_relaxed);
     return t;
   }
 
-  uint64_t next_id() const { return next_id_; }
-  void set_next_id(uint64_t id) { next_id_ = id; }
+  uint64_t next_id() const { return next_id_.load(std::memory_order_relaxed); }
+  void set_next_id(uint64_t id) {
+    next_id_.store(id, std::memory_order_relaxed);
+  }
 
   /// Undoes records [from, end) in reverse order and truncates them.
   Status UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
@@ -74,7 +79,7 @@ class TxnManager {
  private:
   Status ApplyUndo(const UndoRecord& rec, storage::TableStore* store,
                    ProcRegistry* procs);
-  uint64_t next_id_;
+  std::atomic<uint64_t> next_id_;
 };
 
 }  // namespace phoenix::eng

@@ -1,6 +1,7 @@
 #include "net/channel.h"
 
 #include <chrono>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -11,11 +12,28 @@ void Channel::SimulateWire(size_t bytes) const {
   uint64_t ns = config_.round_trip_latency_us * 1000ull / 2 +
                 static_cast<uint64_t>(bytes) * config_.ns_per_byte;
   if (ns == 0) return;
+  if (config_.sleep_wire) {
+    // Deschedule: concurrent channels overlap their wire time, the model
+    // for "many clients on a LAN" (see NetworkConfig::sleep_wire).
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
   auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
   while (std::chrono::steady_clock::now() < until) {
     // Busy-wait: keeps simulated latency visible to wall-clock timers
     // without descheduling noise.
   }
+}
+
+bool Channel::ClaimFault(std::atomic<int>* counter) {
+  int current = counter->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (counter->compare_exchange_weak(current, current - 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -26,39 +44,52 @@ void TraceOutcome(uint64_t request_id, Request::Kind kind, const char* what) {
              {"kind", RequestKindName(kind)}});
 }
 
+/// A future that is already resolved — error paths return these so sync and
+/// async callers share one code path.
+std::future<Result<Response>> ReadyResult(Result<Response> r) {
+  std::promise<Result<Response>> p;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
 }  // namespace
 
 Result<Response> Channel::RoundTrip(const Request& request) {
+  return RoundTripAsync(request).get();
+}
+
+std::future<Result<Response>> Channel::RoundTripAsync(const Request& request) {
   auto* reg = obs::MetricsRegistry::Default();
-  ++stats_.round_trips;
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
   reg->GetCounter("net.round_trips")->Increment();
   reg->GetCounter(std::string("net.requests.") + RequestKindName(request.kind))
       ->Increment();
 
   Request req = request;
-  if (req.request_id == 0) req.request_id = ++next_request_id_;
+  if (req.request_id == 0) {
+    req.request_id = next_request_id_.fetch_add(1) + 1;
+  }
   TraceOutcome(req.request_id, req.kind, "net.request");
   uint64_t start_us = obs::MonotonicNanos() / 1000;
-  auto record_latency = [&] {
+  auto record_latency = [reg, start_us] {
     reg->GetHistogram("net.request_latency_us")
         ->Record(obs::MonotonicNanos() / 1000 - start_us);
   };
 
-  if (disconnected_) {
+  if (disconnected_.load()) {
     record_latency();
     TraceOutcome(req.request_id, req.kind, "net.client_closed");
-    return Status::CommError("connection closed by client");
+    return ReadyResult(Status::CommError("connection closed by client"));
   }
-  if (drop_requests_ > 0) {
-    --drop_requests_;
-    ++stats_.faults_injected;
+  if (ClaimFault(&drop_requests_)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     reg->GetCounter("net.faults.dropped_requests")->Increment();
     record_latency();
     TraceOutcome(req.request_id, req.kind, "net.fault.request_dropped");
-    return Status::CommError("connection reset (request lost)");
+    return ReadyResult(Status::CommError("connection reset (request lost)"));
   }
   std::string wire_request = req.Encode();
-  stats_.bytes_sent += wire_request.size();
+  bytes_sent_.fetch_add(wire_request.size(), std::memory_order_relaxed);
   reg->GetCounter("net.bytes_sent")->Increment(wire_request.size());
   SimulateWire(wire_request.size());
 
@@ -66,27 +97,106 @@ Result<Response> Channel::RoundTrip(const Request& request) {
     // The TCP stack notices the peer is gone: error or hang → timeout.
     record_latency();
     TraceOutcome(req.request_id, req.kind, "net.server_down");
+    return ReadyResult(
+        Status::CommError("connection reset by peer (server down)"));
+  }
+  auto decoded = Request::Decode(wire_request);
+  if (!decoded.ok()) return ReadyResult(decoded.status());
+
+  // The per-request fault decision: claimed here, at dispatch time, so two
+  // in-flight requests can never both consume (or re-observe) one token.
+  bool lose_reply = ClaimFault(&lose_replies_);
+  if (lose_reply) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    reg->GetCounter("net.faults.lost_replies")->Increment();
+  }
+
+  std::future<Response> server_future = server_->HandleAsync(decoded.take());
+  // The response-side wire work is deferred to .get(): the server executes
+  // concurrently, the waiter pays decode + latency simulation.
+  return std::async(
+      std::launch::deferred,
+      [this, reg, record_latency, lose_reply, request_id = req.request_id,
+       kind = req.kind,
+       server_future = std::move(server_future)]() mutable -> Result<Response> {
+        Response response = server_future.get();
+        std::string wire_response = response.Encode();
+        if (lose_reply) {
+          // The server executed the request, but the reply never arrives.
+          record_latency();
+          TraceOutcome(request_id, kind, "net.fault.reply_lost");
+          return Status::Timeout("no response from server");
+        }
+        bytes_received_.fetch_add(wire_response.size(),
+                                  std::memory_order_relaxed);
+        reg->GetCounter("net.bytes_received")->Increment(wire_response.size());
+        SimulateWire(wire_response.size());
+        record_latency();
+        TraceOutcome(request_id, kind, "net.response");
+        return Response::Decode(wire_response);
+      });
+}
+
+Result<std::vector<Response>> Channel::RoundTripBatch(
+    std::vector<Request> requests) {
+  if (requests.empty()) return std::vector<Response>{};
+  auto* reg = obs::MetricsRegistry::Default();
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  reg->GetCounter("net.round_trips")->Increment();
+  reg->GetCounter("net.batches")->Increment();
+
+  for (Request& r : requests) {
+    if (r.request_id == 0) r.request_id = next_request_id_.fetch_add(1) + 1;
+  }
+  uint64_t first_id = requests.front().request_id;
+  obs::Tracer::Default()->Emit(
+      "net.batch_request", {{"request_id", std::to_string(first_id)},
+                            {"count", std::to_string(requests.size())}});
+
+  if (disconnected_.load()) {
+    return Status::CommError("connection closed by client");
+  }
+  if (ClaimFault(&drop_requests_)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    reg->GetCounter("net.faults.dropped_requests")->Increment();
+    return Status::CommError("connection reset (request lost)");
+  }
+  BatchRequest batch;
+  batch.requests = std::move(requests);
+  std::string wire_request = batch.Encode();
+  bytes_sent_.fetch_add(wire_request.size(), std::memory_order_relaxed);
+  reg->GetCounter("net.bytes_sent")->Increment(wire_request.size());
+  SimulateWire(wire_request.size());
+
+  if (!server_->alive()) {
     return Status::CommError("connection reset by peer (server down)");
   }
-  PHX_ASSIGN_OR_RETURN(Request decoded, Request::Decode(wire_request));
-  Response response = server_->Handle(decoded);
-  std::string wire_response = response.Encode();
-
-  if (lose_replies_ > 0) {
-    // The server executed the request, but the reply never arrives.
-    --lose_replies_;
-    ++stats_.faults_injected;
+  PHX_ASSIGN_OR_RETURN(BatchRequest decoded, BatchRequest::Decode(wire_request));
+  bool lose_reply = ClaimFault(&lose_replies_);
+  if (lose_reply) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     reg->GetCounter("net.faults.lost_replies")->Increment();
-    record_latency();
-    TraceOutcome(req.request_id, req.kind, "net.fault.reply_lost");
+  }
+  BatchResponse response = server_->HandleBatch(decoded);
+  std::string wire_response = response.Encode();
+  if (lose_reply) {
+    // Every request in the batch executed; the one reply message vanished.
     return Status::Timeout("no response from server");
   }
-  stats_.bytes_received += wire_response.size();
+  bytes_received_.fetch_add(wire_response.size(), std::memory_order_relaxed);
   reg->GetCounter("net.bytes_received")->Increment(wire_response.size());
   SimulateWire(wire_response.size());
-  record_latency();
-  TraceOutcome(req.request_id, req.kind, "net.response");
-  return Response::Decode(wire_response);
+  PHX_ASSIGN_OR_RETURN(BatchResponse reply, BatchResponse::Decode(wire_response));
+  return std::move(reply.responses);
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.round_trips = round_trips_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace phoenix::net

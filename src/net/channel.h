@@ -1,10 +1,13 @@
 #ifndef PHOENIX_NET_CHANNEL_H_
 #define PHOENIX_NET_CHANNEL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/db_server.h"
@@ -15,10 +18,16 @@ namespace phoenix::net {
 /// Network behavior knobs for a connection.
 struct NetworkConfig {
   /// Simulated one-way+return latency added to every round trip, in
-  /// microseconds (busy-wait so wall-clock measurements see it). 0 = off.
+  /// microseconds. 0 = off.
   uint64_t round_trip_latency_us = 0;
   /// Additional per-byte cost, in nanoseconds per byte (both directions).
   uint64_t ns_per_byte = 0;
+  /// How latency is simulated. false (default): busy-wait, so wall-clock
+  /// timers see it without descheduling noise — right for single-threaded
+  /// paper-reproduction benches. true: sleep, so concurrent clients overlap
+  /// their wire time instead of fighting for cores — right for multi-client
+  /// scaling benches (and the only honest model on few-core machines).
+  bool sleep_wire = false;
 };
 
 /// Point-in-time traffic counters for one Channel. The same quantities are
@@ -35,6 +44,12 @@ struct ChannelStats {
 /// boundary as *serialized bytes* — the in-process shortcut never leaks
 /// object references — so message counts and sizes are faithful.
 ///
+/// Thread safety: a Channel may be shared by concurrent callers (that is
+/// what RoundTripAsync is for). Traffic counters are atomic, and every
+/// fault-injection token is *claimed per request* at dispatch time — a
+/// single InjectLoseReplies(1) loses exactly one reply no matter how many
+/// round trips are in flight (the pre-claim design double-resolved it).
+///
 /// Failure semantics:
 ///  - server crashed / not yet restarted → kCommError
 ///  - fault injection can force the next request to kCommError or kTimeout
@@ -48,39 +63,57 @@ class Channel {
   /// Sends a request and waits for the reply.
   Result<Response> RoundTrip(const Request& request);
 
+  /// Sends a request without waiting: the server executes it on its worker
+  /// pool while the caller does other work. The returned future yields the
+  /// same Result a synchronous RoundTrip would have (the response-side wire
+  /// cost is paid by whoever calls .get()).
+  std::future<Result<Response>> RoundTripAsync(const Request& request);
+
+  /// Ships `requests` as ONE wire message (BatchRequest framing), lets the
+  /// server execute them concurrently (per-session order preserved), and
+  /// returns the responses in request order. One round trip, one fault
+  /// token: a drop or lost reply hits the whole batch.
+  Result<std::vector<Response>> RoundTripBatch(std::vector<Request> requests);
+
   /// The next `n` round trips fail with kCommError before reaching the
   /// server (request lost).
-  void InjectDropRequests(int n) { drop_requests_ = n; }
+  void InjectDropRequests(int n) { drop_requests_.store(n); }
 
   /// The next `n` round trips reach the server and execute, but the reply
   /// is lost; the caller sees kTimeout.
-  void InjectLoseReplies(int n) { lose_replies_ = n; }
+  void InjectLoseReplies(int n) { lose_replies_.store(n); }
 
   /// Client-side hangup. Subsequent round trips fail with kCommError.
-  void Disconnect() { disconnected_ = true; }
-  bool disconnected() const { return disconnected_; }
+  void Disconnect() { disconnected_.store(true); }
+  bool disconnected() const { return disconnected_.load(); }
 
   DbServer* server() { return server_; }
 
   /// Snapshot of this channel's traffic counters.
-  ChannelStats stats() const { return stats_; }
+  ChannelStats stats() const;
 
   /// Deprecated accessors — prefer stats(). Kept as thin forwarders so
   /// pre-redesign callers compile unchanged.
-  uint64_t round_trips() const { return stats_.round_trips; }
-  uint64_t bytes_sent() const { return stats_.bytes_sent; }
-  uint64_t bytes_received() const { return stats_.bytes_received; }
+  uint64_t round_trips() const { return round_trips_.load(); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  uint64_t bytes_received() const { return bytes_received_.load(); }
 
  private:
   void SimulateWire(size_t bytes) const;
+  /// Atomically consumes one token from `counter` if any remain — the
+  /// per-request fault decision.
+  static bool ClaimFault(std::atomic<int>* counter);
 
   DbServer* server_;
   NetworkConfig config_;
-  bool disconnected_ = false;
-  int drop_requests_ = 0;
-  int lose_replies_ = 0;
-  uint64_t next_request_id_ = 0;
-  ChannelStats stats_;
+  std::atomic<bool> disconnected_{false};
+  std::atomic<int> drop_requests_{0};
+  std::atomic<int> lose_replies_{0};
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> faults_injected_{0};
 };
 
 /// Name→server directory, the moral equivalent of DNS + the ODBC DSN list.

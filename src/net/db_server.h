@@ -1,18 +1,30 @@
 #ifndef PHOENIX_NET_DB_SERVER_H_
 #define PHOENIX_NET_DB_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "engine/database.h"
 #include "net/protocol.h"
+#include "net/worker_pool.h"
 #include "storage/sim_disk.h"
 
 namespace phoenix::net {
 
 struct ServerOptions {
   eng::DatabaseOptions db;
+  /// Dispatcher worker threads. Every request — even from a single-threaded
+  /// client — executes on one of these, never on the caller's thread.
+  size_t worker_threads = 4;
+  /// Bounded dispatch queue; producers block when it is full (backpressure).
+  size_t queue_capacity = 128;
 };
 
 /// Point-in-time counters for one DbServer; the same quantities aggregate
@@ -25,18 +37,29 @@ struct ServerStats {
 /// One database server *process*. Owns a Database over a SimDisk that it
 /// does NOT own — the disk survives the process.
 ///
+/// Concurrency model (DESIGN.md §Concurrency): every request is dispatched
+/// onto a fixed WorkerPool. Requests from *different* sessions execute
+/// concurrently; requests carrying the *same* session id are serialized in
+/// submission order by a per-session ticket gate, so one session's
+/// statements never reorder. Handle() is the synchronous wrapper around
+/// HandleAsync() and is safe to call from any number of threads.
+///
 /// Crash() models the machine/process failure the paper recovers from:
-/// the Database object (sessions, temp tables, cursors, open transactions)
-/// is destroyed, and every disk byte not yet synced is discarded. Restart()
-/// builds a fresh Database, which runs checkpoint+WAL recovery.
+/// intake stops, the worker pool drains gracefully (accepted requests
+/// finish — they "beat the crash"), then the Database object (sessions,
+/// temp tables, cursors, open transactions) is destroyed and every disk
+/// byte not yet synced is discarded. Restart() builds a fresh Database,
+/// which runs checkpoint+WAL recovery, and a fresh pool.
 class DbServer {
  public:
   DbServer(storage::SimDisk* disk, ServerOptions opts = {});
+  ~DbServer();
 
   /// Boots the server (initial recovery). Must be called before use.
   Status Start();
 
-  /// Hard process kill. Safe to call repeatedly.
+  /// Hard process kill (graceful pool drain first). Safe to call repeatedly
+  /// and concurrently with in-flight requests.
   void Crash();
 
   /// Crash where the OS had flushed a fraction of buffered bytes (torn WAL
@@ -46,33 +69,77 @@ class DbServer {
   /// Boots a replacement process over the same disk.
   Status Restart();
 
-  bool alive() const { return db_ != nullptr; }
+  bool alive() const;
   /// Number of (re)starts — lets clients detect "server came back".
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   /// The server's request dispatcher. Callers reach this through a Channel,
-  /// never directly (the Channel models the network).
+  /// never directly (the Channel models the network). Blocks until the
+  /// request has been executed by a pool worker (or rejected).
   Response Handle(const Request& request);
+
+  /// Fire-and-collect variant: the request is queued for a pool worker and
+  /// the future resolves when its response is ready. Same-session requests
+  /// submitted in order execute in order.
+  std::future<Response> HandleAsync(const Request& request);
+
+  /// Executes a decoded batch: every request is dispatched (concurrently
+  /// across sessions, in order within one), and the responses are returned
+  /// in request order.
+  BatchResponse HandleBatch(const BatchRequest& batch);
 
   eng::Database* database() { return db_.get(); }
   storage::SimDisk* disk() { return disk_; }
 
   /// Snapshot of this server's request counters.
-  ServerStats stats() const { return stats_; }
+  ServerStats stats() const;
+
+  /// Dispatcher pool introspection (null while crashed).
+  WorkerPool* pool() { return pool_.get(); }
 
   /// Deprecated: prefer stats().requests_handled. Thin forwarder kept so
   /// pre-redesign callers compile unchanged.
-  uint64_t requests_handled() const { return stats_.requests_handled; }
+  uint64_t requests_handled() const { return stats().requests_handled; }
 
  private:
+  /// Serializes one session's requests in ticket (submission) order.
+  ///
+  /// Two mutexes on purpose: submit_mu is held across ticket issuance AND
+  /// pool submission (so ticket order == queue order), while mu guards only
+  /// the wait/advance handshake. If one lock did both jobs, a submitter
+  /// blocked on a full pool queue would hold the lock a *worker* needs to
+  /// advance now_serving — deadlock with a single worker thread.
+  struct SessionGate {
+    std::mutex submit_mu;       ///< held across ticket issue + Submit()
+    std::mutex mu;              ///< guards next_ticket / now_serving
+    std::condition_variable cv;
+    uint64_t next_ticket = 0;   ///< next ticket to hand out
+    uint64_t now_serving = 0;   ///< ticket allowed to run
+  };
+
   Response Dispatch(const Request& request);
+  void CrashImpl(double keep_fraction, bool partial);
+  std::shared_ptr<SessionGate> GateFor(uint64_t session_id);
 
   storage::SimDisk* disk_;
   ServerOptions opts_;
+
+  /// Guards the lifecycle: db_, pool_, accepting_. Requests take it shared
+  /// (submission only — execution holds no lifecycle lock); Crash/Restart
+  /// take it exclusive. The pool drain in Crash() runs *outside* the lock,
+  /// after intake is closed, so draining tasks still see a live db_.
+  mutable std::shared_mutex lifecycle_mu_;
+  bool accepting_ = false;
   std::unique_ptr<eng::Database> db_;
-  uint64_t epoch_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::mutex gates_mu_;
+  std::map<uint64_t, std::shared_ptr<SessionGate>> gates_;
+
+  std::atomic<uint64_t> epoch_{0};
   uint64_t next_session_id_ = 1;  ///< survives restarts: ids never repeat
-  ServerStats stats_;
+  std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> requests_rejected_down_{0};
 };
 
 }  // namespace phoenix::net

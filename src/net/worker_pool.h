@@ -1,0 +1,76 @@
+#ifndef PHOENIX_NET_WORKER_POOL_H_
+#define PHOENIX_NET_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phoenix::net {
+
+/// Fixed-size thread pool with a bounded FIFO task queue — the DbServer's
+/// request dispatcher. Semantics chosen for a database server:
+///
+///  - Submit() blocks the producer while the queue is full (backpressure,
+///    never unbounded memory) and returns false once the pool is stopping —
+///    the caller turns that into a "server is down" response.
+///  - Shutdown() is a *graceful drain*: intake stops immediately, but every
+///    task already accepted (queued or running) finishes before the worker
+///    threads are joined. DbServer::Crash() relies on this so no task can
+///    touch the Database object after it is destroyed.
+///  - Tasks are plain std::function<void()>; result delivery is the
+///    caller's business (DbServer uses promises keyed by request).
+///
+/// The pool reports "server.pool.*" metrics: tasks executed, queue
+/// high-water mark, and submissions that had to wait for queue space.
+class WorkerPool {
+ public:
+  struct Options {
+    size_t threads = 4;
+    size_t queue_capacity = 128;
+  };
+
+  explicit WorkerPool(Options opts);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  /// Implicit graceful Shutdown().
+  ~WorkerPool();
+
+  /// Enqueues a task, blocking while the queue is full. Returns false (task
+  /// not accepted) iff Shutdown() has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Stops intake, runs every accepted task to completion, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Blocks until the queue is empty and all workers are idle. Intake stays
+  /// open; racing producers can make this wait longer.
+  void Drain();
+
+  size_t threads() const { return threads_.size(); }
+  uint64_t tasks_executed() const;
+  size_t queue_high_water() const;
+
+ private:
+  void WorkerLoop();
+
+  Options opts_;  ///< normalized in the constructor, constant afterwards
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;   ///< queue gained a task / stopping
+  std::condition_variable not_full_;    ///< queue gained space / stopping
+  std::condition_variable idle_;        ///< queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t running_ = 0;  ///< tasks currently executing
+  uint64_t tasks_executed_ = 0;
+  size_t queue_high_water_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace phoenix::net
+
+#endif  // PHOENIX_NET_WORKER_POOL_H_

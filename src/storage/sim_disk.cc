@@ -3,12 +3,14 @@
 namespace phoenix::storage {
 
 Status SimDisk::Append(const std::string& file, const std::string& data) {
+  std::lock_guard<std::mutex> lk(mu_);
   files_[file].tail += data;
   bytes_written_ += data.size();
   return Status::Ok();
 }
 
 Status SimDisk::Sync(const std::string& file) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   it->second.durable += it->second.tail;
@@ -18,6 +20,7 @@ Status SimDisk::Sync(const std::string& file) {
 }
 
 Status SimDisk::WriteAtomic(const std::string& file, const std::string& data) {
+  std::lock_guard<std::mutex> lk(mu_);
   FileState& f = files_[file];
   f.durable = data;
   f.tail.clear();
@@ -27,22 +30,26 @@ Status SimDisk::WriteAtomic(const std::string& file, const std::string& data) {
 }
 
 Result<std::string> SimDisk::Read(const std::string& file) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   return it->second.durable + it->second.tail;
 }
 
 Result<std::string> SimDisk::ReadDurable(const std::string& file) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   return it->second.durable;
 }
 
 bool SimDisk::Exists(const std::string& file) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return files_.count(file) > 0;
 }
 
 Status SimDisk::Delete(const std::string& file) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   files_.erase(it);
@@ -50,6 +57,7 @@ Status SimDisk::Delete(const std::string& file) {
 }
 
 std::vector<std::string> SimDisk::List() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, state] : files_) names.push_back(name);
@@ -57,10 +65,12 @@ std::vector<std::string> SimDisk::List() const {
 }
 
 void SimDisk::Crash() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, state] : files_) state.tail.clear();
 }
 
 void SimDisk::CrashWithPartialFlush(double keep_fraction) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (keep_fraction < 0) keep_fraction = 0;
   if (keep_fraction > 1) keep_fraction = 1;
   for (auto& [name, state] : files_) {
@@ -68,6 +78,16 @@ void SimDisk::CrashWithPartialFlush(double keep_fraction) {
     state.durable += state.tail.substr(0, keep);
     state.tail.clear();
   }
+}
+
+uint64_t SimDisk::bytes_written() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_written_;
+}
+
+uint64_t SimDisk::sync_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sync_count_;
 }
 
 }  // namespace phoenix::storage

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@ namespace phoenix::storage {
 ///
 /// The object itself outlives server crashes (it *is* the disk); a restarted
 /// server re-attaches to the same SimDisk.
+///
+/// Thread-safe: each operation is atomic under an internal mutex, like a
+/// kernel block layer. (Ordering across operations is the caller's problem,
+/// exactly as with a real disk.)
 class SimDisk {
  public:
   SimDisk() = default;
@@ -56,15 +61,16 @@ class SimDisk {
   void CrashWithPartialFlush(double keep_fraction);
 
   /// Cumulative bytes appended (volatile) since construction.
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const;
   /// Number of Sync()/WriteAtomic() durability points.
-  uint64_t sync_count() const { return sync_count_; }
+  uint64_t sync_count() const;
 
  private:
   struct FileState {
     std::string durable;
     std::string tail;
   };
+  mutable std::mutex mu_;
   std::map<std::string, FileState> files_;
   uint64_t bytes_written_ = 0;
   uint64_t sync_count_ = 0;

@@ -141,6 +141,7 @@ void CountAppend(size_t bytes) {
 Status WalWriter::AppendCommit(const WalCommitRecord& record) {
   std::string frame = FrameRecord(record);
   CountAppend(frame.size());
+  std::lock_guard<std::mutex> lk(mu_);
   PHX_RETURN_IF_ERROR(disk_->Append(file_, std::move(frame)));
   obs::MetricsRegistry::Default()->GetCounter("storage.wal.syncs")->Increment();
   return disk_->Sync(file_);
@@ -149,10 +150,14 @@ Status WalWriter::AppendCommit(const WalCommitRecord& record) {
 Status WalWriter::AppendCommitNoSync(const WalCommitRecord& record) {
   std::string frame = FrameRecord(record);
   CountAppend(frame.size());
+  std::lock_guard<std::mutex> lk(mu_);
   return disk_->Append(file_, std::move(frame));
 }
 
-Status WalWriter::Reset() { return disk_->WriteAtomic(file_, ""); }
+Status WalWriter::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return disk_->WriteAtomic(file_, "");
+}
 
 Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
     const SimDisk& disk, const std::string& file) {

@@ -2,6 +2,7 @@
 #define PHOENIX_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,9 @@ Result<WalOp> DecodeWalOp(Decoder* dec);
 
 /// Appends framed, checksummed commit records to a SimDisk file and forces
 /// them durable before reporting success (write-ahead rule).
+///
+/// Thread-safe: an internal mutex makes each record's append+sync atomic, so
+/// concurrent committers can never interleave frame bytes in the log.
 class WalWriter {
  public:
   WalWriter(SimDisk* disk, std::string file)
@@ -70,6 +74,7 @@ class WalWriter {
   const std::string& file() const { return file_; }
 
  private:
+  std::mutex mu_;
   SimDisk* disk_;
   std::string file_;
 };

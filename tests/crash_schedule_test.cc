@@ -1,0 +1,203 @@
+// Seeded crash-schedule matrix: the chaos-test equivalence property, swept
+// deterministically over (workload seed x crash point x partial-flush
+// fraction) instead of sampled randomly. Every cell must satisfy:
+//
+//   Phoenix over a server that dies at statement `crash_at` — with only
+//   `flush` of the OS write buffer reaching the platter — observes exactly
+//   what native ODBC observes on a server that never fails.
+//
+// Each cell logs its (seed, crash_at, flush) triple via SCOPED_TRACE, so a
+// red cell in CI is a one-line repro.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/phoenix_driver_manager.h"
+#include "test_util.h"
+
+namespace phoenix::core {
+namespace {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using testutil::TestCluster;
+
+struct Op {
+  std::string sql;
+  bool is_query = false;
+};
+
+/// Deterministic workload: keyed DML, scans, aggregates, explicit
+/// transactions, temp-table traffic. Distinct from the chaos generator so
+/// the two suites do not share blind spots.
+std::vector<Op> MakeWorkload(uint64_t seed, int n_ops) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.push_back({"CREATE TABLE LEDGER (K INTEGER PRIMARY KEY, AMT INTEGER, "
+                 "TAG VARCHAR)"});
+  ops.push_back({"CREATE TEMPORARY TABLE SCRATCH (N INTEGER)"});
+  int64_t next_key = 1;
+  int64_t live_keys = 0;
+  while (static_cast<int>(ops.size()) < n_ops) {
+    switch (rng.NextBelow(7)) {
+      case 0:
+      case 1: {  // insert
+        int64_t k = next_key++;
+        ops.push_back({"INSERT INTO LEDGER VALUES (" + std::to_string(k) +
+                       ", " + std::to_string(rng.NextBelow(500)) + ", 'tag-" +
+                       std::to_string(rng.NextBelow(5)) + "')"});
+        ++live_keys;
+        break;
+      }
+      case 2:  // keyed update (may hit a deleted key: affects 0 rows, fine)
+        ops.push_back({"UPDATE LEDGER SET AMT = AMT + " +
+                       std::to_string(1 + rng.NextBelow(20)) + " WHERE K = " +
+                       std::to_string(1 + rng.NextBelow(next_key))});
+        break;
+      case 3:  // predicate delete
+        if (live_keys < 4) break;
+        ops.push_back({"DELETE FROM LEDGER WHERE K = " +
+                       std::to_string(1 + rng.NextBelow(next_key))});
+        --live_keys;
+        break;
+      case 4:  // queries
+        ops.push_back({"SELECT K, AMT, TAG FROM LEDGER ORDER BY K", true});
+        ops.push_back({"SELECT TAG, COUNT(*) AS N, SUM(AMT) AS S FROM LEDGER "
+                       "GROUP BY TAG ORDER BY TAG",
+                       true});
+        break;
+      case 5: {  // explicit transaction, sometimes rolled back
+        bool commit = rng.NextBool(0.6);
+        ops.push_back({"BEGIN TRANSACTION"});
+        for (int i = 1 + static_cast<int>(rng.NextBelow(3)); i > 0; --i) {
+          ops.push_back({"UPDATE LEDGER SET AMT = AMT * 2 WHERE K = " +
+                         std::to_string(1 + rng.NextBelow(next_key))});
+        }
+        ops.push_back({commit ? "COMMIT" : "ROLLBACK"});
+        break;
+      }
+      default:  // temp-table traffic (volatile state the server must rebuild)
+        ops.push_back({"INSERT INTO SCRATCH VALUES (" +
+                       std::to_string(rng.NextBelow(50)) + ")"});
+        ops.push_back({"SELECT COUNT(*) AS N, SUM(N) AS S FROM SCRATCH", true});
+        break;
+    }
+  }
+  ops.push_back({"SELECT K, AMT, TAG FROM LEDGER ORDER BY K", true});
+  ops.push_back({"SELECT COUNT(*) AS N FROM SCRATCH", true});
+  return ops;
+}
+
+struct Observation {
+  std::vector<Row> rows;
+  int64_t affected = -1;
+};
+
+Observation RunOp(DriverManager* dm, Hdbc* dbc, const Op& op) {
+  Observation obs;
+  Hstmt* stmt = dm->AllocStmt(dbc);
+  EXPECT_EQ(dm->ExecDirect(stmt, op.sql), SqlReturn::kSuccess)
+      << op.sql << " -> " << DriverManager::Diag(stmt).ToString();
+  if (op.is_query) {
+    size_t cols = 0;
+    dm->NumResultCols(stmt, &cols);
+    while (Succeeded(dm->Fetch(stmt))) {
+      Row row;
+      for (size_t c = 0; c < cols; ++c) {
+        Value v;
+        dm->GetData(stmt, c, &v);
+        row.push_back(std::move(v));
+      }
+      obs.rows.push_back(std::move(row));
+    }
+  } else {
+    dm->RowCount(stmt, &obs.affected);
+  }
+  dm->FreeStmt(stmt);
+  return obs;
+}
+
+/// EXPECT-level comparison; returns false on the first mismatch so the
+/// matrix sweep can bail out of a failed cell without aborting the test.
+bool SameObservation(const Observation& ref, const Observation& got,
+                     const Op& op, size_t index) {
+  EXPECT_EQ(ref.affected, got.affected) << "op " << index << ": " << op.sql;
+  EXPECT_EQ(ref.rows.size(), got.rows.size())
+      << "op " << index << ": " << op.sql;
+  if (ref.affected != got.affected || ref.rows.size() != got.rows.size()) {
+    return false;
+  }
+  for (size_t r = 0; r < ref.rows.size(); ++r) {
+    if (ref.rows[r].size() != got.rows[r].size()) {
+      ADD_FAILURE() << "op " << index << " row " << r << " width mismatch";
+      return false;
+    }
+    for (size_t c = 0; c < ref.rows[r].size(); ++c) {
+      if (ref.rows[r][c].Compare(got.rows[r][c]) != 0) {
+        ADD_FAILURE() << "op " << index << " row " << r << " col " << c
+                      << ": " << op.sql << " expected "
+                      << ref.rows[r][c].ToString() << " got "
+                      << got.rows[r][c].ToString();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(CrashSchedule, EquivalenceHoldsAcrossSeedCrashPointFlushMatrix) {
+  const std::vector<uint64_t> seeds = {3, 17, 42};
+  const std::vector<double> crash_points = {0.25, 0.6, 0.9};
+  const std::vector<double> flush_fractions = {0.0, 0.5, 1.0};
+
+  for (uint64_t seed : seeds) {
+    std::vector<Op> ops = MakeWorkload(seed, 60);
+
+    // Reference observations: native driver, fault-free server, once per
+    // seed — every matrix cell for this seed is compared against them.
+    std::vector<Observation> reference;
+    {
+      TestCluster ref_cluster;
+      DriverManager native(&ref_cluster.network);
+      Hdbc* dbc = native.AllocConnect(native.AllocEnv());
+      ASSERT_EQ(native.Connect(dbc, "testdb", "ref"), SqlReturn::kSuccess);
+      reference.reserve(ops.size());
+      for (const Op& op : ops) reference.push_back(RunOp(&native, dbc, op));
+      native.Disconnect(dbc);
+    }
+
+    for (double crash_point : crash_points) {
+      for (double flush : flush_fractions) {
+        size_t crash_at = static_cast<size_t>(ops.size() * crash_point);
+        SCOPED_TRACE("repro: seed=" + std::to_string(seed) +
+                     " crash_at=" + std::to_string(crash_at) +
+                     " flush=" + std::to_string(flush));
+
+        TestCluster cluster;
+        PhoenixDriverManager phoenix(
+            &cluster.network, testutil::AutoRestartConfig(&cluster.server));
+        Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+        ASSERT_EQ(phoenix.Connect(dbc, "testdb", "phx"), SqlReturn::kSuccess);
+
+        bool cell_ok = true;
+        for (size_t i = 0; i < ops.size() && cell_ok; ++i) {
+          if (i == crash_at) {
+            cluster.server.CrashWithPartialFlush(flush);
+          }
+          Observation got = RunOp(&phoenix, dbc, ops[i]);
+          cell_ok = SameObservation(reference[i], got, ops[i], i);
+        }
+        EXPECT_TRUE(cell_ok);
+        EXPECT_GE(phoenix.stats().recoveries, 1u)
+            << "the scheduled crash was never recovered from";
+        phoenix.Disconnect(dbc);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::core
