@@ -6,7 +6,12 @@
 # lane is the merge gate for anything touching the concurrent DbServer,
 # worker pool, or engine locking: it must pass with zero reports.
 #
-# Usage: scripts/check_sanitizers.sh [asan|tsan]   (default: both)
+# A third lane, `chaos`, runs only the seeded fault-schedule matrix and the
+# recovery regression suite under both sanitizers — the fast loop when
+# iterating on recovery/chaos code. Any red schedule prints a one-line
+# `PHX_CHAOS_SEED=<seed>` repro command.
+#
+# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos]   (default: both)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +20,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 run_lane() {
   lane_name="$1"
   sanitizers="$2"
+  test_regex="${3:-}"
   build_dir="build-$lane_name"
   echo "==> [$lane_name] configure ($sanitizers)"
   cmake -B "$build_dir" -S . -DPHOENIX_SANITIZE="$sanitizers" \
@@ -26,17 +32,24 @@ run_lane() {
   ASAN_OPTIONS="halt_on_error=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$build_dir" --output-on-failure -j 2
+    ctest --test-dir "$build_dir" --output-on-failure -j 2 \
+          ${test_regex:+-R "$test_regex"}
   echo "==> [$lane_name] OK"
 }
+
+CHAOS_TESTS='chaos_matrix_test|recovery_regression_test'
 
 want="${1:-both}"
 case "$want" in
   asan) run_lane asan address,undefined ;;
   tsan) run_lane tsan thread ;;
+  chaos)
+    run_lane asan address,undefined "$CHAOS_TESTS"
+    run_lane tsan thread "$CHAOS_TESTS"
+    ;;
   both)
     run_lane asan address,undefined
     run_lane tsan thread
     ;;
-  *) echo "usage: $0 [asan|tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|tsan|chaos]" >&2; exit 2 ;;
 esac

@@ -1,0 +1,581 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/phoenix_driver_manager.h"
+#include "net/channel.h"
+#include "net/db_server.h"
+#include "odbc/driver_manager.h"
+#include "storage/recovery.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
+
+namespace phoenix::chaos {
+
+namespace {
+
+using core::PhoenixDriverManager;
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+struct ChaosOp {
+  enum class Kind : uint8_t { kSql, kOpenCursor, kFetchCursor, kCloseCursor };
+  Kind kind = Kind::kSql;
+  std::string sql;       // kSql / kOpenCursor
+  bool is_query = false; // kSql only
+  uint64_t fetch_n = 0;  // kFetchCursor only
+};
+
+/// Deterministic workload. Distinct generator from the gtest suites so the
+/// harness does not share their blind spots; the load-bearing addition is
+/// the long-lived cursor fetched in small blocks across many ops, so fault
+/// events land *between* block fetches and recovery must re-position a
+/// half-delivered result set.
+std::vector<ChaosOp> MakeWorkload(Rng* rng, int n_ops) {
+  std::vector<ChaosOp> ops;
+  auto sql = [&ops](std::string s, bool q = false) {
+    ops.push_back({ChaosOp::Kind::kSql, std::move(s), q, 0});
+  };
+  sql("CREATE TABLE ACCT (K INTEGER PRIMARY KEY, V INTEGER, NOTE VARCHAR)");
+  sql("CREATE TEMPORARY TABLE SIDE (N INTEGER)");
+  int64_t next_key = 1;
+  for (int i = 0; i < 8; ++i) {  // cursors always have rows to deliver
+    sql("INSERT INTO ACCT VALUES (" + std::to_string(next_key++) + ", " +
+        std::to_string(rng->NextBelow(1000)) + ", 'n" +
+        std::to_string(rng->NextBelow(7)) + "')");
+  }
+  bool cursor_open = false;
+  while (static_cast<int>(ops.size()) < n_ops) {
+    if (!cursor_open && rng->NextBool(0.18)) {
+      ops.push_back({ChaosOp::Kind::kOpenCursor,
+                     "SELECT K, V, NOTE FROM ACCT ORDER BY K", false, 0});
+      cursor_open = true;
+      continue;
+    }
+    if (cursor_open && rng->NextBool(0.45)) {
+      if (rng->NextBool(0.2)) {
+        ops.push_back({ChaosOp::Kind::kCloseCursor, "", false, 0});
+        cursor_open = false;
+      } else {
+        ops.push_back({ChaosOp::Kind::kFetchCursor, "", false,
+                       1 + rng->NextBelow(5)});
+      }
+      continue;
+    }
+    switch (rng->NextBelow(7)) {
+      case 0:
+      case 1:
+        sql("INSERT INTO ACCT VALUES (" + std::to_string(next_key++) + ", " +
+            std::to_string(rng->NextBelow(1000)) + ", 'n" +
+            std::to_string(rng->NextBelow(7)) + "')");
+        break;
+      case 2:
+        sql("UPDATE ACCT SET V = V + " +
+            std::to_string(1 + rng->NextBelow(40)) + " WHERE K = " +
+            std::to_string(1 + rng->NextBelow(static_cast<uint64_t>(next_key))));
+        break;
+      case 3:
+        sql("DELETE FROM ACCT WHERE K = " +
+            std::to_string(1 + rng->NextBelow(static_cast<uint64_t>(next_key))));
+        break;
+      case 4:
+        sql("SELECT K, V, NOTE FROM ACCT ORDER BY K", true);
+        break;
+      case 5: {  // explicit transaction, sometimes rolled back
+        bool commit = rng->NextBool(0.65);
+        sql("BEGIN TRANSACTION");
+        for (int i = 1 + static_cast<int>(rng->NextBelow(3)); i > 0; --i) {
+          sql("UPDATE ACCT SET V = V * 2 WHERE K = " +
+              std::to_string(
+                  1 + rng->NextBelow(static_cast<uint64_t>(next_key))));
+        }
+        sql(commit ? "COMMIT" : "ROLLBACK");
+        break;
+      }
+      default:
+        sql("INSERT INTO SIDE VALUES (" + std::to_string(rng->NextBelow(90)) +
+            ")");
+        sql("SELECT COUNT(*) AS C, SUM(N) AS S FROM SIDE", true);
+        break;
+    }
+  }
+  if (cursor_open) ops.push_back({ChaosOp::Kind::kCloseCursor, "", false, 0});
+  sql("SELECT K, V, NOTE FROM ACCT ORDER BY K", true);
+  sql("SELECT COUNT(*) AS C FROM SIDE", true);
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------------
+
+struct Fault {
+  enum class Kind : uint8_t {
+    kCrash,
+    kPartialFlush,
+    kTorn,
+    kMidCheckpoint,
+    kRecoveryCrash,
+    kLostReply,
+    kDroppedRequest,
+  };
+  size_t at_op = 0;
+  Kind kind = Kind::kCrash;
+  double fraction = 0.0;              // kPartialFlush
+  uint64_t sub_seed = 0;              // kTorn
+  core::RecoveryPoint point = core::RecoveryPoint::kDetected;  // kRecoveryCrash
+};
+
+const char* FaultName(Fault::Kind k) {
+  switch (k) {
+    case Fault::Kind::kCrash: return "crash";
+    case Fault::Kind::kPartialFlush: return "partial-flush";
+    case Fault::Kind::kTorn: return "torn";
+    case Fault::Kind::kMidCheckpoint: return "mid-checkpoint";
+    case Fault::Kind::kRecoveryCrash: return "recovery-crash";
+    case Fault::Kind::kLostReply: return "lost-reply";
+    case Fault::Kind::kDroppedRequest: return "dropped-request";
+  }
+  return "?";
+}
+
+std::vector<Fault> MakeFaultPlan(Rng* rng, const ChaosOptions& opts,
+                                 size_t n_ops) {
+  std::vector<Fault::Kind> kinds;
+  if (opts.allow_crash) kinds.push_back(Fault::Kind::kCrash);
+  if (opts.allow_partial_flush) kinds.push_back(Fault::Kind::kPartialFlush);
+  if (opts.allow_torn) kinds.push_back(Fault::Kind::kTorn);
+  if (opts.allow_mid_checkpoint) kinds.push_back(Fault::Kind::kMidCheckpoint);
+  if (opts.allow_recovery_crash) kinds.push_back(Fault::Kind::kRecoveryCrash);
+  if (opts.allow_lost_reply) kinds.push_back(Fault::Kind::kLostReply);
+  if (opts.allow_dropped_request) kinds.push_back(Fault::Kind::kDroppedRequest);
+  std::vector<Fault> plan;
+  if (kinds.empty() || n_ops < 14) return plan;
+  // Distinct op indices past the fixed workload preamble.
+  std::set<size_t> sites;
+  while (static_cast<int>(sites.size()) < opts.n_faults) {
+    sites.insert(11 + rng->NextBelow(n_ops - 12));
+  }
+  for (size_t at : sites) {
+    Fault f;
+    f.at_op = at;
+    f.kind = kinds[rng->NextBelow(kinds.size())];
+    f.fraction = rng->NextDouble();
+    f.sub_seed = rng->Next();
+    f.point = rng->NextBool() ? core::RecoveryPoint::kDetected
+                              : core::RecoveryPoint::kVirtualSessionRemapped;
+    plan.push_back(f);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Client driving + observation capture
+// ---------------------------------------------------------------------------
+
+struct Observation {
+  bool ok = true;
+  std::string error;
+  int64_t affected = -1;
+  std::vector<Row> rows;
+};
+
+struct Client {
+  DriverManager* dm = nullptr;
+  Hdbc* dbc = nullptr;
+  Hstmt* cursor = nullptr;  // the long-lived cursor statement
+};
+
+void FetchRows(DriverManager* dm, Hstmt* stmt, uint64_t limit,
+               std::vector<Row>* out) {
+  size_t cols = 0;
+  dm->NumResultCols(stmt, &cols);
+  uint64_t n = 0;
+  while ((limit == 0 || n < limit) && Succeeded(dm->Fetch(stmt))) {
+    Row row;
+    for (size_t c = 0; c < cols; ++c) {
+      Value v;
+      dm->GetData(stmt, c, &v);
+      row.push_back(std::move(v));
+    }
+    out->push_back(std::move(row));
+    ++n;
+  }
+}
+
+Observation RunOp(Client* cl, const ChaosOp& op) {
+  Observation obs;
+  switch (op.kind) {
+    case ChaosOp::Kind::kSql: {
+      Hstmt* stmt = cl->dm->AllocStmt(cl->dbc);
+      if (cl->dm->ExecDirect(stmt, op.sql) != SqlReturn::kSuccess) {
+        obs.ok = false;
+        obs.error = DriverManager::Diag(stmt).ToString();
+      } else if (op.is_query) {
+        FetchRows(cl->dm, stmt, 0, &obs.rows);
+      } else {
+        cl->dm->RowCount(stmt, &obs.affected);
+      }
+      cl->dm->FreeStmt(stmt);
+      return obs;
+    }
+    case ChaosOp::Kind::kOpenCursor: {
+      if (cl->cursor != nullptr) {
+        cl->dm->FreeStmt(cl->cursor);
+        cl->cursor = nullptr;
+      }
+      cl->cursor = cl->dm->AllocStmt(cl->dbc);
+      if (cl->dm->ExecDirect(cl->cursor, op.sql) != SqlReturn::kSuccess) {
+        obs.ok = false;
+        obs.error = DriverManager::Diag(cl->cursor).ToString();
+      }
+      return obs;
+    }
+    case ChaosOp::Kind::kFetchCursor: {
+      if (cl->cursor == nullptr) {
+        obs.ok = false;
+        obs.error = "no open cursor";
+        return obs;
+      }
+      FetchRows(cl->dm, cl->cursor, op.fetch_n, &obs.rows);
+      return obs;
+    }
+    case ChaosOp::Kind::kCloseCursor: {
+      if (cl->cursor != nullptr) {
+        cl->dm->FreeStmt(cl->cursor);
+        cl->cursor = nullptr;
+      }
+      return obs;
+    }
+  }
+  obs.ok = false;
+  obs.error = "bad op kind";
+  return obs;
+}
+
+/// Appends the first observable divergence to `why`; true when identical.
+bool SameObservation(const Observation& ref, const Observation& got,
+                     std::string* why) {
+  if (ref.ok != got.ok) {
+    *why = ref.ok ? "op failed under chaos: " + got.error
+                  : "op failed on the oracle: " + ref.error;
+    return false;
+  }
+  if (ref.affected != got.affected) {
+    *why = "affected mismatch: oracle " + std::to_string(ref.affected) +
+           " vs chaos " + std::to_string(got.affected);
+    return false;
+  }
+  if (ref.rows.size() != got.rows.size()) {
+    *why = "row-count mismatch: oracle " + std::to_string(ref.rows.size()) +
+           " vs chaos " + std::to_string(got.rows.size());
+    return false;
+  }
+  for (size_t r = 0; r < ref.rows.size(); ++r) {
+    if (ref.rows[r].size() != got.rows[r].size()) {
+      *why = "row " + std::to_string(r) + " width mismatch";
+      return false;
+    }
+    for (size_t c = 0; c < ref.rows[r].size(); ++c) {
+      if (ref.rows[r][c].Compare(got.rows[r][c]) != 0) {
+        *why = "row " + std::to_string(r) + " col " + std::to_string(c) +
+               ": oracle " + ref.rows[r][c].ToString() + " vs chaos " +
+               got.rows[r][c].ToString();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// One-shot arming state for the crash-at-RecoveryPoint fault.
+struct RecoveryCrashArm {
+  bool armed = false;
+  core::RecoveryPoint point = core::RecoveryPoint::kDetected;
+};
+
+}  // namespace
+
+std::string ChaosReport::DebugString() const {
+  std::string s = "ChaosReport{seed=" + std::to_string(seed) +
+                  " ok=" + (ok ? "true" : "false") +
+                  " ops=" + std::to_string(ops_run) +
+                  " faults=" + std::to_string(faults_injected) +
+                  " crashes=" + std::to_string(server_crashes) +
+                  " mid_ckpt=" + std::to_string(mid_ckpt_images) +
+                  " recoveries=" + std::to_string(recoveries) +
+                  " recrashes=" + std::to_string(recovery_recrashes) +
+                  " lost_replies=" + std::to_string(lost_replies_recovered) +
+                  " wal_skipped=" + std::to_string(wal_records_skipped) +
+                  " tear=" + (wal_tear_detected ? "true" : "false");
+  if (!failure.empty()) s += " failure=\"" + failure + "\"";
+  return s + "}";
+}
+
+ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
+  ChaosReport report;
+  report.seed = opts.seed;
+  auto fail = [&report](const std::string& what) {
+    if (report.ok) {
+      report.ok = false;
+      report.failure =
+          "seed=" + std::to_string(report.seed) + ": " + what;
+    }
+  };
+
+  Rng rng(opts.seed);
+  std::vector<ChaosOp> ops = MakeWorkload(&rng, opts.n_ops);
+  std::vector<Fault> plan = MakeFaultPlan(&rng, opts, ops.size());
+
+  // ---- Shadow oracle: native driver, fault-free server ------------------
+  storage::SimDisk ref_disk;
+  net::DbServer ref_server(&ref_disk);
+  if (Status st = ref_server.Start(); !st.ok()) {
+    fail("oracle server start: " + st.ToString());
+    return report;
+  }
+  net::Network ref_net;
+  ref_net.RegisterServer("refdb", &ref_server);
+  DriverManager native(&ref_net);
+  Client ref_client{&native, native.AllocConnect(native.AllocEnv()), nullptr};
+  if (native.Connect(ref_client.dbc, "refdb", "oracle") !=
+      SqlReturn::kSuccess) {
+    fail("oracle connect failed");
+    return report;
+  }
+  std::vector<Observation> oracle;
+  oracle.reserve(ops.size());
+  for (const ChaosOp& op : ops) {
+    oracle.push_back(RunOp(&ref_client, op));
+    if (!oracle.back().ok) {
+      fail("oracle run rejected op \"" + op.sql +
+           "\": " + oracle.back().error);
+      return report;
+    }
+  }
+
+  // ---- Chaos run: Phoenix over a server the fault plan keeps killing ----
+  storage::SimDisk disk;
+  net::ServerOptions sopts;
+  sopts.db.checkpoint_every_n_commits = opts.checkpoint_every_n_commits;
+  net::DbServer server(&disk, sopts);
+  if (Status st = server.Start(); !st.ok()) {
+    fail("chaos server start: " + st.ToString());
+    return report;
+  }
+  net::Network net;
+  net.RegisterServer("chaosdb", &server);
+
+  // The WAL file of the chaos server, for in-flight-commit fault injection.
+  const std::string wal_file =
+      storage::DurabilityManager(&disk, sopts.db.disk_prefix).wal_file();
+
+  core::PhoenixConfig config;
+  config.server_side_reposition = opts.server_side_reposition;
+  ChaosReport* rep = &report;
+  // Reconnect loop: restart the dead server after a few probe attempts
+  // (the single-threaded stand-in for "the operator reboots the machine").
+  // Each successful restart folds that recovery's WAL accounting into the
+  // report — tears and checkpoint-subsumed records are consumed (repaired /
+  // skipped) by the restart itself, so a final audit alone would miss them.
+  auto restart_error = std::make_shared<std::string>();
+  auto probe_count = std::make_shared<int>(0);
+  config.retry_wait = [&server, restart_error, probe_count, rep]() {
+    if (++*probe_count >= 3 && !server.alive()) {
+      Status st = server.Restart();
+      if (!st.ok() && restart_error->empty()) {
+        *restart_error = st.ToString();
+      }
+      if (st.ok() && server.database() != nullptr) {
+        const storage::RecoveryInfo& ri = server.database()->recovery_info();
+        rep->wal_records_skipped += ri.records_skipped;
+        rep->wal_tear_detected |= ri.wal_scan.tear_detected;
+      }
+      *probe_count = 0;
+    }
+  };
+  // Crash-at-RecoveryPoint: armed by the fault plan, fires exactly once.
+  auto arm = std::make_shared<RecoveryCrashArm>();
+  config.recovery_point_hook = [&server, arm, rep](core::RecoveryPoint pt) {
+    if (arm->armed && pt == arm->point) {
+      arm->armed = false;
+      server.Crash();
+      ++rep->server_crashes;
+    }
+  };
+  PhoenixDriverManager phoenix(&net, config);
+  Client chaos_client{&phoenix, phoenix.AllocConnect(phoenix.AllocEnv()),
+                      nullptr};
+  if (phoenix.Connect(chaos_client.dbc, "chaosdb", "chaos") !=
+      SqlReturn::kSuccess) {
+    fail("chaos connect failed");
+    return report;
+  }
+
+  size_t next_fault = 0;
+  std::sort(plan.begin(), plan.end(),
+            [](const Fault& a, const Fault& b) { return a.at_op < b.at_op; });
+  for (size_t i = 0; i < ops.size(); ++i) {
+    while (next_fault < plan.size() && plan[next_fault].at_op == i) {
+      const Fault& f = plan[next_fault++];
+      ++report.faults_injected;
+      switch (f.kind) {
+        case Fault::Kind::kCrash:
+          server.Crash();
+          ++report.server_crashes;
+          break;
+        case Fault::Kind::kPartialFlush: {
+          // A commit was in flight: its frame bytes sit unsynced in the
+          // page cache and only a prefix reaches the platter.
+          Rng tear_rng(f.sub_seed);
+          (void)disk.Append(wal_file,
+                            tear_rng.NextString(12 + tear_rng.NextBelow(48)));
+          server.CrashWithPartialFlush(f.fraction);
+          ++report.server_crashes;
+          break;
+        }
+        case Fault::Kind::kTorn: {
+          // Same in-flight commit, but torn byte-granularly and possibly
+          // with a corrupted byte in the surviving part.
+          Rng tear_rng(f.sub_seed);
+          (void)disk.Append(wal_file,
+                            tear_rng.NextString(12 + tear_rng.NextBelow(48)));
+          storage::SimDisk::TornCrashSpec spec;
+          spec.seed = f.sub_seed;
+          server.CrashTorn(spec);
+          ++report.server_crashes;
+          break;
+        }
+        case Fault::Kind::kMidCheckpoint:
+          if (server.CrashMidCheckpoint()) ++report.mid_ckpt_images;
+          ++report.server_crashes;
+          break;
+        case Fault::Kind::kRecoveryCrash:
+          arm->armed = true;
+          arm->point = f.point;
+          server.Crash();
+          ++report.server_crashes;
+          break;
+        case Fault::Kind::kLostReply:
+          chaos_client.dbc->driver->channel()->InjectLoseReplies(1);
+          break;
+        case Fault::Kind::kDroppedRequest:
+          chaos_client.dbc->driver->channel()->InjectDropRequests(1);
+          break;
+      }
+    }
+    Observation got = RunOp(&chaos_client, ops[i]);
+    ++report.ops_run;
+    std::string why;
+    if (!SameObservation(oracle[i], got, &why)) {
+      const Fault* last =
+          next_fault > 0 ? &plan[next_fault - 1] : nullptr;
+      fail("op " + std::to_string(i) + " (" +
+           (ops[i].sql.empty() ? std::string("cursor op") : ops[i].sql) +
+           ") after fault " +
+           (last ? FaultName(last->kind) : "none") + ": " + why);
+      break;
+    }
+    if (!restart_error->empty()) {
+      fail("server restart failed mid-schedule: " + *restart_error);
+      break;
+    }
+  }
+
+  // ---- Post-run oracle checks ------------------------------------------
+  core::ConnState* cs = PhoenixDriverManager::conn_state(chaos_client.dbc);
+  if (report.ok && cs != nullptr && cs->status_table_created) {
+    // Exactly-once sentinel: a duplicated REQ_ID would mean a wrapped DML
+    // or commit marker was applied twice.
+    Observation ids = RunOp(
+        &chaos_client,
+        {ChaosOp::Kind::kSql,
+         "SELECT REQ_ID FROM " + cs->status_table + " ORDER BY REQ_ID", true,
+         0});
+    if (!ids.ok) {
+      fail("status-table audit failed: " + ids.error);
+    } else {
+      std::set<int64_t> seen;
+      for (const Row& row : ids.rows) {
+        if (!seen.insert(row[0].AsInt64()).second) {
+          fail("duplicate request id " + row[0].ToString() +
+               " in the status table (double-applied request)");
+          break;
+        }
+      }
+    }
+  }
+
+  if (report.ok) {
+    // Durability agreement: whatever the app saw committed must survive one
+    // last crash, and the restarted server's ACCT must equal the oracle's.
+    Observation ref_final =
+        RunOp(&ref_client,
+              {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
+               true, 0});
+    server.Crash();
+    ++report.server_crashes;
+    if (Status st = server.Restart(); !st.ok()) {
+      fail("restart after final crash failed (catalog/WAL disagreement): " +
+           st.ToString());
+    } else {
+      const storage::RecoveryInfo& ri = server.database()->recovery_info();
+      report.wal_records_skipped += ri.records_skipped;
+      report.wal_tear_detected |= ri.wal_scan.tear_detected;
+      DriverManager post(&net);
+      Client post_client{&post, post.AllocConnect(post.AllocEnv()), nullptr};
+      if (post.Connect(post_client.dbc, "chaosdb", "audit") !=
+          SqlReturn::kSuccess) {
+        fail("post-crash audit connect failed");
+      } else {
+        Observation got_final = RunOp(
+            &post_client,
+            {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
+             true, 0});
+        std::string why;
+        if (!SameObservation(ref_final, got_final, &why)) {
+          fail("post-crash durable state diverged: " + why);
+        }
+        post.Disconnect(post_client.dbc);
+      }
+    }
+  }
+
+  {
+    // Catalog/WAL agreement, independent of the server: a from-scratch
+    // storage recovery over the same disk must succeed.
+    storage::DurabilityManager audit(&disk, sopts.db.disk_prefix);
+    storage::TableStore store;
+    storage::RecoveryInfo info;
+    if (Status st = audit.Recover(&store, &info); !st.ok()) {
+      fail("independent storage recovery failed: " + st.ToString());
+    } else {
+      report.wal_records_skipped += info.records_skipped;
+      report.wal_tear_detected |= info.wal_scan.tear_detected;
+    }
+  }
+
+  report.recoveries = phoenix.stats().recoveries;
+  report.recovery_recrashes = phoenix.stats().recovery_recrashes;
+  report.lost_replies_recovered = phoenix.stats().lost_replies_recovered;
+
+  // Teardown: the chaos session died with the final crash; mark it broken
+  // so Disconnect skips server-side artifact cleanup instead of recovering.
+  if (cs != nullptr) cs->broken = true;
+  phoenix.Disconnect(chaos_client.dbc);
+  native.Disconnect(ref_client.dbc);
+  return report;
+}
+
+}  // namespace phoenix::chaos

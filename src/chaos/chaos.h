@@ -1,0 +1,77 @@
+#ifndef PHOENIX_CHAOS_CHAOS_H_
+#define PHOENIX_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix::chaos {
+
+/// One seeded, deterministic chaos schedule: a generated SQL workload (DML,
+/// explicit transactions, temp-table traffic, long-lived block-fetched
+/// cursors) run through the full PhoenixDriverManager -> network -> engine
+/// -> WAL stack while a generated fault plan kills the server (plain /
+/// partial-flush / torn-tail / mid-checkpoint), re-kills it *during*
+/// recovery, and drops or loses individual messages.
+///
+/// The oracle is a shadow run: the identical workload on a plain (native)
+/// driver against a server that never fails. Every operation's observable
+/// outcome (row stream, order, affected counts) must match exactly —
+/// exactly-once DML, no lost / duplicated / reordered rows across
+/// reconnects. Afterwards the harness additionally checks:
+///  - the Phoenix status table holds no duplicate request ids (the
+///    double-apply sentinel),
+///  - a final crash + restart succeeds and the surviving data equals the
+///    oracle's (durability agreement),
+///  - an independent storage-level recovery over the same disk succeeds
+///    (catalog / WAL agreement outside the server's own code path).
+///
+/// Everything is derived from `seed`; a failing schedule reproduces from
+/// its seed alone.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  /// Workload length (operations, including cursor open/fetch/close).
+  int n_ops = 40;
+  /// Fault events to inject across the schedule.
+  int n_faults = 3;
+
+  // Which fault kinds the plan may draw from (all on by default).
+  bool allow_crash = true;           ///< plain kill, unsynced tail discarded
+  bool allow_partial_flush = true;   ///< kill keeping a fraction of the tail
+  bool allow_torn = true;            ///< byte-granular torn/corrupt tail
+  bool allow_mid_checkpoint = true;  ///< die between ckpt image and WAL reset
+  bool allow_recovery_crash = true;  ///< kill again at a RecoveryPoint
+  bool allow_lost_reply = true;      ///< request executes, reply vanishes
+  bool allow_dropped_request = true; ///< request never reaches the server
+
+  /// Phoenix reposition strategy under test (false = client-side ablation).
+  bool server_side_reposition = true;
+  /// Auto-checkpoint cadence on the chaos server (0 = never) — creates the
+  /// checkpoint/WAL interleavings the mid-checkpoint faults depend on.
+  uint64_t checkpoint_every_n_commits = 0;
+};
+
+/// Outcome of one schedule. `ok == false` means an oracle invariant was
+/// violated; `failure` carries the first violation plus the repro seed.
+struct ChaosReport {
+  uint64_t seed = 0;
+  bool ok = true;
+  std::string failure;
+
+  size_t ops_run = 0;
+  size_t faults_injected = 0;
+  uint64_t server_crashes = 0;      ///< server kills the plan performed
+  uint64_t mid_ckpt_images = 0;     ///< mid-checkpoint kills that wrote one
+  uint64_t recoveries = 0;          ///< Phoenix full recoveries
+  uint64_t recovery_recrashes = 0;  ///< recovery passes restarted
+  uint64_t lost_replies_recovered = 0;
+  uint64_t wal_records_skipped = 0; ///< ckpt-subsumed records (final audit)
+  bool wal_tear_detected = false;   ///< final audit found a torn tail
+
+  std::string DebugString() const;
+};
+
+ChaosReport RunChaosSchedule(const ChaosOptions& opts);
+
+}  // namespace phoenix::chaos
+
+#endif  // PHOENIX_CHAOS_CHAOS_H_

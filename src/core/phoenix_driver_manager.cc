@@ -566,15 +566,19 @@ SqlReturn PhoenixDriverManager::ExecCommit(Hstmt* stmt, ConnState* cs) {
   Hdbc* dbc = stmt->dbc;
   Status st = EnsureStatusTable(dbc, cs);
   if (!st.ok()) return Fail(stmt, st);
-  if (cs->pending_commit_req == 0) {
-    cs->pending_commit_req = cs->next_req_id++;
-  }
-  // Commit marker: written inside the transaction, so its presence after a
-  // crash proves the commit happened and the reply was merely lost.
-  std::string sql = "INSERT INTO " + cs->status_table +
-                    " (REQ_ID, AFFECTED) VALUES (" +
-                    std::to_string(cs->pending_commit_req) + ", 0); COMMIT";
   for (int attempt = 0; attempt < 5; ++attempt) {
+    // The marker id (and hence the script) is rebuilt every attempt: when a
+    // crash rolled the transaction back, recovery's replay branch cleared
+    // pending_commit_req — the old marker died with the old transaction —
+    // and the resubmitted COMMIT must carry a fresh id.
+    if (cs->pending_commit_req == 0) {
+      cs->pending_commit_req = cs->next_req_id++;
+    }
+    // Commit marker: written inside the transaction, so its presence after
+    // a crash proves the commit happened and the reply was merely lost.
+    std::string sql = "INSERT INTO " + cs->status_table +
+                      " (REQ_ID, AFFECTED) VALUES (" +
+                      std::to_string(cs->pending_commit_req) + ", 0); COMMIT";
     auto results = dbc->driver->ExecScript(sql);
     if (results.ok()) {
       cs->in_txn = false;

@@ -49,6 +49,14 @@ class PhoenixDriverManager : public odbc::DriverManager {
                                     const std::string& user,
                                     const std::string& prefix = "PHX");
 
+  /// Test-only surface over the raw RepositionCursor path (regression
+  /// coverage for the short-discard bug: repositioning past the end of the
+  /// persistent result table must fail loudly, never silently succeed).
+  Status RepositionCursorForTest(odbc::Hdbc* dbc, const std::string& table,
+                                 uint64_t position, uint64_t* cursor_id) {
+    return RepositionCursor(dbc, table, position, cursor_id);
+  }
+
   const PhoenixConfig& config() const { return config_; }
   PhoenixConfig* mutable_config() { return &config_; }
   const PhoenixStats& stats() const { return stats_; }
@@ -106,7 +114,13 @@ class PhoenixDriverManager : public odbc::DriverManager {
   bool IsCrashSignal(const Status& s) const;
 
   // ---- recovery (recovery_manager.cc) ----
+  /// Outer driver: runs RecoverConnectionOnce, restarting the whole pass
+  /// (up to config_.recovery.max_recovery_rounds) when recovery itself dies
+  /// on a crash signal — the server crashed again mid-recovery.
   Result<RecoveryOutcome> RecoverConnection(odbc::Hdbc* dbc);
+  /// One detection + Phase 1 + Phase 2 pass.
+  Result<RecoveryOutcome> RecoverConnectionOnce(odbc::Hdbc* dbc,
+                                                ConnState* cs);
   Status ReinstallSqlState(odbc::Hdbc* dbc, ConnState* cs);
   Status RepositionCursor(odbc::Hdbc* dbc, const std::string& table,
                           uint64_t position, uint64_t* cursor_id);

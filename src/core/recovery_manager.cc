@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/rng.h"
 #include "core/phoenix_driver_manager.h"
@@ -16,18 +18,21 @@ using odbc::DriverConnection;
 using odbc::Hdbc;
 using odbc::Hstmt;
 
-namespace {
-
-void DefaultRetryWait() {
-  // A short real pause between reconnect attempts (the paper "periodically
-  // attempts to reconnect").
-  auto until =
-      std::chrono::steady_clock::now() + std::chrono::microseconds(200);
-  while (std::chrono::steady_clock::now() < until) {
+uint64_t RecoveryBackoffUs(const RecoveryConfig& cfg, int attempt, Rng* rng) {
+  if (attempt <= 0) return 0;  // first retry is immediate
+  double backoff = static_cast<double>(cfg.initial_backoff_us);
+  double cap = static_cast<double>(cfg.max_backoff_us);
+  for (int i = 1; i < attempt && backoff < cap; ++i) {
+    backoff *= std::max(1.0, cfg.backoff_multiplier);
   }
+  backoff = std::min(backoff, cap);
+  if (rng != nullptr && cfg.jitter > 0) {
+    // Uniform in [backoff*(1-j), backoff*(1+j)].
+    backoff += backoff * cfg.jitter * (2.0 * rng->NextDouble() - 1.0);
+  }
+  backoff = std::clamp(backoff, 0.0, cap);
+  return static_cast<uint64_t>(backoff);
 }
-
-}  // namespace
 
 Result<PhoenixDriverManager::RecoveryOutcome>
 PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
@@ -35,6 +40,37 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   if (cs == nullptr) return Status::Internal("recovery on a non-Phoenix dbc");
   if (cs->broken) return Status::CommError("session unrecoverable");
 
+  // The server can die *again* while a recovery pass is running (between
+  // reconnect and Phase 2). Each such death invalidates the pass's partial
+  // work, so restart the whole pass — up to a bounded number of rounds —
+  // instead of surfacing a mid-recovery crash signal to the application.
+  Status last;
+  for (int round = 0; round < config_.recovery.max_recovery_rounds; ++round) {
+    if (round > 0) {
+      ++stats_.recovery_recrashes;
+      obs::MetricsRegistry::Default()
+          ->GetCounter("core.recovery_recrashes")
+          ->Increment();
+      obs::Tracer::Default()->Emit("core.recovery.recrash",
+                                   {{"tag", cs->tag}});
+    }
+    auto outcome = RecoverConnectionOnce(dbc, cs);
+    if (outcome.ok()) return outcome;
+    last = outcome.status();
+    // A give-up point inside the pass (reconnect budget exhausted) already
+    // marked the session; a non-crash error is a genuine failure (bad
+    // replay SQL, permission loss) that retrying cannot fix.
+    if (cs->broken || !IsCrashSignal(last)) return last;
+  }
+  cs->broken = true;
+  return Status::CommError(
+      "recovery failed after " +
+      std::to_string(config_.recovery.max_recovery_rounds) +
+      " re-crashed rounds: " + last.message());
+}
+
+Result<PhoenixDriverManager::RecoveryOutcome>
+PhoenixDriverManager::RecoverConnectionOnce(Hdbc* dbc, ConnState* cs) {
   auto* reg = obs::MetricsRegistry::Default();
   obs::Tracer::Default()->Emit("core.recovery.start", {{"tag", cs->tag}});
   StopWatch detect_watch;
@@ -42,6 +78,7 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   // Ping/reconnect loop. If the server never answers within the budget, the
   // failure is passed to the application (the paper's give-up path).
   std::unique_ptr<DriverConnection> fresh;
+  Rng backoff_rng(config_.recovery.jitter_seed);
   for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
     ++stats_.reconnect_attempts;
     reg->GetCounter("core.reconnect_attempts")->Increment();
@@ -53,7 +90,13 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
     if (config_.retry_wait) {
       config_.retry_wait();
     } else {
-      DefaultRetryWait();
+      // Real sleep (the paper "periodically attempts to reconnect"), capped
+      // exponential with seeded jitter — never a busy spin.
+      uint64_t wait_us =
+          RecoveryBackoffUs(config_.recovery, attempt + 1, &backoff_rng);
+      if (wait_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+      }
     }
   }
   if (fresh == nullptr) {
@@ -80,6 +123,9 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   reg->GetCounter("core.recoveries")->Increment();
   reg->GetHistogram("core.recovery.detect_us")
       ->Record(static_cast<uint64_t>(stats_.last_detect_seconds * 1e6));
+  if (config_.recovery_point_hook) {
+    config_.recovery_point_hook(RecoveryPoint::kDetected);
+  }
 
   // ---- Phase 1: re-map the virtual session ------------------------------
   StopWatch vs_watch;
@@ -93,10 +139,12 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
                           ->ExecScript("CREATE TEMPORARY TABLE " +
                                        cs->proxy_table + " (X INTEGER)")
                           .status());
-  // Replacement private connection.
+  // Replacement private connection. On a crash signal the whole pass is
+  // retried by RecoverConnection (the server died again); only a non-crash
+  // failure here is terminal.
   auto priv = DriverConnection::Open(network_, cs->dsn, cs->user);
   if (!priv.ok()) {
-    cs->broken = true;
+    if (!IsCrashSignal(priv.status())) cs->broken = true;
     return priv.status();
   }
   cs->private_conn = priv.take();
@@ -104,6 +152,9 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   reg->GetHistogram("core.recovery.virtual_session_us")
       ->Record(
           static_cast<uint64_t>(stats_.last_virtual_session_seconds * 1e6));
+  if (config_.recovery_point_hook) {
+    config_.recovery_point_hook(RecoveryPoint::kVirtualSessionRemapped);
+  }
 
   // ---- Phase 2: reinstall SQL state --------------------------------------
   StopWatch sql_watch;
@@ -114,6 +165,9 @@ PhoenixDriverManager::RecoverConnection(Hdbc* dbc) {
   stats_.total_recovery_seconds += stats_.last_detect_seconds +
                                    stats_.last_virtual_session_seconds +
                                    stats_.last_sql_state_seconds;
+  if (config_.recovery_point_hook) {
+    config_.recovery_point_hook(RecoveryPoint::kSqlStateReinstalled);
+  }
   obs::Tracer::Default()->Emit("core.recovery.done", {{"tag", cs->tag}});
   return RecoveryOutcome::kRemapped;
 }
@@ -139,6 +193,12 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
       cs->pending_commit_req = 0;
     } else {
       // The crash rolled the transaction back: re-establish it by replay.
+      // The in-flight commit marker died with the old transaction — its
+      // request id must not leak into the replayed one, or a later recovery
+      // could probe the stale id and mistake an old (or future, if the id
+      // is reused by ExecCommit) marker for this transaction's commit.
+      // ExecCommit allocates a fresh marker id when it resubmits.
+      cs->pending_commit_req = 0;
       PHX_RETURN_IF_ERROR(
           dbc->driver->ExecScript("BEGIN TRANSACTION").status());
       for (const std::string& sql : cs->txn_log) {
@@ -224,6 +284,16 @@ Status PhoenixDriverManager::RepositionCursor(Hdbc* dbc,
         ->Increment(block.rows.size());
     if (block.done) break;
     if (block.rows.empty()) break;
+  }
+  if (discarded < position) {
+    // The persistent result table holds fewer rows than the client already
+    // delivered to the application. Silently returning Ok here would leave
+    // the cursor mispositioned and replay rows the app has seen (or skip
+    // ahead); the state is genuinely lost, so fail the recovery loudly.
+    return Status::Internal(
+        "cursor reposition fell short: " + table + " has " +
+        std::to_string(discarded) + " rows, client already consumed " +
+        std::to_string(position));
   }
   return Status::Ok();
 }

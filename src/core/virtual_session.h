@@ -9,11 +9,51 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/value.h"
 #include "odbc/driver.h"
 #include "sql/ast.h"
 
 namespace phoenix::core {
+
+/// Milestones inside one crash-recovery pass. Fault harnesses register a
+/// PhoenixConfig::recovery_point_hook to crash the server *at* one of these
+/// points, exercising re-crash-during-recovery.
+enum class RecoveryPoint : uint8_t {
+  /// A real crash was confirmed (proxy table gone); Phase 1 is about to run.
+  kDetected = 0,
+  /// Phase 1 done: virtual session remapped onto a fresh connection.
+  kVirtualSessionRemapped,
+  /// Phase 2 done: SQL state (txn, cursors) reinstalled.
+  kSqlStateReinstalled,
+};
+
+/// Retry/backoff policy for crash recovery. Replaces the old busy-spin
+/// between reconnect attempts with a real sleep growing exponentially to a
+/// cap, plus seeded jitter so simultaneous clients do not reconnect in
+/// lockstep — while every run stays reproducible.
+struct RecoveryConfig {
+  /// Sleep before the second reconnect attempt (the first is immediate).
+  uint64_t initial_backoff_us = 200;
+  /// Backoff ceiling. Kept small so the give-up path (reconnect_attempts
+  /// exhausted) stays fast in tests.
+  uint64_t max_backoff_us = 10000;
+  /// Growth factor per attempt.
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter as a fraction of the backoff: sleep is drawn from
+  /// [backoff*(1-j), backoff*(1+j)], clamped to max_backoff_us.
+  double jitter = 0.25;
+  /// Seeds the deterministic jitter stream.
+  uint64_t jitter_seed = 1;
+  /// Full recovery passes to attempt when recovery *itself* dies on a crash
+  /// signal (server crashed again mid-Phase-1/2) before declaring the
+  /// session unrecoverable.
+  int max_recovery_rounds = 5;
+};
+
+/// Deterministic backoff for reconnect `attempt` (0-based): capped
+/// exponential plus seeded jitter from `rng` (pass nullptr for none).
+uint64_t RecoveryBackoffUs(const RecoveryConfig& cfg, int attempt, Rng* rng);
 
 /// Tuning & policy knobs for the Phoenix layer.
 struct PhoenixConfig {
@@ -23,8 +63,16 @@ struct PhoenixConfig {
   /// Reconnect attempts before giving up and surfacing the comm error.
   int reconnect_attempts = 200;
   /// Invoked between reconnect attempts. Test harnesses and benches restart
-  /// the server from here; by default it spins briefly.
+  /// the server from here; by default recovery sleeps per `recovery`'s
+  /// capped exponential backoff.
   std::function<void()> retry_wait;
+
+  /// Reconnect backoff + recovery-retry policy.
+  RecoveryConfig recovery;
+
+  /// Fault-injection hook fired at each RecoveryPoint milestone. Chaos
+  /// tests crash the server from here to model re-crash during recovery.
+  std::function<void(RecoveryPoint)> recovery_point_hook;
 
   /// Rows per block fetch on Phoenix-internal server cursors.
   uint64_t fetch_block = 64;
@@ -51,6 +99,9 @@ struct PhoenixStats {
   uint64_t recoveries = 0;
   uint64_t reconnect_attempts = 0;  ///< Ping probes sent while detecting
   uint64_t transient_retries = 0;
+  /// Recovery passes restarted because the server crashed again while a
+  /// recovery was in progress (re-crash during recovery).
+  uint64_t recovery_recrashes = 0;
   uint64_t materialized_results = 0;
   uint64_t keyset_cursors = 0;
   uint64_t dynamic_cursors = 0;

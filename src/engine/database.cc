@@ -216,6 +216,15 @@ Status Database::Checkpoint() {
   return CheckpointLocked();
 }
 
+Status Database::CheckpointWithoutWalTruncate() {
+  std::unique_lock<std::shared_mutex> lk(data_mu_);
+  if (AnyActiveTxn()) {
+    return Status::InvalidArgument("cannot checkpoint with active transactions");
+  }
+  return durability_.WriteCheckpoint(store_, txn_manager_.next_id(),
+                                     /*truncate_wal=*/false);
+}
+
 Status Database::CheckpointLocked() {
   PHX_RETURN_IF_ERROR(
       durability_.WriteCheckpoint(store_, txn_manager_.next_id()));

@@ -95,6 +95,11 @@ class Database {
   // ---- Administration ----------------------------------------------------
   /// Writes a checkpoint; fails if any transaction is active.
   Status Checkpoint();
+  /// Crash point for fault tests: writes the checkpoint image durably but
+  /// dies (logically) before truncating the WAL — the durable state a crash
+  /// in the middle of Checkpoint() leaves behind. Recovery must skip the
+  /// WAL records the image subsumes instead of double-applying them.
+  Status CheckpointWithoutWalTruncate();
   uint64_t commit_count() const {
     return commit_count_.load(std::memory_order_relaxed);
   }

@@ -37,7 +37,8 @@ Status DbServer::Start() {
   return Status::Ok();
 }
 
-void DbServer::CrashImpl(double keep_fraction, bool partial) {
+bool DbServer::CrashImpl(const std::function<void()>& crash_disk,
+                         bool mid_checkpoint) {
   // Phase 1: close intake. New requests now get "server is down".
   std::unique_ptr<WorkerPool> pool;
   {
@@ -50,28 +51,44 @@ void DbServer::CrashImpl(double keep_fraction, bool partial) {
   // the crash; whether their effects survive depends on what was synced).
   if (pool != nullptr) pool->Shutdown();
   // Phase 3: the process dies. All volatile server state goes with it.
+  bool ckpt_written = false;
   {
     std::unique_lock<std::shared_mutex> lk(lifecycle_mu_);
-    if (db_ != nullptr) next_session_id_ = db_->next_session_id();
+    if (db_ != nullptr) {
+      if (mid_checkpoint) {
+        // Death in the middle of a checkpoint: the new image is durable,
+        // the WAL truncation never happened.
+        ckpt_written = db_->CheckpointWithoutWalTruncate().ok();
+      }
+      next_session_id_ = db_->next_session_id();
+    }
     db_.reset();
   }
-  if (partial) {
-    disk_->CrashWithPartialFlush(keep_fraction);
-  } else {
-    disk_->Crash();
-  }
+  crash_disk();
   // Stale session ids can never name a post-restart session (ids are never
   // reused), so their serialization gates are garbage.
   {
     std::lock_guard<std::mutex> lk(gates_mu_);
     gates_.clear();
   }
+  return ckpt_written;
 }
 
-void DbServer::Crash() { CrashImpl(0.0, /*partial=*/false); }
+void DbServer::Crash() {
+  CrashImpl([this] { disk_->Crash(); }, /*mid_checkpoint=*/false);
+}
 
 void DbServer::CrashWithPartialFlush(double keep_fraction) {
-  CrashImpl(keep_fraction, /*partial=*/true);
+  CrashImpl([this, keep_fraction] { disk_->CrashWithPartialFlush(keep_fraction); },
+            /*mid_checkpoint=*/false);
+}
+
+void DbServer::CrashTorn(const storage::SimDisk::TornCrashSpec& spec) {
+  CrashImpl([this, spec] { disk_->CrashTorn(spec); }, /*mid_checkpoint=*/false);
+}
+
+bool DbServer::CrashMidCheckpoint() {
+  return CrashImpl([this] { disk_->Crash(); }, /*mid_checkpoint=*/true);
 }
 
 Status DbServer::Restart() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -66,6 +67,17 @@ class DbServer {
   /// tail). Recovery must cope.
   void CrashWithPartialFlush(double keep_fraction);
 
+  /// Crash with independent per-file byte-granular tail truncation plus
+  /// possible corruption of the flushed region (SimDisk::CrashTorn).
+  void CrashTorn(const storage::SimDisk::TornCrashSpec& spec);
+
+  /// Crash landing inside a checkpoint: the process dies after the new
+  /// checkpoint image became durable but before the WAL was truncated.
+  /// Returns true when the image was actually written (with a transaction
+  /// open the checkpoint could never have started, so this degrades to a
+  /// plain Crash() and returns false).
+  bool CrashMidCheckpoint();
+
   /// Boots a replacement process over the same disk.
   Status Restart();
 
@@ -118,7 +130,10 @@ class DbServer {
   };
 
   Response Dispatch(const Request& request);
-  void CrashImpl(double keep_fraction, bool partial);
+  /// Shared crash machinery: drain intake + pool, optionally write a
+  /// checkpoint image sans WAL truncation (mid-checkpoint death), destroy
+  /// the Database, then apply `crash_disk` to discard unsynced bytes.
+  bool CrashImpl(const std::function<void()>& crash_disk, bool mid_checkpoint);
   std::shared_ptr<SessionGate> GateFor(uint64_t session_id);
 
   storage::SimDisk* disk_;

@@ -50,7 +50,8 @@ Status DurabilityManager::LogCommit(const WalCommitRecord& record) {
 }
 
 Status DurabilityManager::WriteCheckpoint(const TableStore& store,
-                                          uint64_t next_txn_id) {
+                                          uint64_t next_txn_id,
+                                          bool truncate_wal) {
   StopWatch watch;
   Encoder enc;
   enc.PutU32(kCheckpointMagic);
@@ -59,6 +60,11 @@ Status DurabilityManager::WriteCheckpoint(const TableStore& store,
   store.EncodeSnapshot(&enc);
   size_t bytes = enc.size();
   PHX_RETURN_IF_ERROR(disk_->WriteAtomic(ckpt_file_, enc.Take()));
+  // The crash window: the checkpoint image is durable but the WAL still
+  // holds records it subsumes. Recover() must skip those, keyed off the
+  // checkpoint's next_txn_id (every txn below it committed before the
+  // checkpoint — Checkpoint() requires no active transactions).
+  if (!truncate_wal) return Status::Ok();
   PHX_RETURN_IF_ERROR(wal_writer_.Reset());
   auto* reg = obs::MetricsRegistry::Default();
   reg->GetCounter("storage.checkpoints")->Increment();
@@ -92,8 +98,29 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
       ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   watch.Restart();
   PHX_ASSIGN_OR_RETURN(std::vector<WalCommitRecord> records,
-                       WalReader::ReadAll(*disk_, wal_file_));
+                       WalReader::ReadAll(*disk_, wal_file_, &local.wal_scan));
+  if (local.wal_scan.tear_detected) {
+    // Log repair: a torn/corrupt tail (the commit in flight when the power
+    // died) must be amputated, not merely ignored — the writer appends at
+    // end-of-file, so anything logged after unreadable bytes would be
+    // invisible to every future recovery.
+    PHX_ASSIGN_OR_RETURN(std::string wal_bytes, disk_->ReadDurable(wal_file_));
+    PHX_RETURN_IF_ERROR(disk_->WriteAtomic(
+        wal_file_, wal_bytes.substr(0, local.wal_scan.bytes_valid)));
+    reg->GetCounter("storage.recovery.wal_tail_repaired")->Increment();
+  }
+  const uint64_t ckpt_next_txn = local.had_checkpoint ? local.next_txn_id : 0;
   for (const WalCommitRecord& rec : records) {
+    // A record with txn_id < the checkpoint's next_txn_id is already fully
+    // reflected in the checkpoint image (the crash landed between the
+    // checkpoint write and the WAL truncation); replaying it would
+    // double-apply its ops — re-create existing tables, re-insert existing
+    // rids. Skip it. Txns never outlive a checkpoint (no active txns when
+    // one is taken), so the id comparison is exact.
+    if (rec.txn_id < ckpt_next_txn) {
+      ++local.records_skipped;
+      continue;
+    }
     for (const WalOp& op : rec.ops) {
       PHX_RETURN_IF_ERROR(ApplyWalOp(op, store));
       ++local.ops_replayed;
@@ -107,6 +134,8 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
       ->Increment(local.records_replayed);
   reg->GetCounter("storage.recovery.ops_replayed")
       ->Increment(local.ops_replayed);
+  reg->GetCounter("storage.recovery.records_skipped")
+      ->Increment(local.records_skipped);
   if (info != nullptr) *info = local;
   return Status::Ok();
 }

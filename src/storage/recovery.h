@@ -17,6 +17,12 @@ struct RecoveryInfo {
   bool had_checkpoint = false;
   uint64_t records_replayed = 0;
   uint64_t ops_replayed = 0;
+  /// WAL records whose txn_id predates the checkpoint's next_txn_id — their
+  /// effects are already inside the checkpoint image. Nonzero exactly when
+  /// the crash landed between the checkpoint write and the WAL truncation.
+  uint64_t records_skipped = 0;
+  /// The WAL scan's torn-tail accounting (see WalScanStats).
+  WalScanStats wal_scan;
   uint64_t next_txn_id = 1;
 };
 
@@ -41,7 +47,13 @@ class DurabilityManager {
 
   Status LogCommit(const WalCommitRecord& record);
 
-  Status WriteCheckpoint(const TableStore& store, uint64_t next_txn_id);
+  /// Writes the checkpoint image atomically, then truncates the WAL. With
+  /// `truncate_wal = false` the truncation is skipped — that is the durable
+  /// state a crash in the window between the two steps leaves behind, and
+  /// fault tests use it to prove Recover() tolerates the window (it must
+  /// skip the stale records rather than double-apply them).
+  Status WriteCheckpoint(const TableStore& store, uint64_t next_txn_id,
+                         bool truncate_wal = true);
 
   /// Rebuilds `store` (cleared first) from durable state.
   Status Recover(TableStore* store, RecoveryInfo* info);

@@ -1,5 +1,7 @@
 #include "storage/sim_disk.h"
 
+#include "common/rng.h"
+
 namespace phoenix::storage {
 
 Status SimDisk::Append(const std::string& file, const std::string& data) {
@@ -76,6 +78,28 @@ void SimDisk::CrashWithPartialFlush(double keep_fraction) {
   for (auto& [name, state] : files_) {
     size_t keep = static_cast<size_t>(state.tail.size() * keep_fraction);
     state.durable += state.tail.substr(0, keep);
+    state.tail.clear();
+  }
+}
+
+void SimDisk::CrashTorn(const TornCrashSpec& spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Rng rng(spec.seed);
+  for (auto& [name, state] : files_) {
+    if (state.tail.empty()) continue;
+    // Independent per-file keep count, byte-granular: the OS flushed this
+    // file's dirty pages some arbitrary distance into the tail.
+    size_t keep = static_cast<size_t>(rng.NextBelow(state.tail.size() + 1));
+    std::string flushed = state.tail.substr(0, keep);
+    if (!flushed.empty() && rng.NextBool(spec.corrupt_prob)) {
+      // A half-written sector: one byte of the flushed-but-unsynced region
+      // differs from what was logically written.
+      size_t at = static_cast<size_t>(rng.NextBelow(flushed.size()));
+      flushed[at] = static_cast<char>(
+          static_cast<uint8_t>(flushed[at]) ^
+          static_cast<uint8_t>(1 + rng.NextBelow(255)));
+    }
+    state.durable += flushed;
     state.tail.clear();
   }
 }

@@ -60,6 +60,24 @@ class SimDisk {
   /// `keep_fraction` in [0,1] selects how much of each tail survives.
   void CrashWithPartialFlush(double keep_fraction);
 
+  /// Parameters for CrashTorn(): the adversarial crash mode.
+  struct TornCrashSpec {
+    /// Seeds the per-file keep decisions and corruption sites, so a chaos
+    /// schedule is fully reproducible from its seed.
+    uint64_t seed = 1;
+    /// Probability that the flushed part of a file's tail additionally has
+    /// one byte corrupted (a half-written sector), not merely truncated.
+    double corrupt_prob = 0.5;
+  };
+
+  /// The nastiest crash the fault model allows: every file's volatile tail
+  /// is independently truncated at BYTE granularity (not a shared fraction —
+  /// the OS flushes files at different rates), and with `corrupt_prob` a
+  /// byte of the surviving flushed region is flipped. Bytes made durable by
+  /// an earlier Sync()/WriteAtomic() are never touched: fsynced data is
+  /// safe; only the unsynced tail tears.
+  void CrashTorn(const TornCrashSpec& spec);
+
   /// Cumulative bytes appended (volatile) since construction.
   uint64_t bytes_written() const;
   /// Number of Sync()/WriteAtomic() durability points.

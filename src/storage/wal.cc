@@ -160,17 +160,24 @@ Status WalWriter::Reset() {
 }
 
 Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
-    const SimDisk& disk, const std::string& file) {
+    const SimDisk& disk, const std::string& file, WalScanStats* stats) {
   std::vector<WalCommitRecord> records;
-  if (!disk.Exists(file)) return records;
+  WalScanStats local;
+  if (!disk.Exists(file)) {
+    if (stats != nullptr) *stats = local;
+    return records;
+  }
   PHX_ASSIGN_OR_RETURN(std::string bytes, disk.ReadDurable(file));
   size_t pos = 0;
   const char* data = bytes.data();
   size_t size = bytes.size();
+  local.bytes_total = size;
   while (pos + 8 <= size) {
     Decoder head(data + pos, 8);
     uint32_t len = head.GetU32().value();
     uint32_t crc = head.GetU32().value();
+    // A flipped length byte can claim more bytes than exist (torn frame) —
+    // or fewer, in which case the CRC over the short slice rejects it.
     if (pos + 8 + len > size) break;
     std::string payload(data + pos + 8, len);
     if (WalChecksum(payload) != crc) break;
@@ -193,6 +200,15 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
     records.push_back(std::move(rec));
     pos += 8 + len;
   }
+  local.bytes_valid = pos;
+  local.records = records.size();
+  local.tear_detected = pos < size;
+  if (local.tear_detected) {
+    auto* reg = obs::MetricsRegistry::Default();
+    reg->GetCounter("storage.wal.tears_detected")->Increment();
+    reg->GetCounter("storage.wal.torn_bytes_dropped")->Increment(size - pos);
+  }
+  if (stats != nullptr) *stats = local;
   return records;
 }
 

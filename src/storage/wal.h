@@ -79,12 +79,26 @@ class WalWriter {
   std::string file_;
 };
 
-/// Reads every complete, checksum-valid commit record; silently stops at the
-/// first torn or corrupt frame (the crash-truncated tail).
+/// What a WAL scan saw — lets recovery report (and tests assert) exactly how
+/// much of the log survived a torn-tail crash instead of silently eating it.
+struct WalScanStats {
+  uint64_t bytes_total = 0;  ///< durable log bytes on disk
+  uint64_t bytes_valid = 0;  ///< bytes consumed by complete, CRC-valid frames
+  uint64_t records = 0;      ///< complete records decoded
+  bool tear_detected = false;  ///< trailing bytes were torn/corrupt
+};
+
+/// Reads every complete, checksum-valid commit record; stops at the first
+/// torn or corrupt frame (the crash-truncated tail). A frame is accepted
+/// only if its header is whole, its declared length fits in the remaining
+/// bytes, its checksum matches, and its payload decodes completely — a tear
+/// at any byte (mid-header, mid-payload, or a flipped CRC/length byte)
+/// yields the longest valid prefix, never a partial record.
 class WalReader {
  public:
-  static Result<std::vector<WalCommitRecord>> ReadAll(const SimDisk& disk,
-                                                      const std::string& file);
+  static Result<std::vector<WalCommitRecord>> ReadAll(
+      const SimDisk& disk, const std::string& file,
+      WalScanStats* stats = nullptr);
 };
 
 /// FNV-1a over the payload — cheap torn-write detector for WAL frames.

@@ -1,0 +1,142 @@
+// Seeded chaos matrix over the src/chaos harness: >= 200 deterministic
+// schedules, grouped into suites that each concentrate on one fault family.
+// Every schedule checks the full oracle (op-by-op equivalence with a
+// fault-free native run, exactly-once request ids, post-crash durability,
+// independent catalog/WAL agreement) — see src/chaos/chaos.h.
+//
+// A red schedule prints its ChaosReport, whose seed is a complete repro:
+//
+//   PHX_CHAOS_SEED=<seed> ./chaos_matrix_test \
+//       --gtest_filter=ChaosMatrix.SingleSeedFromEnv
+//
+// replays exactly that schedule with every fault kind enabled.
+
+#include <cstdlib>
+#include <string>
+
+#include "chaos/chaos.h"
+
+#include "gtest/gtest.h"
+
+namespace phoenix::chaos {
+namespace {
+
+/// Runs one schedule and fails the test with a copy-pasteable repro line.
+ChaosReport RunAndCheck(const ChaosOptions& opts) {
+  ChaosReport report = RunChaosSchedule(opts);
+  EXPECT_TRUE(report.ok)
+      << report.DebugString() << "\nrepro: PHX_CHAOS_SEED="
+      << opts.seed
+      << " ./chaos_matrix_test --gtest_filter=ChaosMatrix.SingleSeedFromEnv";
+  return report;
+}
+
+TEST(ChaosMatrix, TornTailSchedules) {
+  // Torn last records: byte-granular truncation plus corruption of the
+  // unsynced tail, independent per file.
+  uint64_t tears_seen = 0;
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 7000 + seed;
+    opts.n_faults = 2;
+    opts.allow_crash = false;
+    opts.allow_mid_checkpoint = false;
+    opts.allow_recovery_crash = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves torn + partial-flush
+    ChaosReport r = RunAndCheck(opts);
+    tears_seen += r.wal_tear_detected ? 1 : 0;
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+  EXPECT_GT(tears_seen, 0u) << "no schedule ever produced a torn WAL tail";
+}
+
+TEST(ChaosMatrix, MidCheckpointSchedules) {
+  // Crash inside Checkpoint(): image durable, WAL truncation lost. The
+  // restarted server must skip the subsumed records instead of
+  // double-applying them (or refusing to start).
+  uint64_t images = 0;
+  uint64_t skipped = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 8000 + seed;
+    opts.n_faults = 3;
+    opts.checkpoint_every_n_commits = 5;
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_recovery_crash = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves mid-checkpoint + plain crash
+    ChaosReport r = RunAndCheck(opts);
+    images += r.mid_ckpt_images;
+    skipped += r.wal_records_skipped;
+  }
+  EXPECT_GT(images, 0u) << "no schedule ever died mid-checkpoint";
+  EXPECT_GT(skipped, 0u)
+      << "no recovery ever skipped a checkpoint-subsumed WAL record";
+}
+
+TEST(ChaosMatrix, RecrashDuringRecoverySchedules) {
+  // The server dies again while Phoenix is mid-recovery (after detection /
+  // after the virtual-session remap); the recovery driver must restart the
+  // pass, not surface the mid-recovery crash to the application.
+  uint64_t recrashes = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 9000 + seed;
+    opts.n_faults = 2;
+    opts.allow_crash = false;
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_mid_checkpoint = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves recovery-crash only
+    ChaosReport r = RunAndCheck(opts);
+    recrashes += r.recovery_recrashes;
+  }
+  EXPECT_GT(recrashes, 0u)
+      << "no schedule ever re-crashed inside a recovery pass";
+}
+
+TEST(ChaosMatrix, MixedFaultSchedules) {
+  // Everything at once, including lost replies landing between the block
+  // fetches of half-delivered cursors (reposition under message loss).
+  // Odd seeds run the client-side reposition ablation so both strategies
+  // stay under fault pressure.
+  uint64_t lost = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 10000 + seed;
+    opts.n_ops = 50;
+    opts.n_faults = 4;
+    opts.checkpoint_every_n_commits = (seed % 3 == 0) ? 6 : 0;
+    opts.server_side_reposition = (seed % 2 == 0);
+    ChaosReport r = RunAndCheck(opts);
+    lost += r.lost_replies_recovered;
+  }
+  EXPECT_GT(lost, 0u) << "no schedule ever recovered a lost reply";
+}
+
+TEST(ChaosMatrix, SingleSeedFromEnv) {
+  // Repro entry point: replays one schedule named by PHX_CHAOS_SEED with
+  // every fault kind enabled and prints the full report.
+  const char* env = std::getenv("PHX_CHAOS_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set PHX_CHAOS_SEED=<seed> to replay one schedule";
+  }
+  ChaosOptions opts;
+  opts.seed = std::strtoull(env, nullptr, 10);
+  opts.n_ops = 50;
+  opts.n_faults = 4;
+  ChaosReport report = RunChaosSchedule(opts);
+  std::fprintf(stderr, "%s\n", report.DebugString().c_str());
+  EXPECT_TRUE(report.ok) << report.DebugString();
+}
+
+}  // namespace
+}  // namespace phoenix::chaos

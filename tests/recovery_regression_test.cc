@@ -1,0 +1,253 @@
+// Regression tests for recovery-path bugs fixed alongside the chaos harness:
+//  - busy-wait between reconnect attempts -> capped exponential backoff,
+//  - silent cursor misposition when the result table is short,
+//  - stale commit-marker id leaking into a replayed transaction,
+//  - recovery pass dying when the server crashes again mid-recovery,
+//  - crash between checkpoint image and WAL truncation bricking the server.
+// Each test documents the pre-fix failure it guards against.
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/phoenix_driver_manager.h"
+
+#include "test_util.h"
+
+namespace phoenix::core {
+namespace {
+
+using odbc::DriverManager;
+using odbc::Hdbc;
+using odbc::Henv;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using testutil::AutoRestartConfig;
+using testutil::MustExec;
+using testutil::MustQuery;
+using testutil::TestCluster;
+
+// --- RecoveryBackoffUs ----------------------------------------------------
+
+TEST(RecoveryBackoff, FirstAttemptIsImmediate) {
+  RecoveryConfig cfg;
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 0, nullptr), 0u);
+  EXPECT_EQ(RecoveryBackoffUs(cfg, -1, nullptr), 0u);
+}
+
+TEST(RecoveryBackoff, GrowsExponentiallyToCap) {
+  RecoveryConfig cfg;
+  cfg.initial_backoff_us = 200;
+  cfg.max_backoff_us = 10000;
+  cfg.backoff_multiplier = 2.0;
+  cfg.jitter = 0.0;
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 1, nullptr), 200u);
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 2, nullptr), 400u);
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 3, nullptr), 800u);
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 4, nullptr), 1600u);
+  // Past the cap the curve flattens instead of overflowing.
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 10, nullptr), 10000u);
+  EXPECT_EQ(RecoveryBackoffUs(cfg, 60, nullptr), 10000u);
+}
+
+TEST(RecoveryBackoff, JitterIsBoundedAndDeterministic) {
+  RecoveryConfig cfg;
+  cfg.jitter = 0.25;
+  RecoveryConfig flat = cfg;
+  flat.jitter = 0.0;
+  Rng a(42);
+  Rng b(42);
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    uint64_t ja = RecoveryBackoffUs(cfg, attempt, &a);
+    uint64_t jb = RecoveryBackoffUs(cfg, attempt, &b);
+    EXPECT_EQ(ja, jb) << "same seed, attempt " << attempt;
+    uint64_t base = RecoveryBackoffUs(flat, attempt, nullptr);
+    uint64_t spread = base / 4 + 1;
+    EXPECT_GE(ja, base - spread) << "attempt " << attempt;
+    EXPECT_LE(ja, std::min(cfg.max_backoff_us, base + spread))
+        << "attempt " << attempt;
+  }
+}
+
+// The give-up path (server never comes back) must finish in bounded wall
+// time. Before the fix the default retry_wait busy-spun; now it sleeps the
+// capped backoff, so 20 attempts cost at most ~20 * 10ms.
+TEST(RecoveryBackoff, GiveUpPathSleepsInsteadOfSpinning) {
+  TestCluster cluster;
+  PhoenixConfig config;  // default retry_wait: the real backoff sleep
+  config.reconnect_attempts = 20;
+  PhoenixDriverManager phoenix(&cluster.network, config);
+  Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&phoenix, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  cluster.server.Crash();  // and it stays down
+
+  auto start = std::chrono::steady_clock::now();
+  Hstmt* stmt = phoenix.AllocStmt(dbc);
+  EXPECT_EQ(phoenix.ExecDirect(stmt, "INSERT INTO T VALUES (1)"),
+            SqlReturn::kError);
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  EXPECT_LT(secs, 5.0) << "give-up path took " << secs << "s for 20 attempts";
+  EXPECT_GE(phoenix.stats().reconnect_attempts, 20u);
+}
+
+// --- RepositionCursor short-discard --------------------------------------
+
+// Regression: the client-side reposition ablation counted discarded rows but
+// never compared the count against the target position, so a short result
+// table (rows lost, wrong table, corrupted state) silently produced a cursor
+// at the wrong position. It must fail loudly instead.
+TEST(RepositionRegression, RepositionPastEndFailsLoudly) {
+  TestCluster cluster;
+  PhoenixConfig config = AutoRestartConfig(&cluster.server);
+  config.server_side_reposition = false;  // the ablation path under test
+  PhoenixDriverManager phoenix(&cluster.network, config);
+  Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&phoenix, dbc, "CREATE TABLE R (K INTEGER PRIMARY KEY)");
+  MustExec(&phoenix, dbc, "INSERT INTO R VALUES (1), (2), (3)");
+
+  uint64_t cursor_id = 0;
+  // Within range (including exactly at the end): fine.
+  PHX_ASSERT_OK(phoenix.RepositionCursorForTest(dbc, "R", 2, &cursor_id));
+  PHX_ASSERT_OK(phoenix.RepositionCursorForTest(dbc, "R", 3, &cursor_id));
+  // Past the end: only 3 rows exist but the client already consumed 10.
+  // Before the fix this returned Ok with a mispositioned cursor.
+  Status st = phoenix.RepositionCursorForTest(dbc, "R", 10, &cursor_id);
+  EXPECT_FALSE(st.ok()) << "reposition past the end silently succeeded";
+}
+
+// --- Stale commit marker on rollback-replay ------------------------------
+
+// Regression: when recovery finds the commit marker absent (the crash beat
+// the COMMIT) it rolls the transaction back and replays it. The pending
+// marker id from the failed attempt used to survive into the replayed
+// transaction; a later code path probing that id would see "absent" and
+// mis-resolve. The replay branch must clear it so the commit retry mints a
+// fresh marker.
+TEST(RecoveryRegression, ReplayBranchClearsStaleCommitMarker) {
+  TestCluster cluster;
+  PhoenixConfig config = AutoRestartConfig(&cluster.server);
+  auto dbc_holder = std::make_shared<Hdbc*>(nullptr);
+  auto observed = std::make_shared<std::vector<uint64_t>>();
+  config.recovery_point_hook = [dbc_holder, observed](RecoveryPoint pt) {
+    if (pt == RecoveryPoint::kSqlStateReinstalled && *dbc_holder != nullptr) {
+      observed->push_back(
+          PhoenixDriverManager::conn_state(*dbc_holder)->pending_commit_req);
+    }
+  };
+  PhoenixDriverManager phoenix(&cluster.network, config);
+  Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  *dbc_holder = dbc;
+  ASSERT_EQ(phoenix.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&phoenix, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  MustExec(&phoenix, dbc, "BEGIN TRANSACTION");
+  MustExec(&phoenix, dbc, "INSERT INTO T VALUES (1)");
+  cluster.server.Crash();
+  // The COMMIT hits the dead server: its marker never lands, recovery takes
+  // the rollback-replay branch, and the retried commit must succeed.
+  MustExec(&phoenix, dbc, "COMMIT");
+
+  ASSERT_FALSE(observed->empty()) << "recovery never reinstalled SQL state";
+  for (uint64_t pending : *observed) {
+    EXPECT_EQ(pending, 0u)
+        << "stale commit-marker id survived into the replayed transaction";
+  }
+  // Exactly-once: the replayed transaction committed a single row.
+  auto rows = MustQuery(&phoenix, dbc, "SELECT K FROM T ORDER BY K");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_GE(phoenix.stats().txn_replays, 1u);
+}
+
+// --- Re-crash during recovery --------------------------------------------
+
+// Regression: a server crash while a recovery pass was mid-flight surfaced
+// the comm error to the application. The recovery driver must restart the
+// whole pass (detection + Phase 1 + Phase 2) and count the re-crash.
+TEST(RecoveryRegression, RecrashDuringRecoveryIsRetried) {
+  TestCluster cluster;
+  PhoenixConfig config = AutoRestartConfig(&cluster.server);
+  auto armed = std::make_shared<int>(1);
+  net::DbServer* server = &cluster.server;
+  config.recovery_point_hook = [server, armed](RecoveryPoint pt) {
+    if (pt == RecoveryPoint::kDetected && (*armed)-- > 0) {
+      server->Crash();  // the server dies again, mid-recovery
+    }
+  };
+  PhoenixDriverManager phoenix(&cluster.network, config);
+  Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&phoenix, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  MustExec(&phoenix, dbc, "INSERT INTO T VALUES (7)");
+  cluster.server.Crash();
+
+  // Before the fix this query failed; now the second recovery round wins.
+  auto rows = MustQuery(&phoenix, dbc, "SELECT K FROM T");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 7);
+  EXPECT_GE(phoenix.stats().recovery_recrashes, 1u);
+  EXPECT_GE(phoenix.stats().recoveries, 1u);
+}
+
+TEST(RecoveryRegression, UnrecoverableSessionGivesUpAfterMaxRounds) {
+  TestCluster cluster;
+  PhoenixConfig config = AutoRestartConfig(&cluster.server);
+  config.recovery.max_recovery_rounds = 2;
+  // The hook keeps killing the server at every detection, forever.
+  net::DbServer* server = &cluster.server;
+  config.recovery_point_hook = [server](RecoveryPoint pt) {
+    if (pt == RecoveryPoint::kDetected) server->Crash();
+  };
+  PhoenixDriverManager phoenix(&cluster.network, config);
+  Hdbc* dbc = phoenix.AllocConnect(phoenix.AllocEnv());
+  ASSERT_EQ(phoenix.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&phoenix, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY)");
+  cluster.server.Crash();
+
+  Hstmt* stmt = phoenix.AllocStmt(dbc);
+  EXPECT_EQ(phoenix.ExecDirect(stmt, "INSERT INTO T VALUES (1)"),
+            SqlReturn::kError);
+  EXPECT_GE(phoenix.stats().recovery_recrashes, 1u);
+  // The session is marked broken: later calls fail fast, no hang.
+  Hstmt* stmt2 = phoenix.AllocStmt(dbc);
+  EXPECT_EQ(phoenix.ExecDirect(stmt2, "SELECT K FROM T"), SqlReturn::kError);
+}
+
+// --- Mid-checkpoint crash, end to end ------------------------------------
+
+// Regression: a crash after the checkpoint image became durable but before
+// the WAL was truncated used to leave the server unable to restart (the WAL
+// replayed CREATE TABLE onto the image's copy of the table). Restart must
+// succeed, skip the subsumed records, and present the data exactly once.
+TEST(RecoveryRegression, MidCheckpointCrashRestartsCleanly) {
+  TestCluster cluster;
+  DriverManager native(&cluster.network);
+  Hdbc* dbc = native.AllocConnect(native.AllocEnv());
+  ASSERT_EQ(native.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&native, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  for (int i = 1; i <= 5; ++i) {
+    MustExec(&native, dbc,
+             "INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+                 std::to_string(i * 10) + ")");
+  }
+  ASSERT_TRUE(cluster.server.CrashMidCheckpoint())
+      << "checkpoint image was not written before the crash";
+  PHX_ASSERT_OK(cluster.server.Restart());
+  EXPECT_GT(cluster.server.database()->recovery_info().records_skipped, 0u);
+
+  DriverManager after(&cluster.network);
+  Hdbc* dbc2 = after.AllocConnect(after.AllocEnv());
+  ASSERT_EQ(after.Connect(dbc2, "testdb", "app"), SqlReturn::kSuccess);
+  auto rows = MustQuery(&after, dbc2, "SELECT K, V FROM T ORDER BY K");
+  ASSERT_EQ(rows.size(), 5u);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(rows[i - 1][0].AsInt64(), i);
+    EXPECT_EQ(rows[i - 1][1].AsInt64(), i * 10);
+  }
+}
+
+}  // namespace
+}  // namespace phoenix::core

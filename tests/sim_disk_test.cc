@@ -83,6 +83,69 @@ TEST(SimDisk, StatsAccumulate) {
   EXPECT_EQ(disk.sync_count(), 2u);
 }
 
+TEST(SimDisk, CrashTornNeverTouchesSyncedBytes) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SimDisk disk;
+    ASSERT_TRUE(disk.Append("f", "SYNCED").ok());
+    ASSERT_TRUE(disk.Sync("f").ok());
+    ASSERT_TRUE(disk.Append("f", "unsynced-tail-bytes").ok());
+    SimDisk::TornCrashSpec spec;
+    spec.seed = seed;
+    disk.CrashTorn(spec);
+    std::string after = *disk.Read("f");
+    ASSERT_GE(after.size(), 6u) << "seed " << seed;
+    ASSERT_LE(after.size(), 6u + 19u) << "seed " << seed;
+    EXPECT_EQ(after.substr(0, 6), "SYNCED") << "seed " << seed;
+  }
+}
+
+TEST(SimDisk, CrashTornWithoutCorruptionKeepsTailPrefix) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SimDisk disk;
+    const std::string tail = "0123456789abcdef";
+    ASSERT_TRUE(disk.Append("f", tail).ok());
+    SimDisk::TornCrashSpec spec;
+    spec.seed = seed;
+    spec.corrupt_prob = 0.0;  // pure byte-granular truncation
+    disk.CrashTorn(spec);
+    std::string after = *disk.Read("f");
+    EXPECT_EQ(after, tail.substr(0, after.size())) << "seed " << seed;
+  }
+}
+
+TEST(SimDisk, CrashTornIsDeterministicPerSeed) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::string results[2];
+    for (int run = 0; run < 2; ++run) {
+      SimDisk disk;
+      ASSERT_TRUE(disk.Append("f", "the-quick-brown-fox-jumps").ok());
+      ASSERT_TRUE(disk.Append("g", "over-the-lazy-dog").ok());
+      SimDisk::TornCrashSpec spec;
+      spec.seed = seed;
+      disk.CrashTorn(spec);
+      results[run] = *disk.Read("f") + "|" + *disk.Read("g");
+    }
+    EXPECT_EQ(results[0], results[1]) << "seed " << seed;
+  }
+}
+
+TEST(SimDisk, CrashTornTearsFilesIndependently) {
+  // Unlike CrashWithPartialFlush's shared fraction, torn crashes must pick a
+  // different truncation point per file for at least some seed.
+  bool diverged = false;
+  const std::string tail(64, 'x');
+  for (uint64_t seed = 1; seed <= 40 && !diverged; ++seed) {
+    SimDisk disk;
+    ASSERT_TRUE(disk.Append("a", tail).ok());
+    ASSERT_TRUE(disk.Append("b", tail).ok());
+    SimDisk::TornCrashSpec spec;
+    spec.seed = seed;
+    disk.CrashTorn(spec);
+    diverged = disk.Read("a")->size() != disk.Read("b")->size();
+  }
+  EXPECT_TRUE(diverged) << "every seed tore both files at the same byte";
+}
+
 TEST(SimDisk, CrashIsIdempotent) {
   SimDisk disk;
   ASSERT_TRUE(disk.Append("f", "x").ok());

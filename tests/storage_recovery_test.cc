@@ -102,6 +102,74 @@ TEST(StorageRecovery, UnsyncedTailIgnored) {
   EXPECT_EQ(store.Get("T")->num_rows(), 0u);
 }
 
+// Regression: recovery must amputate a torn WAL tail, not merely ignore it —
+// the writer appends at end-of-file, so commits logged after the restart
+// would land behind the unreadable bytes and vanish from every future
+// recovery.
+TEST(StorageRecovery, TornTailIsRepairedSoNewCommitsSurvive) {
+  SimDisk disk;
+  DurabilityManager dm(&disk, "db");
+  ASSERT_TRUE(dm.LogCommit(CreateTableCommit(1)).ok());
+  WalWriter writer(&disk, dm.wal_file());
+  ASSERT_TRUE(writer.AppendCommitNoSync(InsertCommit(2, 1, 1, 1)).ok());
+  disk.CrashWithPartialFlush(0.5);  // half the in-flight frame survives: torn
+
+  TableStore store;
+  RecoveryInfo info;
+  ASSERT_TRUE(dm.Recover(&store, &info).ok());
+  EXPECT_TRUE(info.wal_scan.tear_detected);
+  // The restarted server commits more work onto the repaired log...
+  ASSERT_TRUE(dm.LogCommit(InsertCommit(2, 1, 10, 100)).ok());
+  disk.Crash();
+  // ...and the next recovery sees it (it was unreachable before the fix).
+  TableStore again;
+  RecoveryInfo info2;
+  ASSERT_TRUE(dm.Recover(&again, &info2).ok());
+  EXPECT_FALSE(info2.wal_scan.tear_detected);
+  EXPECT_EQ(info2.records_replayed, 2u);
+  ASSERT_NE(again.Get("T"), nullptr);
+  EXPECT_EQ(again.Get("T")->num_rows(), 1u);
+  EXPECT_EQ((*again.Get("T")->Find(1))[1].AsInt64(), 100);
+}
+
+// Regression: a crash between writing the checkpoint image and truncating
+// the WAL leaves both on disk. Recovery used to blindly replay the whole WAL
+// on top of the image and die on the duplicate CREATE TABLE; it must instead
+// skip records the checkpoint already subsumes.
+TEST(StorageRecovery, CrashBetweenCheckpointImageAndWalTruncate) {
+  SimDisk disk;
+  DurabilityManager dm(&disk, "db");
+  ASSERT_TRUE(dm.LogCommit(CreateTableCommit(1)).ok());
+  ASSERT_TRUE(dm.LogCommit(InsertCommit(2, 1, 10, 100)).ok());
+  TableStore store;
+  RecoveryInfo ignore;
+  ASSERT_TRUE(dm.Recover(&store, &ignore).ok());
+  // Die inside Checkpoint(): the image is durable, the WAL untouched.
+  ASSERT_TRUE(dm.WriteCheckpoint(store, 3, /*truncate_wal=*/false).ok());
+  disk.Crash();
+
+  TableStore recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(dm.Recover(&recovered, &info).ok());
+  EXPECT_TRUE(info.had_checkpoint);
+  EXPECT_EQ(info.records_skipped, 2u);
+  EXPECT_EQ(info.records_replayed, 0u);
+  EXPECT_EQ(info.next_txn_id, 3u);
+  Table* t = recovered.Get("T");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ((*t->Find(1))[1].AsInt64(), 100);
+
+  // Commits after the interrupted checkpoint still replay normally.
+  ASSERT_TRUE(dm.LogCommit(InsertCommit(3, 2, 20, 200)).ok());
+  TableStore again;
+  RecoveryInfo info2;
+  ASSERT_TRUE(dm.Recover(&again, &info2).ok());
+  EXPECT_EQ(info2.records_skipped, 2u);
+  EXPECT_EQ(info2.records_replayed, 1u);
+  EXPECT_EQ(again.Get("T")->num_rows(), 2u);
+}
+
 TEST(StorageRecovery, ApplyWalOpErrorsOnMissingTable) {
   TableStore store;
   EXPECT_FALSE(ApplyWalOp(WalOp::Insert("NOPE", 1, Row{}), &store).ok());
