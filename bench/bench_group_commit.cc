@@ -1,0 +1,227 @@
+// Group-commit sweep: commit-heavy clients against one DbServer, per-commit
+// sync baseline vs the WAL group-commit pipeline (leader and dedicated-
+// flusher modes, with and without a batch wait window).
+//
+// The disk charges a realistic fsync service time (SimDisk sync latency), so
+// the baseline is bounded by one sync per commit while group commit pays one
+// sync per coalesced batch — the syncs-saved column is read straight from
+// the storage.wal.* counters. Acceptance (ISSUE 4): >= 3x commit throughput
+// over the baseline at 8 concurrent clients, with storage.wal.syncs reduced
+// proportionally. Results land in BENCH_group_commit.json.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace phoenix::bench {
+namespace {
+
+constexpr uint64_t kSyncLatencyUs = 400;  // fsync service time
+constexpr int kCommitsPerClient = 150;    // every op is an autocommit INSERT
+
+struct Mode {
+  const char* name;
+  storage::WalWriterConfig wal;
+};
+
+std::vector<Mode> Modes() {
+  std::vector<Mode> modes;
+  modes.push_back({"per-commit-sync", {}});
+  storage::WalWriterConfig leader;
+  leader.group_commit = true;
+  modes.push_back({"group-leader", leader});
+  storage::WalWriterConfig flusher = leader;
+  flusher.dedicated_flusher = true;
+  modes.push_back({"group-flusher", flusher});
+  storage::WalWriterConfig window = leader;
+  window.max_wait_us = 200;
+  modes.push_back({"group-leader-wait200", window});
+  return modes;
+}
+
+struct PhaseResult {
+  std::string mode;
+  int clients = 0;
+  int commits = 0;
+  double elapsed_s = 0;
+  double commits_per_sec = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t gc_batches = 0;
+  uint64_t gc_syncs_saved = 0;
+};
+
+/// One client's life: connect, commit kCommitsPerClient single-row inserts.
+void RunClient(net::Network* network, int client_id, int key_base,
+               std::atomic<bool>* go, std::atomic<int>* commits) {
+  auto chan_res = network->Connect("tpch");
+  BenchEnv::Check(chan_res.status(), "connect channel");
+  std::unique_ptr<net::Channel> chan = std::move(chan_res.value());
+
+  net::Request connect;
+  connect.kind = net::Request::Kind::kConnect;
+  connect.user = "client-" + std::to_string(client_id);
+  auto conn = chan->RoundTrip(connect);
+  BenchEnv::Check(conn.status(), "connect session");
+  uint64_t sid = conn.value().session_id;
+
+  while (!go->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < kCommitsPerClient; ++i) {
+    net::Request req;
+    req.kind = net::Request::Kind::kExecScript;
+    req.session_id = sid;
+    int key = key_base + client_id * 100000 + i;
+    req.sql = "INSERT INTO HITS VALUES (" + std::to_string(key) + ", " +
+              std::to_string(client_id) + ")";
+    auto res = chan->RoundTrip(req);
+    BenchEnv::Check(res.status(), "round trip");
+    BenchEnv::Check(res.value().ToStatus(), req.sql.c_str());
+    commits->fetch_add(1);
+  }
+}
+
+PhaseResult RunPhase(const Mode& mode, int clients) {
+  // Fresh disk + server per phase: no cross-phase WAL growth, clean counters.
+  storage::SimDisk disk;
+  disk.set_sync_latency_us(kSyncLatencyUs);
+  net::ServerOptions opts;
+  opts.db.wal = mode.wal;
+  opts.worker_threads = 16;
+  opts.queue_capacity = 256;
+  net::DbServer server(&disk, opts);
+  BenchEnv::Check(server.Start(), "server start");
+  net::Network network;
+  network.RegisterServer("tpch", &server);
+
+  {
+    odbc::DriverManager dm(&network);
+    odbc::Hdbc* dbc = Connect(&dm, "loader");
+    MustDrain(&dm, dbc,
+              "CREATE TABLE HITS (K INTEGER PRIMARY KEY, CLIENT INTEGER)");
+  }
+
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  uint64_t syncs0 = reg->GetCounter("storage.wal.syncs")->Value();
+  uint64_t batches0 =
+      reg->GetCounter("storage.wal.group_commit.batches")->Value();
+  uint64_t saved0 =
+      reg->GetCounter("storage.wal.group_commit.syncs_saved")->Value();
+
+  std::atomic<bool> go{false};
+  std::atomic<int> commits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(
+        [&, c] { RunClient(&network, c, 1000000, &go, &commits); });
+  }
+  StopWatch watch;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  double elapsed = watch.ElapsedSeconds();
+
+  PhaseResult r;
+  r.mode = mode.name;
+  r.clients = clients;
+  r.commits = commits.load();
+  r.elapsed_s = elapsed;
+  r.commits_per_sec = r.commits / elapsed;
+  r.wal_syncs = reg->GetCounter("storage.wal.syncs")->Value() - syncs0;
+  r.gc_batches =
+      reg->GetCounter("storage.wal.group_commit.batches")->Value() - batches0;
+  r.gc_syncs_saved =
+      reg->GetCounter("storage.wal.group_commit.syncs_saved")->Value() - saved0;
+  return r;
+}
+
+void Main() {
+  std::printf("Group-commit sweep: %d commits/client, %lluus fsync latency\n",
+              kCommitsPerClient,
+              static_cast<unsigned long long>(kSyncLatencyUs));
+  PrintRule(92);
+  std::printf("%-22s %8s %9s %12s %10s %9s %11s\n", "mode", "clients",
+              "commits", "commits/sec", "wal syncs", "batches", "syncs saved");
+  PrintRule(92);
+
+  std::vector<PhaseResult> results;
+  double baseline_8 = 0, best_group_8 = 0;
+  uint64_t baseline_8_syncs = 0, best_group_8_syncs = 0;
+  for (const Mode& mode : Modes()) {
+    for (int clients : {1, 2, 4, 8}) {
+      PhaseResult r = RunPhase(mode, clients);
+      std::printf("%-22s %8d %9d %12.0f %10llu %9llu %11llu\n", r.mode.c_str(),
+                  r.clients, r.commits, r.commits_per_sec,
+                  static_cast<unsigned long long>(r.wal_syncs),
+                  static_cast<unsigned long long>(r.gc_batches),
+                  static_cast<unsigned long long>(r.gc_syncs_saved));
+      if (clients == 8) {
+        if (r.mode == "per-commit-sync") {
+          baseline_8 = r.commits_per_sec;
+          baseline_8_syncs = r.wal_syncs;
+        } else if (r.commits_per_sec > best_group_8) {
+          best_group_8 = r.commits_per_sec;
+          best_group_8_syncs = r.wal_syncs;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+  }
+  PrintRule(92);
+  double speedup = best_group_8 / baseline_8;
+  double sync_reduction =
+      baseline_8_syncs > 0
+          ? static_cast<double>(baseline_8_syncs) /
+                (best_group_8_syncs > 0 ? best_group_8_syncs : 1)
+          : 0;
+  std::printf(
+      "8-client commit throughput: group commit %.0f/s vs baseline %.0f/s "
+      "= %.2fx (acceptance floor: 3x)\n",
+      best_group_8, baseline_8, speedup);
+  std::printf("8-client wal syncs: %llu -> %llu (%.1fx fewer forces)\n",
+              static_cast<unsigned long long>(baseline_8_syncs),
+              static_cast<unsigned long long>(best_group_8_syncs),
+              sync_reduction);
+
+  // Machine-readable dump for the trajectory scraper / EXPERIMENTS.md.
+  std::string json = "{\n  \"sync_latency_us\": " +
+                     std::to_string(kSyncLatencyUs) +
+                     ",\n  \"commits_per_client\": " +
+                     std::to_string(kCommitsPerClient) + ",\n  \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    {\"mode\": \"" + r.mode +
+            "\", \"clients\": " + std::to_string(r.clients) +
+            ", \"commits\": " + std::to_string(r.commits) +
+            ", \"elapsed_s\": " + std::to_string(r.elapsed_s) +
+            ", \"commits_per_sec\": " + std::to_string(r.commits_per_sec) +
+            ", \"wal_syncs\": " + std::to_string(r.wal_syncs) +
+            ", \"gc_batches\": " + std::to_string(r.gc_batches) +
+            ", \"gc_syncs_saved\": " + std::to_string(r.gc_syncs_saved) + "}";
+  }
+  json += "\n  ],\n  \"acceptance\": {\"speedup_8_clients\": " +
+          std::to_string(speedup) +
+          ", \"floor\": 3.0, \"pass\": " + (speedup >= 3.0 ? "true" : "false") +
+          "}\n}";
+  std::printf("\nBENCH_JSON bench_group_commit %s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_group_commit.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  DumpMetrics("bench_group_commit");
+}
+
+}  // namespace
+}  // namespace phoenix::bench
+
+int main() {
+  phoenix::bench::Main();
+  return 0;
+}

@@ -6,10 +6,16 @@
 # lane is the merge gate for anything touching the concurrent DbServer,
 # worker pool, or engine locking: it must pass with zero reports.
 #
-# A third lane, `chaos`, runs only the seeded fault-schedule matrix and the
-# recovery regression suite under both sanitizers — the fast loop when
-# iterating on recovery/chaos code. Any red schedule prints a one-line
-# `PHX_CHAOS_SEED=<seed>` repro command.
+# A third lane, `chaos`, runs only the seeded fault-schedule matrix, the WAL
+# unit suite, and the recovery regression suite under both sanitizers — the
+# fast loop when iterating on recovery/chaos code. Any red schedule prints a
+# one-line `PHX_CHAOS_SEED=<seed>` repro command.
+#
+# Every lane's ctest pass runs TWICE: once with the per-commit-sync WAL
+# pipeline (PHX_GROUP_COMMIT=0, the seed behavior) and once with group
+# commit enabled (PHX_GROUP_COMMIT=1), so both durability paths stay
+# exercised under the sanitizers. Tests that pin the mode via
+# DatabaseOptions/ChaosOptions override the env either way.
 #
 # Usage: scripts/check_sanitizers.sh [asan|tsan|chaos]   (default: both)
 set -eu
@@ -27,17 +33,20 @@ run_lane() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   echo "==> [$lane_name] build"
   cmake --build "$build_dir" -j "$JOBS" >/dev/null
-  echo "==> [$lane_name] ctest"
-  # halt_on_error makes any sanitizer report fail the test that produced it.
-  ASAN_OPTIONS="halt_on_error=1" \
-  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir "$build_dir" --output-on-failure -j 2 \
-          ${test_regex:+-R "$test_regex"}
+  for gc in 0 1; do
+    echo "==> [$lane_name] ctest (PHX_GROUP_COMMIT=$gc)"
+    # halt_on_error makes any sanitizer report fail the test that produced it.
+    PHX_GROUP_COMMIT="$gc" \
+    ASAN_OPTIONS="halt_on_error=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$build_dir" --output-on-failure -j 2 \
+            ${test_regex:+-R "$test_regex"}
+  done
   echo "==> [$lane_name] OK"
 }
 
-CHAOS_TESTS='chaos_matrix_test|recovery_regression_test'
+CHAOS_TESTS='chaos_matrix_test|recovery_regression_test|wal_test'
 
 want="${1:-both}"
 case "$want" in

@@ -369,6 +369,14 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
   storage::SimDisk disk;
   net::ServerOptions sopts;
   sopts.db.checkpoint_every_n_commits = opts.checkpoint_every_n_commits;
+  // sopts.db.wal already carries the environment defaults (FromEnv); a
+  // schedule may pin the group-commit mode on top of them.
+  if (opts.group_commit.has_value()) {
+    sopts.db.wal.group_commit = *opts.group_commit;
+  }
+  if (opts.gc_flusher.has_value()) {
+    sopts.db.wal.dedicated_flusher = *opts.gc_flusher;
+  }
   net::DbServer server(&disk, sopts);
   if (Status st = server.Start(); !st.ok()) {
     fail("chaos server start: " + st.ToString());

@@ -2,6 +2,7 @@
 #define PHOENIX_CHAOS_CHAOS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace phoenix::chaos {
@@ -48,6 +49,13 @@ struct ChaosOptions {
   /// Auto-checkpoint cadence on the chaos server (0 = never) — creates the
   /// checkpoint/WAL interleavings the mid-checkpoint faults depend on.
   uint64_t checkpoint_every_n_commits = 0;
+
+  /// WAL group-commit overrides for the chaos server. Unset = inherit the
+  /// PHX_GROUP_COMMIT / PHX_GC_FLUSHER environment defaults, so sanitizer
+  /// lanes flip the whole matrix; set = pin the mode for a schedule (the
+  /// crash-inside-batch suite runs with group commit forced on).
+  std::optional<bool> group_commit;
+  std::optional<bool> gc_flusher;
 };
 
 /// Outcome of one schedule. `ok == false` means an oracle invariant was

@@ -12,7 +12,7 @@ using sql::StmtKind;
 Database::Database(storage::SimDisk* disk, DatabaseOptions opts)
     : disk_(disk),
       opts_(std::move(opts)),
-      durability_(disk, opts_.disk_prefix),
+      durability_(disk, opts_.disk_prefix, opts_.wal),
       next_session_id_(opts_.first_session_id) {}
 
 Status Database::Open() {
@@ -109,14 +109,32 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
       stmt.kind == StmtKind::kSelect && stmt.select->into_table.empty();
   if (read_only) {
     std::shared_lock<std::shared_mutex> lk(data_mu_);
-    return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/false);
+    return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/false,
+                                  /*ticket=*/nullptr);
   }
-  std::unique_lock<std::shared_mutex> lk(data_mu_);
-  return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/true);
+  // Early lock release (group commit): the statement runs — and, if it
+  // commits, enqueues its WAL record — under the exclusive lock, but the
+  // wait for the batch fsync happens after the lock is dropped. That wait
+  // is where commits from other sessions pile into the same batch; waiting
+  // inside the lock would serialize them and every batch would hold one
+  // record. Success is still reported only after the force returns
+  // (ack-after-fsync), and a failed force overrides the statement result.
+  storage::WalCommitTicket ticket;
+  auto result = [&]() -> Result<StatementResult> {
+    std::unique_lock<std::shared_mutex> lk(data_mu_);
+    return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/true,
+                                  &ticket);
+  }();
+  if (ticket) {
+    Status forced = durability_.WaitCommit(&ticket);
+    if (!forced.ok()) return forced;
+  }
+  return result;
 }
 
 Result<StatementResult> Database::ExecuteStatementLocked(
-    uint64_t session_id, const Statement& stmt, bool can_checkpoint) {
+    uint64_t session_id, const Statement& stmt, bool can_checkpoint,
+    storage::WalCommitTicket* ticket) {
   Session* s = FindSession(session_id);
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
@@ -132,7 +150,7 @@ Result<StatementResult> Database::ExecuteStatementLocked(
       if (s->txn == nullptr) {
         return Status::SqlError("no transaction in progress");
       }
-      PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint));
+      PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint, ticket));
       return StatementResult::Affected(0);
     case StmtKind::kRollback:
       if (s->txn == nullptr) {
@@ -166,18 +184,29 @@ Result<StatementResult> Database::ExecuteStatementLocked(
     s->last_rowcount = result.value().affected < 0 ? 0 : result.value().affected;
   }
   if (autocommit) {
-    PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint));
+    PHX_RETURN_IF_ERROR(Commit(s, can_checkpoint, ticket));
   }
   return result;
 }
 
-Status Database::Commit(Session* s, bool can_checkpoint) {
+Status Database::Commit(Session* s, bool can_checkpoint,
+                        storage::WalCommitTicket* ticket) {
   Txn* txn = s->txn.get();
   if (!txn->redo.empty()) {
     storage::WalCommitRecord record;
     record.txn_id = txn->id;
     record.ops = std::move(txn->redo);
-    PHX_RETURN_IF_ERROR(durability_.LogCommit(record));
+    if (opts_.wal.group_commit && ticket != nullptr) {
+      // Enqueue only — never blocks on the device while data_mu_ is held.
+      // The caller redeems the ticket after releasing the lock; if the
+      // batch sync fails, the error replaces the statement result, so the
+      // client is never acked for an unforced commit. (The in-memory
+      // mutation stands, as with any post-release log-force failure —
+      // standard early-lock-release semantics.)
+      *ticket = durability_.EnqueueCommit(record);
+    } else {
+      PHX_RETURN_IF_ERROR(durability_.LogCommit(record));
+    }
   }
   s->txn.reset();
   commit_count_.fetch_add(1, std::memory_order_relaxed);

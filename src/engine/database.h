@@ -31,6 +31,10 @@ struct DatabaseOptions {
   /// unique across process restarts, so a stale pre-crash session id can
   /// never accidentally name a post-crash session.
   uint64_t first_session_id = 1;
+  /// WAL durability pipeline (group commit on/off + knobs). Defaults come
+  /// from the PHX_GROUP_COMMIT / PHX_GC_* environment toggles so whole test
+  /// lanes can flip modes without code changes.
+  storage::WalWriterConfig wal = storage::WalWriterConfig::FromEnv();
 };
 
 /// The database server engine: storage + recovery + SQL execution +
@@ -108,6 +112,9 @@ class Database {
   // run inside a locked statement; tests use them single-threaded).
   storage::TableStore* store() { return &store_; }
   const storage::TableStore* store() const { return &store_; }
+  /// Durability subsystem — exposed for fault injection in tests (e.g.
+  /// WalWriter::set_before_sync_hook) and for diagnostics.
+  storage::DurabilityManager* durability() { return &durability_; }
   ProcRegistry* temp_procs() { return &temp_procs_; }
   TxnManager* txn_manager() { return &txn_manager_; }
 
@@ -132,12 +139,18 @@ class Database {
   friend class Cursor;
 
   /// Body of ExecuteStatement; caller holds data_mu_ (shared for read-only
-  /// statements, exclusive otherwise — can_checkpoint says which).
-  Result<StatementResult> ExecuteStatementLocked(uint64_t session_id,
-                                                 const sql::Statement& stmt,
-                                                 bool can_checkpoint);
+  /// statements, exclusive otherwise — can_checkpoint says which). Under
+  /// group commit a committing statement deposits its durability ticket in
+  /// `*ticket` instead of blocking on the sync inside the lock; the caller
+  /// MUST redeem it with durability_.WaitCommit() after releasing data_mu_
+  /// and before reporting success (early lock release — the ack still waits
+  /// for the fsync, but other sessions' commits can join the same batch).
+  Result<StatementResult> ExecuteStatementLocked(
+      uint64_t session_id, const sql::Statement& stmt, bool can_checkpoint,
+      storage::WalCommitTicket* ticket);
   Session* FindSession(uint64_t session_id) const;
-  Status Commit(Session* session, bool can_checkpoint);
+  Status Commit(Session* session, bool can_checkpoint,
+                storage::WalCommitTicket* ticket);
   Status Rollback(Session* session);
   Status CheckpointLocked();
   bool AnyActiveTxn() const;

@@ -231,6 +231,13 @@ Response DbServer::Dispatch(const Request& req) {
       return Response::MakeOk();
     }
     case Request::Kind::kExecScript: {
+      // Commit-ack contract: the success Response is constructed only after
+      // ExecuteScript returns, and under group commit ExecuteScript does not
+      // return a committing statement's result until the commit's WAL batch
+      // sync status is known (Database::ExecuteStatement redeems the ticket
+      // before reporting). Building any part of the reply earlier — or
+      // treating an enqueued-but-unforced commit as success — would ack a
+      // commit a crash can still lose.
       auto res = db->ExecuteScript(req.session_id, req.sql);
       if (!res.ok()) return Response::MakeError(res.status());
       Response r;

@@ -39,14 +39,23 @@ Status ApplyWalOp(const WalOp& op, TableStore* store) {
   return Status::Internal("bad WAL op kind");
 }
 
-DurabilityManager::DurabilityManager(SimDisk* disk, std::string prefix)
+DurabilityManager::DurabilityManager(SimDisk* disk, std::string prefix,
+                                     WalWriterConfig wal_config)
     : disk_(disk),
       wal_file_(prefix + ".wal"),
       ckpt_file_(prefix + ".ckpt"),
-      wal_writer_(disk, wal_file_) {}
+      wal_writer_(disk, wal_file_, wal_config) {}
 
 Status DurabilityManager::LogCommit(const WalCommitRecord& record) {
   return wal_writer_.AppendCommit(record);
+}
+
+WalCommitTicket DurabilityManager::EnqueueCommit(const WalCommitRecord& record) {
+  return wal_writer_.EnqueueCommit(record);
+}
+
+Status DurabilityManager::WaitCommit(WalCommitTicket* ticket) {
+  return wal_writer_.WaitCommit(ticket);
 }
 
 Status DurabilityManager::WriteCheckpoint(const TableStore& store,

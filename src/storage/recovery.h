@@ -43,9 +43,16 @@ Status ApplyWalOp(const WalOp& op, TableStore* store);
 class DurabilityManager {
  public:
   /// Files used: "<prefix>.wal" and "<prefix>.ckpt" on `disk`.
-  DurabilityManager(SimDisk* disk, std::string prefix);
+  DurabilityManager(SimDisk* disk, std::string prefix,
+                    WalWriterConfig wal_config = {});
 
   Status LogCommit(const WalCommitRecord& record);
+
+  /// Group-commit split of LogCommit: EnqueueCommit never blocks on the
+  /// device (safe under engine locks); WaitCommit blocks until the record's
+  /// batch is forced and returns the real sync status (early lock release).
+  WalCommitTicket EnqueueCommit(const WalCommitRecord& record);
+  Status WaitCommit(WalCommitTicket* ticket);
 
   /// Writes the checkpoint image atomically, then truncates the WAL. With
   /// `truncate_wal = false` the truncation is skipped — that is the durable
@@ -61,6 +68,7 @@ class DurabilityManager {
   SimDisk* disk() { return disk_; }
   const std::string& wal_file() const { return wal_file_; }
   const std::string& ckpt_file() const { return ckpt_file_; }
+  WalWriter* wal_writer() { return &wal_writer_; }
 
  private:
   SimDisk* disk_;

@@ -1,5 +1,8 @@
 #include "storage/sim_disk.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/rng.h"
 
 namespace phoenix::storage {
@@ -12,12 +15,27 @@ Status SimDisk::Append(const std::string& file, const std::string& data) {
 }
 
 Status SimDisk::Sync(const std::string& file) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = files_.find(file);
-  if (it == files_.end()) return Status::NotFound("no such file: " + file);
-  it->second.durable += it->second.tail;
-  it->second.tail.clear();
-  ++sync_count_;
+  uint64_t latency_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = files_.find(file);
+    if (it == files_.end()) return Status::NotFound("no such file: " + file);
+    if (fail_syncs_ > 0) {
+      // The flush was rejected; the tail stays volatile (a crash still
+      // loses it). Callers must not treat the data as durable.
+      --fail_syncs_;
+      return Status::IoError("injected sync failure: " + file);
+    }
+    it->second.durable += it->second.tail;
+    it->second.tail.clear();
+    ++sync_count_;
+    latency_us = sync_latency_us_;
+  }
+  // Fsync service time, charged outside the mutex: other files (and other
+  // appends to this one) proceed while the flush is "in the device".
+  if (latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
   return Status::Ok();
 }
 
@@ -112,6 +130,16 @@ uint64_t SimDisk::bytes_written() const {
 uint64_t SimDisk::sync_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return sync_count_;
+}
+
+void SimDisk::InjectSyncFailures(int n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_syncs_ = n;
+}
+
+void SimDisk::set_sync_latency_us(uint64_t us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sync_latency_us_ = us;
 }
 
 }  // namespace phoenix::storage

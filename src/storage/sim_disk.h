@@ -83,6 +83,17 @@ class SimDisk {
   /// Number of Sync()/WriteAtomic() durability points.
   uint64_t sync_count() const;
 
+  /// Makes the next `n` Sync() calls fail with IoError, leaving the tail
+  /// volatile — models a device that rejects the flush (battery-backed
+  /// cache gone read-only, thin-provisioned volume out of space). The data
+  /// is NOT durable after a failed sync; a crash still discards it.
+  void InjectSyncFailures(int n);
+
+  /// Service time charged to every successful Sync(), slept *outside* the
+  /// disk mutex so concurrent appends proceed during the flush — the fsync
+  /// cost model that makes group-commit batching measurable in benches.
+  void set_sync_latency_us(uint64_t us);
+
  private:
   struct FileState {
     std::string durable;
@@ -92,6 +103,8 @@ class SimDisk {
   std::map<std::string, FileState> files_;
   uint64_t bytes_written_ = 0;
   uint64_t sync_count_ = 0;
+  int fail_syncs_ = 0;
+  uint64_t sync_latency_us_ = 0;
 };
 
 }  // namespace phoenix::storage

@@ -1,5 +1,9 @@
 #include "storage/wal.h"
 
+#include <chrono>
+#include <cstdlib>
+
+#include "common/rng.h"
 #include "obs/metrics.h"
 
 namespace phoenix::storage {
@@ -126,37 +130,272 @@ std::string FrameRecord(const WalCommitRecord& record) {
   return frame.Take();
 }
 
-}  // namespace
-
-namespace {
-
 void CountAppend(size_t bytes) {
   auto* reg = obs::MetricsRegistry::Default();
   reg->GetCounter("storage.wal.appends")->Increment();
   reg->GetCounter("storage.wal.bytes")->Increment(bytes);
 }
 
+bool EnvFlag(const char* name, bool fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return fallback;
+  return e[0] == '1' || e[0] == 'y' || e[0] == 'Y' || e[0] == 't' ||
+         e[0] == 'T';
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return fallback;
+  return std::strtoull(e, nullptr, 10);
+}
+
 }  // namespace
 
+WalWriterConfig WalWriterConfig::FromEnv() {
+  WalWriterConfig c;
+  c.group_commit = EnvFlag("PHX_GROUP_COMMIT", c.group_commit);
+  c.dedicated_flusher = EnvFlag("PHX_GC_FLUSHER", c.dedicated_flusher);
+  c.max_wait_us = EnvU64("PHX_GC_MAX_WAIT_US", c.max_wait_us);
+  c.max_batch_bytes =
+      static_cast<size_t>(EnvU64("PHX_GC_MAX_BATCH_BYTES", c.max_batch_bytes));
+  return c;
+}
+
+/// One group-commit batch. Joiners append their frames under the writer's
+/// mutex while the batch is open; once sealed the byte buffer is immutable
+/// (only the flusher reads it, outside the lock). done/status are published
+/// under the writer's mutex.
+struct WalBatch {
+  std::string bytes;
+  uint64_t records = 0;
+  std::chrono::steady_clock::time_point opened_at;
+  bool done = false;
+  Status status;
+};
+
+WalWriter::WalWriter(SimDisk* disk, std::string file, WalWriterConfig config)
+    : disk_(disk), file_(std::move(file)), config_(config) {
+  if (config_.group_commit && config_.dedicated_flusher) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Records enqueued but never waited on die with the writer, exactly like
+  // an unsynced tail dies with the process. On an orderly shutdown none
+  // exist: every committer redeems its ticket before the engine lets go of
+  // the writer. A destructor must not add durability points — syncing here
+  // would let "crashed" state survive SimDisk::Crash() in fault tests.
+}
+
+void WalWriter::set_before_sync_hook(std::function<bool()> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  before_sync_hook_ = std::move(hook);
+}
+
+Status WalWriter::SyncCounted() {
+  Status st = disk_->Sync(file_);
+  auto* reg = obs::MetricsRegistry::Default();
+  // Count the force only once it actually happened: a failed sync left
+  // nothing durable and must not inflate the durability-point counter.
+  if (st.ok()) {
+    reg->GetCounter("storage.wal.syncs")->Increment();
+  } else {
+    reg->GetCounter("storage.wal.sync_failures")->Increment();
+  }
+  return st;
+}
+
 Status WalWriter::AppendCommit(const WalCommitRecord& record) {
+  WalCommitTicket ticket = EnqueueCommit(record);
+  return WaitCommit(&ticket);
+}
+
+WalCommitTicket WalWriter::EnqueueCommit(const WalCommitRecord& record) {
   std::string frame = FrameRecord(record);
   CountAppend(frame.size());
+  WalCommitTicket ticket;
+  if (!config_.group_commit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ticket.resolved = true;
+    ticket.status = disk_->Append(file_, std::move(frame));
+    if (ticket.status.ok()) ticket.status = SyncCounted();
+    return ticket;
+  }
   std::lock_guard<std::mutex> lk(mu_);
-  PHX_RETURN_IF_ERROR(disk_->Append(file_, std::move(frame)));
-  obs::MetricsRegistry::Default()->GetCounter("storage.wal.syncs")->Increment();
-  return disk_->Sync(file_);
+  if (open_ == nullptr) {
+    open_ = std::make_shared<WalBatch>();
+    open_->opened_at = std::chrono::steady_clock::now();
+  }
+  open_->bytes += frame;
+  ++open_->records;
+  ticket.batch = open_;
+  // Wake the flusher / a waiting leader: the batch may just have become
+  // ripe (size threshold), and a flusher idling on an empty pipeline needs
+  // to learn a batch now exists.
+  cv_.notify_all();
+  return ticket;
+}
+
+bool WalWriter::OpenBatchRipeLocked() const {
+  if (open_ == nullptr || open_->records == 0) return false;
+  if (stop_) return true;
+  if (open_->bytes.size() >= config_.max_batch_bytes) return true;
+  return std::chrono::steady_clock::now() >=
+         open_->opened_at + std::chrono::microseconds(config_.max_wait_us);
+}
+
+void WalWriter::SealOpenBatchLocked() {
+  sealed_.push_back(std::move(open_));
+  open_ = nullptr;
+}
+
+void WalWriter::FlushFrontLocked(std::unique_lock<std::mutex>& lk) {
+  std::shared_ptr<WalBatch> batch = sealed_.front();
+  sealed_.pop_front();
+  flush_in_progress_ = true;
+  std::function<bool()> hook = before_sync_hook_;
+  lk.unlock();
+  // The coalesced write + the batch's single force. Sealed batches are
+  // immutable, so reading bytes outside the lock is safe.
+  Status st = disk_->Append(file_, batch->bytes);
+  if (st.ok()) {
+    if (hook != nullptr && !hook()) {
+      st = Status::IoError("group-commit batch lost before sync");
+    } else {
+      st = SyncCounted();
+    }
+  }
+  auto* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("storage.wal.group_commit.batches")->Increment();
+  reg->GetHistogram("storage.wal.group_commit.batch_records",
+                    {1, 2, 4, 8, 16, 32, 64, 128})
+      ->Record(batch->records);
+  reg->GetHistogram("storage.wal.group_commit.batch_bytes",
+                    {256, 1024, 4096, 16384, 65536, 262144, 1048576})
+      ->Record(batch->bytes.size());
+  if (st.ok() && batch->records > 0) {
+    reg->GetCounter("storage.wal.group_commit.syncs_saved")
+        ->Increment(batch->records - 1);
+  }
+  lk.lock();
+  batch->status = std::move(st);
+  batch->done = true;
+  flush_in_progress_ = false;
+  cv_.notify_all();
+}
+
+Status WalWriter::WaitCommit(WalCommitTicket* ticket) {
+  if (ticket == nullptr || !*ticket) {
+    return Status::Internal("WaitCommit on an empty commit ticket");
+  }
+  if (ticket->resolved) return ticket->status;
+  StopWatch watch;
+  std::shared_ptr<WalBatch> b = std::move(ticket->batch);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (config_.dedicated_flusher) {
+      cv_.wait(lk, [&] { return b->done; });
+    } else {
+      // Leader mode: whichever waiter finds the device free drives the
+      // flush — first any older sealed batch (FIFO order), then, once its
+      // wait window has run out, its own. Progress never depends on a
+      // thread outside the waiter set.
+      while (!b->done) {
+        if (flush_in_progress_) {
+          cv_.wait(lk);
+          continue;
+        }
+        if (!sealed_.empty()) {
+          FlushFrontLocked(lk);
+          continue;
+        }
+        if (OpenBatchRipeLocked()) {
+          SealOpenBatchLocked();
+          continue;
+        }
+        // b is (in) the open batch and its window is still running: sleep
+        // until the deadline or a joiner makes it ripe early.
+        cv_.wait_until(lk, b->opened_at +
+                               std::chrono::microseconds(config_.max_wait_us));
+      }
+    }
+    ticket->status = b->status;
+  }
+  ticket->resolved = true;
+  obs::MetricsRegistry::Default()
+      ->GetHistogram("storage.wal.group_commit.wait_us",
+                     obs::Histogram::LatencyBoundsUs())
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return ticket->status;
+}
+
+void WalWriter::DrainLocked(std::unique_lock<std::mutex>& lk) {
+  if (open_ != nullptr) {
+    if (open_->records > 0) {
+      SealOpenBatchLocked();
+    } else {
+      open_ = nullptr;
+    }
+  }
+  while (flush_in_progress_ || !sealed_.empty()) {
+    if (!flush_in_progress_ && !sealed_.empty()) {
+      FlushFrontLocked(lk);
+    } else {
+      cv_.wait(lk);
+    }
+  }
 }
 
 Status WalWriter::AppendCommitNoSync(const WalCommitRecord& record) {
   std::string frame = FrameRecord(record);
   CountAppend(frame.size());
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // Force pending batches first so on-disk frame order stays append order
+  // even when an unforced append races an in-flight batch.
+  if (config_.group_commit) DrainLocked(lk);
   return disk_->Append(file_, std::move(frame));
 }
 
 Status WalWriter::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // Every enqueued commit gets a real force status before the truncation;
+  // the checkpoint that triggered the reset already subsumes their effects,
+  // so forcing first is safe and keeps tickets from dangling.
+  if (config_.group_commit) DrainLocked(lk);
   return disk_->WriteAtomic(file_, "");
+}
+
+void WalWriter::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!sealed_.empty()) {
+      // Reset()/Drain can also be mid-flush; only one flusher at a time.
+      if (!flush_in_progress_) {
+        FlushFrontLocked(lk);
+      } else {
+        cv_.wait(lk);
+      }
+      continue;
+    }
+    if (OpenBatchRipeLocked()) {
+      SealOpenBatchLocked();
+      continue;
+    }
+    if (stop_) break;  // pipeline empty (or batch already being drained)
+    if (open_ != nullptr && open_->records > 0) {
+      cv_.wait_until(lk, open_->opened_at +
+                             std::chrono::microseconds(config_.max_wait_us));
+    } else {
+      cv_.wait(lk);
+    }
+  }
 }
 
 Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
@@ -172,6 +411,10 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
   const char* data = bytes.data();
   size_t size = bytes.size();
   local.bytes_total = size;
+  // Why the tail stopped scanning: an incomplete frame is the expected
+  // residue of an unforced append cut by a crash; a complete frame that
+  // fails its CRC or does not decode is real corruption.
+  bool corrupt_tail = false;
   while (pos + 8 <= size) {
     Decoder head(data + pos, 8);
     uint32_t len = head.GetU32().value();
@@ -180,12 +423,18 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
     // or fewer, in which case the CRC over the short slice rejects it.
     if (pos + 8 + len > size) break;
     std::string payload(data + pos + 8, len);
-    if (WalChecksum(payload) != crc) break;
+    if (WalChecksum(payload) != crc) {
+      corrupt_tail = true;
+      break;
+    }
     Decoder body(payload);
     WalCommitRecord rec;
     auto txn_res = body.GetU64();
     auto nops_res = txn_res.ok() ? body.GetU32() : Result<uint32_t>(txn_res.status());
-    if (!txn_res.ok() || !nops_res.ok()) break;
+    if (!txn_res.ok() || !nops_res.ok()) {
+      corrupt_tail = true;
+      break;
+    }
     rec.txn_id = txn_res.value();
     bool ok = true;
     for (uint32_t i = 0; i < nops_res.value(); ++i) {
@@ -196,7 +445,10 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
       }
       rec.ops.push_back(op_res.take());
     }
-    if (!ok) break;
+    if (!ok) {
+      corrupt_tail = true;
+      break;
+    }
     records.push_back(std::move(rec));
     pos += 8 + len;
   }
@@ -204,9 +456,17 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
   local.records = records.size();
   local.tear_detected = pos < size;
   if (local.tear_detected) {
+    uint64_t dropped = size - pos;
+    if (corrupt_tail) {
+      local.bytes_corrupt = dropped;
+    } else {
+      local.bytes_unforced_tail = dropped;
+    }
     auto* reg = obs::MetricsRegistry::Default();
     reg->GetCounter("storage.wal.tears_detected")->Increment();
-    reg->GetCounter("storage.wal.torn_bytes_dropped")->Increment(size - pos);
+    reg->GetCounter(corrupt_tail ? "storage.wal.torn_bytes_dropped"
+                                 : "storage.wal.unforced_tail_bytes_dropped")
+        ->Increment(dropped);
   }
   if (stats != nullptr) *stats = local;
   return records;

@@ -1,9 +1,14 @@
 #ifndef PHOENIX_STORAGE_WAL_H_
 #define PHOENIX_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/codec.h"
@@ -52,40 +57,154 @@ struct WalCommitRecord {
 void EncodeWalOp(const WalOp& op, Encoder* enc);
 Result<WalOp> DecodeWalOp(Decoder* dec);
 
+/// Tuning knobs for WalWriter's group-commit pipeline (DESIGN.md §11).
+struct WalWriterConfig {
+  /// Off: every AppendCommit pays its own Sync() (the seed behavior). On:
+  /// committers join an in-memory batch that a single flusher writes and
+  /// forces with ONE Sync(), and each committer blocks until its batch's
+  /// real sync status is known (the ack-after-fsync contract).
+  bool group_commit = false;
+  /// A batch is flushed as soon as it reaches this many bytes, even if its
+  /// wait window has not expired.
+  size_t max_batch_bytes = 256 * 1024;
+  /// How long the flusher lets an open batch accumulate joiners before
+  /// forcing it. 0 = flush as soon as the device is free; batching still
+  /// emerges because commits arriving during an in-flight sync coalesce
+  /// into the next batch (no added latency for a lone committer).
+  uint64_t max_wait_us = 0;
+  /// Off (leader mode): the first committer waiting on a batch becomes its
+  /// leader and performs the write+sync itself — no extra thread. On: a
+  /// dedicated flusher thread owned by the WalWriter drives all batches.
+  bool dedicated_flusher = false;
+
+  /// Defaults overridden by environment toggles, so whole test lanes can
+  /// flip modes without code changes (scripts/check_sanitizers.sh runs the
+  /// suite once per mode): PHX_GROUP_COMMIT=0|1, PHX_GC_FLUSHER=0|1,
+  /// PHX_GC_MAX_WAIT_US=<n>, PHX_GC_MAX_BATCH_BYTES=<n>.
+  static WalWriterConfig FromEnv();
+};
+
+/// One in-memory group-commit batch (internal to WalWriter; opaque here).
+struct WalBatch;
+
+/// Handle for one enqueued commit record: resolves to the real sync status
+/// of the batch that carried the record. Obtained from EnqueueCommit(),
+/// redeemed — exactly once — with WaitCommit(). Empty tickets are falsy.
+struct WalCommitTicket {
+  std::shared_ptr<WalBatch> batch;  ///< group-commit path (unresolved)
+  bool resolved = false;            ///< per-commit path / after WaitCommit
+  Status status;
+
+  explicit operator bool() const { return resolved || batch != nullptr; }
+};
+
 /// Appends framed, checksummed commit records to a SimDisk file and forces
 /// them durable before reporting success (write-ahead rule).
 ///
-/// Thread-safe: an internal mutex makes each record's append+sync atomic, so
-/// concurrent committers can never interleave frame bytes in the log.
+/// Two durability pipelines, selected by WalWriterConfig::group_commit:
+///  - per-commit (default): each record's append+sync is atomic under an
+///    internal mutex, exactly the seed behavior.
+///  - group commit: EnqueueCommit() adds the framed record to the open
+///    batch and returns a ticket; WaitCommit() blocks until the batch has
+///    been written and forced with a single Sync(), then returns that
+///    sync's real status. Batches flush strictly in formation order, so
+///    the on-disk record order still equals commit order.
+///
+/// Thread-safe in both modes; concurrent committers can never interleave
+/// frame bytes in the log.
 class WalWriter {
  public:
-  WalWriter(SimDisk* disk, std::string file)
-      : disk_(disk), file_(std::move(file)) {}
+  WalWriter(SimDisk* disk, std::string file, WalWriterConfig config = {});
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Frames, checksums, appends, and Sync()s one commit record.
+  /// Frames, checksums, appends, and forces one commit record
+  /// (EnqueueCommit + WaitCommit).
   Status AppendCommit(const WalCommitRecord& record);
 
-  /// Appends without syncing (used to test loss of unforced commits).
+  /// Adds the record to the current batch (group mode) or performs the
+  /// whole append+sync immediately (per-commit mode). Never blocks on the
+  /// device in group mode, so callers may hold engine locks.
+  WalCommitTicket EnqueueCommit(const WalCommitRecord& record);
+
+  /// Blocks until the ticket's batch is durable and returns the real sync
+  /// status. In leader mode the caller may perform the flush itself. Must
+  /// not be called while holding locks the engine's commit path needs —
+  /// releasing them first is the whole point of group commit.
+  Status WaitCommit(WalCommitTicket* ticket);
+
+  /// Appends without syncing (used to test loss of unforced commits). In
+  /// group mode any pending batches are forced first so frame order on
+  /// disk stays append order.
   Status AppendCommitNoSync(const WalCommitRecord& record);
 
   /// Truncates the log (after a checkpoint made its contents redundant).
+  /// In group mode every enqueued commit is forced — its waiters get a
+  /// real sync status — before the truncation, so no ticket ever dangles
+  /// across a checkpoint.
   Status Reset();
 
   const std::string& file() const { return file_; }
+  const WalWriterConfig& config() const { return config_; }
+
+  /// Test-only crash window: invoked between a batch's Append and its
+  /// Sync. Returning false simulates the process dying in that window —
+  /// the sync is skipped and every commit in the batch resolves with an
+  /// error (so none of them is ever acked).
+  void set_before_sync_hook(std::function<bool()> hook);
 
  private:
-  std::mutex mu_;
+  /// Runs Sync() and maintains the force counters: storage.wal.syncs is
+  /// bumped only when the sync actually succeeded; failures count under
+  /// storage.wal.sync_failures instead.
+  Status SyncCounted();
+  bool OpenBatchRipeLocked() const;
+  void SealOpenBatchLocked();
+  /// Pops and flushes the oldest sealed batch. Drops `lk` for the device
+  /// I/O and reacquires it to publish the result.
+  void FlushFrontLocked(std::unique_lock<std::mutex>& lk);
+  /// Forces every enqueued commit (open or sealed) and waits for in-flight
+  /// flushes; on return the pipeline is empty and `lk` is held.
+  void DrainLocked(std::unique_lock<std::mutex>& lk);
+  void FlusherLoop();
+
   SimDisk* disk_;
   std::string file_;
+  WalWriterConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<WalBatch> open_;             ///< accepting joiners
+  std::deque<std::shared_ptr<WalBatch>> sealed_;  ///< FIFO, awaiting flush
+  bool flush_in_progress_ = false;
+  bool stop_ = false;
+  std::function<bool()> before_sync_hook_;
+  std::thread flusher_;
 };
 
 /// What a WAL scan saw — lets recovery report (and tests assert) exactly how
 /// much of the log survived a torn-tail crash instead of silently eating it.
+///
+/// Trailing invalid bytes are classified so recovery logs do not
+/// misattribute *expected* loss as corruption:
+///  - an incomplete frame (the file ends inside a header, or before the
+///    payload its length field declares) is the clean signature of an
+///    append that was never forced — e.g. a group-commit batch cut mid-
+///    frame by the crash. Reported as bytes_unforced_tail.
+///  - a complete frame whose checksum fails or whose payload does not
+///    decode is real corruption (half-written sector, bit rot). Reported
+///    as bytes_corrupt.
+/// A flipped length byte that claims more bytes than the file holds is
+/// indistinguishable from a clean truncation and is counted as unforced
+/// tail; the conservative longest-valid-prefix rule applies either way.
 struct WalScanStats {
   uint64_t bytes_total = 0;  ///< durable log bytes on disk
   uint64_t bytes_valid = 0;  ///< bytes consumed by complete, CRC-valid frames
   uint64_t records = 0;      ///< complete records decoded
-  bool tear_detected = false;  ///< trailing bytes were torn/corrupt
+  bool tear_detected = false;  ///< trailing invalid bytes (either kind)
+  uint64_t bytes_unforced_tail = 0;  ///< clean incomplete trailing frame
+  uint64_t bytes_corrupt = 0;        ///< CRC-mismatched/undecodable tail
 };
 
 /// Reads every complete, checksum-valid commit record; stops at the first

@@ -6,7 +6,7 @@
 //
 // A red schedule prints its ChaosReport, whose seed is a complete repro:
 //
-//   PHX_CHAOS_SEED=<seed> ./chaos_matrix_test \
+//   PHX_CHAOS_SEED=<seed> ./chaos_matrix_test
 //       --gtest_filter=ChaosMatrix.SingleSeedFromEnv
 //
 // replays exactly that schedule with every fault kind enabled.
@@ -120,6 +120,28 @@ TEST(ChaosMatrix, MixedFaultSchedules) {
     lost += r.lost_replies_recovered;
   }
   EXPECT_GT(lost, 0u) << "no schedule ever recovered a lost reply";
+}
+
+TEST(ChaosMatrix, GroupCommitSchedules) {
+  // The full fault zoo with the WAL group-commit pipeline forced on (even
+  // seeds leader mode, odd seeds dedicated flusher). Crashes now land
+  // between a batch's coalesced append and its single sync — the oracle's
+  // durability invariant (no acked commit ever lost, no unacked commit
+  // ever claimed) is exactly the ack-after-fsync contract under test.
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 11000 + seed;
+    opts.n_ops = 50;
+    opts.n_faults = 4;
+    opts.group_commit = true;
+    opts.gc_flusher = (seed % 2 == 1);
+    opts.checkpoint_every_n_commits = (seed % 4 == 0) ? 6 : 0;
+    ChaosReport r = RunAndCheck(opts);
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(recoveries, 0u)
+      << "no group-commit schedule ever exercised recovery";
 }
 
 TEST(ChaosMatrix, SingleSeedFromEnv) {

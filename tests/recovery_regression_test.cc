@@ -6,8 +6,12 @@
 //  - crash between checkpoint image and WAL truncation bricking the server.
 // Each test documents the pre-fix failure it guards against.
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "core/phoenix_driver_manager.h"
@@ -246,6 +250,129 @@ TEST(RecoveryRegression, MidCheckpointCrashRestartsCleanly) {
   for (int i = 1; i <= 5; ++i) {
     EXPECT_EQ(rows[i - 1][0].AsInt64(), i);
     EXPECT_EQ(rows[i - 1][1].AsInt64(), i * 10);
+  }
+}
+
+// --- Group commit: the append-to-sync crash window ------------------------
+
+// The durability hole group commit opens if the ack contract is sloppy: a
+// commit's frame is appended to the device inside a coalesced batch, the
+// process dies before the batch's single sync, and the record is gone. The
+// client must have seen an ERROR for that commit — acking on enqueue (or on
+// append) would claim a commit the crash then erases.
+TEST(GroupCommitRegression, CrashBetweenBatchAppendAndSyncNeverAcks) {
+  storage::SimDisk disk;
+  eng::DatabaseOptions dopts;
+  dopts.wal.group_commit = true;
+  {
+    eng::Database db(&disk, dopts);
+    PHX_ASSERT_OK(db.Open());
+    auto sid = db.CreateSession("app");
+    PHX_ASSERT_OK_RESULT(sid);
+    auto res = db.ExecuteScript(*sid, "CREATE TABLE T (K INTEGER PRIMARY KEY)");
+    PHX_ASSERT_OK_RESULT(res);  // acked: must survive
+
+    // Arm the crash window: the next batch is appended but never synced.
+    db.durability()->wal_writer()->set_before_sync_hook([] { return false; });
+    auto doomed = db.ExecuteScript(*sid, "INSERT INTO T VALUES (1)");
+    EXPECT_FALSE(doomed.ok())
+        << "commit acked although its batch was never synced";
+    db.durability()->wal_writer()->set_before_sync_hook(nullptr);
+  }
+  disk.Crash();  // the unsynced batch bytes vanish
+
+  eng::Database after(&disk, dopts);
+  PHX_ASSERT_OK(after.Open());
+  auto sid = after.CreateSession("verify");
+  PHX_ASSERT_OK_RESULT(sid);
+  // The acked CREATE TABLE survived; the un-acked INSERT did not — and
+  // neither invariant direction is violated.
+  auto rows = after.ExecuteScript(*sid, "SELECT K FROM T");
+  PHX_ASSERT_OK_RESULT(rows);
+  EXPECT_TRUE(rows->at(0).rows.empty())
+      << "un-acked commit reappeared after the crash";
+}
+
+// Load test of the same contract through the full server stack: many client
+// threads commit through coalesced batches while the server is killed.
+// Every INSERT the clients saw succeed must be present after restart.
+TEST(GroupCommitRegression, AckedCommitsSurviveServerCrashUnderLoad) {
+  for (int flusher = 0; flusher <= 1; ++flusher) {
+    net::ServerOptions sopts;
+    sopts.db.wal.group_commit = true;
+    sopts.db.wal.dedicated_flusher = flusher == 1;
+    sopts.worker_threads = 8;
+    TestCluster cluster(sopts);
+    // Real fsync service time so batches actually coalesce under load.
+    cluster.disk.set_sync_latency_us(100);
+
+    auto connect_req = [](const std::string& user) {
+      net::Request r;
+      r.kind = net::Request::Kind::kConnect;
+      r.user = user;
+      return r;
+    };
+    auto exec_req = [](uint64_t sid, std::string sql) {
+      net::Request r;
+      r.kind = net::Request::Kind::kExecScript;
+      r.session_id = sid;
+      r.sql = std::move(sql);
+      return r;
+    };
+
+    {
+      auto chan = cluster.network.Connect("testdb").take();
+      auto conn = chan->RoundTrip(connect_req("ddl"));
+      ASSERT_TRUE(conn.ok());
+      auto r = chan->RoundTrip(exec_req(conn->session_id,
+                                        "CREATE TABLE L (K INTEGER PRIMARY "
+                                        "KEY)"));
+      ASSERT_TRUE(r.ok() && r->ToStatus().ok());
+    }
+
+    constexpr int kThreads = 8;
+    std::mutex acked_mu;
+    std::vector<int> acked;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto chan = cluster.network.Connect("testdb").take();
+        auto conn = chan->RoundTrip(connect_req("w" + std::to_string(t)));
+        if (!conn.ok() || !conn->ToStatus().ok()) return;
+        for (int i = 0; !stop.load(); ++i) {
+          int key = t * 100000 + i;
+          auto r = chan->RoundTrip(exec_req(
+              conn->session_id,
+              "INSERT INTO L VALUES (" + std::to_string(key) + ")"));
+          if (r.ok() && r->ToStatus().ok()) {
+            std::lock_guard<std::mutex> lk(acked_mu);
+            acked.push_back(key);
+          } else {
+            break;  // server crashed under us; this commit was NOT acked
+          }
+        }
+      });
+    }
+    // Let commits coalesce, then kill the server mid-stream.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cluster.server.Crash();
+    stop.store(true);
+    for (auto& th : threads) th.join();
+
+    PHX_ASSERT_OK(cluster.server.Restart());
+    eng::Database* db = cluster.server.database();
+    auto sid = db->CreateSession("verify");
+    PHX_ASSERT_OK_RESULT(sid);
+    auto res = db->ExecuteScript(*sid, "SELECT K FROM L ORDER BY K");
+    PHX_ASSERT_OK_RESULT(res);
+    std::set<int64_t> recovered;
+    for (const Row& row : res->at(0).rows) recovered.insert(row[0].AsInt64());
+    ASSERT_FALSE(acked.empty()) << "no commit was ever acked before the crash";
+    for (int key : acked) {
+      EXPECT_TRUE(recovered.count(key))
+          << "acked commit " << key << " vanished (flusher=" << flusher << ")";
+    }
   }
 }
 

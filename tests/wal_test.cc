@@ -2,7 +2,13 @@
 
 #include "storage/wal.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "storage/sim_disk.h"
 
 #include "gtest/gtest.h"
@@ -163,6 +169,10 @@ TEST(Wal, RecordTornMidHeaderRecoversPrefix) {
   EXPECT_TRUE(stats.tear_detected);
   EXPECT_EQ(stats.bytes_valid, two);
   EXPECT_EQ(stats.records, 2u);
+  // An incomplete header is the signature of an unforced append cut by the
+  // crash — expected loss, not corruption.
+  EXPECT_EQ(stats.bytes_unforced_tail, 3u);
+  EXPECT_EQ(stats.bytes_corrupt, 0u);
 }
 
 TEST(Wal, RecordTornMidPayloadRecoversPrefix) {
@@ -179,6 +189,9 @@ TEST(Wal, RecordTornMidPayloadRecoversPrefix) {
   ASSERT_EQ(records->size(), 2u);
   EXPECT_TRUE(stats.tear_detected);
   EXPECT_EQ(stats.bytes_valid, two);
+  // Length field promises more bytes than the file holds: clean truncation.
+  EXPECT_EQ(stats.bytes_unforced_tail, 8 + payload / 2);
+  EXPECT_EQ(stats.bytes_corrupt, 0u);
 }
 
 TEST(Wal, CorruptedCrcByteDropsOnlyThatRecord) {
@@ -194,6 +207,10 @@ TEST(Wal, CorruptedCrcByteDropsOnlyThatRecord) {
   ASSERT_EQ(records->size(), 2u);
   EXPECT_TRUE(stats.tear_detected);
   EXPECT_EQ(stats.bytes_valid, two);
+  // A complete frame whose CRC fails is real corruption, not an unforced
+  // tail — recovery logs must not blame it on a clean crash.
+  EXPECT_EQ(stats.bytes_corrupt, full.size() - two);
+  EXPECT_EQ(stats.bytes_unforced_tail, 0u);
 }
 
 TEST(Wal, CorruptionStopsReplayBeforeLaterIntactRecords) {
@@ -212,6 +229,8 @@ TEST(Wal, CorruptionStopsReplayBeforeLaterIntactRecords) {
   EXPECT_EQ((*records)[0].txn_id, 1u);
   EXPECT_TRUE(stats.tear_detected);
   EXPECT_EQ(stats.bytes_valid, one);
+  EXPECT_EQ(stats.bytes_corrupt, full.size() - one);
+  EXPECT_EQ(stats.bytes_unforced_tail, 0u);
 }
 
 // Property: CrashTorn (byte-granular truncation + possible corruption of
@@ -243,6 +262,236 @@ TEST(Wal, ChecksumIsStable) {
   EXPECT_EQ(WalChecksum("abc"), WalChecksum("abc"));
   EXPECT_NE(WalChecksum("abc"), WalChecksum("abd"));
   EXPECT_NE(WalChecksum(""), WalChecksum(std::string("\0", 1)));
+}
+
+// ---- Satellite bugfix: failed syncs must not count as durable forces ----
+
+TEST(Wal, SyncFailureNotCountedAsDurableForce) {
+  auto* reg = obs::MetricsRegistry::Default();
+  uint64_t syncs0 = reg->GetCounter("storage.wal.syncs")->Value();
+  uint64_t fails0 = reg->GetCounter("storage.wal.sync_failures")->Value();
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  disk.InjectSyncFailures(1);
+  Status st = writer.AppendCommit(SampleCommit(1));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(reg->GetCounter("storage.wal.syncs")->Value(), syncs0);
+  EXPECT_EQ(reg->GetCounter("storage.wal.sync_failures")->Value(), fails0 + 1);
+  // The rejected flush left the record volatile: a crash discards it.
+  disk.Crash();
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  // After the injected failure clears, the same record commits durably.
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(1)).ok());
+  EXPECT_EQ(reg->GetCounter("storage.wal.syncs")->Value(), syncs0 + 1);
+  disk.Crash();
+  records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+// ---- Group commit ------------------------------------------------------
+
+WalWriterConfig GroupConfig(bool flusher) {
+  WalWriterConfig c;
+  c.group_commit = true;
+  c.dedicated_flusher = flusher;
+  return c;
+}
+
+class WalGroupCommit : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, WalGroupCommit, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Flusher" : "Leader";
+                         });
+
+TEST_P(WalGroupCommit, SingleWriterRoundTrip) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal", GroupConfig(GetParam()));
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());
+  }
+  disk.Crash();  // everything acked must already be durable
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ((*records)[i].txn_id, i + 1);
+}
+
+TEST_P(WalGroupCommit, ConcurrentWritersNeverInterleaveFrames) {
+  SimDisk disk;
+  // Sync latency makes commits pile up behind the in-flight flush, so real
+  // multi-record batches form (the opportunistic-batching mechanism).
+  disk.set_sync_latency_us(100);
+  WalWriter writer(&disk, "x.wal", GroupConfig(GetParam()));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t txn = 1 + t * kPerThread + i;
+        if (!writer.AppendCommit(SampleCommit(txn)).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  disk.Crash();
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), static_cast<size_t>(kThreads * kPerThread));
+  // Every frame intact (no byte interleaving), every txn exactly once.
+  std::vector<bool> seen(kThreads * kPerThread + 1, false);
+  for (const auto& rec : *records) {
+    ASSERT_EQ(rec.ops.size(), 5u);
+    ASSERT_GE(rec.txn_id, 1u);
+    ASSERT_LE(rec.txn_id, static_cast<uint64_t>(kThreads * kPerThread));
+    ASSERT_FALSE(seen[rec.txn_id]) << "duplicate txn " << rec.txn_id;
+    seen[rec.txn_id] = true;
+  }
+  // The whole point: far fewer forces than commits.
+  EXPECT_LT(disk.sync_count(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST_P(WalGroupCommit, CrashTornInsideCoalescedBatch) {
+  // A coalesced batch is appended but the process dies before its sync; the
+  // torn crash then cuts the batch at an arbitrary byte — possibly in the
+  // middle of an inner frame. Recovery must yield a clean prefix, and no
+  // commit in the batch was ever acked (the hook fails them all).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimDisk disk;
+    WalWriter writer(&disk, "x.wal", GroupConfig(GetParam()));
+    writer.set_before_sync_hook([] { return false; });  // die before sync
+    constexpr int kThreads = 6;
+    std::vector<std::thread> threads;
+    std::atomic<int> acked{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        if (writer.AppendCommit(SampleCommit(1 + t)).ok()) ++acked;
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(acked.load(), 0) << "commit acked without a sync";
+    SimDisk::TornCrashSpec spec;
+    spec.seed = seed;
+    disk.CrashTorn(spec);
+    WalScanStats stats;
+    auto records = WalReader::ReadAll(disk, "x.wal", &stats);
+    ASSERT_TRUE(records.ok()) << "seed " << seed;
+    ASSERT_LE(records->size(), static_cast<size_t>(kThreads));
+    for (const auto& rec : *records) ASSERT_EQ(rec.ops.size(), 5u);
+    // Un-acked loss may exist but must never be misread as corruption
+    // unless the torn crash actually flipped a byte.
+    if (stats.tear_detected && stats.bytes_corrupt == 0) {
+      EXPECT_GT(stats.bytes_unforced_tail, 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(WalGroupCommit, ResetForcesPendingBatchBeforeTruncating) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal", GroupConfig(GetParam()));
+  // Enqueue without redeeming: the batch may still be open when Reset runs.
+  std::vector<WalCommitTicket> tickets;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    tickets.push_back(writer.EnqueueCommit(SampleCommit(i)));
+  }
+  ASSERT_TRUE(writer.Reset().ok());
+  // Every ticket resolved with a real sync status — none dangles.
+  for (auto& t : tickets) {
+    EXPECT_TRUE(writer.WaitCommit(&t).ok());
+  }
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_P(WalGroupCommit, SyncFailureFailsWholeBatchAndNothingIsAcked) {
+  SimDisk disk;
+  disk.set_sync_latency_us(100);
+  WalWriter writer(&disk, "x.wal", GroupConfig(GetParam()));
+  disk.InjectSyncFailures(1);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::mutex acked_mu;
+  std::vector<uint64_t> acked;
+  std::atomic<int> failed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (writer.AppendCommit(SampleCommit(1 + t)).ok()) {
+        std::lock_guard<std::mutex> lk(acked_mu);
+        acked.push_back(1 + t);
+      } else {
+        ++failed;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // At least the batch that hit the injected failure reported the error to
+  // every one of its committers; later batches may succeed.
+  EXPECT_GE(failed.load(), 1);
+  // Ack-after-fsync: every acked commit survives the crash. (A *failed*
+  // commit may also survive — its appended bytes ride along with the next
+  // successful sync of the file — which is allowed: the contract is one-
+  // directional, acked implies durable.)
+  disk.Crash();
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  for (uint64_t txn : acked) {
+    bool found = false;
+    for (const auto& rec : *records) found |= rec.txn_id == txn;
+    EXPECT_TRUE(found) << "acked commit " << txn << " vanished";
+  }
+}
+
+TEST(WalGroupCommitConfig, FromEnvParsesToggles) {
+  // Exercise the parser via the documented env names (values restored).
+  setenv("PHX_GROUP_COMMIT", "1", 1);
+  setenv("PHX_GC_FLUSHER", "1", 1);
+  setenv("PHX_GC_MAX_WAIT_US", "250", 1);
+  setenv("PHX_GC_MAX_BATCH_BYTES", "4096", 1);
+  WalWriterConfig c = WalWriterConfig::FromEnv();
+  EXPECT_TRUE(c.group_commit);
+  EXPECT_TRUE(c.dedicated_flusher);
+  EXPECT_EQ(c.max_wait_us, 250u);
+  EXPECT_EQ(c.max_batch_bytes, 4096u);
+  unsetenv("PHX_GROUP_COMMIT");
+  unsetenv("PHX_GC_FLUSHER");
+  unsetenv("PHX_GC_MAX_WAIT_US");
+  unsetenv("PHX_GC_MAX_BATCH_BYTES");
+  WalWriterConfig d = WalWriterConfig::FromEnv();
+  EXPECT_FALSE(d.group_commit);
+  EXPECT_FALSE(d.dedicated_flusher);
+}
+
+TEST(WalGroupCommit, BatchWindowCoalescesCommits) {
+  // With a generous wait window and no device pressure, commits from many
+  // threads land in very few batches — syncs_saved counts the difference.
+  auto* reg = obs::MetricsRegistry::Default();
+  uint64_t saved0 =
+      reg->GetCounter("storage.wal.group_commit.syncs_saved")->Value();
+  SimDisk disk;
+  WalWriterConfig cfg = GroupConfig(/*flusher=*/true);
+  cfg.max_wait_us = 20'000;
+  WalWriter writer(&disk, "x.wal", cfg);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ASSERT_TRUE(writer.AppendCommit(SampleCommit(1 + t)).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(reg->GetCounter("storage.wal.group_commit.syncs_saved")->Value(),
+            saved0);
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), static_cast<size_t>(kThreads));
 }
 
 }  // namespace
