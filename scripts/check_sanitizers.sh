@@ -11,10 +11,12 @@
 # fast loop when iterating on recovery/chaos code. Any red schedule prints a
 # one-line `PHX_CHAOS_SEED=<seed>` repro command.
 #
-# Every lane's ctest pass runs TWICE: once with the per-commit-sync WAL
-# pipeline (PHX_GROUP_COMMIT=0, the seed behavior) and once with group
-# commit enabled (PHX_GROUP_COMMIT=1), so both durability paths stay
-# exercised under the sanitizers. Tests that pin the mode via
+# Every lane's ctest pass runs over the durability-knob matrix: both WAL
+# pipelines (PHX_GROUP_COMMIT=0, the per-commit-sync seed behavior, and =1,
+# group commit) crossed with both checkpoint modes (PHX_CKPT_BG=0,
+# stop-the-world under the data lock, and =1, the background checkpoint
+# thread) — four ctest passes per lane, so every durability path stays
+# exercised under the sanitizers. Tests that pin a mode via
 # DatabaseOptions/ChaosOptions override the env either way.
 #
 # Usage: scripts/check_sanitizers.sh [asan|tsan|chaos]   (default: both)
@@ -34,14 +36,18 @@ run_lane() {
   echo "==> [$lane_name] build"
   cmake --build "$build_dir" -j "$JOBS" >/dev/null
   for gc in 0 1; do
-    echo "==> [$lane_name] ctest (PHX_GROUP_COMMIT=$gc)"
-    # halt_on_error makes any sanitizer report fail the test that produced it.
-    PHX_GROUP_COMMIT="$gc" \
-    ASAN_OPTIONS="halt_on_error=1" \
-    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-    TSAN_OPTIONS="halt_on_error=1" \
-      ctest --test-dir "$build_dir" --output-on-failure -j 2 \
-            ${test_regex:+-R "$test_regex"}
+    for ckpt in 0 1; do
+      echo "==> [$lane_name] ctest (PHX_GROUP_COMMIT=$gc PHX_CKPT_BG=$ckpt)"
+      # halt_on_error makes any sanitizer report fail the test that produced
+      # it.
+      PHX_GROUP_COMMIT="$gc" \
+      PHX_CKPT_BG="$ckpt" \
+      ASAN_OPTIONS="halt_on_error=1" \
+      UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$build_dir" --output-on-failure -j 2 \
+              ${test_regex:+-R "$test_regex"}
+    done
   done
   echo "==> [$lane_name] OK"
 }

@@ -377,6 +377,9 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
   if (opts.gc_flusher.has_value()) {
     sopts.db.wal.dedicated_flusher = *opts.gc_flusher;
   }
+  if (opts.background_checkpoint.has_value()) {
+    sopts.db.background_checkpoint = *opts.background_checkpoint;
+  }
   net::DbServer server(&disk, sopts);
   if (Status st = server.Start(); !st.ok()) {
     fail("chaos server start: " + st.ToString());
@@ -465,10 +468,15 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
           ++report.server_crashes;
           break;
         }
-        case Fault::Kind::kMidCheckpoint:
-          if (server.CrashMidCheckpoint()) ++report.mid_ckpt_images;
+        case Fault::Kind::kMidCheckpoint: {
+          // The sub-seed picks which of the three crash windows of the
+          // split checkpoint protocol the death lands in; only the
+          // post-image window can leave a new image behind.
+          auto point = static_cast<eng::CheckpointCrashPoint>(f.sub_seed % 3);
+          if (server.CrashMidCheckpoint(point)) ++report.mid_ckpt_images;
           ++report.server_crashes;
           break;
+        }
         case Fault::Kind::kRecoveryCrash:
           arm->armed = true;
           arm->point = f.point;

@@ -56,6 +56,11 @@ struct ChaosOptions {
   /// crash-inside-batch suite runs with group commit forced on).
   std::optional<bool> group_commit;
   std::optional<bool> gc_flusher;
+  /// Background-checkpoint override for the chaos server. Unset = inherit
+  /// the PHX_CKPT_BG environment default; set = pin the mode, so the
+  /// concurrent-checkpoint suite covers both the background thread and the
+  /// stop-the-world path regardless of the lane.
+  std::optional<bool> background_checkpoint;
 };
 
 /// Outcome of one schedule. `ok == false` means an oracle invariant was

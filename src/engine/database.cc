@@ -1,6 +1,9 @@
 #include "engine/database.h"
 
+#include <cstdlib>
+
 #include "common/codec.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 
@@ -9,16 +12,38 @@ namespace phoenix::eng {
 using sql::Statement;
 using sql::StmtKind;
 
+bool BackgroundCheckpointFromEnv() {
+  const char* e = std::getenv("PHX_CKPT_BG");
+  if (e == nullptr || e[0] == '\0') return true;
+  return e[0] == '1' || e[0] == 'y' || e[0] == 'Y' || e[0] == 't' ||
+         e[0] == 'T';
+}
+
 Database::Database(storage::SimDisk* disk, DatabaseOptions opts)
     : disk_(disk),
       opts_(std::move(opts)),
       durability_(disk, opts_.disk_prefix, opts_.wal),
       next_session_id_(opts_.first_session_id) {}
 
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_stop_ = true;
+    // A pending snapshot dies with the process model: writing it here would
+    // create a durability point no real crash would have produced.
+    ckpt_pending_.reset();
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+}
+
 Status Database::Open() {
   if (open_) return Status::Internal("database already open");
   PHX_RETURN_IF_ERROR(durability_.Recover(&store_, &recovery_info_));
   txn_manager_.set_next_id(recovery_info_.next_txn_id);
+  if (opts_.background_checkpoint) {
+    ckpt_thread_ = std::thread([this] { CheckpointThreadLoop(); });
+  }
   open_ = true;
   return Status::Ok();
 }
@@ -212,13 +237,27 @@ Status Database::Commit(Session* s, bool can_checkpoint,
   commit_count_.fetch_add(1, std::memory_order_relaxed);
   uint64_t since =
       commits_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
-  // Checkpointing rewrites the disk image, so it is allowed only when the
-  // caller holds data_mu_ exclusively (can_checkpoint). A read-only commit
-  // that crosses the threshold just leaves the counter high; the next
-  // mutating commit picks it up.
-  if (can_checkpoint && opts_.checkpoint_every_n_commits > 0 &&
-      since >= opts_.checkpoint_every_n_commits && !AnyActiveTxn()) {
-    PHX_RETURN_IF_ERROR(CheckpointLocked());
+  // Taking the snapshot requires data_mu_ held exclusively, which only a
+  // mutating commit (can_checkpoint) has. Active transactions no longer
+  // suppress the checkpoint — their effects are reverted in the snapshot
+  // clone and replay is fenced on the WAL LSN. A due checkpoint that a
+  // shared-lock commit cannot take is recorded (storage.checkpoint.skipped)
+  // and deferred: the next eligible commit fires it even though the commit
+  // counter was already consumed — before the deferral, a read-heavy
+  // workload could cross the threshold on read-only commits forever and
+  // starve checkpoints silently.
+  const uint64_t n = opts_.checkpoint_every_n_commits;
+  bool due = n > 0 && (since >= n ||
+                       ckpt_deferred_.load(std::memory_order_relaxed));
+  if (due) {
+    if (can_checkpoint) {
+      PHX_RETURN_IF_ERROR(CheckpointLocked());
+    } else {
+      ckpt_deferred_.store(true, std::memory_order_relaxed);
+      obs::MetricsRegistry::Default()
+          ->GetCounter("storage.checkpoint.skipped")
+          ->Increment();
+    }
   }
   return Status::Ok();
 }
@@ -237,28 +276,150 @@ bool Database::AnyActiveTxn() const {
   return false;
 }
 
-Status Database::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lk(data_mu_);
-  if (AnyActiveTxn()) {
-    return Status::InvalidArgument("cannot checkpoint with active transactions");
+Result<Database::CheckpointSnapshot> Database::TakeSnapshotLocked() {
+  StopWatch watch;
+  CheckpointSnapshot snap;
+  snap.store = store_.ClonePersistent();
+  snap.next_txn_id = txn_manager_.next_id();
+  // The fence: every WAL record enqueued so far (enqueues happen under
+  // data_mu_, which this thread holds exclusively, so none can race). The
+  // clone reflects exactly those records once uncommitted effects are
+  // reverted below — no-steal means an open transaction's mutations are in
+  // the store but not in the log.
+  snap.fence_lsn = durability_.wal_writer()->last_assigned_lsn();
+  {
+    std::shared_lock<std::shared_mutex> lk(sessions_mu_);
+    for (const auto& [id, s] : sessions_) {
+      if (s->txn != nullptr) {
+        PHX_RETURN_IF_ERROR(
+            txn_manager_.RevertInClone(*s->txn, snap.store.get()));
+      }
+    }
   }
-  return CheckpointLocked();
+  obs::MetricsRegistry::Default()
+      ->GetHistogram("storage.checkpoint.snapshot_us",
+                     obs::Histogram::LatencyBoundsUs())
+      ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return snap;
+}
+
+Status Database::WriteSnapshotSerialized(CheckpointSnapshot snap,
+                                         bool truncate_wal, bool* wrote) {
+  if (wrote != nullptr) *wrote = false;
+  std::lock_guard<std::mutex> lk(ckpt_write_mu_);
+  // Monotone-fence guard: a snapshot at or below the last written fence is
+  // stale — a newer image is already on disk. Writing it anyway would
+  // regress the image, and its WAL truncation would then amputate records
+  // only the newer image holds: silent data loss. Dropping it loses
+  // nothing (everything it holds is subsumed).
+  if (ckpt_has_written_ && snap.fence_lsn <= ckpt_written_fence_) {
+    obs::MetricsRegistry::Default()
+        ->GetCounter("storage.checkpoint.stale_dropped")
+        ->Increment();
+    return Status::Ok();
+  }
+  PHX_RETURN_IF_ERROR(durability_.WriteCheckpointImage(
+      *snap.store, snap.next_txn_id, snap.fence_lsn));
+  ckpt_has_written_ = true;
+  ckpt_written_fence_ = snap.fence_lsn;
+  if (wrote != nullptr) *wrote = true;
+  if (!truncate_wal) return Status::Ok();
+  return durability_.TruncateWalToFence(snap.fence_lsn);
+}
+
+Status Database::Checkpoint() {
+  auto snap_res = [&]() -> Result<CheckpointSnapshot> {
+    std::unique_lock<std::shared_mutex> lk(data_mu_);
+    auto res = TakeSnapshotLocked();
+    if (res.ok()) {
+      commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+      ckpt_deferred_.store(false, std::memory_order_relaxed);
+    }
+    return res;
+  }();
+  PHX_RETURN_IF_ERROR(snap_res.status());
+  // The write happens on the caller's thread but off the data lock: the
+  // caller observes synchronous completion while other sessions keep
+  // executing. (A concurrently pending background snapshot is older by
+  // construction and will be dropped by the fence guard.)
+  return WriteSnapshotSerialized(snap_res.take(), /*truncate_wal=*/true);
 }
 
 Status Database::CheckpointWithoutWalTruncate() {
-  std::unique_lock<std::shared_mutex> lk(data_mu_);
-  if (AnyActiveTxn()) {
-    return Status::InvalidArgument("cannot checkpoint with active transactions");
+  return CheckpointForCrashTest(CheckpointCrashPoint::kPostImage);
+}
+
+Status Database::CheckpointForCrashTest(CheckpointCrashPoint point,
+                                        bool* image_written) {
+  if (image_written != nullptr) *image_written = false;
+  if (point == CheckpointCrashPoint::kPreSnapshot) {
+    return Status::Ok();  // died before doing anything durable
   }
-  return durability_.WriteCheckpoint(store_, txn_manager_.next_id(),
-                                     /*truncate_wal=*/false);
+  std::unique_lock<std::shared_mutex> lk(data_mu_);
+  PHX_ASSIGN_OR_RETURN(CheckpointSnapshot snap, TakeSnapshotLocked());
+  if (point == CheckpointCrashPoint::kPostSnapshot) {
+    return Status::Ok();  // the volatile snapshot dies with the process
+  }
+  // kPostImage: the image lands durably, the WAL truncation never happens.
+  return WriteSnapshotSerialized(std::move(snap), /*truncate_wal=*/false,
+                                 image_written);
+}
+
+void Database::WaitForCheckpointIdle() {
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  ckpt_cv_.wait(lk, [&] { return !ckpt_pending_.has_value() && !ckpt_busy_; });
 }
 
 Status Database::CheckpointLocked() {
-  PHX_RETURN_IF_ERROR(
-      durability_.WriteCheckpoint(store_, txn_manager_.next_id()));
+  PHX_ASSIGN_OR_RETURN(CheckpointSnapshot snap, TakeSnapshotLocked());
   commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+  ckpt_deferred_.store(false, std::memory_order_relaxed);
+  if (!opts_.background_checkpoint) {
+    // Foreground mode: the whole encode+write+truncate runs here, under the
+    // exclusive data lock — the stop-the-world stall PHX_CKPT_BG=1 removes.
+    return WriteSnapshotSerialized(std::move(snap), /*truncate_wal=*/true);
+  }
+  auto* reg = obs::MetricsRegistry::Default();
+  std::lock_guard<std::mutex> lk(ckpt_mu_);
+  if (ckpt_pending_.has_value()) {
+    // The thread never picked up the previous snapshot; this one supersedes
+    // it (same committed prefix plus more).
+    reg->GetCounter("storage.checkpoint.skipped")->Increment();
+  }
+  ckpt_pending_ = std::move(snap);
+  reg->GetGauge("storage.checkpoint.inflight")->Set(1);
+  ckpt_cv_.notify_all();
   return Status::Ok();
+}
+
+void Database::CheckpointThreadLoop() {
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait(lk, [&] { return ckpt_stop_ || ckpt_pending_.has_value(); });
+    if (ckpt_stop_) break;
+    CheckpointSnapshot snap = std::move(*ckpt_pending_);
+    ckpt_pending_.reset();
+    ckpt_busy_ = true;
+    lk.unlock();
+    StopWatch watch;
+    Status st = WriteSnapshotSerialized(std::move(snap), /*truncate_wal=*/true);
+    auto* reg = obs::MetricsRegistry::Default();
+    reg->GetHistogram("storage.checkpoint.bg_write_us",
+                      obs::Histogram::LatencyBoundsUs())
+        ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+    if (!st.ok()) {
+      // The image never landed; arm the deferral so the next eligible
+      // commit takes a fresh snapshot and retries.
+      ckpt_deferred_.store(true, std::memory_order_relaxed);
+      reg->GetCounter("storage.checkpoint.bg_write_failures")->Increment();
+    }
+    lk.lock();
+    ckpt_busy_ = false;
+    if (!ckpt_pending_.has_value()) {
+      reg->GetGauge("storage.checkpoint.inflight")->Set(0);
+    }
+    ckpt_cv_.notify_all();
+  }
 }
 
 Result<Cursor*> Database::OpenCursor(uint64_t session_id,

@@ -2,12 +2,15 @@
 #define PHOENIX_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +25,22 @@
 
 namespace phoenix::eng {
 
+/// PHX_CKPT_BG=0|1 (default on): encode+write checkpoint images on a
+/// background thread while readers and writers proceed, instead of
+/// stop-the-world under the exclusive data lock. Documented in README next
+/// to PHX_GROUP_COMMIT; scripts/check_sanitizers.sh runs the suite both
+/// ways.
+bool BackgroundCheckpointFromEnv();
+
+/// Where a fault-test checkpoint "dies" (see CheckpointForCrashTest). The
+/// three windows of the split checkpoint protocol, each leaving a distinct
+/// durable state recovery must tolerate.
+enum class CheckpointCrashPoint {
+  kPreSnapshot,   ///< before the snapshot: no image, WAL intact
+  kPostSnapshot,  ///< snapshot taken (volatile), dies before the image write
+  kPostImage,     ///< image durable, dies before the WAL truncation
+};
+
 struct DatabaseOptions {
   /// SimDisk file prefix ("<prefix>.wal", "<prefix>.ckpt").
   std::string disk_prefix = "phxdb";
@@ -35,6 +54,10 @@ struct DatabaseOptions {
   /// from the PHX_GROUP_COMMIT / PHX_GC_* environment toggles so whole test
   /// lanes can flip modes without code changes.
   storage::WalWriterConfig wal = storage::WalWriterConfig::FromEnv();
+  /// Background (non-blocking) checkpoints: the commit path only takes the
+  /// snapshot; a dedicated thread encodes, writes, and truncates. Off =
+  /// the whole checkpoint runs inline under the exclusive data lock.
+  bool background_checkpoint = BackgroundCheckpointFromEnv();
 };
 
 /// The database server engine: storage + recovery + SQL execution +
@@ -57,6 +80,12 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(storage::SimDisk* disk, DatabaseOptions opts = {});
+  /// Models a process death: the checkpoint thread is stopped and any
+  /// pending (not yet written) snapshot is dropped — a destructor must not
+  /// create new durability points, or "crashed" state would survive fault
+  /// tests. An image write already in flight may complete; that is
+  /// indistinguishable from the crash landing a moment later.
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -97,13 +126,28 @@ class Database {
   Result<Cursor*> GetCursor(uint64_t session_id, uint64_t cursor_id);
 
   // ---- Administration ----------------------------------------------------
-  /// Writes a checkpoint; fails if any transaction is active.
+  /// Writes a checkpoint synchronously (the image is durable on return).
+  /// Active transactions no longer block it: the image holds committed
+  /// state only — each open transaction's effects are reverted in the
+  /// snapshot clone — and replay is fenced on the WAL LSN captured at
+  /// snapshot time. With background_checkpoint the image write happens off
+  /// the data lock, so other sessions keep executing during it.
   Status Checkpoint();
   /// Crash point for fault tests: writes the checkpoint image durably but
   /// dies (logically) before truncating the WAL — the durable state a crash
   /// in the middle of Checkpoint() leaves behind. Recovery must skip the
   /// WAL records the image subsumes instead of double-applying them.
   Status CheckpointWithoutWalTruncate();
+  /// Runs the checkpoint protocol up to (not including) the step named by
+  /// `point`, leaving exactly the durable state a crash in that window
+  /// leaves. `image_written` (optional) reports whether a (non-stale) image
+  /// actually hit the disk.
+  Status CheckpointForCrashTest(CheckpointCrashPoint point,
+                                bool* image_written = nullptr);
+  /// Blocks until no background checkpoint is pending or being written.
+  /// Tests and benches use it to make "a checkpoint has happened" a stable
+  /// assertion; a no-op when background_checkpoint is off.
+  void WaitForCheckpointIdle();
   uint64_t commit_count() const {
     return commit_count_.load(std::memory_order_relaxed);
   }
@@ -152,7 +196,31 @@ class Database {
   Status Commit(Session* session, bool can_checkpoint,
                 storage::WalCommitTicket* ticket);
   Status Rollback(Session* session);
+
+  /// The fast half of a checkpoint: a committed-state-only clone of the
+  /// persistent tables plus the WAL fence it is consistent with.
+  struct CheckpointSnapshot {
+    std::unique_ptr<storage::TableStore> store;
+    uint64_t next_txn_id = 0;
+    uint64_t fence_lsn = 0;
+  };
+  /// Caller holds data_mu_ exclusively: clones the persistent tables,
+  /// reverts every active transaction's uncommitted effects in the clone
+  /// (no-steal keeps them in memory only), and captures the WAL fence.
+  Result<CheckpointSnapshot> TakeSnapshotLocked();
+  /// The slow half: encode + WriteAtomic (+ WAL truncate). All image writes
+  /// are serialized through ckpt_write_mu_ with a monotone fence check, so
+  /// a background write of an older snapshot can never clobber a newer
+  /// image — without the check, its WAL truncation would have amputated
+  /// records the stale image does not hold (data loss).
+  Status WriteSnapshotSerialized(CheckpointSnapshot snap, bool truncate_wal,
+                                 bool* wrote = nullptr);
+  /// Auto-checkpoint entry (data_mu_ exclusive): snapshot + reset counter,
+  /// then either write inline (foreground mode) or hand the snapshot to the
+  /// checkpoint thread's single pending slot (a still-pending older
+  /// snapshot is superseded and counted as skipped).
   Status CheckpointLocked();
+  void CheckpointThreadLoop();
   bool AnyActiveTxn() const;
 
   storage::SimDisk* disk_;
@@ -173,6 +241,27 @@ class Database {
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> commit_count_{0};
   std::atomic<uint64_t> commits_since_checkpoint_{0};
+  /// An auto-checkpoint came due but could not run (shared-lock commit, or
+  /// a background write failed); the next eligible commit fires one even
+  /// though the commit counter was already consumed.
+  std::atomic<bool> ckpt_deferred_{false};
+
+  // Background checkpoint pipeline. Lock order: data_mu_ → ckpt_mu_, and
+  // data_mu_ → ckpt_write_mu_; ckpt_mu_ and ckpt_write_mu_ are never held
+  // together.
+  std::mutex ckpt_mu_;  ///< guards the pending slot + thread lifecycle
+  std::condition_variable ckpt_cv_;
+  std::optional<CheckpointSnapshot> ckpt_pending_;  ///< single handoff slot
+  bool ckpt_busy_ = false;  ///< the thread is writing a taken snapshot
+  bool ckpt_stop_ = false;
+  std::thread ckpt_thread_;
+
+  /// Serializes every image write (inline, manual, background) and carries
+  /// the monotone written-fence guard (see WriteSnapshotSerialized).
+  std::mutex ckpt_write_mu_;
+  bool ckpt_has_written_ = false;
+  uint64_t ckpt_written_fence_ = 0;
+
   bool open_ = false;
 };
 

@@ -17,6 +17,55 @@ Status TxnManager::UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
   return Status::Ok();
 }
 
+Status TxnManager::RevertInClone(const Txn& txn, storage::TableStore* clone) {
+  for (auto it = txn.undo.rbegin(); it != txn.undo.rend(); ++it) {
+    const UndoRecord& rec = *it;
+    switch (rec.kind) {
+      case UndoRecord::Kind::kCreateTempProc:
+      case UndoRecord::Kind::kDropTempProc:
+        continue;  // procs are session state, never in a checkpoint
+      case UndoRecord::Kind::kInsert:
+      case UndoRecord::Kind::kDelete:
+      case UndoRecord::Kind::kUpdate: {
+        // A missing table means the op hit a temp table (excluded from the
+        // clone) — its undo is not the clone's business.
+        storage::Table* t = clone->Get(rec.table);
+        if (t == nullptr) continue;
+        if (rec.kind == UndoRecord::Kind::kInsert) {
+          PHX_RETURN_IF_ERROR(t->Delete(rec.rid));
+        } else if (rec.kind == UndoRecord::Kind::kDelete) {
+          PHX_RETURN_IF_ERROR(t->Insert(rec.row, rec.rid).status());
+        } else {
+          PHX_RETURN_IF_ERROR(t->Update(rec.rid, rec.row));
+        }
+        continue;
+      }
+      case UndoRecord::Kind::kCreateTable:
+        // Absent when the created table was temporary.
+        if (clone->Get(rec.table) != nullptr) {
+          PHX_RETURN_IF_ERROR(clone->DropTable(rec.table));
+        }
+        continue;
+      case UndoRecord::Kind::kDropTable: {
+        if (rec.snapshot_temporary) continue;
+        Decoder dec(rec.snapshot);
+        PHX_ASSIGN_OR_RETURN(std::unique_ptr<storage::Table> table,
+                             storage::Table::DecodeSnapshot(&dec));
+        PHX_ASSIGN_OR_RETURN(
+            storage::Table * created,
+            clone->CreateTable(table->name(), table->schema(),
+                               table->pk_columns(), /*temporary=*/false));
+        for (const auto& [rid, row] : table->rows()) {
+          PHX_RETURN_IF_ERROR(created->Insert(row, rid).status());
+        }
+        continue;
+      }
+    }
+    return Status::Internal("bad undo kind");
+  }
+  return Status::Ok();
+}
+
 Status TxnManager::ApplyUndo(const UndoRecord& rec,
                              storage::TableStore* store, ProcRegistry* procs) {
   switch (rec.kind) {

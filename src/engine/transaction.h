@@ -76,6 +76,15 @@ class TxnManager {
   Status UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
                 storage::TableStore* store, ProcRegistry* procs);
 
+  /// Applies `txn`'s whole undo stack, in reverse, to a checkpoint CLONE —
+  /// without consuming it (the live transaction keeps running). Under the
+  /// no-steal policy an active transaction's uncommitted effects are already
+  /// in the store the clone was copied from; reverting them in the clone
+  /// yields the image a committed-state-only snapshot must contain. Records
+  /// touching state the clone does not carry are skipped: temp tables and
+  /// temp procs are session-scoped and never checkpointed.
+  Status RevertInClone(const Txn& txn, storage::TableStore* clone);
+
  private:
   Status ApplyUndo(const UndoRecord& rec, storage::TableStore* store,
                    ProcRegistry* procs);

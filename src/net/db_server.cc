@@ -38,7 +38,7 @@ Status DbServer::Start() {
 }
 
 bool DbServer::CrashImpl(const std::function<void()>& crash_disk,
-                         bool mid_checkpoint) {
+                         std::optional<eng::CheckpointCrashPoint> mid_checkpoint) {
   // Phase 1: close intake. New requests now get "server is down".
   std::unique_ptr<WorkerPool> pool;
   {
@@ -55,10 +55,13 @@ bool DbServer::CrashImpl(const std::function<void()>& crash_disk,
   {
     std::unique_lock<std::shared_mutex> lk(lifecycle_mu_);
     if (db_ != nullptr) {
-      if (mid_checkpoint) {
-        // Death in the middle of a checkpoint: the new image is durable,
-        // the WAL truncation never happened.
-        ckpt_written = db_->CheckpointWithoutWalTruncate().ok();
+      if (mid_checkpoint.has_value()) {
+        // Death inside a checkpoint: the protocol ran up to the chosen
+        // crash point (e.g. image durable, WAL truncation never happened)
+        // and the process dies now.
+        bool wrote = false;
+        ckpt_written =
+            db_->CheckpointForCrashTest(*mid_checkpoint, &wrote).ok() && wrote;
       }
       next_session_id_ = db_->next_session_id();
     }
@@ -75,20 +78,21 @@ bool DbServer::CrashImpl(const std::function<void()>& crash_disk,
 }
 
 void DbServer::Crash() {
-  CrashImpl([this] { disk_->Crash(); }, /*mid_checkpoint=*/false);
+  CrashImpl([this] { disk_->Crash(); }, /*mid_checkpoint=*/std::nullopt);
 }
 
 void DbServer::CrashWithPartialFlush(double keep_fraction) {
   CrashImpl([this, keep_fraction] { disk_->CrashWithPartialFlush(keep_fraction); },
-            /*mid_checkpoint=*/false);
+            /*mid_checkpoint=*/std::nullopt);
 }
 
 void DbServer::CrashTorn(const storage::SimDisk::TornCrashSpec& spec) {
-  CrashImpl([this, spec] { disk_->CrashTorn(spec); }, /*mid_checkpoint=*/false);
+  CrashImpl([this, spec] { disk_->CrashTorn(spec); },
+            /*mid_checkpoint=*/std::nullopt);
 }
 
-bool DbServer::CrashMidCheckpoint() {
-  return CrashImpl([this] { disk_->Crash(); }, /*mid_checkpoint=*/true);
+bool DbServer::CrashMidCheckpoint(eng::CheckpointCrashPoint point) {
+  return CrashImpl([this] { disk_->Crash(); }, point);
 }
 
 Status DbServer::Restart() {

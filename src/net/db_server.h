@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 
@@ -71,12 +72,13 @@ class DbServer {
   /// possible corruption of the flushed region (SimDisk::CrashTorn).
   void CrashTorn(const storage::SimDisk::TornCrashSpec& spec);
 
-  /// Crash landing inside a checkpoint: the process dies after the new
-  /// checkpoint image became durable but before the WAL was truncated.
-  /// Returns true when the image was actually written (with a transaction
-  /// open the checkpoint could never have started, so this degrades to a
-  /// plain Crash() and returns false).
-  bool CrashMidCheckpoint();
+  /// Crash landing inside a checkpoint, at one of the three windows of the
+  /// split (snapshot → image write → WAL truncate) protocol. The default,
+  /// kPostImage, is the historical meaning: the image became durable but
+  /// the WAL was never truncated. Returns true when a (non-stale) image was
+  /// actually written — necessarily false for the two earlier crash points.
+  bool CrashMidCheckpoint(
+      eng::CheckpointCrashPoint point = eng::CheckpointCrashPoint::kPostImage);
 
   /// Boots a replacement process over the same disk.
   Status Restart();
@@ -130,10 +132,12 @@ class DbServer {
   };
 
   Response Dispatch(const Request& request);
-  /// Shared crash machinery: drain intake + pool, optionally write a
-  /// checkpoint image sans WAL truncation (mid-checkpoint death), destroy
-  /// the Database, then apply `crash_disk` to discard unsynced bytes.
-  bool CrashImpl(const std::function<void()>& crash_disk, bool mid_checkpoint);
+  /// Shared crash machinery: drain intake + pool, optionally run the
+  /// checkpoint protocol up to `mid_checkpoint` (the death-inside-a-
+  /// checkpoint family), destroy the Database, then apply `crash_disk` to
+  /// discard unsynced bytes.
+  bool CrashImpl(const std::function<void()>& crash_disk,
+                 std::optional<eng::CheckpointCrashPoint> mid_checkpoint);
   std::shared_ptr<SessionGate> GateFor(uint64_t session_id);
 
   storage::SimDisk* disk_;

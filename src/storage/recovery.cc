@@ -1,5 +1,7 @@
 #include "storage/recovery.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "obs/metrics.h"
 
@@ -7,7 +9,12 @@ namespace phoenix::storage {
 
 namespace {
 constexpr uint32_t kCheckpointMagic = 0x50485843;  // "PHXC"
-constexpr uint32_t kCheckpointVersion = 1;
+/// v1: {next_txn_id, snapshot} — quiescent checkpoints, replay fenced on
+///     txn_id (exact only because no txn could span a checkpoint).
+/// v2: {next_txn_id, fence_lsn, snapshot} — non-quiescent checkpoints,
+///     replay fenced on WAL LSN. v1 images are still accepted on read so a
+///     restart over an old disk image works.
+constexpr uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 Status ApplyWalOp(const WalOp& op, TableStore* store) {
@@ -61,26 +68,44 @@ Status DurabilityManager::WaitCommit(WalCommitTicket* ticket) {
 Status DurabilityManager::WriteCheckpoint(const TableStore& store,
                                           uint64_t next_txn_id,
                                           bool truncate_wal) {
+  // The fence is the last LSN the writer handed out: the caller guarantees
+  // `store` reflects every record up to it (the engine holds its data lock
+  // exclusively around this call, so no enqueue can race the capture).
+  uint64_t fence_lsn = wal_writer_.last_assigned_lsn();
+  PHX_RETURN_IF_ERROR(WriteCheckpointImage(store, next_txn_id, fence_lsn));
+  // The crash window: the checkpoint image is durable but the WAL still
+  // holds records it subsumes. Recover() must skip those, keyed off the
+  // image's fence_lsn.
+  if (!truncate_wal) return Status::Ok();
+  return TruncateWalToFence(fence_lsn);
+}
+
+Status DurabilityManager::WriteCheckpointImage(const TableStore& store,
+                                               uint64_t next_txn_id,
+                                               uint64_t fence_lsn) {
   StopWatch watch;
   Encoder enc;
   enc.PutU32(kCheckpointMagic);
   enc.PutU32(kCheckpointVersion);
   enc.PutU64(next_txn_id);
+  enc.PutU64(fence_lsn);
   store.EncodeSnapshot(&enc);
   size_t bytes = enc.size();
   PHX_RETURN_IF_ERROR(disk_->WriteAtomic(ckpt_file_, enc.Take()));
-  // The crash window: the checkpoint image is durable but the WAL still
-  // holds records it subsumes. Recover() must skip those, keyed off the
-  // checkpoint's next_txn_id (every txn below it committed before the
-  // checkpoint — Checkpoint() requires no active transactions).
-  if (!truncate_wal) return Status::Ok();
-  PHX_RETURN_IF_ERROR(wal_writer_.Reset());
+  // Metrics are recorded per image written, deliberately before any
+  // truncation decision: an image without a WAL truncation (the fault-test
+  // path, or a background write that raced a newer one) is still a
+  // checkpoint the operator should see counted.
   auto* reg = obs::MetricsRegistry::Default();
   reg->GetCounter("storage.checkpoints")->Increment();
   reg->GetCounter("storage.checkpoint.bytes")->Increment(bytes);
   reg->GetHistogram("storage.checkpoint.duration_us")
       ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   return Status::Ok();
+}
+
+Status DurabilityManager::TruncateWalToFence(uint64_t fence_lsn) {
+  return wal_writer_.TruncateUpTo(fence_lsn);
 }
 
 Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
@@ -95,10 +120,14 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
       Decoder dec(bytes);
       PHX_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
       PHX_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
-      if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+      if (magic != kCheckpointMagic ||
+          (version != 1 && version != kCheckpointVersion)) {
         return Status::IoError("bad checkpoint header");
       }
       PHX_ASSIGN_OR_RETURN(local.next_txn_id, dec.GetU64());
+      if (version >= 2) {
+        PHX_ASSIGN_OR_RETURN(local.fence_lsn, dec.GetU64());
+      }
       PHX_RETURN_IF_ERROR(store->DecodeSnapshot(&dec));
       local.had_checkpoint = true;
     }
@@ -109,24 +138,35 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
   PHX_ASSIGN_OR_RETURN(std::vector<WalCommitRecord> records,
                        WalReader::ReadAll(*disk_, wal_file_, &local.wal_scan));
   if (local.wal_scan.tear_detected) {
-    // Log repair: a torn/corrupt tail (the commit in flight when the power
-    // died) must be amputated, not merely ignored — the writer appends at
-    // end-of-file, so anything logged after unreadable bytes would be
-    // invisible to every future recovery.
-    PHX_ASSIGN_OR_RETURN(std::string wal_bytes, disk_->ReadDurable(wal_file_));
-    PHX_RETURN_IF_ERROR(disk_->WriteAtomic(
-        wal_file_, wal_bytes.substr(0, local.wal_scan.bytes_valid)));
-    reg->GetCounter("storage.recovery.wal_tail_repaired")->Increment();
+    // Log repair: anything logged after unreadable bytes would be invisible
+    // to every future recovery (the writer appends at end-of-file), so the
+    // tail must be amputated before the next append. Only a corrupt tail
+    // (CRC mismatch / undecodable frame) warrants the eager full rewrite
+    // and counts as a repair; a clean unforced tail — the expected residue
+    // of a crash cutting an unsynced append — is handed to the writer for
+    // lazy amputation on its next append, a no-op for read-only restarts.
+    if (local.wal_scan.bytes_corrupt > 0) {
+      PHX_ASSIGN_OR_RETURN(std::string wal_bytes,
+                           disk_->ReadDurable(wal_file_));
+      PHX_RETURN_IF_ERROR(disk_->WriteAtomic(
+          wal_file_, wal_bytes.substr(0, local.wal_scan.bytes_valid)));
+      reg->GetCounter("storage.recovery.wal_tail_repaired")->Increment();
+    } else {
+      wal_writer_.NoteValidPrefix(local.wal_scan.bytes_valid);
+    }
   }
   const uint64_t ckpt_next_txn = local.had_checkpoint ? local.next_txn_id : 0;
+  uint64_t max_lsn = 0;
   for (const WalCommitRecord& rec : records) {
-    // A record with txn_id < the checkpoint's next_txn_id is already fully
-    // reflected in the checkpoint image (the crash landed between the
-    // checkpoint write and the WAL truncation); replaying it would
-    // double-apply its ops — re-create existing tables, re-insert existing
-    // rids. Skip it. Txns never outlive a checkpoint (no active txns when
-    // one is taken), so the id comparison is exact.
-    if (rec.txn_id < ckpt_next_txn) {
+    if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+    // A record the checkpoint image subsumes must be skipped: replaying it
+    // would double-apply its ops — re-create existing tables, re-insert
+    // existing rids. v2 images fence on LSN (exact even with transactions
+    // spanning the checkpoint); v1 images predate LSNs and fence on txn_id,
+    // exact because v1 checkpoints quiesced.
+    bool subsumed = local.fence_lsn > 0 ? rec.lsn <= local.fence_lsn
+                                        : rec.txn_id < ckpt_next_txn;
+    if (subsumed) {
       ++local.records_skipped;
       continue;
     }
@@ -137,6 +177,11 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
     ++local.records_replayed;
     if (rec.txn_id >= local.next_txn_id) local.next_txn_id = rec.txn_id + 1;
   }
+  // Restore LSN continuity: the next record must sort after everything in
+  // the durable log *and* after the checkpoint fence, or fenced replay
+  // after the next crash would wrongly skip it.
+  uint64_t resume_lsn = std::max(max_lsn, local.fence_lsn) + 1;
+  wal_writer_.set_next_lsn(resume_lsn);
   reg->GetHistogram("storage.recovery.wal_replay_us")
       ->Record(static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   reg->GetCounter("storage.recovery.records_replayed")

@@ -17,10 +17,15 @@ struct RecoveryInfo {
   bool had_checkpoint = false;
   uint64_t records_replayed = 0;
   uint64_t ops_replayed = 0;
-  /// WAL records whose txn_id predates the checkpoint's next_txn_id — their
-  /// effects are already inside the checkpoint image. Nonzero exactly when
-  /// the crash landed between the checkpoint write and the WAL truncation.
+  /// WAL records subsumed by the checkpoint image — skipped, not replayed.
+  /// v2 checkpoints fence on LSN (lsn <= fence_lsn); v1 images predate LSNs
+  /// and fence on txn_id < next_txn_id, which was exact only because v1
+  /// checkpoints quiesced. Nonzero exactly when the crash landed between
+  /// the checkpoint write and the WAL truncation.
   uint64_t records_skipped = 0;
+  /// The v2 checkpoint fence (0 for v1 images or no checkpoint): every WAL
+  /// record with lsn <= fence_lsn was already applied to the image.
+  uint64_t fence_lsn = 0;
   /// The WAL scan's torn-tail accounting (see WalScanStats).
   WalScanStats wal_scan;
   uint64_t next_txn_id = 1;
@@ -54,13 +59,27 @@ class DurabilityManager {
   WalCommitTicket EnqueueCommit(const WalCommitRecord& record);
   Status WaitCommit(WalCommitTicket* ticket);
 
-  /// Writes the checkpoint image atomically, then truncates the WAL. With
-  /// `truncate_wal = false` the truncation is skipped — that is the durable
-  /// state a crash in the window between the two steps leaves behind, and
-  /// fault tests use it to prove Recover() tolerates the window (it must
-  /// skip the stale records rather than double-apply them).
+  /// Writes the checkpoint image atomically, then truncates the WAL up to
+  /// the current last-assigned LSN. With `truncate_wal = false` the
+  /// truncation is skipped — that is the durable state a crash in the
+  /// window between the two steps leaves behind, and fault tests use it to
+  /// prove Recover() tolerates the window (it must skip the stale records
+  /// rather than double-apply them).
   Status WriteCheckpoint(const TableStore& store, uint64_t next_txn_id,
                          bool truncate_wal = true);
+
+  /// The two halves of WriteCheckpoint, split so the engine's background
+  /// checkpointer can run them against a snapshot clone while live commits
+  /// proceed. `store` must be a consistent image as of `fence_lsn`: the
+  /// image claims to subsume exactly the WAL records with lsn <= fence_lsn,
+  /// and recovery will skip those unconditionally. Metrics
+  /// (storage.checkpoints / .bytes / .duration_us) are recorded here — on
+  /// every image write, whether or not a truncation follows.
+  Status WriteCheckpointImage(const TableStore& store, uint64_t next_txn_id,
+                              uint64_t fence_lsn);
+  /// Amputates the fenced WAL prefix (WalWriter::TruncateUpTo): records
+  /// past the fence — commits that raced the checkpoint — survive.
+  Status TruncateWalToFence(uint64_t fence_lsn);
 
   /// Rebuilds `store` (cleared first) from durable state.
   Status Recover(TableStore* store, RecoveryInfo* info);

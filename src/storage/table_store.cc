@@ -112,6 +112,15 @@ Result<std::unique_ptr<Table>> Table::DecodeSnapshot(Decoder* dec) {
   return table;
 }
 
+std::unique_ptr<Table> Table::Clone() const {
+  auto copy = std::make_unique<Table>(name_, schema_, pk_columns_, temporary_);
+  copy->owner_session_ = owner_session_;
+  copy->next_rid_ = next_rid_;
+  copy->rows_ = rows_;
+  copy->pk_index_ = pk_index_;
+  return copy;
+}
+
 Result<Table*> TableStore::CreateTable(const std::string& name, Schema schema,
                                        std::vector<int> pk_columns,
                                        bool temporary) {
@@ -177,6 +186,15 @@ void TableStore::EncodeSnapshot(Encoder* enc) const {
   for (const auto& [name, table] : tables_) {
     if (!table->temporary()) table->EncodeSnapshot(enc);
   }
+}
+
+std::unique_ptr<TableStore> TableStore::ClonePersistent() const {
+  auto clone = std::make_unique<TableStore>();
+  for (const auto& [name, table] : tables_) {
+    if (table->temporary()) continue;
+    clone->tables_[name] = table->Clone();
+  }
+  return clone;
 }
 
 Status TableStore::DecodeSnapshot(Decoder* dec) {

@@ -78,6 +78,10 @@ class Table {
   void EncodeSnapshot(Encoder* enc) const;
   static Result<std::unique_ptr<Table>> DecodeSnapshot(Decoder* dec);
 
+  /// Deep copy — rows, PK index, and the rid counter — for checkpoint
+  /// snapshots taken while the original keeps mutating.
+  std::unique_ptr<Table> Clone() const;
+
  private:
   std::string name_;
   Schema schema_;
@@ -108,6 +112,12 @@ class TableStore {
   /// Serializes all *persistent* tables (checkpoint payload).
   void EncodeSnapshot(Encoder* enc) const;
   Status DecodeSnapshot(Decoder* dec);
+
+  /// Deep-copies every persistent table — the fast half of a non-blocking
+  /// checkpoint. Temp tables are excluded exactly as EncodeSnapshot
+  /// excludes them, so encoding the clone later yields the same payload a
+  /// direct EncodeSnapshot at clone time would have.
+  std::unique_ptr<TableStore> ClonePersistent() const;
 
   void Clear() { tables_.clear(); }
   size_t size() const { return tables_.size(); }

@@ -118,8 +118,12 @@ uint32_t WalChecksum(const std::string& payload) {
 
 namespace {
 
-std::string FrameRecord(const WalCommitRecord& record) {
+/// Frames one record under the LSN the writer just assigned it. The lsn is
+/// the first payload field so checkpoint truncation can find the fence cut
+/// by decoding only a u64 per frame, never the full op list.
+std::string FrameRecord(const WalCommitRecord& record, uint64_t lsn) {
   Encoder payload;
+  payload.PutU64(lsn);
   payload.PutU64(record.txn_id);
   payload.PutU32(static_cast<uint32_t>(record.ops.size()));
   for (const WalOp& op : record.ops) EncodeWalOp(op, &payload);
@@ -218,17 +222,24 @@ Status WalWriter::AppendCommit(const WalCommitRecord& record) {
 }
 
 WalCommitTicket WalWriter::EnqueueCommit(const WalCommitRecord& record) {
-  std::string frame = FrameRecord(record);
-  CountAppend(frame.size());
+  // Framing happens under mu_ because the LSN is stamped into the frame:
+  // LSN assignment order must equal byte order in the log (and in a batch),
+  // which only the lock can guarantee.
   WalCommitTicket ticket;
   if (!config_.group_commit) {
     std::lock_guard<std::mutex> lk(mu_);
     ticket.resolved = true;
+    ticket.status = MaybeAmputateStaleTailLocked();
+    if (!ticket.status.ok()) return ticket;
+    std::string frame = FrameRecord(record, next_lsn_++);
+    CountAppend(frame.size());
     ticket.status = disk_->Append(file_, std::move(frame));
     if (ticket.status.ok()) ticket.status = SyncCounted();
     return ticket;
   }
   std::lock_guard<std::mutex> lk(mu_);
+  std::string frame = FrameRecord(record, next_lsn_++);
+  CountAppend(frame.size());
   if (open_ == nullptr) {
     open_ = std::make_shared<WalBatch>();
     open_->opened_at = std::chrono::steady_clock::now();
@@ -259,6 +270,16 @@ void WalWriter::SealOpenBatchLocked() {
 void WalWriter::FlushFrontLocked(std::unique_lock<std::mutex>& lk) {
   std::shared_ptr<WalBatch> batch = sealed_.front();
   sealed_.pop_front();
+  // A stale recovery tail must be cut before the batch's bytes land on top
+  // of it; on failure the whole batch resolves with the error (nothing was
+  // appended, so no commit in it is ever acked).
+  Status amputate = MaybeAmputateStaleTailLocked();
+  if (!amputate.ok()) {
+    batch->status = std::move(amputate);
+    batch->done = true;
+    cv_.notify_all();
+    return;
+  }
   flush_in_progress_ = true;
   std::function<bool()> hook = before_sync_hook_;
   lk.unlock();
@@ -354,12 +375,13 @@ void WalWriter::DrainLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 Status WalWriter::AppendCommitNoSync(const WalCommitRecord& record) {
-  std::string frame = FrameRecord(record);
-  CountAppend(frame.size());
   std::unique_lock<std::mutex> lk(mu_);
   // Force pending batches first so on-disk frame order stays append order
   // even when an unforced append races an in-flight batch.
   if (config_.group_commit) DrainLocked(lk);
+  PHX_RETURN_IF_ERROR(MaybeAmputateStaleTailLocked());
+  std::string frame = FrameRecord(record, next_lsn_++);
+  CountAppend(frame.size());
   return disk_->Append(file_, std::move(frame));
 }
 
@@ -369,7 +391,72 @@ Status WalWriter::Reset() {
   // the checkpoint that triggered the reset already subsumes their effects,
   // so forcing first is safe and keeps tickets from dangling.
   if (config_.group_commit) DrainLocked(lk);
+  stale_tail_pending_ = false;  // superseded: the whole file goes away
   return disk_->WriteAtomic(file_, "");
+}
+
+Status WalWriter::TruncateUpTo(uint64_t fence_lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Same drain rule as Reset(): every enqueued commit is forced (its waiter
+  // gets the real sync status) before the cut is computed, so the scan sees
+  // a stable durable file and no batch is ever half-amputated.
+  if (config_.group_commit) DrainLocked(lk);
+  PHX_RETURN_IF_ERROR(MaybeAmputateStaleTailLocked());
+  if (!disk_->Exists(file_)) return Status::Ok();
+  PHX_ASSIGN_OR_RETURN(std::string bytes, disk_->ReadDurable(file_));
+  // LSN order == frame order, so the fenced prefix is contiguous: scan until
+  // the first frame whose lsn exceeds the fence (or an invalid frame — crash
+  // residue is preserved verbatim for recovery to classify, never dropped
+  // here). Only the lsn (first payload field) needs decoding per frame.
+  const char* data = bytes.data();
+  size_t size = bytes.size();
+  size_t pos = 0;
+  while (pos + 8 <= size) {
+    Decoder head(data + pos, 8);
+    uint32_t len = head.GetU32().value();
+    uint32_t crc = head.GetU32().value();
+    if (pos + 8 + len > size) break;
+    std::string payload(data + pos + 8, len);
+    if (WalChecksum(payload) != crc) break;
+    Decoder body(payload);
+    auto lsn_res = body.GetU64();
+    if (!lsn_res.ok() || lsn_res.value() > fence_lsn) break;
+    pos += 8 + len;
+  }
+  if (pos == 0) return Status::Ok();  // nothing at or below the fence
+  return disk_->WriteAtomic(file_, bytes.substr(pos));
+}
+
+uint64_t WalWriter::last_assigned_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_ - 1;
+}
+
+void WalWriter::set_next_lsn(uint64_t lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  next_lsn_ = lsn;
+}
+
+void WalWriter::NoteValidPrefix(uint64_t bytes_valid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stale_tail_pending_ = true;
+  stale_tail_prefix_ = bytes_valid;
+}
+
+Status WalWriter::MaybeAmputateStaleTailLocked() {
+  if (!stale_tail_pending_) return Status::Ok();
+  PHX_ASSIGN_OR_RETURN(std::string bytes, disk_->ReadDurable(file_));
+  if (bytes.size() > stale_tail_prefix_) {
+    // The early return above keeps the pending mark on failure: the next
+    // append retries the cut instead of landing on top of garbage.
+    PHX_RETURN_IF_ERROR(
+        disk_->WriteAtomic(file_, bytes.substr(0, stale_tail_prefix_)));
+    obs::MetricsRegistry::Default()
+        ->GetCounter("storage.wal.stale_tail_amputations")
+        ->Increment();
+  }
+  stale_tail_pending_ = false;
+  return Status::Ok();
 }
 
 void WalWriter::FlusherLoop() {
@@ -429,12 +516,14 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
     }
     Decoder body(payload);
     WalCommitRecord rec;
-    auto txn_res = body.GetU64();
+    auto lsn_res = body.GetU64();
+    auto txn_res = lsn_res.ok() ? body.GetU64() : Result<uint64_t>(lsn_res.status());
     auto nops_res = txn_res.ok() ? body.GetU32() : Result<uint32_t>(txn_res.status());
-    if (!txn_res.ok() || !nops_res.ok()) {
+    if (!lsn_res.ok() || !txn_res.ok() || !nops_res.ok()) {
       corrupt_tail = true;
       break;
     }
+    rec.lsn = lsn_res.value();
     rec.txn_id = txn_res.value();
     bool ok = true;
     for (uint32_t i = 0; i < nops_res.value(); ++i) {

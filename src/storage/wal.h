@@ -52,6 +52,14 @@ struct WalOp {
 struct WalCommitRecord {
   uint64_t txn_id = 0;
   std::vector<WalOp> ops;
+  /// Log sequence number. Assigned by the WalWriter when the record enters
+  /// the log (callers leave it 0); strictly increasing in commit order, so
+  /// on-disk frame order == LSN order. Checkpoints fence replay on it: a
+  /// checkpoint image taken at fence F subsumes exactly the records with
+  /// lsn <= F, regardless of which transactions were still active — the
+  /// txn-id comparison the old quiescent checkpoints used breaks once a
+  /// transaction can stay open across a checkpoint.
+  uint64_t lsn = 0;
 };
 
 void EncodeWalOp(const WalOp& op, Encoder* enc);
@@ -145,6 +153,32 @@ class WalWriter {
   /// across a checkpoint.
   Status Reset();
 
+  /// Amputates the fenced prefix: every frame with lsn <= fence_lsn is
+  /// removed, frames past the fence are kept verbatim. The non-quiescent
+  /// checkpoint truncation — commits that raced the checkpoint image sit
+  /// past the fence and must survive. In group mode pending batches are
+  /// drained first (their waiters get real sync statuses and their frames
+  /// land before the cut is computed), exactly like Reset(); commits that
+  /// enqueue *during* the truncation carry post-fence LSNs and are appended
+  /// after the rewrite, so order stays monotone.
+  Status TruncateUpTo(uint64_t fence_lsn);
+
+  /// LSN of the most recently enqueued record (0 = none yet). Under the
+  /// engine's exclusive data lock no new enqueues can race, so this is the
+  /// checkpoint fence capture.
+  uint64_t last_assigned_lsn() const;
+  /// Restores LSN continuity after recovery: the next record gets `lsn`.
+  /// Must exceed every LSN already in the durable log *and* any checkpoint
+  /// fence, or fenced replay would wrongly skip post-restart commits.
+  void set_next_lsn(uint64_t lsn);
+
+  /// Recovery found `bytes_valid` clean bytes followed by an unforced tail
+  /// (expected crash residue, not corruption). Instead of rewriting the
+  /// whole log eagerly, the writer amputates the stale tail lazily — one
+  /// WriteAtomic of the valid prefix — right before its next append, which
+  /// is the moment the garbage would otherwise swallow new frames.
+  void NoteValidPrefix(uint64_t bytes_valid);
+
   const std::string& file() const { return file_; }
   const WalWriterConfig& config() const { return config_; }
 
@@ -159,6 +193,12 @@ class WalWriter {
   /// bumped only when the sync actually succeeded; failures count under
   /// storage.wal.sync_failures instead.
   Status SyncCounted();
+  /// If NoteValidPrefix recorded a pending stale tail, rewrites the file to
+  /// its valid prefix now (one ReadDurable + WriteAtomic). Called with mu_
+  /// held, before the first post-recovery append touches the device. On
+  /// failure the pending mark is kept so the append is not built on top of
+  /// garbage bytes.
+  Status MaybeAmputateStaleTailLocked();
   bool OpenBatchRipeLocked() const;
   void SealOpenBatchLocked();
   /// Pops and flushes the oldest sealed batch. Drops `lk` for the device
@@ -173,7 +213,7 @@ class WalWriter {
   std::string file_;
   WalWriterConfig config_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::shared_ptr<WalBatch> open_;             ///< accepting joiners
   std::deque<std::shared_ptr<WalBatch>> sealed_;  ///< FIFO, awaiting flush
@@ -181,6 +221,15 @@ class WalWriter {
   bool stop_ = false;
   std::function<bool()> before_sync_hook_;
   std::thread flusher_;
+
+  /// Next LSN to hand out; LSNs are assigned under mu_ at enqueue time so
+  /// assignment order == batch-join order == on-disk frame order.
+  uint64_t next_lsn_ = 1;
+  /// Lazy stale-tail amputation (NoteValidPrefix): when set, the durable
+  /// file still carries unforced crash residue past stale_tail_prefix_
+  /// bytes, to be cut before the next append.
+  bool stale_tail_pending_ = false;
+  uint64_t stale_tail_prefix_ = 0;
 };
 
 /// What a WAL scan saw — lets recovery report (and tests assert) exactly how

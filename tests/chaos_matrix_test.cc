@@ -80,6 +80,41 @@ TEST(ChaosMatrix, MidCheckpointSchedules) {
       << "no recovery ever skipped a checkpoint-subsumed WAL record";
 }
 
+TEST(ChaosMatrix, ConcurrentCheckpointSchedules) {
+  // Non-blocking checkpoints under load: a tight auto-checkpoint cadence
+  // keeps the snapshot/image/truncate pipeline hot while the workload's
+  // writers commit and its cursors scan, and the schedule dies at one of the
+  // three crash points of the split protocol (chosen by sub_seed % 3:
+  // pre-snapshot, post-snapshot, post-image). Even seeds pin the background
+  // writer thread on, odd seeds pin the stop-the-world path, so both modes
+  // face every crash window regardless of the PHX_CKPT_BG lane.
+  uint64_t images = 0;
+  uint64_t skipped = 0;
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 12000 + seed;
+    opts.n_ops = 50;
+    opts.n_faults = 3;
+    opts.checkpoint_every_n_commits = 4;
+    opts.background_checkpoint = (seed % 2 == 0);
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_recovery_crash = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves mid-checkpoint + plain crash
+    ChaosReport r = RunAndCheck(opts);
+    images += r.mid_ckpt_images;
+    skipped += r.wal_records_skipped;
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+  EXPECT_GT(images, 0u) << "no schedule ever wrote an image before dying";
+  EXPECT_GT(skipped, 0u)
+      << "no recovery ever skipped a fence-subsumed WAL record";
+}
+
 TEST(ChaosMatrix, RecrashDuringRecoverySchedules) {
   // The server dies again while Phoenix is mid-recovery (after detection /
   // after the virtual-session remap); the recovery driver must restart the

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 #include "test_util.h"
 
 namespace phoenix::net {
@@ -95,6 +97,69 @@ TEST(ConcurrentServer, ParallelSessionsNoLostOrDuplicatedDml) {
   auto res = db->ExecuteScript(*sid, "SELECT COUNT(*) AS N FROM T");
   ASSERT_TRUE(res.ok());
   ASSERT_EQ(res.value()[0].rows.size(), 1u);
+  EXPECT_EQ(res.value()[0].rows[0][0].AsInt64(), kThreads * kOpsEach);
+}
+
+TEST(ConcurrentServer, WriteHeavyAutoCheckpointFiresAndLosesNothing) {
+  // Satellite of the non-blocking checkpoint work: under a write-heavy
+  // multi-session load with a tight cadence, auto-checkpoints must actually
+  // complete (non-quiescent — concurrent commits and open cursors no longer
+  // suppress them), and a restart over the checkpoint + fenced WAL replay
+  // must present every acked row exactly once.
+  ServerOptions opts;
+  opts.worker_threads = 8;
+  opts.db.checkpoint_every_n_commits = 5;
+  TestCluster cluster(opts);
+  {
+    auto chan = cluster.network.Connect("testdb").take();
+    auto conn = chan->RoundTrip(Connect("ddl"));
+    ASSERT_TRUE(conn.ok());
+    PHX_ASSERT_OK(Try(chan.get(),
+                      Exec(conn->session_id,
+                           "CREATE TABLE W (K INTEGER PRIMARY KEY)")));
+  }
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  constexpr int kThreads = 8;
+  constexpr int kOpsEach = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto chan = cluster.network.Connect("testdb").take();
+      auto conn = chan->RoundTrip(Connect("w" + std::to_string(t)));
+      if (!conn.ok() || !conn->ToStatus().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kOpsEach; ++i) {
+        int key = t * 1000 + i;
+        Status st = Try(chan.get(),
+                        Exec(conn->session_id, "INSERT INTO W VALUES (" +
+                                                   std::to_string(key) + ")"));
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  cluster.server.database()->WaitForCheckpointIdle();
+
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_GT(after.counter("storage.checkpoints") -
+                before.counter("storage.checkpoints"),
+            0u)
+      << "write-heavy load never completed an auto-checkpoint";
+  EXPECT_TRUE(cluster.disk.Exists("phxdb.ckpt"));
+
+  // Everything was acked; a crash+restart must recover all of it.
+  cluster.server.Crash();
+  PHX_ASSERT_OK(cluster.server.Restart());
+  eng::Database* db = cluster.server.database();
+  auto sid = db->CreateSession("verify");
+  ASSERT_TRUE(sid.ok());
+  auto res = db->ExecuteScript(*sid, "SELECT COUNT(*) AS N FROM W");
+  ASSERT_TRUE(res.ok());
   EXPECT_EQ(res.value()[0].rows[0][0].AsInt64(), kThreads * kOpsEach);
 }
 

@@ -253,6 +253,44 @@ TEST(RecoveryRegression, MidCheckpointCrashRestartsCleanly) {
   }
 }
 
+// Regression for the split checkpoint protocol: a crash after the in-memory
+// snapshot was taken but before its image reached the disk must leave no
+// trace — no checkpoint file, no WAL truncation — so the restart replays the
+// full log. (A bug here would be a fence recorded somewhere durable while
+// the image it guards never landed.)
+TEST(RecoveryRegression, CrashAfterSnapshotBeforeImageReplaysFullWal) {
+  TestCluster cluster;
+  DriverManager native(&cluster.network);
+  Hdbc* dbc = native.AllocConnect(native.AllocEnv());
+  ASSERT_EQ(native.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&native, dbc, "CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  for (int i = 1; i <= 5; ++i) {
+    MustExec(&native, dbc,
+             "INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+                 std::to_string(i * 10) + ")");
+  }
+  // The snapshot exists only in the dying process's memory: no image.
+  EXPECT_FALSE(cluster.server.CrashMidCheckpoint(
+      eng::CheckpointCrashPoint::kPostSnapshot));
+  EXPECT_FALSE(cluster.disk.Exists("phxdb.ckpt"));
+  PHX_ASSERT_OK(cluster.server.Restart());
+  const storage::RecoveryInfo& info =
+      cluster.server.database()->recovery_info();
+  EXPECT_FALSE(info.had_checkpoint);
+  EXPECT_EQ(info.records_skipped, 0u);
+  EXPECT_EQ(info.records_replayed, 6u);  // CREATE TABLE + 5 inserts
+
+  DriverManager after(&cluster.network);
+  Hdbc* dbc2 = after.AllocConnect(after.AllocEnv());
+  ASSERT_EQ(after.Connect(dbc2, "testdb", "app"), SqlReturn::kSuccess);
+  auto rows = MustQuery(&after, dbc2, "SELECT K, V FROM T ORDER BY K");
+  ASSERT_EQ(rows.size(), 5u);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(rows[i - 1][0].AsInt64(), i);
+    EXPECT_EQ(rows[i - 1][1].AsInt64(), i * 10);
+  }
+}
+
 // --- Group commit: the append-to-sync crash window ------------------------
 
 // The durability hole group commit opens if the ack contract is sloppy: a

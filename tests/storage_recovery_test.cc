@@ -3,6 +3,7 @@
 #include "storage/recovery.h"
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 #include "gtest/gtest.h"
 
@@ -168,6 +169,118 @@ TEST(StorageRecovery, CrashBetweenCheckpointImageAndWalTruncate) {
   EXPECT_EQ(info2.records_skipped, 2u);
   EXPECT_EQ(info2.records_replayed, 1u);
   EXPECT_EQ(again.Get("T")->num_rows(), 2u);
+}
+
+// Regression: the checkpoint metrics (storage.checkpoints / .bytes /
+// .duration_us) used to be recorded after the WAL truncation, below the
+// `truncate_wal == false` early return — so the crash-window path wrote a
+// real durable image that never counted. They must bump on BOTH paths.
+TEST(StorageRecovery, CheckpointMetricsRecordedOnBothTruncatePaths) {
+  SimDisk disk;
+  DurabilityManager dm(&disk, "db");
+  ASSERT_TRUE(dm.LogCommit(CreateTableCommit(1)).ok());
+  TableStore store;
+  RecoveryInfo ignore;
+  ASSERT_TRUE(dm.Recover(&store, &ignore).ok());
+
+  auto* reg = obs::MetricsRegistry::Default();
+  obs::MetricsSnapshot before = reg->Snapshot();
+  ASSERT_TRUE(dm.WriteCheckpoint(store, 2, /*truncate_wal=*/false).ok());
+  obs::MetricsSnapshot mid = reg->Snapshot();
+  EXPECT_EQ(mid.counter("storage.checkpoints") -
+                before.counter("storage.checkpoints"),
+            1u);
+  EXPECT_GT(mid.counter("storage.checkpoint.bytes") -
+                before.counter("storage.checkpoint.bytes"),
+            0u);
+  EXPECT_EQ(mid.histograms.at("storage.checkpoint.duration_us").count -
+                (before.histograms.count("storage.checkpoint.duration_us")
+                     ? before.histograms.at("storage.checkpoint.duration_us")
+                           .count
+                     : 0),
+            1u);
+
+  ASSERT_TRUE(dm.WriteCheckpoint(store, 2, /*truncate_wal=*/true).ok());
+  obs::MetricsSnapshot after = reg->Snapshot();
+  EXPECT_EQ(after.counter("storage.checkpoints") -
+                mid.counter("storage.checkpoints"),
+            1u);
+  EXPECT_GT(after.counter("storage.checkpoint.bytes") -
+                mid.counter("storage.checkpoint.bytes"),
+            0u);
+}
+
+// Regression (lazy tail amputation): a clean unforced tail — the expected
+// residue of an append cut by the crash — must NOT trigger the eager
+// whole-log rewrite (storage.recovery.wal_tail_repaired) at recovery time.
+// The stale bytes stay on disk until the next append, which amputates them
+// first so new frames never land behind garbage.
+TEST(StorageRecovery, CleanUnforcedTailIsAmputatedLazilyNotRepaired) {
+  SimDisk disk;
+  DurabilityManager dm(&disk, "db");
+  ASSERT_TRUE(dm.LogCommit(CreateTableCommit(1)).ok());
+  WalWriter writer(&disk, dm.wal_file());
+  ASSERT_TRUE(writer.AppendCommitNoSync(InsertCommit(2, 1, 1, 1)).ok());
+  disk.CrashWithPartialFlush(0.5);  // half a frame survives: clean tear
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  uint64_t file_bytes = disk.ReadDurable(dm.wal_file())->size();
+  TableStore store;
+  RecoveryInfo info;
+  ASSERT_TRUE(dm.Recover(&store, &info).ok());
+  ASSERT_TRUE(info.wal_scan.tear_detected);
+  ASSERT_GT(info.wal_scan.bytes_unforced_tail, 0u);
+  ASSERT_EQ(info.wal_scan.bytes_corrupt, 0u);
+  obs::MetricsSnapshot mid = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(mid.counter("storage.recovery.wal_tail_repaired") -
+                before.counter("storage.recovery.wal_tail_repaired"),
+            0u)
+      << "clean unforced tail triggered the eager rewrite";
+  // Recovery itself left the log untouched: the stale bytes are still there.
+  EXPECT_EQ(disk.ReadDurable(dm.wal_file())->size(), file_bytes);
+
+  // The next append amputates the tail first, so the commit is recoverable.
+  ASSERT_TRUE(dm.LogCommit(InsertCommit(2, 1, 10, 100)).ok());
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(after.counter("storage.wal.stale_tail_amputations") -
+                mid.counter("storage.wal.stale_tail_amputations"),
+            1u);
+  TableStore again;
+  RecoveryInfo info2;
+  ASSERT_TRUE(dm.Recover(&again, &info2).ok());
+  EXPECT_FALSE(info2.wal_scan.tear_detected);
+  EXPECT_EQ(info2.records_replayed, 2u);
+  ASSERT_NE(again.Get("T"), nullptr);
+  EXPECT_EQ((*again.Get("T")->Find(1))[1].AsInt64(), 100);
+}
+
+// The counterpart: a CRC-corrupt tail (a complete frame whose payload was
+// damaged) is real corruption and still takes the eager rewrite path,
+// bumping storage.recovery.wal_tail_repaired.
+TEST(StorageRecovery, CorruptTailStillTakesEagerRepair) {
+  SimDisk disk;
+  DurabilityManager dm(&disk, "db");
+  ASSERT_TRUE(dm.LogCommit(CreateTableCommit(1)).ok());
+  ASSERT_TRUE(dm.LogCommit(InsertCommit(2, 1, 10, 100)).ok());
+  // Damage the last frame's payload in place: complete frame, CRC mismatch.
+  std::string bytes = disk.ReadDurable(dm.wal_file()).take();
+  bytes.back() = static_cast<char>(bytes.back() ^ 0xFF);
+  ASSERT_TRUE(disk.WriteAtomic(dm.wal_file(), bytes).ok());
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  TableStore store;
+  RecoveryInfo info;
+  ASSERT_TRUE(dm.Recover(&store, &info).ok());
+  ASSERT_TRUE(info.wal_scan.tear_detected);
+  ASSERT_GT(info.wal_scan.bytes_corrupt, 0u);
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(after.counter("storage.recovery.wal_tail_repaired") -
+                before.counter("storage.recovery.wal_tail_repaired"),
+            1u);
+  // The rewrite happened now: only the valid prefix remains on disk.
+  EXPECT_EQ(disk.ReadDurable(dm.wal_file())->size(),
+            info.wal_scan.bytes_valid);
+  EXPECT_EQ(info.records_replayed, 1u);  // the damaged insert is gone
 }
 
 TEST(StorageRecovery, ApplyWalOpErrorsOnMissingTable) {

@@ -3,6 +3,8 @@
 
 #include "engine/database.h"
 
+#include "obs/metrics.h"
+
 #include "gtest/gtest.h"
 
 namespace phoenix::eng {
@@ -152,12 +154,39 @@ TEST_F(TxnTest, TwoSessionsInterleave) {
   EXPECT_EQ(Exec("SELECT K FROM T").rows[0][0].AsInt64(), 2);
 }
 
-TEST_F(TxnTest, CheckpointBlockedDuringActiveTxn) {
-  Exec("BEGIN");
+TEST_F(TxnTest, CheckpointDuringActiveTxnExcludesUncommittedEffects) {
+  // Non-quiescent checkpoints: an open transaction no longer blocks
+  // Checkpoint(), and the image must hold committed state only — the open
+  // transaction's effects are reverted in the snapshot clone.
   Exec("INSERT INTO T VALUES (1, 10)");
-  EXPECT_EQ(db_->Checkpoint().code(), StatusCode::kInvalidArgument);
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (2, 20)");
+  Exec("UPDATE T SET V = 99 WHERE K = 1");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  Exec("ROLLBACK");
+
+  // A "crashed" replacement process sees the checkpoint image (the WAL was
+  // truncated up to the fence): only the committed row, with its committed
+  // value.
+  Database db2(&disk_);
+  ASSERT_TRUE(db2.Open().ok());
+  uint64_t sid2 = *db2.CreateSession("t2");
+  auto rows = db2.ExecuteScript(sid2, "SELECT K, V FROM T");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->back().rows.size(), 1u);
+  EXPECT_EQ(rows->back().rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows->back().rows[0][1].AsInt64(), 10);
+}
+
+TEST_F(TxnTest, CheckpointDuringActiveTxnKeepsLiveStateIntact) {
+  // The snapshot reverts the open transaction in the CLONE only; the live
+  // store must still see the uncommitted effects afterwards.
+  Exec("BEGIN");
+  Exec("INSERT INTO T VALUES (7, 70)");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  EXPECT_EQ(Count(), 1);
   Exec("COMMIT");
-  EXPECT_TRUE(db_->Checkpoint().ok());
+  EXPECT_EQ(Count(), 1);
 }
 
 TEST_F(TxnTest, AutoCheckpointAfterNCommits) {
@@ -171,7 +200,41 @@ TEST_F(TxnTest, AutoCheckpointAfterNCommits) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(db.ExecuteScript(sid, "INSERT INTO C VALUES (1)").ok());
   }
-  // At least one checkpoint happened: the WAL was truncated at some point.
+  // With background checkpoints the image write is asynchronous; wait for
+  // the pipeline to drain before asserting durability.
+  db.WaitForCheckpointIdle();
+  // At least one checkpoint happened: the image exists on disk.
+  EXPECT_TRUE(disk.Exists("phxdb.ckpt"));
+}
+
+TEST_F(TxnTest, ReadOnlyCommitsDeferCheckpointToNextMutatingCommit) {
+  // Regression: a due auto-checkpoint that lands on a shared-lock (read-only)
+  // commit cannot take the snapshot there. It used to be silently dropped —
+  // and since the commit counter kept advancing, a read-heavy workload could
+  // starve checkpoints forever. It must now be counted
+  // (storage.checkpoint.skipped) and deferred to the next mutating commit.
+  storage::SimDisk disk;
+  DatabaseOptions opts;
+  opts.checkpoint_every_n_commits = 3;
+  Database db(&disk, opts);
+  ASSERT_TRUE(db.Open().ok());
+  uint64_t sid = *db.CreateSession("x");
+  ASSERT_TRUE(db.ExecuteScript(sid, "CREATE TABLE C (A INTEGER)").ok());
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  // Autocommit SELECTs cross the threshold under the shared lock.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.ExecuteScript(sid, "SELECT A FROM C").ok());
+  }
+  obs::MetricsSnapshot mid = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_GE(mid.counter("storage.checkpoint.skipped") -
+                before.counter("storage.checkpoint.skipped"),
+            1u);
+  EXPECT_FALSE(disk.Exists("phxdb.ckpt"));  // deferred, not taken
+
+  // The first mutating commit afterwards fires the deferred checkpoint.
+  ASSERT_TRUE(db.ExecuteScript(sid, "INSERT INTO C VALUES (1)").ok());
+  db.WaitForCheckpointIdle();
   EXPECT_TRUE(disk.Exists("phxdb.ckpt"));
 }
 

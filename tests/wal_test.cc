@@ -98,6 +98,109 @@ TEST(Wal, ResetTruncates) {
   EXPECT_TRUE(records->empty());
 }
 
+TEST(Wal, TruncateUpToRemovesOnlyTheFencedPrefix) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());  // LSNs 1..5
+  }
+  ASSERT_EQ(writer.last_assigned_lsn(), 5u);
+  ASSERT_TRUE(writer.TruncateUpTo(3).ok());
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].lsn, 4u);
+  EXPECT_EQ((*records)[1].lsn, 5u);
+  // Appends after the truncation land behind the survivors, in LSN order.
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(6)).ok());
+  records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[2].lsn, 6u);
+}
+
+TEST(Wal, TruncateUpToFullFenceEmptiesTheLog) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());
+  }
+  ASSERT_TRUE(writer.TruncateUpTo(writer.last_assigned_lsn()).ok());
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(Wal, TruncateUpToBelowFirstLsnIsANoOp) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(1)).ok());
+  uint64_t syncs = disk.sync_count();
+  ASSERT_TRUE(writer.TruncateUpTo(0).ok());
+  EXPECT_EQ(disk.sync_count(), syncs);  // no rewrite happened
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST(Wal, TruncateUpToPreservesTornTailVerbatim) {
+  // The fence scan stops at the first invalid frame: a torn tail past the
+  // fenced prefix belongs to the *un*-fenced region and must survive the
+  // rewrite byte-for-byte (recovery classifies it later).
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(1)).ok());
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(2)).ok());
+  // An incomplete frame: the header declares 12 payload bytes, 2 exist.
+  Encoder torn_enc;
+  torn_enc.PutU32(12);
+  torn_enc.PutU32(0xBAD);
+  torn_enc.PutBytes("to", 2);
+  const std::string torn = torn_enc.data();
+  ASSERT_TRUE(disk.Append("x.wal", torn).ok());
+  ASSERT_TRUE(disk.Sync("x.wal").ok());
+  ASSERT_TRUE(writer.TruncateUpTo(1).ok());
+  std::string bytes = disk.ReadDurable("x.wal").take();
+  ASSERT_GE(bytes.size(), torn.size());
+  EXPECT_EQ(bytes.substr(bytes.size() - torn.size()), torn);
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].lsn, 2u);
+}
+
+TEST(Wal, NoteValidPrefixAmputatesLazilyOnNextAppend) {
+  SimDisk disk;
+  uint64_t valid_bytes = 0;
+  {
+    WalWriter writer(&disk, "x.wal");
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(1)).ok());
+    valid_bytes = disk.ReadDurable("x.wal")->size();
+    ASSERT_TRUE(writer.AppendCommitNoSync(SampleCommit(2)).ok());
+  }
+  disk.CrashWithPartialFlush(0.5);  // unforced residue past the valid prefix
+  ASSERT_GT(disk.ReadDurable("x.wal")->size(), valid_bytes);
+
+  WalWriter writer(&disk, "x.wal");
+  writer.set_next_lsn(2);
+  writer.NoteValidPrefix(valid_bytes);
+  // Noting the prefix touches nothing: the stale bytes are still on disk.
+  EXPECT_GT(disk.ReadDurable("x.wal")->size(), valid_bytes);
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  // The next append cuts the tail first, then lands cleanly behind it.
+  ASSERT_TRUE(writer.AppendCommit(SampleCommit(9)).ok());
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(after.counter("storage.wal.stale_tail_amputations") -
+                before.counter("storage.wal.stale_tail_amputations"),
+            1u);
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].txn_id, 1u);
+  EXPECT_EQ((*records)[1].txn_id, 9u);
+  EXPECT_EQ((*records)[1].lsn, 2u);
+}
+
 TEST(Wal, ChecksumDetectsCorruptTail) {
   SimDisk disk;
   WalWriter writer(&disk, "x.wal");
