@@ -28,17 +28,16 @@ Sample Measure(BenchEnv* env, bool via_server, int rows) {
   Sample s;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     odbc::Hstmt* stmt = phoenix.AllocStmt(dbc);
-    uint64_t bytes_before = cs->private_conn->channel()->bytes_sent() +
-                            cs->private_conn->channel()->bytes_received();
+    net::ChannelStats before = cs->private_conn->channel()->stats();
+    uint64_t bytes_before = before.bytes_sent + before.bytes_received;
     StopWatch w;
     std::string q =
         "SELECT N, PAYLOAD FROM R WHERE N <= " + std::to_string(rows);
     Check(Succeeded(phoenix.ExecDirect(stmt, q)), "exec",
           odbc::DriverManager::Diag(stmt));
     s.seconds += w.ElapsedSeconds();
-    s.wire_bytes += cs->private_conn->channel()->bytes_sent() +
-                    cs->private_conn->channel()->bytes_received() -
-                    bytes_before;
+    net::ChannelStats after = cs->private_conn->channel()->stats();
+    s.wire_bytes += after.bytes_sent + after.bytes_received - bytes_before;
     phoenix.FreeStmt(stmt);
   }
   phoenix.Disconnect(dbc);

@@ -109,6 +109,18 @@ inline void DumpMetrics(const char* bench_name) {
   }
 }
 
+/// Appends one JSON object line to BENCH_index.json (and tags it on stdout
+/// for trajectory scrapers) — the indexed-vs-unindexed comparison record
+/// shared by bench_table1_power and bench_cursor_modes.
+inline void AppendBenchIndexJson(const std::string& json) {
+  std::printf("\nBENCH_INDEX_JSON %s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_index.json", "a")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
 }  // namespace phoenix::bench
 
 #endif  // PHOENIX_BENCH_BENCH_UTIL_H_

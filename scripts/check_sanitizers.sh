@@ -15,9 +15,12 @@
 # pipelines (PHX_GROUP_COMMIT=0, the per-commit-sync seed behavior, and =1,
 # group commit) crossed with both checkpoint modes (PHX_CKPT_BG=0,
 # stop-the-world under the data lock, and =1, the background checkpoint
-# thread) — four ctest passes per lane, so every durability path stays
+# thread) crossed with both access-path planners (PHX_INDEX_PLANNER=0,
+# always-sequential seed behavior, and =1, cost-based index selection) —
+# eight ctest passes per lane, so every durability and access path stays
 # exercised under the sanitizers. Tests that pin a mode via
-# DatabaseOptions/ChaosOptions override the env either way.
+# DatabaseOptions/ChaosOptions/set_index_planner override the env either
+# way.
 #
 # Usage: scripts/check_sanitizers.sh [asan|tsan|chaos]   (default: both)
 set -eu
@@ -37,16 +40,19 @@ run_lane() {
   cmake --build "$build_dir" -j "$JOBS" >/dev/null
   for gc in 0 1; do
     for ckpt in 0 1; do
-      echo "==> [$lane_name] ctest (PHX_GROUP_COMMIT=$gc PHX_CKPT_BG=$ckpt)"
-      # halt_on_error makes any sanitizer report fail the test that produced
-      # it.
-      PHX_GROUP_COMMIT="$gc" \
-      PHX_CKPT_BG="$ckpt" \
-      ASAN_OPTIONS="halt_on_error=1" \
-      UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-      TSAN_OPTIONS="halt_on_error=1" \
-        ctest --test-dir "$build_dir" --output-on-failure -j 2 \
-              ${test_regex:+-R "$test_regex"}
+      for planner in 0 1; do
+        echo "==> [$lane_name] ctest (PHX_GROUP_COMMIT=$gc PHX_CKPT_BG=$ckpt PHX_INDEX_PLANNER=$planner)"
+        # halt_on_error makes any sanitizer report fail the test that
+        # produced it.
+        PHX_GROUP_COMMIT="$gc" \
+        PHX_CKPT_BG="$ckpt" \
+        PHX_INDEX_PLANNER="$planner" \
+        ASAN_OPTIONS="halt_on_error=1" \
+        UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        TSAN_OPTIONS="halt_on_error=1" \
+          ctest --test-dir "$build_dir" --output-on-failure -j 2 \
+                ${test_regex:+-R "$test_regex"}
+      done
     done
   done
   echo "==> [$lane_name] OK"

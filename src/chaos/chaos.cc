@@ -55,6 +55,11 @@ std::vector<ChaosOp> MakeWorkload(Rng* rng, int n_ops) {
         std::to_string(rng->NextBelow(1000)) + ", 'n" +
         std::to_string(rng->NextBelow(7)) + "')");
   }
+  // A secondary index exists from the start, so every later fault lands on a
+  // server whose WAL replay must maintain it; the workload keeps toggling it
+  // with CREATE/DROP so crashes also land *between* index DDL and data ops.
+  sql("CREATE INDEX ACCT_V ON ACCT (V)");
+  bool idx_exists = true;
   bool cursor_open = false;
   while (static_cast<int>(ops.size()) < n_ops) {
     if (!cursor_open && rng->NextBool(0.18)) {
@@ -73,7 +78,7 @@ std::vector<ChaosOp> MakeWorkload(Rng* rng, int n_ops) {
       }
       continue;
     }
-    switch (rng->NextBelow(7)) {
+    switch (rng->NextBelow(9)) {
       case 0:
       case 1:
         sql("INSERT INTO ACCT VALUES (" + std::to_string(next_key++) + ", " +
@@ -103,6 +108,16 @@ std::vector<ChaosOp> MakeWorkload(Rng* rng, int n_ops) {
         sql(commit ? "COMMIT" : "ROLLBACK");
         break;
       }
+      case 6:  // index DDL, so faults land adjacent to CREATE/DROP INDEX
+        sql(idx_exists ? "DROP INDEX ACCT_V ON ACCT"
+                       : "CREATE INDEX ACCT_V ON ACCT (V)");
+        idx_exists = !idx_exists;
+        break;
+      case 7:  // selective predicate: takes the index path when it exists
+        sql("SELECT K, V FROM ACCT WHERE V < " +
+            std::to_string(1 + rng->NextBelow(1000)) + " ORDER BY K",
+            true);
+        break;
       default:
         sql("INSERT INTO SIDE VALUES (" + std::to_string(rng->NextBelow(90)) +
             ")");
@@ -304,6 +319,42 @@ struct RecoveryCrashArm {
   bool armed = false;
   core::RecoveryPoint point = core::RecoveryPoint::kDetected;
 };
+
+// ---------------------------------------------------------------------------
+// Index-consistency oracle
+// ---------------------------------------------------------------------------
+
+/// Every secondary index must equal the tree rebuilt from its base rows —
+/// the invariant DML, undo, and WAL replay are all required to maintain.
+/// Returns an empty string when consistent, else the first divergence.
+std::string IndexInconsistency(const storage::TableStore& store) {
+  storage::RowLess lt;
+  for (const std::string& name : store.ListNames()) {
+    const storage::Table* t = store.Get(name);
+    if (t == nullptr) continue;
+    for (const storage::SecondaryIndex& idx : t->indexes()) {
+      std::map<Row, std::set<storage::RowId>, storage::RowLess> want;
+      for (const auto& [rid, row] : t->rows()) {
+        want[storage::Table::KeyFor(idx.columns, row)].insert(rid);
+      }
+      if (want.size() != idx.entries.size()) {
+        return "index " + idx.name + " on " + name + " has " +
+               std::to_string(idx.entries.size()) + " keys, rows imply " +
+               std::to_string(want.size());
+      }
+      auto it = idx.entries.begin();
+      for (const auto& [key, rids] : want) {
+        if (lt(key, it->first) || lt(it->first, key) ||
+            rids != it->second) {
+          return "index " + idx.name + " on " + name +
+                 " diverges from its base rows";
+        }
+        ++it;
+      }
+    }
+  }
+  return "";
+}
 
 }  // namespace
 
@@ -563,6 +614,10 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
         if (!SameObservation(ref_final, got_final, &why)) {
           fail("post-crash durable state diverged: " + why);
         }
+        if (std::string bad = IndexInconsistency(*server.database()->store());
+            !bad.empty()) {
+          fail("post-crash index audit: " + bad);
+        }
         post.Disconnect(post_client.dbc);
       }
     }
@@ -579,6 +634,9 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
     } else {
       report.wal_records_skipped += info.records_skipped;
       report.wal_tear_detected |= info.wal_scan.tear_detected;
+      if (std::string bad = IndexInconsistency(store); !bad.empty()) {
+        fail("independent recovery index audit: " + bad);
+      }
     }
   }
 

@@ -1,0 +1,36 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+namespace phoenix {
+
+namespace {
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return fallback;
+  return e[0] == '1' || e[0] == 'y' || e[0] == 'Y' || e[0] == 't' ||
+         e[0] == 'T';
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || e[0] == '\0') return fallback;
+  return std::strtoull(e, nullptr, 10);
+}
+
+}  // namespace
+
+Options Options::FromEnv() {
+  Options o;
+  o.group_commit = EnvFlag("PHX_GROUP_COMMIT", o.group_commit);
+  o.gc_dedicated_flusher = EnvFlag("PHX_GC_FLUSHER", o.gc_dedicated_flusher);
+  o.gc_max_wait_us = EnvU64("PHX_GC_MAX_WAIT_US", o.gc_max_wait_us);
+  o.gc_max_batch_bytes =
+      static_cast<size_t>(EnvU64("PHX_GC_MAX_BATCH_BYTES", o.gc_max_batch_bytes));
+  o.background_checkpoint = EnvFlag("PHX_CKPT_BG", o.background_checkpoint);
+  o.index_planner = EnvFlag("PHX_INDEX_PLANNER", o.index_planner);
+  return o;
+}
+
+}  // namespace phoenix

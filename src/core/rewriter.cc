@@ -213,6 +213,15 @@ bool RenameObjects(Statement* stmt,
     case sql::StmtKind::kShow:
       changed = MapName(table_map, &stmt->show->table);
       break;
+    case sql::StmtKind::kCreateIndex:
+      changed = MapName(table_map, &stmt->create_index->table);
+      break;
+    case sql::StmtKind::kDropIndex:
+      changed = MapName(table_map, &stmt->drop_index->table);
+      break;
+    case sql::StmtKind::kExplain:
+      changed = RenameInSelect(stmt->explain_select.get(), table_map);
+      break;
     default:
       break;
   }

@@ -1,9 +1,10 @@
 #include "engine/database.h"
 
-#include <cstdlib>
+#include <algorithm>
 
 #include "common/codec.h"
 #include "common/rng.h"
+#include "engine/planner.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 
@@ -12,17 +13,11 @@ namespace phoenix::eng {
 using sql::Statement;
 using sql::StmtKind;
 
-bool BackgroundCheckpointFromEnv() {
-  const char* e = std::getenv("PHX_CKPT_BG");
-  if (e == nullptr || e[0] == '\0') return true;
-  return e[0] == '1' || e[0] == 'y' || e[0] == 'Y' || e[0] == 't' ||
-         e[0] == 'T';
-}
-
 Database::Database(storage::SimDisk* disk, DatabaseOptions opts)
     : disk_(disk),
       opts_(std::move(opts)),
       durability_(disk, opts_.disk_prefix, opts_.wal),
+      index_planner_(opts_.index_planner),
       next_session_id_(opts_.first_session_id) {}
 
 Database::~Database() {
@@ -128,10 +123,11 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
   obs::MetricsRegistry::Default()
       ->GetCounter("engine.statements_executed")
       ->Increment();
-  // Plain SELECT (no INTO) only reads shared state; everything else —
-  // DML, DDL, EXEC, transaction control — may mutate it.
+  // Plain SELECT (no INTO) and EXPLAIN only read shared state; everything
+  // else — DML, DDL, EXEC, transaction control — may mutate it.
   bool read_only =
-      stmt.kind == StmtKind::kSelect && stmt.select->into_table.empty();
+      (stmt.kind == StmtKind::kSelect && stmt.select->into_table.empty()) ||
+      stmt.kind == StmtKind::kExplain;
   if (read_only) {
     std::shared_lock<std::shared_mutex> lk(data_mu_);
     return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/false,
@@ -483,19 +479,16 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
     cursor->select_ = sel->Clone();
     if (type == CursorType::kKeyset) {
       // Materialize the key set now, in PK order — membership is frozen.
-      for (const auto& [key, rid] : t->pk_index()) {
-        const Row* row = t->Find(rid);
-        if (row == nullptr) continue;
-        if (sel->where != nullptr) {
-          EvalEnv env;
-          env.schema = &probe.schema;
-          env.qualifiers = &probe.qualifiers;
-          env.row = row;
-          PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*sel->where, env));
-          if (!Truthy(v)) continue;
-        }
-        cursor->keys_.push_back(key);
+      // EvaluateFrom runs the access-path planner, so a selective WHERE on
+      // an indexed column collects the keys in sub-linear time (index probe
+      // + k·log k re-sort) instead of a full PK-index scan.
+      PHX_ASSIGN_OR_RETURN(BoundRows bound, ex.EvaluateFrom(*sel));
+      cursor->keys_.reserve(bound.rows.size());
+      for (const Row& row : bound.rows) {
+        cursor->keys_.push_back(t->PkOf(row));
       }
+      std::sort(cursor->keys_.begin(), cursor->keys_.end(),
+                storage::RowLess{});
     }
   }
   Cursor* raw = cursor.get();
@@ -656,6 +649,47 @@ Status Database::TxDropTable(Txn* txn, const std::string& name) {
   txn->undo.push_back(std::move(undo));
   if (!temporary) {
     txn->redo.push_back(storage::WalOp::DropTable(canonical));
+  }
+  return Status::Ok();
+}
+
+Status Database::TxCreateIndex(Txn* txn, storage::Table* table,
+                               const std::string& index_name,
+                               std::vector<int> columns) {
+  if (txn == nullptr) {
+    return Status::Internal("TxCreateIndex outside transaction");
+  }
+  PHX_RETURN_IF_ERROR(table->CreateIndex(index_name, columns));
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kCreateIndex;
+  undo.table = table->name();
+  undo.index_name = IdentUpper(index_name);
+  txn->undo.push_back(std::move(undo));
+  if (!table->temporary()) {
+    txn->redo.push_back(storage::WalOp::CreateIndex(
+        table->name(), IdentUpper(index_name), std::move(columns)));
+  }
+  return Status::Ok();
+}
+
+Status Database::TxDropIndex(Txn* txn, storage::Table* table,
+                             const std::string& index_name) {
+  if (txn == nullptr) {
+    return Status::Internal("TxDropIndex outside transaction");
+  }
+  const storage::SecondaryIndex* idx = table->FindIndex(index_name);
+  if (idx == nullptr) return Status::NotFound("no such index: " + index_name);
+  UndoRecord undo;
+  undo.kind = UndoRecord::Kind::kDropIndex;
+  undo.table = table->name();
+  undo.index_name = idx->name;
+  undo.index_columns = idx->columns;
+  std::string canonical = idx->name;
+  PHX_RETURN_IF_ERROR(table->DropIndex(index_name));
+  txn->undo.push_back(std::move(undo));
+  if (!table->temporary()) {
+    txn->redo.push_back(
+        storage::WalOp::DropIndex(table->name(), std::move(canonical)));
   }
   return Status::Ok();
 }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/options.h"
 #include "common/status.h"
 #include "engine/catalog.h"
 #include "engine/cursor.h"
@@ -25,13 +26,6 @@
 
 namespace phoenix::eng {
 
-/// PHX_CKPT_BG=0|1 (default on): encode+write checkpoint images on a
-/// background thread while readers and writers proceed, instead of
-/// stop-the-world under the exclusive data lock. Documented in README next
-/// to PHX_GROUP_COMMIT; scripts/check_sanitizers.sh runs the suite both
-/// ways.
-bool BackgroundCheckpointFromEnv();
-
 /// Where a fault-test checkpoint "dies" (see CheckpointForCrashTest). The
 /// three windows of the split checkpoint protocol, each leaving a distinct
 /// durable state recovery must tolerate.
@@ -42,6 +36,15 @@ enum class CheckpointCrashPoint {
 };
 
 struct DatabaseOptions {
+  /// Defaults come from the typed phoenix::Options loader (PHX_* env knobs,
+  /// read exactly once; see common/options.h) so whole test lanes can flip
+  /// modes without code changes.
+  DatabaseOptions() : DatabaseOptions(phoenix::Options::FromEnv()) {}
+  explicit DatabaseOptions(const phoenix::Options& o)
+      : wal(storage::WalWriterConfig::FromOptions(o)),
+        background_checkpoint(o.background_checkpoint),
+        index_planner(o.index_planner) {}
+
   /// SimDisk file prefix ("<prefix>.wal", "<prefix>.ckpt").
   std::string disk_prefix = "phxdb";
   /// Auto-checkpoint after this many commits (0 = manual Checkpoint() only).
@@ -50,14 +53,16 @@ struct DatabaseOptions {
   /// unique across process restarts, so a stale pre-crash session id can
   /// never accidentally name a post-crash session.
   uint64_t first_session_id = 1;
-  /// WAL durability pipeline (group commit on/off + knobs). Defaults come
-  /// from the PHX_GROUP_COMMIT / PHX_GC_* environment toggles so whole test
-  /// lanes can flip modes without code changes.
-  storage::WalWriterConfig wal = storage::WalWriterConfig::FromEnv();
+  /// WAL durability pipeline (group commit on/off + knobs).
+  storage::WalWriterConfig wal;
   /// Background (non-blocking) checkpoints: the commit path only takes the
   /// snapshot; a dedicated thread encodes, writes, and truncates. Off =
   /// the whole checkpoint runs inline under the exclusive data lock.
-  bool background_checkpoint = BackgroundCheckpointFromEnv();
+  bool background_checkpoint;
+  /// Cost-aware access-path planner (secondary/PK index scans, index
+  /// nested-loop joins). Off = every SELECT seq-scans, the pre-index
+  /// behavior. Runtime-togglable via Database::set_index_planner.
+  bool index_planner;
 };
 
 /// The database server engine: storage + recovery + SQL execution +
@@ -172,6 +177,20 @@ class Database {
                                         std::vector<int> pk_columns,
                                         bool temporary, uint64_t owner_session);
   Status TxDropTable(Txn* txn, const std::string& name);
+  Status TxCreateIndex(Txn* txn, storage::Table* table,
+                       const std::string& index_name, std::vector<int> columns);
+  Status TxDropIndex(Txn* txn, storage::Table* table,
+                     const std::string& index_name);
+
+  // ---- Access-path planner toggle ---------------------------------------
+  /// Runtime switch (PHX_INDEX_PLANNER default, benches flip it to compare
+  /// indexed vs unindexed execution on the same data).
+  bool index_planner_enabled() const {
+    return index_planner_.load(std::memory_order_relaxed);
+  }
+  void set_index_planner(bool on) {
+    index_planner_.store(on, std::memory_order_relaxed);
+  }
 
   /// Looks up a stored procedure: temp registry first, then the persistent
   /// system table (body re-parsed on demand). Returns an owned clone.
@@ -238,6 +257,7 @@ class Database {
   mutable std::shared_mutex sessions_mu_;
   std::map<uint64_t, std::unique_ptr<Session>> sessions_;
 
+  std::atomic<bool> index_planner_{true};
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> commit_count_{0};
   std::atomic<uint64_t> commits_since_checkpoint_{0};

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "engine/database.h"
+#include "engine/planner.h"
 
 namespace phoenix::eng {
 
@@ -16,59 +17,10 @@ using sql::SelectStmt;
 using sql::Statement;
 using sql::StmtKind;
 
+// SplitConjuncts / IsRowInvariant / Resolvable live in engine/planner.h —
+// the planner and executor must agree on predicate decomposition.
+
 namespace {
-
-/// Splits an expression into AND-conjuncts.
-void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
-    SplitConjuncts(e->left.get(), out);
-    SplitConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-/// True if `e` references no columns, parameters, or aggregates — its value
-/// is the same for every row and can be folded once.
-bool IsRowInvariant(const Expr& e) {
-  if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kParam ||
-      e.kind == ExprKind::kStar) {
-    return false;
-  }
-  if (e.kind == ExprKind::kFunction) {
-    // ROWCOUNT() is session state, but still row-invariant; aggregates are
-    // handled elsewhere and never appear in WHERE conjuncts.
-    if (e.func_name == "COUNT" || e.func_name == "SUM" ||
-        e.func_name == "AVG" || e.func_name == "MIN" ||
-        e.func_name == "MAX") {
-      return false;
-    }
-  }
-  if (e.left && !IsRowInvariant(*e.left)) return false;
-  if (e.right && !IsRowInvariant(*e.right)) return false;
-  if (e.extra && !IsRowInvariant(*e.extra)) return false;
-  for (const auto& a : e.args) {
-    if (!IsRowInvariant(*a)) return false;
-  }
-  return true;
-}
-
-/// True if every column reference in `e` resolves against (schema, quals).
-bool Resolvable(const Expr& e, const Schema& schema,
-                const std::vector<std::string>& quals) {
-  if (e.kind == ExprKind::kColumnRef) {
-    auto r = ResolveColumn(schema, &quals, e.table_qualifier, e.column);
-    return r.ok();
-  }
-  if (e.left && !Resolvable(*e.left, schema, quals)) return false;
-  if (e.right && !Resolvable(*e.right, schema, quals)) return false;
-  if (e.extra && !Resolvable(*e.extra, schema, quals)) return false;
-  for (const auto& a : e.args) {
-    if (!Resolvable(*a, schema, quals)) return false;
-  }
-  return true;
-}
 
 struct ValueLess {
   bool operator()(const Value& a, const Value& b) const {
@@ -306,6 +258,12 @@ Result<StatementResult> Executor::Execute(const Statement& stmt) {
       return ExecuteExec(*stmt.exec);
     case StmtKind::kShow:
       return ExecuteShow(*stmt.show, db_);
+    case StmtKind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case StmtKind::kDropIndex:
+      return ExecuteDropIndex(*stmt.drop_index);
+    case StmtKind::kExplain:
+      return ExecuteExplain(*stmt.explain_select);
     case StmtKind::kBeginTxn:
     case StmtKind::kCommit:
     case StmtKind::kRollback:
@@ -378,12 +336,21 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
     return empty;
   }
 
+  // Access-path planning: chooses index vs sequential scans and join
+  // strategies from table statistics. Every conjunct an index bound came
+  // from is still re-applied below, so a plan can only over-enumerate.
+  SelectPlan plan =
+      PlanSelect(sel, *db_->store(), db_->index_planner_enabled());
+
   // Helper: scan one table into a BoundRows, applying all still-unused
   // conjuncts that are resolvable against it alone. Pool filtering must be
   // skipped for the right side of a LEFT join (WHERE applies after the
-  // null-padding join, not before).
-  auto scan_table = [&](const Bound& b,
-                        bool apply_pool = true) -> Result<BoundRows> {
+  // null-padding join, not before). When `path` names an index, candidate
+  // rows are enumerated from it instead of the heap — in RowId order unless
+  // `key_order` (the plan promised index order satisfies ORDER BY).
+  auto scan_table = [&](const Bound& b, const AccessPath* path,
+                        bool apply_pool, bool key_order,
+                        bool reverse) -> Result<BoundRows> {
     BoundRows r;
     for (const Column& c : b.table->schema().columns()) {
       r.schema.AddColumn(c);
@@ -397,19 +364,90 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
         }
       }
     }
-    for (const auto& [rid, row] : b.table->rows()) {
-      bool keep = true;
+    auto keep_row = [&](const Row& row) -> Result<bool> {
       EvalEnv env = MakeEnv(&r.schema, &r.qualifiers, &row);
       for (size_t ci : applicable) {
         PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*conjuncts[ci], env));
-        if (!Truthy(v)) {
-          keep = false;
+        if (!Truthy(v)) return false;
+      }
+      return true;
+    };
+    bool used_index = false;
+    if (path != nullptr && path->kind != AccessKind::kSeqScan) {
+      // Evaluate the bound expressions (all row-invariant). Any failure
+      // just falls back to the sequential scan below.
+      IndexBounds ib;
+      Value lo_v, hi_v;
+      bool ok = true;
+      EvalEnv env0 = MakeEnv(nullptr, nullptr, nullptr);
+      for (const Expr* e : path->eq) {
+        auto v = EvalExpr(*e, env0);
+        if (!v.ok()) {
+          ok = false;
           break;
         }
+        ib.eq.push_back(v.take());
       }
-      if (keep) {
-        r.rows.push_back(row);
-        r.rids.push_back(rid);
+      if (ok && path->lo != nullptr) {
+        auto v = EvalExpr(*path->lo, env0);
+        if (v.ok()) {
+          lo_v = v.take();
+          ib.lo = &lo_v;
+          ib.lo_inclusive = path->lo_inclusive;
+        } else {
+          ok = false;
+        }
+      }
+      if (ok && path->hi != nullptr) {
+        auto v = EvalExpr(*path->hi, env0);
+        if (v.ok()) {
+          hi_v = v.take();
+          ib.hi = &hi_v;
+          ib.hi_inclusive = path->hi_inclusive;
+        } else {
+          ok = false;
+        }
+      }
+      std::vector<storage::RowId> rids;
+      if (ok) {
+        if (path->index == "PRIMARY") {
+          ScanPkIndex(*b.table, ib, &rids);
+        } else if (const storage::SecondaryIndex* idx =
+                       b.table->FindIndex(path->index)) {
+          ScanIndex(*idx, ib, &rids);
+        } else {
+          ok = false;  // index dropped since planning
+        }
+      }
+      if (ok) {
+        used_index = true;
+        if (!key_order) {
+          // Preserve the heap's historical RowId enumeration order.
+          std::sort(rids.begin(), rids.end());
+        } else if (reverse) {
+          std::reverse(rids.begin(), rids.end());
+        }
+        for (storage::RowId rid : rids) {
+          const Row* row = b.table->Find(rid);
+          if (row == nullptr) {
+            return Status::Internal("index references missing row");
+          }
+          PHX_ASSIGN_OR_RETURN(bool keep, keep_row(*row));
+          if (keep) {
+            r.rows.push_back(*row);
+            r.rids.push_back(rid);
+          }
+        }
+        r.ordered = key_order;
+      }
+    }
+    if (!used_index) {
+      for (const auto& [rid, row] : b.table->rows()) {
+        PHX_ASSIGN_OR_RETURN(bool keep, keep_row(row));
+        if (keep) {
+          r.rows.push_back(row);
+          r.rids.push_back(rid);
+        }
       }
     }
     for (size_t ci : applicable) used[ci] = true;
@@ -417,10 +455,15 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
     return r;
   };
 
-  PHX_ASSIGN_OR_RETURN(BoundRows cur, scan_table(tables[0]));
+  PHX_ASSIGN_OR_RETURN(
+      BoundRows cur,
+      scan_table(tables[0], plan.enabled ? &plan.base : nullptr,
+                 /*apply_pool=*/true, plan.order_by_index,
+                 plan.order_reverse));
   if (tables.size() == 1) return cur;
   cur.single_table = nullptr;
   cur.rids.clear();
+  cur.ordered = false;
 
   // Detects `a = b` with one side resolvable only in cur, the other only in
   // rhs; fills the column indexes for a hash join.
@@ -453,12 +496,132 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
     return false;
   };
 
+  // Applies WHERE conjuncts that became resolvable after a join step.
+  auto filter_joined = [&](BoundRows* joined) -> Status {
+    std::vector<size_t> applicable;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!used[i] &&
+          Resolvable(*conjuncts[i], joined->schema, joined->qualifiers)) {
+        applicable.push_back(i);
+      }
+    }
+    if (applicable.empty()) return Status::Ok();
+    std::vector<Row> filtered;
+    filtered.reserve(joined->rows.size());
+    for (Row& row : joined->rows) {
+      bool keep = true;
+      EvalEnv env = MakeEnv(&joined->schema, &joined->qualifiers, &row);
+      for (size_t ci : applicable) {
+        PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*conjuncts[ci], env));
+        if (!Truthy(v)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(std::move(row));
+    }
+    joined->rows = std::move(filtered);
+    for (size_t ci : applicable) used[ci] = true;
+    return Status::Ok();
+  };
+
   for (size_t ti = 1; ti < tables.size(); ++ti) {
     auto left_it = left_spec_of.find(static_cast<int>(ti));
     const sql::JoinSpec* left_spec =
         left_it == left_spec_of.end() ? nullptr : left_it->second;
+    const JoinPlan* jplan =
+        ti - 1 < plan.joins.size() ? &plan.joins[ti - 1] : nullptr;
+
+    // Index-nested-loop join: probe the rhs index once per accumulated row
+    // instead of scanning and hashing the whole rhs. Inner joins only; any
+    // mismatch with the plan (equi conjunct or index gone) falls through to
+    // the scan-based path below.
+    if (left_spec == nullptr && plan.enabled && jplan != nullptr &&
+        jplan->strategy == JoinStrategy::kIndexNestedLoop) {
+      storage::Table* rt = tables[ti].table;
+      BoundRows shell;  // rhs columns only, for equi detection and filters
+      for (const Column& c : rt->schema().columns()) {
+        shell.schema.AddColumn(c);
+        shell.qualifiers.push_back(tables[ti].binding);
+      }
+      int join_ci = -1, cur_col = -1, rhs_col = -1;
+      for (size_t i = 0; i < conjuncts.size() && join_ci < 0; ++i) {
+        if (used[i]) continue;
+        if (equi_pair(conjuncts[i], cur, shell, &cur_col, &rhs_col)) {
+          join_ci = static_cast<int>(i);
+        }
+      }
+      const storage::SecondaryIndex* sidx = nullptr;
+      bool use_pk = false;
+      if (join_ci >= 0) {
+        if (jplan->index == "PRIMARY") {
+          use_pk =
+              !rt->pk_columns().empty() && rt->pk_columns()[0] == rhs_col;
+        } else {
+          sidx = rt->FindIndex(jplan->index);
+          if (sidx != nullptr && sidx->columns[0] != rhs_col) sidx = nullptr;
+        }
+      }
+      if (use_pk || sidx != nullptr) {
+        used[join_ci] = true;
+        std::vector<size_t> rhs_applicable;
+        for (size_t i = 0; i < conjuncts.size(); ++i) {
+          if (!used[i] &&
+              Resolvable(*conjuncts[i], shell.schema, shell.qualifiers)) {
+            rhs_applicable.push_back(i);
+          }
+        }
+        BoundRows joined;
+        joined.schema = cur.schema;
+        joined.qualifiers = cur.qualifiers;
+        for (size_t i = 0; i < shell.schema.num_columns(); ++i) {
+          joined.schema.AddColumn(shell.schema.column(i));
+          joined.qualifiers.push_back(shell.qualifiers[i]);
+        }
+        std::vector<storage::RowId> rids;
+        for (const Row& lrow : cur.rows) {
+          const Value& key = lrow[cur_col];
+          if (key.is_null()) continue;
+          IndexBounds ib;
+          ib.eq.push_back(key);
+          rids.clear();
+          if (use_pk) {
+            ScanPkIndex(*rt, ib, &rids);
+          } else {
+            ScanIndex(*sidx, ib, &rids);
+          }
+          for (storage::RowId rid : rids) {
+            const Row* rrow = rt->Find(rid);
+            if (rrow == nullptr) {
+              return Status::Internal("index references missing row");
+            }
+            bool keep = true;
+            EvalEnv env = MakeEnv(&shell.schema, &shell.qualifiers, rrow);
+            for (size_t ci : rhs_applicable) {
+              PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*conjuncts[ci], env));
+              if (!Truthy(v)) {
+                keep = false;
+                break;
+              }
+            }
+            if (!keep) continue;
+            Row combined = lrow;
+            combined.insert(combined.end(), rrow->begin(), rrow->end());
+            joined.rows.push_back(std::move(combined));
+          }
+        }
+        for (size_t ci : rhs_applicable) used[ci] = true;
+        PHX_RETURN_IF_ERROR(filter_joined(&joined));
+        cur = std::move(joined);
+        continue;
+      }
+    }
+
     PHX_ASSIGN_OR_RETURN(
-        BoundRows rhs, scan_table(tables[ti], /*apply_pool=*/left_spec == nullptr));
+        BoundRows rhs,
+        scan_table(tables[ti], /*path=*/nullptr,
+                   /*apply_pool=*/left_spec == nullptr,
+                   /*key_order=*/false, /*reverse=*/false));
     rhs.single_table = nullptr;
     rhs.rids.clear();
 
@@ -534,31 +697,7 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
         }
       }
       // WHERE conjuncts that became resolvable apply after the padding.
-      std::vector<size_t> applicable;
-      for (size_t i = 0; i < conjuncts.size(); ++i) {
-        if (!used[i] &&
-            Resolvable(*conjuncts[i], joined.schema, joined.qualifiers)) {
-          applicable.push_back(i);
-        }
-      }
-      if (!applicable.empty()) {
-        std::vector<Row> filtered;
-        filtered.reserve(joined.rows.size());
-        for (Row& row : joined.rows) {
-          bool keep = true;
-          EvalEnv env = MakeEnv(&joined.schema, &joined.qualifiers, &row);
-          for (size_t ci : applicable) {
-            PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*conjuncts[ci], env));
-            if (!Truthy(v)) {
-              keep = false;
-              break;
-            }
-          }
-          if (keep) filtered.push_back(std::move(row));
-        }
-        joined.rows = std::move(filtered);
-        for (size_t ci : applicable) used[ci] = true;
-      }
+      PHX_RETURN_IF_ERROR(filter_joined(&joined));
       cur = std::move(joined);
       continue;
     }
@@ -614,31 +753,7 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
     }
 
     // Apply any newly-resolvable conjuncts.
-    std::vector<size_t> applicable;
-    for (size_t i = 0; i < conjuncts.size(); ++i) {
-      if (!used[i] &&
-          Resolvable(*conjuncts[i], joined.schema, joined.qualifiers)) {
-        applicable.push_back(i);
-      }
-    }
-    if (!applicable.empty()) {
-      std::vector<Row> filtered;
-      filtered.reserve(joined.rows.size());
-      for (Row& row : joined.rows) {
-        bool keep = true;
-        EvalEnv env = MakeEnv(&joined.schema, &joined.qualifiers, &row);
-        for (size_t ci : applicable) {
-          PHX_ASSIGN_OR_RETURN(Value v, EvalExpr(*conjuncts[ci], env));
-          if (!Truthy(v)) {
-            keep = false;
-            break;
-          }
-        }
-        if (keep) filtered.push_back(std::move(row));
-      }
-      joined.rows = std::move(filtered);
-      for (size_t ci : applicable) used[ci] = true;
-    }
+    PHX_RETURN_IF_ERROR(filter_joined(&joined));
     cur = std::move(joined);
   }
 
@@ -757,7 +872,10 @@ Result<StatementResult> Executor::ExecuteSelect(const SelectStmt& sel) {
       }
       sortables.push_back(std::move(s));
     }
-    SortAndTrim(&sortables, sel.order_by, sel.limit, &result.rows);
+    // An index scan that already produced ORDER BY order skips the sort.
+    static const std::vector<sql::OrderItem> kNoOrder;
+    SortAndTrim(&sortables, input.ordered ? kNoOrder : sel.order_by,
+                sel.limit, &result.rows);
   }
 
   if (!sel.into_table.empty()) {
@@ -1088,6 +1206,56 @@ Result<StatementResult> Executor::ExecuteDropProc(const sql::DropProcStmt& dp) {
   }
   if (dp.if_exists) return StatementResult::Affected(0);
   return Status::SqlError("no such procedure: " + dp.name);
+}
+
+Result<StatementResult> Executor::ExecuteCreateIndex(
+    const sql::CreateIndexStmt& ci) {
+  storage::Table* t = db_->store()->Get(ci.table);
+  if (t == nullptr) return Status::SqlError("no such table: " + ci.table);
+  std::vector<int> cols;
+  for (const std::string& c : ci.columns) {
+    int idx = t->schema().FindColumn(c);
+    if (idx < 0) {
+      return Status::SqlError("no column " + c + " in " + ci.table);
+    }
+    cols.push_back(idx);
+  }
+  PHX_RETURN_IF_ERROR(
+      db_->TxCreateIndex(session_->txn.get(), t, ci.index, std::move(cols)));
+  return StatementResult::Affected(0);
+}
+
+Result<StatementResult> Executor::ExecuteDropIndex(
+    const sql::DropIndexStmt& di) {
+  storage::Table* t = db_->store()->Get(di.table);
+  if (t == nullptr) {
+    if (di.if_exists) return StatementResult::Affected(0);
+    return Status::SqlError("no such table: " + di.table);
+  }
+  if (t->FindIndex(di.index) == nullptr) {
+    if (di.if_exists) return StatementResult::Affected(0);
+    return Status::SqlError("no such index: " + di.index);
+  }
+  PHX_RETURN_IF_ERROR(db_->TxDropIndex(session_->txn.get(), t, di.index));
+  return StatementResult::Affected(0);
+}
+
+Result<StatementResult> Executor::ExecuteExplain(const SelectStmt& sel) {
+  // EXPLAIN reports errors the way the SELECT itself would.
+  for (const sql::TableRef& ref : sel.from) {
+    if (db_->store()->Get(ref.name) == nullptr) {
+      return Status::SqlError("no such table: " + ref.name);
+    }
+  }
+  SelectPlan plan =
+      PlanSelect(sel, *db_->store(), db_->index_planner_enabled());
+  StatementResult r;
+  r.has_rows = true;
+  r.schema.AddColumn(Column{"PLAN", DataType::kString, false});
+  for (std::string& line : plan.Describe()) {
+    r.rows.push_back(Row{Value::String(std::move(line))});
+  }
+  return r;
 }
 
 Result<StatementResult> Executor::ExecuteExec(const sql::ExecStmt& ex) {

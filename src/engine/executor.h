@@ -42,6 +42,9 @@ struct BoundRows {
   /// (needed by UPDATE/DELETE and keyset cursors).
   std::vector<storage::RowId> rids;
   storage::Table* single_table = nullptr;
+  /// Rows were enumerated in an index order that already satisfies the
+  /// statement's ORDER BY — the executor may skip its sort.
+  bool ordered = false;
 };
 
 /// Executes parsed statements against a Database on behalf of a Session.
@@ -82,6 +85,9 @@ class Executor {
   Result<StatementResult> ExecuteCreateProc(const sql::CreateProcStmt& cp);
   Result<StatementResult> ExecuteDropProc(const sql::DropProcStmt& dp);
   Result<StatementResult> ExecuteExec(const sql::ExecStmt& ex);
+  Result<StatementResult> ExecuteCreateIndex(const sql::CreateIndexStmt& ci);
+  Result<StatementResult> ExecuteDropIndex(const sql::DropIndexStmt& di);
+  Result<StatementResult> ExecuteExplain(const sql::SelectStmt& sel);
 
   /// Aggregation/grouping pipeline for selects containing aggregates or
   /// GROUP BY.

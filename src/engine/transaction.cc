@@ -6,6 +6,21 @@
 
 namespace phoenix::eng {
 
+namespace {
+
+/// Copies the index *definitions* of a decoded table snapshot onto a freshly
+/// re-created table (CreateIndex backfills the entries from the rows already
+/// inserted). Both kDropTable undo paths need this or a rolled-back DROP
+/// TABLE would silently lose the table's indexes.
+Status RestoreIndexes(const storage::Table& snapshot, storage::Table* created) {
+  for (const storage::SecondaryIndex& idx : snapshot.indexes()) {
+    PHX_RETURN_IF_ERROR(created->CreateIndex(idx.name, idx.columns));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status TxnManager::UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
                           storage::TableStore* store, ProcRegistry* procs) {
   while (txn->undo.size() > undo_from) {
@@ -58,6 +73,19 @@ Status TxnManager::RevertInClone(const Txn& txn, storage::TableStore* clone) {
         for (const auto& [rid, row] : table->rows()) {
           PHX_RETURN_IF_ERROR(created->Insert(row, rid).status());
         }
+        PHX_RETURN_IF_ERROR(RestoreIndexes(*table, created));
+        continue;
+      }
+      case UndoRecord::Kind::kCreateIndex: {
+        storage::Table* t = clone->Get(rec.table);
+        if (t == nullptr) continue;  // temp table, not in the clone
+        PHX_RETURN_IF_ERROR(t->DropIndex(rec.index_name));
+        continue;
+      }
+      case UndoRecord::Kind::kDropIndex: {
+        storage::Table* t = clone->Get(rec.table);
+        if (t == nullptr) continue;
+        PHX_RETURN_IF_ERROR(t->CreateIndex(rec.index_name, rec.index_columns));
         continue;
       }
     }
@@ -103,7 +131,7 @@ Status TxnManager::ApplyUndo(const UndoRecord& rec,
           auto ins = created->Insert(row, rid);
           PHX_RETURN_IF_ERROR(ins.status());
         }
-        return Status::Ok();
+        return RestoreIndexes(*table, created);
       }
       PHX_ASSIGN_OR_RETURN(
           storage::Table * created,
@@ -114,7 +142,7 @@ Status TxnManager::ApplyUndo(const UndoRecord& rec,
         auto ins = created->Insert(row, rid);
         PHX_RETURN_IF_ERROR(ins.status());
       }
-      return Status::Ok();
+      return RestoreIndexes(*table, created);
     }
     case UndoRecord::Kind::kCreateTempProc:
       return procs->Unregister(rec.table);
@@ -126,6 +154,16 @@ Status TxnManager::ApplyUndo(const UndoRecord& rec,
       }
       return procs->Register(std::move(stmt->create_proc),
                              rec.snapshot_owner);
+    }
+    case UndoRecord::Kind::kCreateIndex: {
+      storage::Table* t = store->Get(rec.table);
+      if (t == nullptr) return Status::Internal("undo-create-index: missing table");
+      return t->DropIndex(rec.index_name);
+    }
+    case UndoRecord::Kind::kDropIndex: {
+      storage::Table* t = store->Get(rec.table);
+      if (t == nullptr) return Status::Internal("undo-drop-index: missing table");
+      return t->CreateIndex(rec.index_name, rec.index_columns);
     }
   }
   return Status::Internal("bad undo kind");

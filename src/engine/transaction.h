@@ -25,6 +25,8 @@ struct UndoRecord {
     kDropTable,    ///< undo by re-creating from `snapshot`
     kCreateTempProc,  ///< undo by unregistering `table` (holds proc name)
     kDropTempProc,    ///< undo by re-registering `snapshot` (proc SQL text)
+    kCreateIndex,     ///< undo by dropping `index_name` on `table`
+    kDropIndex,       ///< undo by re-creating `index_name`(`index_columns`)
   };
   Kind kind;
   std::string table;
@@ -33,6 +35,8 @@ struct UndoRecord {
   std::string snapshot;          ///< encoded Table or proc SQL text
   bool snapshot_temporary = false;
   uint64_t snapshot_owner = 0;
+  std::string index_name;
+  std::vector<int> index_columns;
 };
 
 /// An open transaction: its durable redo tail and in-memory undo stack.

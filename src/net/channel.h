@@ -92,12 +92,6 @@ class Channel {
   /// Snapshot of this channel's traffic counters.
   ChannelStats stats() const;
 
-  /// Deprecated accessors — prefer stats(). Kept as thin forwarders so
-  /// pre-redesign callers compile unchanged.
-  uint64_t round_trips() const { return round_trips_.load(); }
-  uint64_t bytes_sent() const { return bytes_sent_.load(); }
-  uint64_t bytes_received() const { return bytes_received_.load(); }
-
  private:
   void SimulateWire(size_t bytes) const;
   /// Atomically consumes one token from `counter` if any remain — the

@@ -111,10 +111,6 @@ class DbServer {
   /// Dispatcher pool introspection (null while crashed).
   WorkerPool* pool() { return pool_.get(); }
 
-  /// Deprecated: prefer stats().requests_handled. Thin forwarder kept so
-  /// pre-redesign callers compile unchanged.
-  uint64_t requests_handled() const { return stats().requests_handled; }
-
  private:
   /// Serializes one session's requests in ticket (submission) order.
   ///

@@ -38,6 +38,9 @@ const char* StmtKindName(StmtKind kind) {
     case StmtKind::kCommit: return "COMMIT";
     case StmtKind::kRollback: return "ROLLBACK";
     case StmtKind::kShow: return "SHOW";
+    case StmtKind::kCreateIndex: return "CREATE INDEX";
+    case StmtKind::kDropIndex: return "DROP INDEX";
+    case StmtKind::kExplain: return "EXPLAIN";
   }
   return "?";
 }
@@ -363,6 +366,21 @@ std::string DropTableStmt::ToSql() const {
   return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") + table;
 }
 
+std::string CreateIndexStmt::ToSql() const {
+  std::string s = "CREATE INDEX " + index + " ON " + table + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) s += ", ";
+    s += columns[i];
+  }
+  s += ")";
+  return s;
+}
+
+std::string DropIndexStmt::ToSql() const {
+  return std::string("DROP INDEX ") + (if_exists ? "IF EXISTS " : "") + index +
+         " ON " + table;
+}
+
 std::unique_ptr<CreateProcStmt> CreateProcStmt::Clone() const {
   auto s = std::make_unique<CreateProcStmt>();
   s->name = name;
@@ -430,6 +448,9 @@ std::unique_ptr<Statement> Statement::Clone() const {
   if (drop_proc) s->drop_proc = std::make_unique<DropProcStmt>(*drop_proc);
   if (exec) s->exec = exec->Clone();
   if (show) s->show = std::make_unique<ShowStmt>(*show);
+  if (create_index) s->create_index = std::make_unique<CreateIndexStmt>(*create_index);
+  if (drop_index) s->drop_index = std::make_unique<DropIndexStmt>(*drop_index);
+  if (explain_select) s->explain_select = explain_select->Clone();
   return s;
 }
 
@@ -448,6 +469,9 @@ std::string Statement::ToSql() const {
     case StmtKind::kCommit: return "COMMIT";
     case StmtKind::kRollback: return "ROLLBACK";
     case StmtKind::kShow: return show->ToSql();
+    case StmtKind::kCreateIndex: return create_index->ToSql();
+    case StmtKind::kDropIndex: return drop_index->ToSql();
+    case StmtKind::kExplain: return "EXPLAIN " + explain_select->ToSql();
   }
   return "?";
 }

@@ -173,6 +173,24 @@ struct DropTableStmt {
   std::string ToSql() const;
 };
 
+/// CREATE INDEX name ON table (col, ...).
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+
+  std::string ToSql() const;
+};
+
+/// DROP INDEX [IF EXISTS] name ON table.
+struct DropIndexStmt {
+  std::string index;
+  std::string table;
+  bool if_exists = false;
+
+  std::string ToSql() const;
+};
+
 struct ProcParam {
   std::string name;       ///< without '@'
   std::string type_name;
@@ -228,6 +246,9 @@ enum class StmtKind : uint8_t {
   kCommit,
   kRollback,
   kShow,
+  kCreateIndex,
+  kDropIndex,
+  kExplain,  ///< EXPLAIN <select> — report the chosen plan, run nothing
 };
 
 const char* StmtKindName(StmtKind kind);
@@ -246,6 +267,9 @@ struct Statement {
   std::unique_ptr<DropProcStmt> drop_proc;
   std::unique_ptr<ExecStmt> exec;
   std::unique_ptr<ShowStmt> show;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<DropIndexStmt> drop_index;
+  std::unique_ptr<SelectStmt> explain_select;  ///< kExplain payload
 
   std::unique_ptr<Statement> Clone() const;
   std::string ToSql() const;

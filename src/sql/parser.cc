@@ -16,7 +16,7 @@ bool IsReserved(const std::string& upper) {
       "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "ASC",
       "DESC", "VALUES", "SET", "UNION", "DISTINCT", "BY", "END", "BEGIN",
       "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "EXEC", "EXECUTE",
-      "CASE", "WHEN", "THEN", "ELSE",
+      "CASE", "WHEN", "THEN", "ELSE", "INDEX", "EXPLAIN",
   };
   for (const char* kw : kReserved) {
     if (upper == kw) return true;
@@ -120,6 +120,13 @@ Result<std::unique_ptr<Statement>> Parser::ParseStmt() {
   if (t.IsKeyword("CREATE")) return ParseCreate();
   if (t.IsKeyword("DROP")) return ParseDrop();
   if (t.IsKeyword("EXEC") || t.IsKeyword("EXECUTE")) return ParseExec();
+  if (t.IsKeyword("EXPLAIN")) {
+    Advance();
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kExplain;
+    PHX_ASSIGN_OR_RETURN(stmt->explain_select, ParseSelect());
+    return stmt;
+  }
   if (t.IsKeyword("SHOW")) {
     Advance();
     auto show = std::make_unique<ShowStmt>();
@@ -410,6 +417,24 @@ Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
     stmt->create_table = std::move(ct);
     return stmt;
   }
+  if (AcceptKeyword("INDEX")) {
+    if (temporary) return Error("TEMPORARY is not valid for CREATE INDEX");
+    auto ci = std::make_unique<CreateIndexStmt>();
+    PHX_ASSIGN_OR_RETURN(ci->index, ExpectIdent());
+    PHX_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    PHX_ASSIGN_OR_RETURN(ci->table, ExpectIdent());
+    PHX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      PHX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      ci->columns.push_back(std::move(col));
+      if (!AcceptSymbol(",")) break;
+    }
+    PHX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kCreateIndex;
+    stmt->create_index = std::move(ci);
+    return stmt;
+  }
   if (AcceptKeyword("PROCEDURE") || AcceptKeyword("PROC")) {
     auto cp = std::make_unique<CreateProcStmt>();
     cp->temporary = temporary;
@@ -450,15 +475,29 @@ Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
     stmt->create_proc = std::move(cp);
     return stmt;
   }
-  return Error("expected TABLE or PROCEDURE after CREATE");
+  return Error("expected TABLE, INDEX, or PROCEDURE after CREATE");
 }
 
 Result<std::unique_ptr<Statement>> Parser::ParseDrop() {
   PHX_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  if (AcceptKeyword("INDEX")) {
+    auto di = std::make_unique<DropIndexStmt>();
+    if (AcceptKeyword("IF")) {
+      PHX_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      di->if_exists = true;
+    }
+    PHX_ASSIGN_OR_RETURN(di->index, ExpectIdent());
+    PHX_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    PHX_ASSIGN_OR_RETURN(di->table, ExpectIdent());
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StmtKind::kDropIndex;
+    stmt->drop_index = std::move(di);
+    return stmt;
+  }
   bool is_table = AcceptKeyword("TABLE");
   if (!is_table) {
     if (!AcceptKeyword("PROCEDURE") && !AcceptKeyword("PROC")) {
-      return Error("expected TABLE or PROCEDURE after DROP");
+      return Error("expected TABLE, INDEX, or PROCEDURE after DROP");
     }
   }
   bool if_exists = false;

@@ -12,9 +12,12 @@ constexpr uint32_t kCheckpointMagic = 0x50485843;  // "PHXC"
 /// v1: {next_txn_id, snapshot} — quiescent checkpoints, replay fenced on
 ///     txn_id (exact only because no txn could span a checkpoint).
 /// v2: {next_txn_id, fence_lsn, snapshot} — non-quiescent checkpoints,
-///     replay fenced on WAL LSN. v1 images are still accepted on read so a
-///     restart over an old disk image works.
-constexpr uint32_t kCheckpointVersion = 2;
+///     replay fenced on WAL LSN.
+/// v3: same header, but each table's snapshot carries its secondary-index
+///     definitions (entries are rebuilt from the rows on load). v1 and v2
+///     images are still accepted on read so a restart over an old disk
+///     image works.
+constexpr uint32_t kCheckpointVersion = 3;
 }  // namespace
 
 Status ApplyWalOp(const WalOp& op, TableStore* store) {
@@ -41,6 +44,16 @@ Status ApplyWalOp(const WalOp& op, TableStore* store) {
       Table* t = store->Get(op.table);
       if (t == nullptr) return Status::Internal("redo update of missing " + op.table);
       return t->Update(op.rid, op.row);
+    }
+    case WalOpKind::kCreateIndex: {
+      Table* t = store->Get(op.table);
+      if (t == nullptr) return Status::Internal("redo create index on missing " + op.table);
+      return t->CreateIndex(op.index_name, op.pk_columns);
+    }
+    case WalOpKind::kDropIndex: {
+      Table* t = store->Get(op.table);
+      if (t == nullptr) return Status::Internal("redo drop index on missing " + op.table);
+      return t->DropIndex(op.index_name);
     }
   }
   return Status::Internal("bad WAL op kind");
@@ -121,14 +134,15 @@ Status DurabilityManager::Recover(TableStore* store, RecoveryInfo* info) {
       PHX_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
       PHX_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
       if (magic != kCheckpointMagic ||
-          (version != 1 && version != kCheckpointVersion)) {
+          (version < 1 || version > kCheckpointVersion)) {
         return Status::IoError("bad checkpoint header");
       }
       PHX_ASSIGN_OR_RETURN(local.next_txn_id, dec.GetU64());
       if (version >= 2) {
         PHX_ASSIGN_OR_RETURN(local.fence_lsn, dec.GetU64());
       }
-      PHX_RETURN_IF_ERROR(store->DecodeSnapshot(&dec));
+      PHX_RETURN_IF_ERROR(
+          store->DecodeSnapshot(&dec, /*with_indexes=*/version >= 3));
       local.had_checkpoint = true;
     }
   }

@@ -16,6 +16,10 @@ Result<RowId> Table::Insert(Row row, RowId rid_hint) {
   if (rid >= next_rid_) next_rid_ = rid + 1;
   if (!pk.empty()) pk_index_[pk] = rid;
   rows_[rid] = std::move(row);
+  const Row& stored = rows_[rid];
+  for (SecondaryIndex& idx : indexes_) {
+    idx.entries[KeyFor(idx.columns, stored)].insert(rid);
+  }
   return rid;
 }
 
@@ -26,6 +30,13 @@ Status Table::Delete(RowId rid) {
   }
   Row pk = PkOf(it->second);
   if (!pk.empty()) pk_index_.erase(pk);
+  for (SecondaryIndex& idx : indexes_) {
+    auto eit = idx.entries.find(KeyFor(idx.columns, it->second));
+    if (eit != idx.entries.end()) {
+      eit->second.erase(rid);
+      if (eit->second.empty()) idx.entries.erase(eit);
+    }
+  }
   rows_.erase(it);
   return Status::Ok();
 }
@@ -46,6 +57,18 @@ Status Table::Update(RowId rid, Row new_row) {
     }
     pk_index_.erase(old_pk);
     pk_index_[new_pk] = rid;
+  }
+  for (SecondaryIndex& idx : indexes_) {
+    Row old_key = KeyFor(idx.columns, it->second);
+    Row new_key = KeyFor(idx.columns, new_row);
+    if (RowLess{}(old_key, new_key) || RowLess{}(new_key, old_key)) {
+      auto eit = idx.entries.find(old_key);
+      if (eit != idx.entries.end()) {
+        eit->second.erase(rid);
+        if (eit->second.empty()) idx.entries.erase(eit);
+      }
+      idx.entries[std::move(new_key)].insert(rid);
+    }
   }
   it->second = std::move(new_row);
   return Status::Ok();
@@ -74,7 +97,58 @@ Row Table::PkOf(const Row& row) const {
   return pk;
 }
 
-void Table::EncodeSnapshot(Encoder* enc) const {
+Row Table::KeyFor(const std::vector<int>& columns, const Row& row) {
+  Row key;
+  key.reserve(columns.size());
+  for (int c : columns) key.push_back(row[c]);
+  return key;
+}
+
+Status Table::CreateIndex(const std::string& name, std::vector<int> columns) {
+  std::string key = IdentUpper(name);
+  if (key.empty()) return Status::InvalidArgument("empty index name");
+  if (FindIndex(key) != nullptr) {
+    return Status::AlreadyExists("index already exists: " + key + " on " +
+                                 name_);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (int c : columns) {
+    if (c < 0 || static_cast<size_t>(c) >= schema_.num_columns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  SecondaryIndex idx;
+  idx.name = std::move(key);
+  idx.columns = std::move(columns);
+  for (const auto& [rid, row] : rows_) {
+    idx.entries[KeyFor(idx.columns, row)].insert(rid);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::Ok();
+}
+
+Status Table::DropIndex(const std::string& name) {
+  std::string key = IdentUpper(name);
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->name == key) {
+      indexes_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no such index: " + key + " on " + name_);
+}
+
+const SecondaryIndex* Table::FindIndex(const std::string& name) const {
+  std::string key = IdentUpper(name);
+  for (const SecondaryIndex& idx : indexes_) {
+    if (idx.name == key) return &idx;
+  }
+  return nullptr;
+}
+
+void Table::EncodeSnapshot(Encoder* enc, bool with_indexes) const {
   enc->PutString(name_);
   enc->PutSchema(schema_);
   enc->PutU32(static_cast<uint32_t>(pk_columns_.size()));
@@ -85,9 +159,19 @@ void Table::EncodeSnapshot(Encoder* enc) const {
     enc->PutU64(rid);
     enc->PutRow(row);
   }
+  if (!with_indexes) return;
+  // Definitions only: the entry trees are rebuilt from the rows on decode,
+  // so an image can never carry an index inconsistent with its heap.
+  enc->PutU32(static_cast<uint32_t>(indexes_.size()));
+  for (const SecondaryIndex& idx : indexes_) {
+    enc->PutString(idx.name);
+    enc->PutU32(static_cast<uint32_t>(idx.columns.size()));
+    for (int c : idx.columns) enc->PutI32(c);
+  }
 }
 
-Result<std::unique_ptr<Table>> Table::DecodeSnapshot(Decoder* dec) {
+Result<std::unique_ptr<Table>> Table::DecodeSnapshot(Decoder* dec,
+                                                     bool with_indexes) {
   PHX_ASSIGN_OR_RETURN(std::string name, dec->GetString());
   PHX_ASSIGN_OR_RETURN(Schema schema, dec->GetSchema());
   PHX_ASSIGN_OR_RETURN(uint32_t num_pk, dec->GetU32());
@@ -109,6 +193,19 @@ Result<std::unique_ptr<Table>> Table::DecodeSnapshot(Decoder* dec) {
   // Restore next_rid last: Insert() advances it, but the checkpoint value is
   // authoritative (rows may have been deleted at the high end).
   if (next_rid > table->next_rid_) table->next_rid_ = next_rid;
+  if (with_indexes) {
+    PHX_ASSIGN_OR_RETURN(uint32_t num_idx, dec->GetU32());
+    for (uint32_t i = 0; i < num_idx; ++i) {
+      PHX_ASSIGN_OR_RETURN(std::string idx_name, dec->GetString());
+      PHX_ASSIGN_OR_RETURN(uint32_t ncols, dec->GetU32());
+      std::vector<int> cols;
+      for (uint32_t c = 0; c < ncols; ++c) {
+        PHX_ASSIGN_OR_RETURN(int32_t col, dec->GetI32());
+        cols.push_back(col);
+      }
+      PHX_RETURN_IF_ERROR(table->CreateIndex(idx_name, std::move(cols)));
+    }
+  }
   return table;
 }
 
@@ -118,6 +215,7 @@ std::unique_ptr<Table> Table::Clone() const {
   copy->next_rid_ = next_rid_;
   copy->rows_ = rows_;
   copy->pk_index_ = pk_index_;
+  copy->indexes_ = indexes_;
   return copy;
 }
 
@@ -197,11 +295,11 @@ std::unique_ptr<TableStore> TableStore::ClonePersistent() const {
   return clone;
 }
 
-Status TableStore::DecodeSnapshot(Decoder* dec) {
+Status TableStore::DecodeSnapshot(Decoder* dec, bool with_indexes) {
   PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
   for (uint32_t i = 0; i < n; ++i) {
     PHX_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                         Table::DecodeSnapshot(dec));
+                         Table::DecodeSnapshot(dec, with_indexes));
     std::string key = table->name();
     tables_[key] = std::move(table);
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,22 @@ struct RowLess {
   }
 };
 
+/// One ordered (non-unique) secondary index: the projection of each row onto
+/// `columns`, mapped to the set of RowIds carrying that key. Entries are
+/// derivable from the base rows — snapshots persist only the definition and
+/// rebuild the tree on decode — but the in-memory tree is maintained
+/// incrementally through every mutation (Insert/Delete/Update), so DML, WAL
+/// replay, undo, and checkpoint-clone reverts all keep it exact for free.
+struct SecondaryIndex {
+  std::string name;          ///< uppercased, unique within the table
+  std::vector<int> columns;  ///< key columns, in index order
+  std::map<Row, std::set<RowId>, RowLess> entries;
+};
+
 /// One heap table: rows addressed by stable RowIds, an optional unique
-/// primary-key index, and a temporary flag (temp tables are never logged,
-/// never checkpointed, and die with their owning session or the server).
+/// primary-key index, ordered secondary indexes, and a temporary flag (temp
+/// tables are never logged, never checkpointed, and die with their owning
+/// session or the server).
 class Table {
  public:
   Table(std::string name, Schema schema, std::vector<int> pk_columns,
@@ -75,8 +89,27 @@ class Table {
   /// Extracts the PK projection of a row (empty if no PK).
   Row PkOf(const Row& row) const;
 
-  void EncodeSnapshot(Encoder* enc) const;
-  static Result<std::unique_ptr<Table>> DecodeSnapshot(Decoder* dec);
+  /// Extracts the `columns` projection of a row (an index key).
+  static Row KeyFor(const std::vector<int>& columns, const Row& row);
+
+  // ---- Secondary indexes ------------------------------------------------
+  /// Builds an ordered index over `columns` and backfills it from the
+  /// current rows. Fails on a duplicate name or out-of-range column.
+  Status CreateIndex(const std::string& name, std::vector<int> columns);
+  Status DropIndex(const std::string& name);
+  /// nullptr when absent. Name lookup is case-insensitive.
+  const SecondaryIndex* FindIndex(const std::string& name) const;
+  const std::vector<SecondaryIndex>& indexes() const { return indexes_; }
+
+  /// Serialization: `with_indexes` distinguishes checkpoint image v3 (index
+  /// definitions appended after the rows) from v1/v2 images that predate
+  /// indexes. In-process snapshots (undo records) always use the current
+  /// format. Index *entries* are never serialized — they are rebuilt from
+  /// the rows on decode, which guarantees tree/heap consistency by
+  /// construction.
+  void EncodeSnapshot(Encoder* enc, bool with_indexes = true) const;
+  static Result<std::unique_ptr<Table>> DecodeSnapshot(
+      Decoder* dec, bool with_indexes = true);
 
   /// Deep copy — rows, PK index, and the rid counter — for checkpoint
   /// snapshots taken while the original keeps mutating.
@@ -91,6 +124,7 @@ class Table {
   RowId next_rid_ = 1;
   std::map<RowId, Row> rows_;
   std::map<Row, RowId, RowLess> pk_index_;
+  std::vector<SecondaryIndex> indexes_;
 };
 
 /// The set of all tables. Names are case-insensitive (stored uppercased).
@@ -109,9 +143,11 @@ class TableStore {
   /// Drops every temp table owned by `session_id`; returns their names.
   std::vector<std::string> DropSessionTemps(uint64_t session_id);
 
-  /// Serializes all *persistent* tables (checkpoint payload).
+  /// Serializes all *persistent* tables (checkpoint payload). Image v3
+  /// carries index definitions per table; pass `with_indexes = false` when
+  /// decoding a v1/v2 image that predates them.
   void EncodeSnapshot(Encoder* enc) const;
-  Status DecodeSnapshot(Decoder* dec);
+  Status DecodeSnapshot(Decoder* dec, bool with_indexes = true);
 
   /// Deep-copies every persistent table — the fast half of a non-blocking
   /// checkpoint. Temp tables are excluded exactly as EncodeSnapshot

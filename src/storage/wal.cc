@@ -1,7 +1,6 @@
 #include "storage/wal.h"
 
 #include <chrono>
-#include <cstdlib>
 
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -51,6 +50,24 @@ WalOp WalOp::Update(std::string table, uint64_t rid, Row row) {
   return op;
 }
 
+WalOp WalOp::CreateIndex(std::string table, std::string index_name,
+                         std::vector<int> columns) {
+  WalOp op;
+  op.kind = WalOpKind::kCreateIndex;
+  op.table = std::move(table);
+  op.index_name = std::move(index_name);
+  op.pk_columns = std::move(columns);
+  return op;
+}
+
+WalOp WalOp::DropIndex(std::string table, std::string index_name) {
+  WalOp op;
+  op.kind = WalOpKind::kDropIndex;
+  op.table = std::move(table);
+  op.index_name = std::move(index_name);
+  return op;
+}
+
 void EncodeWalOp(const WalOp& op, Encoder* enc) {
   enc->PutU8(static_cast<uint8_t>(op.kind));
   enc->PutString(op.table);
@@ -70,13 +87,21 @@ void EncodeWalOp(const WalOp& op, Encoder* enc) {
     case WalOpKind::kDelete:
       enc->PutU64(op.rid);
       break;
+    case WalOpKind::kCreateIndex:
+      enc->PutString(op.index_name);
+      enc->PutU32(static_cast<uint32_t>(op.pk_columns.size()));
+      for (int c : op.pk_columns) enc->PutI32(c);
+      break;
+    case WalOpKind::kDropIndex:
+      enc->PutString(op.index_name);
+      break;
   }
 }
 
 Result<WalOp> DecodeWalOp(Decoder* dec) {
   WalOp op;
   PHX_ASSIGN_OR_RETURN(uint8_t kind_raw, dec->GetU8());
-  if (kind_raw > static_cast<uint8_t>(WalOpKind::kUpdate)) {
+  if (kind_raw > static_cast<uint8_t>(WalOpKind::kDropIndex)) {
     return Status::IoError("bad WAL op kind");
   }
   op.kind = static_cast<WalOpKind>(kind_raw);
@@ -101,6 +126,19 @@ Result<WalOp> DecodeWalOp(Decoder* dec) {
     }
     case WalOpKind::kDelete: {
       PHX_ASSIGN_OR_RETURN(op.rid, dec->GetU64());
+      break;
+    }
+    case WalOpKind::kCreateIndex: {
+      PHX_ASSIGN_OR_RETURN(op.index_name, dec->GetString());
+      PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+      for (uint32_t i = 0; i < n; ++i) {
+        PHX_ASSIGN_OR_RETURN(int32_t c, dec->GetI32());
+        op.pk_columns.push_back(c);
+      }
+      break;
+    }
+    case WalOpKind::kDropIndex: {
+      PHX_ASSIGN_OR_RETURN(op.index_name, dec->GetString());
       break;
     }
   }
@@ -140,28 +178,14 @@ void CountAppend(size_t bytes) {
   reg->GetCounter("storage.wal.bytes")->Increment(bytes);
 }
 
-bool EnvFlag(const char* name, bool fallback) {
-  const char* e = std::getenv(name);
-  if (e == nullptr || e[0] == '\0') return fallback;
-  return e[0] == '1' || e[0] == 'y' || e[0] == 'Y' || e[0] == 't' ||
-         e[0] == 'T';
-}
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* e = std::getenv(name);
-  if (e == nullptr || e[0] == '\0') return fallback;
-  return std::strtoull(e, nullptr, 10);
-}
-
 }  // namespace
 
-WalWriterConfig WalWriterConfig::FromEnv() {
+WalWriterConfig WalWriterConfig::FromOptions(const phoenix::Options& opts) {
   WalWriterConfig c;
-  c.group_commit = EnvFlag("PHX_GROUP_COMMIT", c.group_commit);
-  c.dedicated_flusher = EnvFlag("PHX_GC_FLUSHER", c.dedicated_flusher);
-  c.max_wait_us = EnvU64("PHX_GC_MAX_WAIT_US", c.max_wait_us);
-  c.max_batch_bytes =
-      static_cast<size_t>(EnvU64("PHX_GC_MAX_BATCH_BYTES", c.max_batch_bytes));
+  c.group_commit = opts.group_commit;
+  c.dedicated_flusher = opts.gc_dedicated_flusher;
+  c.max_wait_us = opts.gc_max_wait_us;
+  c.max_batch_bytes = opts.gc_max_batch_bytes;
   return c;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/options.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "storage/sim_disk.h"
@@ -28,6 +29,8 @@ enum class WalOpKind : uint8_t {
   kInsert = 2,
   kDelete = 3,
   kUpdate = 4,
+  kCreateIndex = 5,
+  kDropIndex = 6,
 };
 
 struct WalOp {
@@ -35,10 +38,12 @@ struct WalOp {
   std::string table;
   // kCreateTable only:
   Schema schema;
-  std::vector<int> pk_columns;
+  std::vector<int> pk_columns;  ///< also the key columns for kCreateIndex
   // kInsert/kDelete/kUpdate:
   uint64_t rid = 0;
   Row row;  // new row for insert/update; unused for delete/drop.
+  // kCreateIndex/kDropIndex:
+  std::string index_name;
 
   static WalOp CreateTable(std::string table, Schema schema,
                            std::vector<int> pk_columns);
@@ -46,6 +51,9 @@ struct WalOp {
   static WalOp Insert(std::string table, uint64_t rid, Row row);
   static WalOp Delete(std::string table, uint64_t rid);
   static WalOp Update(std::string table, uint64_t rid, Row row);
+  static WalOp CreateIndex(std::string table, std::string index_name,
+                           std::vector<int> columns);
+  static WalOp DropIndex(std::string table, std::string index_name);
 };
 
 /// One committed transaction: all of its ops, applied atomically at replay.
@@ -85,11 +93,11 @@ struct WalWriterConfig {
   /// dedicated flusher thread owned by the WalWriter drives all batches.
   bool dedicated_flusher = false;
 
-  /// Defaults overridden by environment toggles, so whole test lanes can
-  /// flip modes without code changes (scripts/check_sanitizers.sh runs the
-  /// suite once per mode): PHX_GROUP_COMMIT=0|1, PHX_GC_FLUSHER=0|1,
-  /// PHX_GC_MAX_WAIT_US=<n>, PHX_GC_MAX_BATCH_BYTES=<n>.
-  static WalWriterConfig FromEnv();
+  /// Projection of the process-wide phoenix::Options (the single env-knob
+  /// loader; see common/options.h). Replaces the per-field getenv calls the
+  /// writer used to make — scripts/check_sanitizers.sh still flips whole
+  /// test lanes via PHX_GROUP_COMMIT / PHX_GC_* without code changes.
+  static WalWriterConfig FromOptions(const phoenix::Options& opts);
 };
 
 /// One in-memory group-commit batch (internal to WalWriter; opaque here).

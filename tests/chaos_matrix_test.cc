@@ -179,6 +179,57 @@ TEST(ChaosMatrix, GroupCommitSchedules) {
       << "no group-commit schedule ever exercised recovery";
 }
 
+TEST(ChaosMatrix, IndexDdlCrashSchedules) {
+  // Crashes landing on and around index DDL: the workload opens with
+  // CREATE INDEX and keeps toggling CREATE/DROP INDEX, and every fault kind
+  // that kills the server is enabled, so deaths land between an index DDL
+  // and the surrounding data ops (and inside recovery replaying them). The
+  // harness's index-consistency oracle then audits both the restarted
+  // server's store and an independent storage-level recovery: every index's
+  // entry tree must equal the tree rebuilt from its base rows.
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 13000 + seed;
+    opts.n_ops = 50;
+    opts.n_faults = 3;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves crash + partial-flush + torn + mid-checkpoint + recovery-crash
+    opts.checkpoint_every_n_commits = (seed % 3 == 0) ? 5 : 0;
+    ChaosReport r = RunAndCheck(opts);
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(recoveries, 0u)
+      << "no index-DDL schedule ever exercised recovery";
+}
+
+TEST(ChaosMatrix, IndexReplaySchedules) {
+  // Crash during recovery itself (recovery-crash at a RecoveryPoint), with
+  // a checkpoint cadence so replay starts from a v3 image carrying index
+  // definitions: the re-run replay must re-apply base-table mutations and
+  // their index maintenance together — a crash between the two on the first
+  // pass must not leave a divergent index after the second. The
+  // index-consistency audit is the detector.
+  uint64_t recrashes = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 14000 + seed;
+    opts.n_ops = 50;
+    opts.n_faults = 3;
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    // leaves crash + mid-checkpoint + recovery-crash
+    opts.checkpoint_every_n_commits = 4;
+    ChaosReport r = RunAndCheck(opts);
+    recrashes += r.recovery_recrashes;
+  }
+  EXPECT_GT(recrashes, 0u)
+      << "no index-replay schedule ever re-crashed inside recovery";
+}
+
 TEST(ChaosMatrix, SingleSeedFromEnv) {
   // Repro entry point: replays one schedule named by PHX_CHAOS_SEED with
   // every fault kind enabled and prints the full report.

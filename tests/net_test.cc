@@ -191,11 +191,11 @@ TEST(Channel, InjectDropRequestsFailsBeforeServer) {
   ServerFixture fx;
   auto ch = fx.Connect();
   uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
-  uint64_t handled = fx.server.requests_handled();
+  uint64_t handled = fx.server.stats().requests_handled;
   ch->InjectDropRequests(2);
   EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsCommError());
   EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).status().IsCommError());
-  EXPECT_EQ(fx.server.requests_handled(), handled);  // never reached it
+  EXPECT_EQ(fx.server.stats().requests_handled, handled);  // never reached it
   EXPECT_TRUE(ch->RoundTrip(ExecReq(sid, "SELECT 1")).ok());
 }
 
@@ -224,17 +224,13 @@ TEST(Channel, StatsCountTraffic) {
   ServerFixture fx;
   auto ch = fx.Connect();
   fx.Call(ch.get(), ConnectReq());
-  // Redesigned surface: one snapshot struct...
+  // One snapshot struct covers all the traffic counters.
   ChannelStats stats = ch->stats();
   EXPECT_EQ(stats.round_trips, 1u);
   EXPECT_GT(stats.bytes_sent, 0u);
   EXPECT_GT(stats.bytes_received, 0u);
   EXPECT_EQ(stats.faults_injected, 0u);
-  // ...with the deprecated forwarders still agreeing.
-  EXPECT_EQ(ch->round_trips(), stats.round_trips);
-  EXPECT_EQ(ch->bytes_sent(), stats.bytes_sent);
-  EXPECT_EQ(ch->bytes_received(), stats.bytes_received);
-  EXPECT_EQ(fx.server.stats().requests_handled, fx.server.requests_handled());
+  EXPECT_GE(fx.server.stats().requests_handled, 1u);
 }
 
 TEST(Channel, StatsCountInjectedFaults) {

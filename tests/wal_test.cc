@@ -553,12 +553,13 @@ TEST_P(WalGroupCommit, SyncFailureFailsWholeBatchAndNothingIsAcked) {
 }
 
 TEST(WalGroupCommitConfig, FromEnvParsesToggles) {
-  // Exercise the parser via the documented env names (values restored).
+  // Exercise the typed Options loader via the documented env names (values
+  // restored); FromOptions carries them into the WAL config.
   setenv("PHX_GROUP_COMMIT", "1", 1);
   setenv("PHX_GC_FLUSHER", "1", 1);
   setenv("PHX_GC_MAX_WAIT_US", "250", 1);
   setenv("PHX_GC_MAX_BATCH_BYTES", "4096", 1);
-  WalWriterConfig c = WalWriterConfig::FromEnv();
+  WalWriterConfig c = WalWriterConfig::FromOptions(phoenix::Options::FromEnv());
   EXPECT_TRUE(c.group_commit);
   EXPECT_TRUE(c.dedicated_flusher);
   EXPECT_EQ(c.max_wait_us, 250u);
@@ -567,7 +568,7 @@ TEST(WalGroupCommitConfig, FromEnvParsesToggles) {
   unsetenv("PHX_GC_FLUSHER");
   unsetenv("PHX_GC_MAX_WAIT_US");
   unsetenv("PHX_GC_MAX_BATCH_BYTES");
-  WalWriterConfig d = WalWriterConfig::FromEnv();
+  WalWriterConfig d = WalWriterConfig::FromOptions(phoenix::Options::FromEnv());
   EXPECT_FALSE(d.group_commit);
   EXPECT_FALSE(d.dedicated_flusher);
 }
