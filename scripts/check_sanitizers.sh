@@ -11,6 +11,14 @@
 # fast loop when iterating on recovery/chaos code. Any red schedule prints a
 # one-line `PHX_CHAOS_SEED=<seed>` repro command.
 #
+# A fourth lane, `socket`, runs the real-wire suites (framing, socket
+# transport, out-of-process phoenixd with SIGKILL rendezvous, and the
+# process-kill chaos matrix) under asan+tsan with PHX_TRANSPORT=unix, so the
+# chaos matrix's process lane crosses a real process boundary. Sandboxed
+# no-network runners should instead exclude socket-labelled tests from the
+# main lanes with `ctest -LE socket` (the suites also self-skip when the
+# sandbox denies AF_UNIX).
+#
 # Every lane's ctest pass runs over the durability-knob matrix: both WAL
 # pipelines (PHX_GROUP_COMMIT=0, the per-commit-sync seed behavior, and =1,
 # group commit) crossed with both checkpoint modes (PHX_CKPT_BG=0,
@@ -22,7 +30,7 @@
 # DatabaseOptions/ChaosOptions/set_index_planner override the env either
 # way.
 #
-# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos]   (default: both)
+# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket]  (default: both)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,6 +55,7 @@ run_lane() {
         PHX_GROUP_COMMIT="$gc" \
         PHX_CKPT_BG="$ckpt" \
         PHX_INDEX_PLANNER="$planner" \
+        PHX_TRANSPORT="${LANE_TRANSPORT:-inproc}" \
         ASAN_OPTIONS="halt_on_error=1" \
         UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         TSAN_OPTIONS="halt_on_error=1" \
@@ -59,6 +68,7 @@ run_lane() {
 }
 
 CHAOS_TESTS='chaos_matrix_test|recovery_regression_test|wal_test'
+SOCKET_TESTS='net_test|process_server_test|chaos_matrix_test'
 
 want="${1:-both}"
 case "$want" in
@@ -68,9 +78,15 @@ case "$want" in
     run_lane asan address,undefined "$CHAOS_TESTS"
     run_lane tsan thread "$CHAOS_TESTS"
     ;;
+  socket)
+    # Real-wire lane: the chaos matrix's process schedules SIGKILL an
+    # out-of-process phoenixd over a Unix socket under both sanitizers.
+    LANE_TRANSPORT=unix run_lane asan address,undefined "$SOCKET_TESTS"
+    LANE_TRANSPORT=unix run_lane tsan thread "$SOCKET_TESTS"
+    ;;
   both)
     run_lane asan address,undefined
     run_lane tsan thread
     ;;
-  *) echo "usage: $0 [asan|tsan|chaos]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|tsan|chaos|socket]" >&2; exit 2 ;;
 esac

@@ -1,15 +1,21 @@
 #include "chaos/chaos.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <dirent.h>
 #include <map>
 #include <memory>
 #include <set>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/phoenix_driver_manager.h"
 #include "net/channel.h"
 #include "net/db_server.h"
+#include "net/process_server.h"
 #include "odbc/driver_manager.h"
 #include "storage/recovery.h"
 #include "storage/sim_disk.h"
@@ -356,6 +362,322 @@ std::string IndexInconsistency(const storage::TableStore& store) {
   return "";
 }
 
+/// Flat-directory cleanup for an owned chaos data dir.
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Process mode: the chaos server is a phoenixd child, faults are SIGKILLs
+// ---------------------------------------------------------------------------
+
+/// Same schedule shape as the in-process runner, but the server under test
+/// is a real phoenixd child reached over a Unix or TCP socket, and every
+/// server-death fault is a genuine SIGKILL. Plain kills land between ops;
+/// the tail-tearing kinds are delivered via the SIGKILL rendezvous protocol
+/// (a kAdmin request arms a point inside the child — Nth WAL fsync with a
+/// torn prefix, checkpoint rename, request dispatch — the child signals the
+/// parent from inside that window and the watcher kills it there). The
+/// fault-kind mapping:
+///
+///   kCrash          → immediate SIGKILL (idle: between two ops)
+///   kPartialFlush   → wal_sync rendezvous, keep_permille from `fraction`
+///                     (torn WAL tail + death mid-fsync)
+///   kTorn           → exec rendezvous (death mid-request dispatch)
+///   kMidCheckpoint  → ckpt_pre / ckpt_post rendezvous by sub_seed
+///   kRecoveryCrash  → SIGKILL now, SIGKILL again at the armed RecoveryPoint
+///   kLostReply / kDroppedRequest → client-side channel injection, unchanged
+///
+/// The shadow oracle stays in-process and fault-free, as always.
+ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
+  ChaosReport report;
+  report.seed = opts.seed;
+  auto fail = [&report](const std::string& what) {
+    if (report.ok) {
+      report.ok = false;
+      report.failure = "seed=" + std::to_string(report.seed) + ": " + what;
+    }
+  };
+
+  Rng rng(opts.seed);
+  std::vector<ChaosOp> ops = MakeWorkload(&rng, opts.n_ops);
+  std::vector<Fault> plan = MakeFaultPlan(&rng, opts, ops.size());
+
+  // ---- Shadow oracle: native driver, fault-free in-process server -------
+  storage::SimDisk ref_disk;
+  net::DbServer ref_server(&ref_disk);
+  if (Status st = ref_server.Start(); !st.ok()) {
+    fail("oracle server start: " + st.ToString());
+    return report;
+  }
+  net::Network ref_net;
+  ref_net.RegisterServer("refdb", &ref_server);
+  DriverManager native(&ref_net);
+  Client ref_client{&native, native.AllocConnect(native.AllocEnv()), nullptr};
+  if (native.Connect(ref_client.dbc, "refdb", "oracle") !=
+      SqlReturn::kSuccess) {
+    fail("oracle connect failed");
+    return report;
+  }
+  std::vector<Observation> oracle;
+  oracle.reserve(ops.size());
+  for (const ChaosOp& op : ops) {
+    oracle.push_back(RunOp(&ref_client, op));
+    if (!oracle.back().ok) {
+      fail("oracle run rejected op \"" + op.sql +
+           "\": " + oracle.back().error);
+      return report;
+    }
+  }
+
+  // ---- The phoenixd child ----------------------------------------------
+  std::string data_dir = opts.data_dir;
+  bool own_dir = false;
+  if (data_dir.empty()) {
+    char tmpl[] = "/tmp/phx_chaos_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      fail("mkdtemp failed");
+      return report;
+    }
+    data_dir = tmpl;
+    own_dir = true;
+  }
+  net::ProcessServerOptions popts;
+  popts.binary = opts.server_binary;
+  popts.transport = opts.transport == Transport::kTcp ? "tcp" : "unix";
+  popts.data_dir = data_dir;
+  popts.checkpoint_every_n_commits = opts.checkpoint_every_n_commits;
+  // Pin the child's durability knobs explicitly (the in-proc runner pins
+  // them on ServerOptions); unset ones inherit this process's environment,
+  // so sanitizer lanes flip the child the same way they flip everything.
+  auto pin = [&popts](const char* name, const std::optional<bool>& v) {
+    if (v.has_value()) popts.env[name] = *v ? "1" : "0";
+  };
+  pin("PHX_GROUP_COMMIT", opts.group_commit);
+  pin("PHX_GC_FLUSHER", opts.gc_flusher);
+  pin("PHX_CKPT_BG", opts.background_checkpoint);
+  net::ProcessServerHandle handle(popts);
+  if (Status st = handle.Start(); !st.ok()) {
+    fail("phoenixd start: " + st.ToString());
+    if (own_dir) RemoveDirRecursive(data_dir);
+    return report;
+  }
+
+  net::Network net;
+  // Short RPC deadline so a lost reply resolves in test time, not 30 s.
+  net.config()->rpc_timeout_ms = 4000;
+  net.config()->connect_timeout_ms = 2000;
+  net.RegisterRemote("chaosdb", handle.endpoint());
+
+  auto kill_child = [&handle, &report]() {
+    if (handle.running()) {
+      handle.Kill();
+      ++report.sigkills;
+      ++report.server_crashes;
+    }
+  };
+  // Arms `spec` in the child over a throwaway admin connection, then arms
+  // the parent watcher that turns the child's signal into a SIGKILL.
+  auto arm_rendezvous = [&handle, &net](const std::string& spec) {
+    auto ch = net.Connect("chaosdb");
+    if (!ch.ok()) return false;
+    net::Request req;
+    req.kind = net::Request::Kind::kAdmin;
+    req.name = net::kAdminRendezvous;
+    req.value = spec;
+    auto resp = ch.value()->RoundTrip(req);
+    bool ok = resp.ok() && resp->kind == net::Response::Kind::kOk;
+    ch.value()->Disconnect();
+    if (ok) handle.ArmKillOnRendezvous();
+    return ok;
+  };
+
+  core::PhoenixConfig config;
+  config.server_side_reposition = opts.server_side_reposition;
+  auto restart_error = std::make_shared<std::string>();
+  auto probe_count = std::make_shared<int>(0);
+  config.retry_wait = [&handle, restart_error, probe_count]() {
+    // A fired rendezvous holds the child parked for the few ms it takes the
+    // watcher to deliver the SIGKILL; give it a beat before concluding the
+    // child needs rebooting.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (++*probe_count >= 3 && !handle.running()) {
+      Status st = handle.Restart();
+      if (!st.ok() && restart_error->empty()) *restart_error = st.ToString();
+      *probe_count = 0;
+    }
+  };
+  auto arm = std::make_shared<RecoveryCrashArm>();
+  config.recovery_point_hook = [&kill_child, arm](core::RecoveryPoint pt) {
+    if (arm->armed && pt == arm->point) {
+      arm->armed = false;
+      kill_child();
+    }
+  };
+  PhoenixDriverManager phoenix(&net, config);
+  Client chaos_client{&phoenix, phoenix.AllocConnect(phoenix.AllocEnv()),
+                      nullptr};
+  if (phoenix.Connect(chaos_client.dbc, "chaosdb", "chaos") !=
+      SqlReturn::kSuccess) {
+    fail("chaos connect failed");
+    if (own_dir) RemoveDirRecursive(data_dir);
+    return report;
+  }
+
+  size_t next_fault = 0;
+  std::sort(plan.begin(), plan.end(),
+            [](const Fault& a, const Fault& b) { return a.at_op < b.at_op; });
+  for (size_t i = 0; i < ops.size(); ++i) {
+    while (next_fault < plan.size() && plan[next_fault].at_op == i) {
+      const Fault& f = plan[next_fault++];
+      ++report.faults_injected;
+      switch (f.kind) {
+        case Fault::Kind::kCrash:
+          kill_child();
+          break;
+        case Fault::Kind::kPartialFlush:
+          arm_rendezvous(
+              "wal_sync:1:" +
+              std::to_string(static_cast<uint64_t>(f.fraction * 1000.0)));
+          break;
+        case Fault::Kind::kTorn:
+          arm_rendezvous("exec:1");
+          break;
+        case Fault::Kind::kMidCheckpoint:
+          arm_rendezvous(f.sub_seed % 2 == 0 ? "ckpt_pre:1" : "ckpt_post:1");
+          break;
+        case Fault::Kind::kRecoveryCrash:
+          arm->armed = true;
+          arm->point = f.point;
+          kill_child();
+          break;
+        case Fault::Kind::kLostReply:
+          chaos_client.dbc->driver->channel()->InjectLoseReplies(1);
+          break;
+        case Fault::Kind::kDroppedRequest:
+          chaos_client.dbc->driver->channel()->InjectDropRequests(1);
+          break;
+      }
+    }
+    Observation got = RunOp(&chaos_client, ops[i]);
+    ++report.ops_run;
+    std::string why;
+    if (!SameObservation(oracle[i], got, &why)) {
+      const Fault* last = next_fault > 0 ? &plan[next_fault - 1] : nullptr;
+      fail("op " + std::to_string(i) + " (" +
+           (ops[i].sql.empty() ? std::string("cursor op") : ops[i].sql) +
+           ") after fault " + (last ? FaultName(last->kind) : "none") + ": " +
+           why);
+      break;
+    }
+    if (!restart_error->empty()) {
+      fail("phoenixd restart failed mid-schedule: " + *restart_error);
+      break;
+    }
+  }
+
+  // ---- Post-run oracle checks ------------------------------------------
+  core::ConnState* cs = PhoenixDriverManager::conn_state(chaos_client.dbc);
+  if (report.ok && cs != nullptr && cs->status_table_created) {
+    Observation ids = RunOp(
+        &chaos_client,
+        {ChaosOp::Kind::kSql,
+         "SELECT REQ_ID FROM " + cs->status_table + " ORDER BY REQ_ID", true,
+         0});
+    if (!ids.ok) {
+      fail("status-table audit failed: " + ids.error);
+    } else {
+      std::set<int64_t> seen;
+      for (const Row& row : ids.rows) {
+        if (!seen.insert(row[0].AsInt64()).second) {
+          fail("duplicate request id " + row[0].ToString() +
+               " in the status table (double-applied request)");
+          break;
+        }
+      }
+    }
+  }
+
+  if (report.ok) {
+    // Durability agreement across one last real SIGKILL: restart the child
+    // over the same files and the reborn server's ACCT must equal the
+    // oracle's.
+    Observation ref_final =
+        RunOp(&ref_client,
+              {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
+               true, 0});
+    kill_child();
+    if (Status st = handle.Restart(); !st.ok()) {
+      fail("restart after final SIGKILL failed (catalog/WAL disagreement): " +
+           st.ToString());
+    } else {
+      DriverManager post(&net);
+      Client post_client{&post, post.AllocConnect(post.AllocEnv()), nullptr};
+      if (post.Connect(post_client.dbc, "chaosdb", "audit") !=
+          SqlReturn::kSuccess) {
+        fail("post-crash audit connect failed");
+      } else {
+        Observation got_final = RunOp(
+            &post_client,
+            {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
+             true, 0});
+        std::string why;
+        if (!SameObservation(ref_final, got_final, &why)) {
+          fail("post-crash durable state diverged: " + why);
+        }
+        post.Disconnect(post_client.dbc);
+      }
+    }
+  }
+
+  // Graceful shutdown, then an independent storage-level recovery over the
+  // surviving files — the child's own code path is out of the loop here.
+  handle.Terminate(5.0);
+  {
+    storage::SimDisk audit_disk(data_dir);
+    storage::DurabilityManager audit(&audit_disk,
+                                     eng::DatabaseOptions().disk_prefix);
+    storage::TableStore store;
+    storage::RecoveryInfo info;
+    if (Status st = audit.Recover(&store, &info); !st.ok()) {
+      fail("independent storage recovery failed: " + st.ToString());
+    } else {
+      report.wal_records_skipped += info.records_skipped;
+      report.wal_tear_detected |= info.wal_scan.tear_detected;
+      if (std::string bad = IndexInconsistency(store); !bad.empty()) {
+        fail("independent recovery index audit: " + bad);
+      }
+    }
+  }
+
+  report.rendezvous_kills = handle.rendezvous_kills();
+  report.sigkills += report.rendezvous_kills;
+  report.server_crashes += report.rendezvous_kills;
+  report.recoveries = phoenix.stats().recoveries;
+  report.recovery_recrashes = phoenix.stats().recovery_recrashes;
+  report.lost_replies_recovered = phoenix.stats().lost_replies_recovered;
+
+  if (cs != nullptr) cs->broken = true;
+  phoenix.Disconnect(chaos_client.dbc);
+  native.Disconnect(ref_client.dbc);
+  if (own_dir) {
+    if (report.ok) {
+      RemoveDirRecursive(data_dir);
+    } else {
+      report.failure += " (data kept: " + data_dir + ")";
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string ChaosReport::DebugString() const {
@@ -369,12 +691,17 @@ std::string ChaosReport::DebugString() const {
                   " recrashes=" + std::to_string(recovery_recrashes) +
                   " lost_replies=" + std::to_string(lost_replies_recovered) +
                   " wal_skipped=" + std::to_string(wal_records_skipped) +
-                  " tear=" + (wal_tear_detected ? "true" : "false");
+                  " tear=" + (wal_tear_detected ? "true" : "false") +
+                  " sigkills=" + std::to_string(sigkills) +
+                  " rdv_kills=" + std::to_string(rendezvous_kills);
   if (!failure.empty()) s += " failure=\"" + failure + "\"";
   return s + "}";
 }
 
 ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
+  if (opts.transport != Transport::kInproc) {
+    return RunProcessChaosSchedule(opts);
+  }
   ChaosReport report;
   report.seed = opts.seed;
   auto fail = [&report](const std::string& what) {

@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "common/options.h"
+
 namespace phoenix::chaos {
 
 /// One seeded, deterministic chaos schedule: a generated SQL workload (DML,
@@ -61,6 +63,22 @@ struct ChaosOptions {
   /// concurrent-checkpoint suite covers both the background thread and the
   /// stop-the-world path regardless of the lane.
   std::optional<bool> background_checkpoint;
+
+  /// Where the chaos server lives. kInproc (historical default): a DbServer
+  /// object in this process, killed by method call. kUnix / kTcp: a real
+  /// phoenixd child process driven over a socket, killed by SIGKILL — plain
+  /// kills land between ops, and the tail-tearing fault kinds are delivered
+  /// through the SIGKILL rendezvous protocol (armed via a kAdmin request,
+  /// fired inside the child's fsync / checkpoint rename / dispatch). The
+  /// oracle shadow run always stays in-process.
+  Transport transport = Transport::kInproc;
+  /// Durable data directory for the phoenixd child (process transports
+  /// only). Empty = a fresh mkdtemp directory, removed when the schedule
+  /// passes and kept for post-mortem when it fails.
+  std::string data_dir;
+  /// phoenixd binary path (process transports only). Empty = discovery via
+  /// net::FindServerBinary ($PHX_SERVER_BIN, build-tree guesses).
+  std::string server_binary;
 };
 
 /// Outcome of one schedule. `ok == false` means an oracle invariant was
@@ -79,6 +97,8 @@ struct ChaosReport {
   uint64_t lost_replies_recovered = 0;
   uint64_t wal_records_skipped = 0; ///< ckpt-subsumed records (final audit)
   bool wal_tear_detected = false;   ///< final audit found a torn tail
+  uint64_t sigkills = 0;            ///< process mode: SIGKILLs delivered
+  uint64_t rendezvous_kills = 0;    ///< ... of which landed mid-rendezvous
 
   std::string DebugString() const;
 };

@@ -30,6 +30,19 @@ Options Options::FromEnv() {
       static_cast<size_t>(EnvU64("PHX_GC_MAX_BATCH_BYTES", o.gc_max_batch_bytes));
   o.background_checkpoint = EnvFlag("PHX_CKPT_BG", o.background_checkpoint);
   o.index_planner = EnvFlag("PHX_INDEX_PLANNER", o.index_planner);
+  const char* transport = std::getenv("PHX_TRANSPORT");
+  if (transport != nullptr && transport[0] != '\0') {
+    std::string t = transport;
+    if (t == "unix") {
+      o.transport = Transport::kUnix;
+    } else if (t == "tcp") {
+      o.transport = Transport::kTcp;
+    } else {
+      o.transport = Transport::kInproc;  // unknown value: fail safe
+    }
+  }
+  o.rpc_timeout_ms = EnvU64("PHX_RPC_TIMEOUT_MS", o.rpc_timeout_ms);
+  o.connect_timeout_ms = EnvU64("PHX_CONNECT_TIMEOUT_MS", o.connect_timeout_ms);
   return o;
 }
 

@@ -3,8 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace phoenix {
+
+/// Which transport a test/bench harness should put between the Phoenix
+/// client stack and the DbServer (PHX_TRANSPORT).
+enum class Transport : uint8_t {
+  kInproc = 0,  ///< historical in-process duplex channel
+  kUnix = 1,    ///< Unix-domain socket to an out-of-process phoenixd
+  kTcp = 2,     ///< TCP (127.0.0.1) socket to an out-of-process phoenixd
+};
 
 /// Every process-level tuning knob in one typed struct, loaded from the
 /// environment exactly once per consumer via FromEnv(). Subsystems take the
@@ -17,6 +26,10 @@ namespace phoenix {
 ///   PHX_GC_MAX_BATCH_BYTES=<n> batch size flush trigger (default 256 KiB)
 ///   PHX_CKPT_BG=0|1            background checkpoints (default on)
 ///   PHX_INDEX_PLANNER=0|1      cost-aware access-path planner (default on)
+///   PHX_TRANSPORT=inproc|unix|tcp  client↔server transport for harnesses
+///                              that honor it (default inproc)
+///   PHX_RPC_TIMEOUT_MS=<n>     socket round-trip deadline (default 30000)
+///   PHX_CONNECT_TIMEOUT_MS=<n> socket dial deadline (default 5000)
 struct Options {
   bool group_commit = false;
   bool gc_dedicated_flusher = false;
@@ -24,6 +37,9 @@ struct Options {
   size_t gc_max_batch_bytes = 256 * 1024;
   bool background_checkpoint = true;
   bool index_planner = true;
+  Transport transport = Transport::kInproc;
+  uint64_t rpc_timeout_ms = 30000;
+  uint64_t connect_timeout_ms = 5000;
 
   /// The single environment loader. Unset/empty variables keep the field
   /// defaults above; boolean variables accept 1/y/Y/t/T as true.

@@ -326,8 +326,8 @@ SqlReturn PhoenixDriverManager::ExecMaterializedSelect(
   // Step 2: persistent table shaped like the result.
   std::string table = NextResultTableName(config_, cs);
   sql::CreateTableStmt ct = MakeCreateTableFromMetadata(table, *metadata);
-  auto created = ExecOnPrivate(dbc, ct.ToSql());
-  if (!created.ok()) return Fail(stmt, created.status());
+  Status created = CreateFreshArtifactTable(dbc, ct, table);
+  if (!created.ok()) return Fail(stmt, created);
   cs->artifact_tables.push_back(table);
 
   // Step 3: materialize — data never leaves the server (single round trip).
@@ -365,13 +365,33 @@ Result<Schema> PhoenixDriverManager::ProbeMetadata(Hdbc* dbc,
   return std::move(results[0].schema);
 }
 
+Status PhoenixDriverManager::CreateFreshArtifactTable(
+    Hdbc* dbc, const sql::CreateTableStmt& ct, const std::string& table) {
+  auto created = ExecOnPrivate(dbc, ct.ToSql());
+  if (!created.ok() && created.status().code() == StatusCode::kAlreadyExists) {
+    // The name is session-tagged and freshly allocated, so a collision can
+    // only be our own earlier CREATE whose reply a crash swallowed: it
+    // executed and committed server-side, the acknowledgment died with the
+    // connection, and recovery resubmitted it. The leftover is at best
+    // empty and at worst half-observed — drop it and start clean.
+    PHX_RETURN_IF_ERROR(ExecOnPrivate(dbc, "DROP TABLE " + table).status());
+    created = ExecOnPrivate(dbc, ct.ToSql());
+  }
+  return created.status();
+}
+
 Status PhoenixDriverManager::MaterializeInto(Hdbc* dbc,
                                              const sql::SelectStmt& sel,
                                              const std::string& table) {
   if (config_.materialize_via_server) {
     // The paper's stored-procedure trick: all data moves locally at the
-    // server in one atomic statement.
-    std::string sql = MakeInsertSelect(table, sel)->ToSql();
+    // server in one atomic statement. The DELETE prefix makes the step
+    // idempotent: if the INSERT..SELECT executed but its reply was lost to
+    // a crash, ExecOnPrivate's post-recovery resubmission must not double
+    // the rows. On the first pass it clears a freshly created empty table —
+    // a no-op.
+    std::string sql = "DELETE FROM " + table + "; " +
+                      MakeInsertSelect(table, sel)->ToSql();
     return ExecOnPrivate(dbc, sql).status();
   }
   // Ablation: pull the result to the client, push it back in batches.
@@ -435,8 +455,8 @@ SqlReturn PhoenixDriverManager::ExecCursorProxy(Hstmt* stmt,
   if (!key_meta.ok()) return Fail(stmt, key_meta.status());
   std::string key_table = NextKeyTableName(config_, cs);
   sql::CreateTableStmt ct = MakeCreateTableFromMetadata(key_table, *key_meta);
-  auto created = ExecOnPrivate(dbc, ct.ToSql());
-  if (!created.ok()) return Fail(stmt, created.status());
+  Status created = CreateFreshArtifactTable(dbc, ct, key_table);
+  if (!created.ok()) return Fail(stmt, created);
   cs->artifact_tables.push_back(key_table);
   Status mat = MaterializeInto(dbc, *key_sel, key_table);
   if (!mat.ok()) return Fail(stmt, mat);
@@ -469,8 +489,12 @@ SqlReturn PhoenixDriverManager::ExecCursorProxy(Hstmt* stmt,
 
 Status PhoenixDriverManager::EnsureStatusTable(Hdbc* dbc, ConnState* cs) {
   if (cs->status_table_created) return Status::Ok();
-  PHX_RETURN_IF_ERROR(
-      ExecOnPrivate(dbc, MakeStatusTableDdl(cs->status_table)).status());
+  Status st = ExecOnPrivate(dbc, MakeStatusTableDdl(cs->status_table)).status();
+  // AlreadyExists means our own earlier CREATE executed but its reply was
+  // lost to a crash. Unlike result/key tables the survivor must NOT be
+  // dropped and recreated: it may already record committed request ids, and
+  // losing those would turn exactly-once DML into double-apply.
+  if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
   cs->artifact_tables.push_back(cs->status_table);
   cs->status_table_created = true;
   return Status::Ok();

@@ -102,6 +102,12 @@ class PhoenixDriverManager : public odbc::DriverManager {
       odbc::Hdbc* dbc, const std::string& sql);
 
   Status EnsureStatusTable(odbc::Hdbc* dbc, ConnState* cs);
+  /// CREATE TABLE for a freshly named, session-tagged Phoenix artifact
+  /// (result / key tables). An AlreadyExists hit can only be our own
+  /// lost-reply predecessor, so it is dropped and the CREATE retried.
+  Status CreateFreshArtifactTable(odbc::Hdbc* dbc,
+                                  const sql::CreateTableStmt& ct,
+                                  const std::string& table);
   Result<Schema> ProbeMetadata(odbc::Hdbc* dbc, const sql::SelectStmt& sel);
   Status MaterializeInto(odbc::Hdbc* dbc, const sql::SelectStmt& sel,
                          const std::string& table);

@@ -3,12 +3,13 @@
 #include <chrono>
 #include <thread>
 
+#include "net/socket_transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace phoenix::net {
 
-void Channel::SimulateWire(size_t bytes) const {
+void InprocChannel::SimulateWire(size_t bytes) const {
   uint64_t ns = config_.round_trip_latency_us * 1000ull / 2 +
                 static_cast<uint64_t>(bytes) * config_.ns_per_byte;
   if (ns == 0) return;
@@ -36,6 +37,15 @@ bool Channel::ClaimFault(std::atomic<int>* counter) {
   return false;
 }
 
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.round_trips = round_trips_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  return s;
+}
+
 namespace {
 
 void TraceOutcome(uint64_t request_id, Request::Kind kind, const char* what) {
@@ -52,13 +62,18 @@ std::future<Result<Response>> ReadyResult(Result<Response> r) {
   return p.get_future();
 }
 
-}  // namespace
-
-Result<Response> Channel::RoundTrip(const Request& request) {
-  return RoundTripAsync(request).get();
+/// The server's intake rejected this request without executing it ("server
+/// is down"): the connection-dead outcome. Distinguishing this from a lost
+/// reply is load-bearing — see the lose_reply handling below.
+bool IsUnexecutedRejection(const Response& response) {
+  return response.kind == Response::Kind::kError &&
+         response.error_code == StatusCode::kCommError;
 }
 
-std::future<Result<Response>> Channel::RoundTripAsync(const Request& request) {
+}  // namespace
+
+std::future<Result<Response>> InprocChannel::RoundTripAsync(
+    const Request& request) {
   auto* reg = obs::MetricsRegistry::Default();
   round_trips_.fetch_add(1, std::memory_order_relaxed);
   reg->GetCounter("net.round_trips")->Increment();
@@ -120,6 +135,21 @@ std::future<Result<Response>> Channel::RoundTripAsync(const Request& request) {
        kind = req.kind,
        server_future = std::move(server_future)]() mutable -> Result<Response> {
         Response response = server_future.get();
+        if (IsUnexecutedRejection(response)) {
+          // The server crashed between our liveness check and the dispatch:
+          // its intake rejected the request WITHOUT executing it. This is
+          // the connection-dead outcome and it takes precedence over a
+          // claimed lose-reply token — reporting kTimeout here would tell
+          // the reconnect path "the request may have executed, probe for
+          // it" about a request that provably never ran, double-resolving
+          // the fault (once as a lost reply, once as the crash). The token
+          // stays consumed; the fault it models was preempted by the crash.
+          record_latency();
+          TraceOutcome(request_id, kind,
+                       lose_reply ? "net.fault.lost_reply_preempted_by_crash"
+                                  : "net.server_down");
+          return Status::CommError(response.error_message);
+        }
         std::string wire_response = response.Encode();
         if (lose_reply) {
           // The server executed the request, but the reply never arrives.
@@ -137,7 +167,7 @@ std::future<Result<Response>> Channel::RoundTripAsync(const Request& request) {
       });
 }
 
-Result<std::vector<Response>> Channel::RoundTripBatch(
+Result<std::vector<Response>> InprocChannel::RoundTripBatch(
     std::vector<Request> requests) {
   if (requests.empty()) return std::vector<Response>{};
   auto* reg = obs::MetricsRegistry::Default();
@@ -178,6 +208,18 @@ Result<std::vector<Response>> Channel::RoundTripBatch(
     reg->GetCounter("net.faults.lost_replies")->Increment();
   }
   BatchResponse response = server_->HandleBatch(decoded);
+  // Connection-dead beats reply-lost, exactly as in RoundTripAsync — but
+  // only when NO request in the batch executed. A batch that straddled the
+  // crash (some executed, then intake closed) must stay kTimeout under a
+  // claimed token: those executed requests' fates are genuinely unknown to
+  // a client whose reply vanished.
+  bool none_executed = !response.responses.empty();
+  for (const Response& r : response.responses) {
+    if (!IsUnexecutedRejection(r)) none_executed = false;
+  }
+  if (none_executed) {
+    return Status::CommError(response.responses.front().error_message);
+  }
   std::string wire_response = response.Encode();
   if (lose_reply) {
     // Every request in the batch executed; the one reply message vanished.
@@ -190,13 +232,17 @@ Result<std::vector<Response>> Channel::RoundTripBatch(
   return std::move(reply.responses);
 }
 
-ChannelStats Channel::stats() const {
-  ChannelStats s;
-  s.round_trips = round_trips_.load(std::memory_order_relaxed);
-  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
-  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
-  return s;
+Result<std::unique_ptr<Channel>> Network::Connect(const std::string& name) {
+  auto it = servers_.find(name);
+  if (it != servers_.end()) {
+    return std::unique_ptr<Channel>(
+        std::make_unique<InprocChannel>(it->second, config_));
+  }
+  auto remote = endpoints_.find(name);
+  if (remote != endpoints_.end()) {
+    return ConnectSocketChannel(remote->second, config_);
+  }
+  return Status::NotFound("unknown data source: " + name);
 }
 
 }  // namespace phoenix::net

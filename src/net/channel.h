@@ -18,7 +18,8 @@ namespace phoenix::net {
 /// Network behavior knobs for a connection.
 struct NetworkConfig {
   /// Simulated one-way+return latency added to every round trip, in
-  /// microseconds. 0 = off.
+  /// microseconds. 0 = off. (In-process transport only — a socket transport
+  /// pays real wire latency instead.)
   uint64_t round_trip_latency_us = 0;
   /// Additional per-byte cost, in nanoseconds per byte (both directions).
   uint64_t ns_per_byte = 0;
@@ -28,6 +29,13 @@ struct NetworkConfig {
   /// their wire time instead of fighting for cores — right for multi-client
   /// scaling benches (and the only honest model on few-core machines).
   bool sleep_wire = false;
+  /// Socket transport: how long a round trip may wait for its reply before
+  /// the caller sees kTimeout ("reply lost" — the connection itself is still
+  /// up; EOF/reset surface as kCommError instead, see SocketChannel).
+  uint64_t rpc_timeout_ms = 30000;
+  /// Socket transport: dial deadline for Network::Connect on a remote
+  /// endpoint. Connection refused fails fast regardless.
+  uint64_t connect_timeout_ms = 5000;
 };
 
 /// Point-in-time traffic counters for one Channel. The same quantities are
@@ -40,9 +48,15 @@ struct ChannelStats {
   uint64_t faults_injected = 0;  ///< drops + lost replies actually consumed
 };
 
-/// One client connection to a DbServer. Every request/response crosses this
-/// boundary as *serialized bytes* — the in-process shortcut never leaks
-/// object references — so message counts and sizes are faithful.
+/// One client connection to a DbServer — the transport-neutral interface the
+/// driver (and every test) programs against. Two implementations exist:
+///
+///  - InprocChannel: the historical in-process duplex pipe. Every message
+///    still crosses as *serialized bytes* (counts and sizes are faithful),
+///    but "the wire" is a function call and "crash" is a method on DbServer.
+///  - SocketChannel (socket_transport.h): a real TCP or Unix-domain stream
+///    to a server that may live in another process; framing, partial reads,
+///    EOF and SIGKILL are all real.
 ///
 /// Thread safety: a Channel may be shared by concurrent callers (that is
 /// what RoundTripAsync is for). Traffic counters are atomic, and every
@@ -50,30 +64,36 @@ struct ChannelStats {
 /// single InjectLoseReplies(1) loses exactly one reply no matter how many
 /// round trips are in flight (the pre-claim design double-resolved it).
 ///
-/// Failure semantics:
-///  - server crashed / not yet restarted → kCommError
-///  - fault injection can force the next request to kCommError or kTimeout
-///    (a request the server executed but whose reply was lost is the classic
-///    lost-reply case Phoenix must handle)
+/// Failure semantics (identical across transports — the Phoenix failure
+/// detector keys off these codes, see PhoenixDriverManager::IsCrashSignal):
+///  - connection dead (server crashed, EOF, refused, reset) → kCommError.
+///    The request DID NOT execute, or the connection died before its fate
+///    was observable; either way no reply will ever arrive.
+///  - reply lost (request may have executed, reply vanished / deadline
+///    passed with the connection still up) → kTimeout. The classic
+///    lost-reply case Phoenix must disambiguate via its status table.
+///  - fault injection can force either outcome for the next n requests.
 class Channel {
  public:
-  Channel(DbServer* server, NetworkConfig config)
-      : server_(server), config_(config) {}
+  virtual ~Channel() = default;
 
   /// Sends a request and waits for the reply.
-  Result<Response> RoundTrip(const Request& request);
+  Result<Response> RoundTrip(const Request& request) {
+    return RoundTripAsync(request).get();
+  }
 
-  /// Sends a request without waiting: the server executes it on its worker
-  /// pool while the caller does other work. The returned future yields the
-  /// same Result a synchronous RoundTrip would have (the response-side wire
-  /// cost is paid by whoever calls .get()).
-  std::future<Result<Response>> RoundTripAsync(const Request& request);
+  /// Sends a request without waiting: the server executes it while the
+  /// caller does other work. The returned future yields the same Result a
+  /// synchronous RoundTrip would have.
+  virtual std::future<Result<Response>> RoundTripAsync(
+      const Request& request) = 0;
 
   /// Ships `requests` as ONE wire message (BatchRequest framing), lets the
   /// server execute them concurrently (per-session order preserved), and
   /// returns the responses in request order. One round trip, one fault
   /// token: a drop or lost reply hits the whole batch.
-  Result<std::vector<Response>> RoundTripBatch(std::vector<Request> requests);
+  virtual Result<std::vector<Response>> RoundTripBatch(
+      std::vector<Request> requests) = 0;
 
   /// The next `n` round trips fail with kCommError before reaching the
   /// server (request lost).
@@ -84,22 +104,22 @@ class Channel {
   void InjectLoseReplies(int n) { lose_replies_.store(n); }
 
   /// Client-side hangup. Subsequent round trips fail with kCommError.
-  void Disconnect() { disconnected_.store(true); }
+  virtual void Disconnect() { disconnected_.store(true); }
   bool disconnected() const { return disconnected_.load(); }
 
-  DbServer* server() { return server_; }
+  /// In-process transport only: the server behind this channel (tests use
+  /// it to crash/restart the peer). nullptr over a socket — the peer is a
+  /// different process; kill it via ProcessServerHandle instead.
+  virtual DbServer* server() { return nullptr; }
 
   /// Snapshot of this channel's traffic counters.
   ChannelStats stats() const;
 
- private:
-  void SimulateWire(size_t bytes) const;
+ protected:
   /// Atomically consumes one token from `counter` if any remain — the
   /// per-request fault decision.
   static bool ClaimFault(std::atomic<int>* counter);
 
-  DbServer* server_;
-  NetworkConfig config_;
   std::atomic<bool> disconnected_{false};
   std::atomic<int> drop_requests_{0};
   std::atomic<int> lose_replies_{0};
@@ -110,22 +130,49 @@ class Channel {
   std::atomic<uint64_t> faults_injected_{0};
 };
 
+/// The in-process transport: requests are serialized, "sent" by function
+/// call into the co-resident DbServer's dispatcher, and the reply bytes
+/// decoded on the way back. Latency is simulated per NetworkConfig.
+class InprocChannel final : public Channel {
+ public:
+  InprocChannel(DbServer* server, NetworkConfig config)
+      : server_(server), config_(config) {}
+
+  std::future<Result<Response>> RoundTripAsync(const Request& request) override;
+  Result<std::vector<Response>> RoundTripBatch(
+      std::vector<Request> requests) override;
+  DbServer* server() override { return server_; }
+
+ private:
+  void SimulateWire(size_t bytes) const;
+
+  DbServer* server_;
+  NetworkConfig config_;
+};
+
 /// Name→server directory, the moral equivalent of DNS + the ODBC DSN list.
-/// Drivers resolve a data-source name here and open Channels.
+/// Drivers resolve a data-source name here and open Channels. A name maps
+/// either to an in-process DbServer (RegisterServer) or to a remote socket
+/// endpoint string (RegisterRemote, "tcp:host:port" or "unix:/path") —
+/// callers cannot tell which transport they got, which is the point.
 class Network {
  public:
   void RegisterServer(const std::string& name, DbServer* server) {
     servers_[name] = server;
   }
 
-  Result<std::unique_ptr<Channel>> Connect(const std::string& name) {
-    auto it = servers_.find(name);
-    if (it == servers_.end()) {
-      return Status::NotFound("unknown data source: " + name);
-    }
-    return std::make_unique<Channel>(it->second, config_);
+  /// Maps `name` to a socket endpoint. Connect() dials it fresh every time
+  /// (a reconnect after server death must get a new TCP connection, not a
+  /// cached dead one). Re-registering overwrites — chaos uses that when a
+  /// reborn server comes up on the same address.
+  void RegisterRemote(const std::string& name, const std::string& endpoint) {
+    endpoints_[name] = endpoint;
   }
 
+  Result<std::unique_ptr<Channel>> Connect(const std::string& name);
+
+  /// In-process registrations only; a remote endpoint's server lives in
+  /// another process and is reported NotFound here.
   Result<DbServer*> Lookup(const std::string& name) {
     auto it = servers_.find(name);
     if (it == servers_.end()) {
@@ -138,6 +185,7 @@ class Network {
 
  private:
   std::map<std::string, DbServer*> servers_;
+  std::map<std::string, std::string> endpoints_;
   NetworkConfig config_;
 };
 

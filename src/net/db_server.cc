@@ -5,7 +5,9 @@
 namespace phoenix::net {
 
 DbServer::DbServer(storage::SimDisk* disk, ServerOptions opts)
-    : disk_(disk), opts_(std::move(opts)) {}
+    : disk_(disk), opts_(std::move(opts)) {
+  epoch_.store(opts_.initial_epoch, std::memory_order_relaxed);
+}
 
 DbServer::~DbServer() {
   // Graceful stop, NOT a crash: drain the dispatcher so no worker outlives
@@ -24,6 +26,9 @@ Status DbServer::Start() {
   std::unique_lock<std::shared_mutex> lk(lifecycle_mu_);
   if (db_ != nullptr) return Status::Internal("server already started");
   eng::DatabaseOptions db_opts = opts_.db;
+  if (next_session_id_ < opts_.first_session_id) {
+    next_session_id_ = opts_.first_session_id;
+  }
   db_opts.first_session_id = next_session_id_;
   auto db = std::make_unique<eng::Database>(disk_, db_opts);
   PHX_RETURN_IF_ERROR(db->Open());
@@ -214,6 +219,7 @@ BatchResponse DbServer::HandleBatch(const BatchRequest& batch) {
 Response DbServer::Dispatch(const Request& req) {
   // Runs on a pool worker. db_ is stable for the whole task: Crash() drains
   // the pool (joining this thread) before destroying the Database.
+  if (opts_.pre_dispatch_hook) opts_.pre_dispatch_hook(req);
   eng::Database* db = db_.get();
   switch (req.kind) {
     case Request::Kind::kConnect: {
@@ -289,6 +295,15 @@ Response DbServer::Dispatch(const Request& req) {
       r.kind = Response::Kind::kPong;
       r.server_epoch = epoch_.load(std::memory_order_relaxed);
       return r;
+    }
+    case Request::Kind::kAdmin: {
+      if (!opts_.admin_hook) {
+        return Response::MakeError(
+            Status::InvalidArgument("admin requests not supported"));
+      }
+      Status s = opts_.admin_hook(req.name, req.value);
+      if (!s.ok()) return Response::MakeError(s);
+      return Response::MakeOk();
     }
   }
   return Response::MakeError(Status::Internal("bad request kind"));

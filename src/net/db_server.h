@@ -27,6 +27,25 @@ struct ServerOptions {
   size_t worker_threads = 4;
   /// Bounded dispatch queue; producers block when it is full (backpressure).
   size_t queue_capacity = 128;
+  /// Floor for session ids on the FIRST Start(). In-process restarts keep
+  /// ids monotonic via next_session_id_, but a server reborn as a new OS
+  /// process starts from scratch — phoenixd partitions the id space by boot
+  /// epoch (epoch<<32) so a stale session id can never alias a live one,
+  /// which is what keeps the client's crash detection sound.
+  uint64_t first_session_id = 1;
+  /// Starting value for the restart counter reported in kPong. phoenixd
+  /// seeds it from the persistent boot counter so "server came back" stays
+  /// observable across process (not just in-process) restarts.
+  uint64_t initial_epoch = 0;
+  /// Handler for Request::Kind::kAdmin (name/value → status). Unset =
+  /// admin requests are rejected. phoenixd installs one that arms SIGKILL
+  /// rendezvous points (see server/main.cc); session-less, never touches
+  /// the Database.
+  std::function<Status(const std::string& name, const std::string& value)>
+      admin_hook;
+  /// Called on the worker thread immediately before executing any request —
+  /// the mid-request kill window ("exec" rendezvous) hooks in here.
+  std::function<void(const Request&)> pre_dispatch_hook;
 };
 
 /// Point-in-time counters for one DbServer; the same quantities aggregate

@@ -26,7 +26,7 @@ std::string Request::Encode() const {
 Result<Request> Request::DecodeFrom(Decoder* dec) {
   Request r;
   PHX_ASSIGN_OR_RETURN(uint8_t kind_raw, dec->GetU8());
-  if (kind_raw > static_cast<uint8_t>(Kind::kPing)) {
+  if (kind_raw > static_cast<uint8_t>(Kind::kAdmin)) {
     return Status::IoError("bad request kind");
   }
   r.kind = static_cast<Kind>(kind_raw);
@@ -80,6 +80,7 @@ const char* RequestKindName(Request::Kind kind) {
     case Request::Kind::kSeek: return "seek";
     case Request::Kind::kCloseCursor: return "close_cursor";
     case Request::Kind::kPing: return "ping";
+    case Request::Kind::kAdmin: return "admin";
   }
   return "unknown";
 }

@@ -25,6 +25,9 @@ struct Request {
     kSeek = 6,        ///< cursor_id + n(position) → kOk (server-side advance)
     kCloseCursor = 7,
     kPing = 8,        ///< liveness probe → kPong
+    kAdmin = 9,       ///< name/value out-of-band control (see ServerOptions::
+                      ///< admin_hook) — chaos uses it to arm SIGKILL
+                      ///< rendezvous points inside a running phoenixd
   };
 
   Kind kind = Kind::kPing;

@@ -2,6 +2,7 @@
 #define PHOENIX_STORAGE_SIM_DISK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -10,6 +11,32 @@
 #include "common/status.h"
 
 namespace phoenix::storage {
+
+/// Test/chaos instrumentation of the durability boundary. phoenixd uses
+/// these to realize "SIGKILL mid-fsync": the hook signals the parent over a
+/// pipe and blocks inside the sync, the parent kills the child, and the
+/// bytes that had (or had not) reached the backing file ARE the post-crash
+/// disk state — no simulation involved. All hooks default to empty; they
+/// run OUTSIDE the disk mutex (they may block forever).
+struct DiskHooks {
+  /// Before Sync() writes `file`'s volatile tail to the device: returns how
+  /// many tail bytes actually reach it. Returning less than `tail_bytes`
+  /// models a torn write — Sync() persists only the prefix and reports
+  /// IoError (the remainder stays volatile, like any failed flush).
+  /// `sync_ordinal` counts this file's Sync() calls from 1.
+  std::function<size_t(const std::string& file, uint64_t sync_ordinal,
+                       size_t tail_bytes)>
+      pre_sync;
+  /// After the (possibly torn) bytes hit the device, before Sync() returns
+  /// and before anything is accounted durable in-process: the mid-fsync
+  /// kill window.
+  std::function<void(const std::string& file, uint64_t sync_ordinal)> mid_sync;
+  /// Around WriteAtomic()'s rename. stage 0: the temp file is written and
+  /// fsynced but not yet visible under `file` (a kill here loses the whole
+  /// atomic write). stage 1: the rename is durable (a kill here keeps the
+  /// new image — e.g. checkpoint durable, WAL truncation never happened).
+  std::function<void(const std::string& file, int stage)> mid_atomic;
+};
 
 /// Simulated stable storage with explicit durability semantics.
 ///
@@ -23,12 +50,28 @@ namespace phoenix::storage {
 /// The object itself outlives server crashes (it *is* the disk); a restarted
 /// server re-attaches to the same SimDisk.
 ///
+/// Backing-directory mode (the out-of-process story): constructed with a
+/// directory path, the disk additionally mirrors every DURABLE byte into a
+/// real file under that directory — Sync() appends the tail and fsyncs,
+/// WriteAtomic() goes write-temp + rename + fsync — while the volatile tail
+/// lives only in process memory. A SIGKILL therefore discards exactly the
+/// unsynced bytes, with no cooperation from the dying process: the kernel
+/// cannot keep what was never written. A new SimDisk over the same
+/// directory (the reborn phoenixd) loads the surviving files as its durable
+/// state.
+///
 /// Thread-safe: each operation is atomic under an internal mutex, like a
 /// kernel block layer. (Ordering across operations is the caller's problem,
-/// exactly as with a real disk.)
+/// exactly as with a real disk. In backing mode, concurrent Sync()s of the
+/// SAME file are additionally the caller's problem — the WAL writer already
+/// serializes them.)
 class SimDisk {
  public:
   SimDisk() = default;
+  /// Backing-directory mode: existing regular files under `backing_dir`
+  /// (except "*.phxtmp" leftovers of an interrupted WriteAtomic) are loaded
+  /// as durable content. The directory must exist.
+  explicit SimDisk(const std::string& backing_dir);
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
 
@@ -94,13 +137,32 @@ class SimDisk {
   /// cost model that makes group-commit batching measurable in benches.
   void set_sync_latency_us(uint64_t us);
 
+  /// Installs (or clears) the durability-boundary instrumentation. Install
+  /// before serving traffic; hooks run outside the disk mutex.
+  void set_hooks(DiskHooks hooks);
+
+  const std::string& backing_dir() const { return backing_dir_; }
+
  private:
   struct FileState {
     std::string durable;
     std::string tail;
   };
+
+  std::string BackingPath(const std::string& file) const;
+  /// Appends `data` to the backing file and fsyncs. No-op without backing.
+  Status PersistAppend(const std::string& file, const std::string& data);
+  /// write-temp + fsync + rename + fsync-dir, with the mid_atomic hook
+  /// firing between the two stages. No-op (hook still fires) w/o backing.
+  Status PersistReplace(const std::string& file, const std::string& data,
+                        const std::function<void(const std::string&, int)>& mid);
+  void PersistUnlink(const std::string& file);
+
   mutable std::mutex mu_;
+  std::string backing_dir_;
   std::map<std::string, FileState> files_;
+  std::map<std::string, uint64_t> sync_ordinals_;
+  DiskHooks hooks_;
   uint64_t bytes_written_ = 0;
   uint64_t sync_count_ = 0;
   int fail_syncs_ = 0;

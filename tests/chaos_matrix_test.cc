@@ -11,10 +11,14 @@
 //
 // replays exactly that schedule with every fault kind enabled.
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <string>
 
 #include "chaos/chaos.h"
+#include "net/process_server.h"
+#include "net/socket.h"
 
 #include "gtest/gtest.h"
 
@@ -22,13 +26,47 @@ namespace phoenix::chaos {
 namespace {
 
 /// Runs one schedule and fails the test with a copy-pasteable repro line.
+/// Process-transport schedules carry the transport in the repro so the
+/// replay crosses the same process boundary.
 ChaosReport RunAndCheck(const ChaosOptions& opts) {
   ChaosReport report = RunChaosSchedule(opts);
+  std::string env_prefix;
+  if (opts.transport == Transport::kUnix) env_prefix = "PHX_TRANSPORT=unix ";
+  if (opts.transport == Transport::kTcp) env_prefix = "PHX_TRANSPORT=tcp ";
   EXPECT_TRUE(report.ok)
-      << report.DebugString() << "\nrepro: PHX_CHAOS_SEED="
-      << opts.seed
+      << report.DebugString() << "\nrepro: " << env_prefix
+      << "PHX_CHAOS_SEED=" << opts.seed
       << " ./chaos_matrix_test --gtest_filter=ChaosMatrix.SingleSeedFromEnv";
   return report;
+}
+
+/// PHX_TRANSPORT=tcp flips the process-kill lane to TCP; anything else
+/// (including unset) runs it over a Unix-domain socket.
+Transport ProcessLaneTransport() {
+  const char* t = std::getenv("PHX_TRANSPORT");
+  if (t != nullptr && std::string(t) == "tcp") return Transport::kTcp;
+  return Transport::kUnix;
+}
+
+/// Process-mode chaos needs a phoenixd binary and a sandbox that grants
+/// sockets; sets `why` and returns false when either is missing.
+bool ProcessChaosAvailable(std::string* why) {
+  if (net::FindServerBinary("").empty()) {
+    *why = "phoenixd binary not found (set PHX_SERVER_BIN)";
+    return false;
+  }
+  net::Listener probe;
+  std::string ep = (ProcessLaneTransport() == Transport::kTcp)
+                       ? "tcp:127.0.0.1:0"
+                       : "unix:/tmp/phx_cmx_probe_" +
+                             std::to_string(::getpid()) + ".sock";
+  Status st = probe.Listen(ep);
+  if (!st.ok()) {
+    *why = "sockets unavailable here: " + st.ToString();
+    return false;
+  }
+  probe.Close();
+  return true;
 }
 
 TEST(ChaosMatrix, TornTailSchedules) {
@@ -230,9 +268,46 @@ TEST(ChaosMatrix, IndexReplaySchedules) {
       << "no index-replay schedule ever re-crashed inside recovery";
 }
 
+TEST(ChaosMatrix, ProcessKillSchedules) {
+  // The real-process lane: the same seeded workload + fault plans, but the
+  // server is an out-of-process phoenixd and every kill is a real SIGKILL —
+  // idle kills land between operations, and the tail-tearing fault kinds
+  // (partial-flush, torn, mid-checkpoint) are delivered through the SIGKILL
+  // rendezvous protocol, dying inside the child's fsync / checkpoint rename
+  // / dispatch. The oracle (shadow model, exactly-once request ids, final
+  // durability agreement, independent storage recovery over the child's
+  // data dir) is the same one the in-process suites check.
+  // PHX_TRANSPORT=tcp runs the lane over TCP instead of a Unix socket.
+  std::string why;
+  if (!ProcessChaosAvailable(&why)) GTEST_SKIP() << why;
+  uint64_t sigkills = 0;
+  uint64_t rendezvous_kills = 0;
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 15000 + seed;
+    opts.n_faults = 3;
+    opts.transport = ProcessLaneTransport();
+    // Even seeds run an auto-checkpoint cadence so the mid-checkpoint
+    // rendezvous points actually exist in the child.
+    opts.checkpoint_every_n_commits = (seed % 2 == 0) ? 4 : 0;
+    ChaosReport r = RunAndCheck(opts);
+    sigkills += r.sigkills;
+    rendezvous_kills += r.rendezvous_kills;
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(sigkills, 0u) << "no schedule ever SIGKILLed the child";
+  EXPECT_GT(rendezvous_kills, 0u)
+      << "no schedule ever died inside a rendezvous window (mid-fsync / "
+         "mid-checkpoint / pre-dispatch)";
+  EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+}
+
 TEST(ChaosMatrix, SingleSeedFromEnv) {
   // Repro entry point: replays one schedule named by PHX_CHAOS_SEED with
-  // every fault kind enabled and prints the full report.
+  // every fault kind enabled and prints the full report. PHX_TRANSPORT=unix
+  // or =tcp replays it through a real phoenixd child — the repro lines
+  // RunAndCheck prints for the process lane carry that prefix.
   const char* env = std::getenv("PHX_CHAOS_SEED");
   if (env == nullptr) {
     GTEST_SKIP() << "set PHX_CHAOS_SEED=<seed> to replay one schedule";
@@ -241,6 +316,20 @@ TEST(ChaosMatrix, SingleSeedFromEnv) {
   opts.seed = std::strtoull(env, nullptr, 10);
   opts.n_ops = 50;
   opts.n_faults = 4;
+  const char* transport = std::getenv("PHX_TRANSPORT");
+  if (transport != nullptr) {
+    std::string t = transport;
+    if (t == "unix") opts.transport = Transport::kUnix;
+    if (t == "tcp") opts.transport = Transport::kTcp;
+  }
+  if (opts.transport != Transport::kInproc) {
+    std::string why;
+    if (!ProcessChaosAvailable(&why)) GTEST_SKIP() << why;
+    // Match the process lane so its repro seeds replay the same plan shape.
+    opts.n_ops = 40;
+    opts.n_faults = 3;
+    opts.checkpoint_every_n_commits = (opts.seed % 2 == 0) ? 4 : 0;
+  }
   ChaosReport report = RunChaosSchedule(opts);
   std::fprintf(stderr, "%s\n", report.DebugString().c_str());
   EXPECT_TRUE(report.ok) << report.DebugString();

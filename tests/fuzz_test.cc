@@ -2,11 +2,14 @@
 // against the SQL front-end, and LIKE checked against a reference matcher.
 // The library must never crash and never accept corrupt input silently.
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/rng.h"
 #include "engine/expression.h"
+#include "net/framing.h"
 #include "net/protocol.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -157,6 +160,154 @@ TEST(Fuzz, BatchFramingRejectsBadCounts) {
   auto r = net::BatchRequest::Decode(enc.Take());
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("batch too large"), std::string::npos);
+}
+
+TEST(Fuzz, FrameAssemblerReassemblesArbitraryChunkings) {
+  // Property: for any sequence of valid frames and ANY chunking of the byte
+  // stream (one byte at a time, everything at once, random cuts), the
+  // assembler reproduces exactly the frames that were encoded, in order,
+  // with zero resync.
+  Rng rng(0xF4A3E);
+  for (int iter = 0; iter < 400; ++iter) {
+    size_t n_frames = 1 + rng.NextBelow(6);
+    std::vector<net::Frame> sent;
+    std::string wire;
+    for (size_t i = 0; i < n_frames; ++i) {
+      net::Frame f;
+      f.type = static_cast<net::FrameType>(1 + rng.NextBelow(4));
+      f.corr_id = rng.Next();
+      f.payload = RandomBytes(&rng, 200);  // frames carry arbitrary bytes
+      wire += net::EncodeFrame(f.type, f.corr_id, f.payload);
+      sent.push_back(std::move(f));
+    }
+
+    net::FrameAssembler a;
+    std::vector<net::Frame> got;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      size_t chunk = 1 + rng.NextBelow(64);
+      chunk = std::min(chunk, wire.size() - pos);
+      a.Feed(wire.data() + pos, chunk);
+      pos += chunk;
+      net::Frame f;
+      while (a.Poll(&f) == net::FrameAssembler::Next::kFrame) {
+        got.push_back(f);
+      }
+    }
+    ASSERT_EQ(got.size(), sent.size()) << "iter " << iter;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].type, sent[i].type);
+      EXPECT_EQ(got[i].corr_id, sent[i].corr_id);
+      EXPECT_EQ(got[i].payload, sent[i].payload);
+    }
+    EXPECT_EQ(a.resync_bytes_skipped(), 0u) << "iter " << iter;
+  }
+}
+
+TEST(Fuzz, FrameAssemblerSurvivesGarbageInjection) {
+  // Random garbage spliced between valid frames: the assembler must either
+  // resync past it or (for magic-tagged oversized headers) go fatal — but
+  // never crash, hang, or emit a frame that was never sent. Valid frames
+  // AFTER the garbage must still be recovered whenever the stream is not
+  // fatal, and garbage can only ever eat forward into later frames, never
+  // resurrect earlier ones.
+  Rng rng(0x6A43A6E);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string wire;
+    size_t n_frames = 1 + rng.NextBelow(4);
+    std::vector<std::string> payloads;
+    for (size_t i = 0; i < n_frames; ++i) {
+      std::string payload = RandomBytes(&rng, 64);
+      payloads.push_back(payload);
+      if (rng.NextBelow(2) == 0) {
+        wire += RandomBytes(&rng, 40);  // garbage before this frame
+      }
+      wire += net::EncodeFrame(net::FrameType::kRequest, i + 1, payload);
+    }
+
+    net::FrameAssembler a;
+    std::vector<net::Frame> got;
+    bool fatal = false;
+    size_t pos = 0;
+    while (pos < wire.size() && !fatal) {
+      size_t chunk = std::min<size_t>(1 + rng.NextBelow(48), wire.size() - pos);
+      a.Feed(wire.data() + pos, chunk);
+      pos += chunk;
+      net::Frame f;
+      for (;;) {
+        auto next = a.Poll(&f);
+        if (next == net::FrameAssembler::Next::kFrame) {
+          got.push_back(f);
+          continue;
+        }
+        if (next == net::FrameAssembler::Next::kError) fatal = true;
+        break;
+      }
+    }
+
+    // Every emitted frame must be one we actually encoded, in order: garbage
+    // may swallow frames (by consuming their header bytes during resync) but
+    // must never invent or reorder them.
+    size_t cursor = 0;
+    for (const auto& f : got) {
+      bool matched = false;
+      while (cursor < n_frames) {
+        ++cursor;
+        if (f.corr_id == cursor && f.payload == payloads[cursor - 1]) {
+          matched = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(matched) << "iter " << iter << ": assembler emitted a frame "
+                           << "(corr_id " << f.corr_id
+                           << ") that was never sent, or out of order";
+    }
+    if (fatal) {
+      EXPECT_FALSE(a.error().empty());
+    }
+  }
+}
+
+TEST(Fuzz, FrameAssemblerSingleByteCorruptionNeverCrashes) {
+  // Flip one byte anywhere in a two-frame stream. The assembler may emit
+  // 0, 1, or 2 frames, resync, or go fatal — but never crash and never emit
+  // a frame whose payload doesn't match one of the originals.
+  Rng rng(0xC0A4A97);
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string p1 = RandomBytes(&rng, 48), p2 = RandomBytes(&rng, 48);
+    std::string wire = net::EncodeFrame(net::FrameType::kRequest, 1, p1) +
+                       net::EncodeFrame(net::FrameType::kResponse, 2, p2);
+    size_t victim = rng.NextBelow(wire.size());
+    char orig = wire[victim];
+    char flip;
+    do {
+      flip = static_cast<char>(rng.NextBelow(256));
+    } while (flip == orig);
+    wire[victim] = flip;
+    // What each frame's payload bytes look like post-corruption (the flip may
+    // have landed inside one of them).
+    std::string cp1 = wire.substr(net::kFrameHeaderSize, p1.size());
+    std::string cp2 = wire.substr(2 * net::kFrameHeaderSize + p1.size());
+
+    net::FrameAssembler a;
+    a.Feed(wire);
+    net::Frame f;
+    int emitted = 0;
+    for (;;) {
+      auto next = a.Poll(&f);
+      if (next != net::FrameAssembler::Next::kFrame) break;
+      ++emitted;
+      ASSERT_LE(emitted, 2);
+      // A corrupted length field can graft the two frames together, so only
+      // check frames whose header survived intact.
+      if (f.corr_id == 1 && f.payload.size() == p1.size()) {
+        EXPECT_EQ(f.payload, cp1);
+      }
+      if (f.corr_id == 2 && f.payload.size() == p2.size()) {
+        EXPECT_EQ(f.payload, cp2);
+      }
+    }
+  }
 }
 
 TEST(Fuzz, WalReaderToleratesArbitraryFileContents) {

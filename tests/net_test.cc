@@ -3,9 +3,16 @@
 
 #include "net/channel.h"
 #include "net/db_server.h"
+#include "net/framing.h"
 #include "net/protocol.h"
+#include "net/socket_transport.h"
 
 #include "common/rng.h"
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <unistd.h>
 
 #include "gtest/gtest.h"
 
@@ -298,6 +305,338 @@ TEST(Server, DurableDataVisibleAfterRestart) {
   Response r = fx.Call(ch2.get(), ExecReq(sid2, "SELECT A FROM T"));
   ASSERT_EQ(r.results[0].rows.size(), 1u);
   EXPECT_EQ(r.results[0].rows[0][0].AsInt64(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// PHXF stream framing: partial reads, coalesced writes, garbage resync
+// ---------------------------------------------------------------------------
+
+TEST(Framing, SingleFrameRoundTrip) {
+  std::string wire = EncodeFrame(FrameType::kRequest, 42, "hello");
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + 5);
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.type, FrameType::kRequest);
+  EXPECT_EQ(f.corr_id, 42u);
+  EXPECT_EQ(f.payload, "hello");
+  EXPECT_EQ(a.Poll(&f), FrameAssembler::Next::kNeedMore);
+  EXPECT_EQ(a.resync_bytes_skipped(), 0u);
+}
+
+TEST(Framing, EmptyPayloadAndLargeCorrId) {
+  std::string wire = EncodeFrame(FrameType::kResponse, 0xDEADBEEFCAFEF00Dull, "");
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.corr_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Framing, PartialHeaderByteAtATime) {
+  // One send arriving as N one-byte reads: no frame until the last byte.
+  std::string wire = EncodeFrame(FrameType::kBatchRequest, 7, "payload");
+  FrameAssembler a;
+  Frame f;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    a.Feed(wire.data() + i, 1);
+    ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kNeedMore) << "at byte " << i;
+  }
+  a.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.type, FrameType::kBatchRequest);
+  EXPECT_EQ(f.payload, "payload");
+  EXPECT_EQ(a.resync_bytes_skipped(), 0u);
+}
+
+TEST(Framing, CoalescedFramesDrainInOrder) {
+  // Three sends arriving as one read — including batch frames, whose PHXB
+  // payload bytes must come through untouched.
+  BatchRequest batch;
+  Request r1;
+  r1.kind = Request::Kind::kPing;
+  r1.request_id = 1;
+  batch.requests.push_back(r1);
+  std::string wire = EncodeFrame(FrameType::kRequest, 1, "alpha");
+  wire += EncodeFrame(FrameType::kBatchRequest, 2, batch.Encode());
+  wire += EncodeFrame(FrameType::kBatchResponse, 3, "gamma");
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.corr_id, 1u);
+  EXPECT_EQ(f.payload, "alpha");
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.type, FrameType::kBatchRequest);
+  auto decoded = BatchRequest::Decode(f.payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->requests.size(), 1u);
+  EXPECT_EQ(decoded->requests[0].kind, Request::Kind::kPing);
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.corr_id, 3u);
+  EXPECT_EQ(a.Poll(&f), FrameAssembler::Next::kNeedMore);
+}
+
+TEST(Framing, SplitMidPayloadAcrossFeeds) {
+  std::string wire = EncodeFrame(FrameType::kResponse, 9, std::string(300, 'x'));
+  FrameAssembler a;
+  Frame f;
+  a.Feed(wire.substr(0, kFrameHeaderSize + 100));
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kNeedMore);
+  a.Feed(wire.substr(kFrameHeaderSize + 100));
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.payload.size(), 300u);
+}
+
+TEST(Framing, OversizedFrameIsFatal) {
+  // A valid magic + type demanding an absurd payload is a poisoned stream,
+  // not a resync opportunity.
+  FrameAssembler a(/*max_payload=*/64);
+  a.Feed(EncodeFrame(FrameType::kRequest, 5, std::string(65, 'x')));
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kError);
+  EXPECT_NE(a.error().find("oversized"), std::string::npos);
+  // The assembler stays dead even if clean bytes follow.
+  a.Feed(EncodeFrame(FrameType::kRequest, 6, "ok"));
+  EXPECT_EQ(a.Poll(&f), FrameAssembler::Next::kError);
+}
+
+TEST(Framing, GarbagePrefixResync) {
+  // The tail of a peer's partial pre-crash write, then a clean frame: the
+  // reader slides past the garbage and recovers the stream.
+  std::string garbage = "\x01\x02partial-frame-tail\xff\xfe";
+  std::string wire = garbage + EncodeFrame(FrameType::kResponse, 11, "clean");
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.corr_id, 11u);
+  EXPECT_EQ(f.payload, "clean");
+  EXPECT_EQ(a.resync_bytes_skipped(), garbage.size());
+}
+
+TEST(Framing, GarbageBetweenFramesResync) {
+  std::string wire = EncodeFrame(FrameType::kRequest, 1, "a");
+  wire += "JUNKJUNK";
+  wire += EncodeFrame(FrameType::kRequest, 2, "b");
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.payload, "a");
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.payload, "b");
+  EXPECT_EQ(a.resync_bytes_skipped(), 8u);
+}
+
+TEST(Framing, BadTypeByteIsGarbageNotFatal) {
+  // Correct magic but invalid type: cannot be a frame start; resync, since
+  // the magic may be payload bytes that merely look frame-ish.
+  std::string bogus = EncodeFrame(FrameType::kRequest, 3, "zzz");
+  bogus[4] = 99;  // corrupt the type byte
+  std::string wire = bogus + EncodeFrame(FrameType::kResponse, 4, "real");
+  FrameAssembler a;
+  a.Feed(wire);
+  Frame f;
+  ASSERT_EQ(a.Poll(&f), FrameAssembler::Next::kFrame);
+  EXPECT_EQ(f.corr_id, 4u);
+  EXPECT_EQ(f.payload, "real");
+  EXPECT_GT(a.resync_bytes_skipped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SocketChannel <-> SocketServer over a real Unix-domain stream
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_sock_seq{0};
+
+/// In-process DbServer behind a real Unix socket. `ok == false` means the
+/// sandbox denies AF_UNIX sockets entirely; tests skip.
+struct SocketFixture {
+  storage::SimDisk disk;
+  DbServer server{&disk};
+  SocketServer sock{&server};
+  Network network;
+  std::string path;
+  bool ok = false;
+  SocketFixture() {
+    path = "/tmp/phx_net_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(g_sock_seq.fetch_add(1)) + ".sock";
+    EXPECT_TRUE(server.Start().ok());
+    if (!sock.Start("unix:" + path).ok()) return;
+    network.RegisterRemote("db", sock.endpoint());
+    ok = true;
+  }
+  ~SocketFixture() {
+    sock.Shutdown();
+    ::unlink(path.c_str());
+  }
+  std::unique_ptr<Channel> Connect() {
+    auto c = network.Connect("db");
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? c.take() : nullptr;
+  }
+  Response Call(Channel* ch, const Request& req) {
+    auto r = ch->RoundTrip(req);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.take() : Response{};
+  }
+};
+
+#define SKIP_IF_NO_SOCKETS(fx) \
+  if (!(fx).ok) GTEST_SKIP() << "unix-domain sockets unavailable here"
+
+TEST(SocketTransport, ConnectExecuteOverUnixSocket) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  Response conn = fx.Call(ch.get(), ConnectReq());
+  ASSERT_EQ(conn.kind, Response::Kind::kConnected);
+  uint64_t sid = conn.session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE T (A INTEGER)"));
+  fx.Call(ch.get(), ExecReq(sid, "INSERT INTO T VALUES (5)"));
+  Response sel = fx.Call(ch.get(), ExecReq(sid, "SELECT A FROM T"));
+  ASSERT_EQ(sel.results.size(), 1u);
+  ASSERT_EQ(sel.results[0].rows.size(), 1u);
+  EXPECT_EQ(sel.results[0].rows[0][0].AsInt64(), 5);
+  EXPECT_GT(ch->stats().bytes_sent, 0u);
+  EXPECT_GT(ch->stats().bytes_received, 0u);
+}
+
+TEST(SocketTransport, BatchRoundTripOverSocket) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE B (A INTEGER)"));
+  std::vector<Request> reqs;
+  reqs.push_back(ExecReq(sid, "INSERT INTO B VALUES (1)"));
+  reqs.push_back(ExecReq(sid, "INSERT INTO B VALUES (2)"));
+  reqs.push_back(ExecReq(sid, "SELECT COUNT(*) AS C FROM B"));
+  auto replies = ch->RoundTripBatch(std::move(reqs));
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+  ASSERT_EQ(replies->size(), 3u);
+  EXPECT_EQ((*replies)[0].kind, Response::Kind::kResults);
+  EXPECT_EQ((*replies)[2].results[0].rows[0][0].AsInt64(), 2);
+}
+
+TEST(SocketTransport, ConcurrentRoundTripsDemuxByCorrelationId) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE C (A INTEGER)"));
+  std::vector<std::future<Result<Response>>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(ch->RoundTripAsync(
+        ExecReq(sid, "INSERT INTO C VALUES (" + std::to_string(i) + ")")));
+  }
+  for (auto& f : futs) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->kind, Response::Kind::kResults);
+  }
+  Response sel = fx.Call(ch.get(), ExecReq(sid, "SELECT COUNT(*) AS C FROM C"));
+  EXPECT_EQ(sel.results[0].rows[0][0].AsInt64(), 16);
+}
+
+TEST(SocketTransport, DropRequestFailsBeforeTheWire) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE D (A INTEGER)"));
+  ch->InjectDropRequests(1);
+  auto r = ch->RoundTrip(ExecReq(sid, "INSERT INTO D VALUES (1)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCommError());
+  // The channel survives a dropped request, and the insert never happened.
+  Response sel = fx.Call(ch.get(), ExecReq(sid, "SELECT COUNT(*) AS C FROM D"));
+  EXPECT_EQ(sel.results[0].rows[0][0].AsInt64(), 0);
+}
+
+TEST(SocketTransport, LoseReplyExecutesButTimesOut) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  fx.network.config()->rpc_timeout_ms = 500;
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.Call(ch.get(), ExecReq(sid, "CREATE TABLE L (A INTEGER)"));
+  ch->InjectLoseReplies(1);
+  auto r = ch->RoundTrip(ExecReq(sid, "INSERT INTO L VALUES (1)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+  // "Reply lost" — the request DID execute server-side.
+  Response sel = fx.Call(ch.get(), ExecReq(sid, "SELECT COUNT(*) AS C FROM L"));
+  EXPECT_EQ(sel.results[0].rows[0][0].AsInt64(), 1);
+}
+
+TEST(SocketTransport, ServerDownRejectionIsCommErrorEvenUnderLoseReply) {
+  // Satellite regression: "reply lost" must not shadow "server down". With a
+  // lose-reply token claimed, a crashed server's unexecuted-intake rejection
+  // still surfaces as kCommError (the request never ran; claiming kTimeout
+  // would make Phoenix probe the status table for a commit that was never
+  // attempted).
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  fx.network.config()->rpc_timeout_ms = 30000;  // a timeout would hang: fail
+  auto ch = fx.Connect();
+  uint64_t sid = fx.Call(ch.get(), ConnectReq()).session_id;
+  fx.server.Crash();
+  ch->InjectLoseReplies(1);
+  auto r = ch->RoundTrip(ExecReq(sid, "INSERT INTO X VALUES (1)"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCommError()) << r.status().ToString();
+}
+
+TEST(SocketTransport, ServerShutdownFailsRoundTripsCommError) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  fx.Call(ch.get(), ConnectReq());
+  fx.sock.Shutdown();
+  // EOF → kCommError (connection dead), never kTimeout (reply lost).
+  auto r = ch->RoundTrip(ConnectReq());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCommError()) << r.status().ToString();
+}
+
+TEST(SocketTransport, StaleSocketFileReplacedOnRestart) {
+  // A SIGKILLed phoenixd leaves its socket file behind; the reborn listener
+  // must bind over it rather than fail with EADDRINUSE.
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  fx.sock.Shutdown();
+  storage::SimDisk disk2;
+  DbServer server2(&disk2);
+  ASSERT_TRUE(server2.Start().ok());
+  SocketServer sock2(&server2);
+  // Recreate a stale file at the same path (Shutdown unlinked the real one).
+  { std::FILE* stale = std::fopen(fx.path.c_str(), "w"); std::fclose(stale); }
+  ASSERT_TRUE(sock2.Start("unix:" + fx.path).ok());
+  Network net2;
+  net2.RegisterRemote("db2", sock2.endpoint());
+  auto ch = net2.Connect("db2");
+  ASSERT_TRUE(ch.ok());
+  auto r = ch.value()->RoundTrip(ConnectReq());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind, Response::Kind::kConnected);
+  sock2.Shutdown();
+}
+
+TEST(SocketTransport, AdminRequestRejectedWithoutHook) {
+  SocketFixture fx;
+  SKIP_IF_NO_SOCKETS(fx);
+  auto ch = fx.Connect();
+  Request req;
+  req.kind = Request::Kind::kAdmin;
+  req.name = "phx.rendezvous";
+  req.value = "wal_sync:1";
+  auto r = ch->RoundTrip(req);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, Response::Kind::kError);
 }
 
 }  // namespace
