@@ -10,10 +10,15 @@
 // on the next fetch, and read the per-phase timings off PhoenixStats.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "storage/recovery.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
 
 namespace phoenix::bench {
 namespace {
@@ -181,11 +186,151 @@ void Main() {
   PrintRule();
 }
 
+/// One JSON object line per sweep point, appended to
+/// BENCH_recovery_parallel.json (and tagged on stdout for scrapers) —
+/// the serial-vs-partitioned replay record the PR acceptance reads.
+void AppendRecoveryParallelJson(const std::string& json) {
+  std::printf("\nBENCH_RECOVERY_PARALLEL_JSON %s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_recovery_parallel.json", "a")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
+// ---- Parallel WAL replay sweep -------------------------------------------
+// The storage-level complement to Figure 2: the paper's recovery story
+// assumes the database side of a restart is fast; this sweep measures the
+// WAL-replay half of that restart as the log grows, serial vs partitioned
+// across 4 worker threads (PHX_RECOVERY_THREADS=4). Eight tables, two
+// secondary indexes each, so replay cost is dominated by applying ops
+// (index maintenance) rather than decoding frames — the regime where
+// partitioning by table pays.
+void WalReplaySweep() {
+  constexpr int kTables = 32;
+  constexpr uint64_t kThreads = 4;
+  constexpr int kOpsPerCommit = 4;
+  constexpr int kReplayReps = 3;  // best-of, to shed scheduler noise
+
+  std::printf("\nParallel WAL replay sweep (%d tables, 2 secondary indexes "
+              "each, best of %d replays)\n",
+              kTables, kReplayReps);
+  PrintRule();
+  std::printf("%10s %10s %12s %12s %14s %8s %12s %14s\n", "Records", "WAL MB",
+              "scan (s)", "serial (s)", "4-thread (s)", "speedup",
+              "serial s/GB", "4-thread s/GB");
+  PrintRule();
+
+  for (int records : {8000, 32000, 96000}) {
+    storage::SimDisk disk;
+    storage::DurabilityManager dm(&disk, "db");
+    Schema schema;
+    schema.AddColumn(Column{"K", DataType::kInt64, false});
+    schema.AddColumn(Column{"V", DataType::kInt64, true});
+    schema.AddColumn(Column{"W", DataType::kInt64, true});
+    uint64_t txn = 1;
+    for (int t = 0; t < kTables; ++t) {
+      std::string name = "T" + std::to_string(t);
+      storage::WalCommitRecord rec;
+      rec.txn_id = txn++;
+      rec.ops.push_back(storage::WalOp::CreateTable(name, schema, {0}));
+      rec.ops.push_back(storage::WalOp::CreateIndex(name, name + "_V", {1}));
+      rec.ops.push_back(storage::WalOp::CreateIndex(name, name + "_W", {2}));
+      BenchEnv::Check(dm.LogCommit(rec), "log DDL");
+    }
+    Rng rng(17);
+    std::vector<uint64_t> next_rid(kTables, 1);
+    uint64_t op_counter = 0;
+    for (int i = 0; i < records; ++i) {
+      storage::WalCommitRecord rec;
+      rec.txn_id = txn++;
+      for (int o = 0; o < kOpsPerCommit; ++o) {
+        int t = static_cast<int>(op_counter++ % kTables);
+        std::string name = "T" + std::to_string(t);
+        uint64_t rid = next_rid[t];
+        if (rid > 1 && rng.NextBool(0.25)) {
+          // Update: pk stays put, both indexed columns move — two erase +
+          // two insert on the index trees.
+          uint64_t target = 1 + rng.NextBelow(rid - 1);
+          rec.ops.push_back(storage::WalOp::Update(
+              name, target,
+              Row{Value::Int64(static_cast<int64_t>(target)),
+                  Value::Int64(static_cast<int64_t>(rng.NextBelow(1000))),
+                  Value::Int64(static_cast<int64_t>(rng.NextBelow(1000)))}));
+        } else {
+          rec.ops.push_back(storage::WalOp::Insert(
+              name, rid,
+              Row{Value::Int64(static_cast<int64_t>(rid)),
+                  Value::Int64(static_cast<int64_t>(rng.NextBelow(1000))),
+                  Value::Int64(static_cast<int64_t>(rng.NextBelow(1000)))}));
+          ++next_rid[t];
+        }
+      }
+      BenchEnv::Check(dm.LogCommit(rec), "log commit");
+    }
+    const std::string wal_bytes_str = *disk.ReadDurable(dm.wal_file());
+    const double wal_gb = static_cast<double>(wal_bytes_str.size()) / 1e9;
+
+    // Decode floor: a scan that drops every record on the floor. This is the
+    // serial fraction no amount of replay parallelism can remove (Amdahl).
+    double scan_only = 1e30;
+    for (int rep = 0; rep < kReplayReps; ++rep) {
+      storage::WalScanStats stats;
+      auto t0 = std::chrono::steady_clock::now();
+      BenchEnv::Check(
+          storage::WalReader::Scan(disk, dm.wal_file(), &stats,
+                                   [](storage::WalCommitRecord&&) {
+                                     return Status::Ok();
+                                   }),
+          "scan");
+      scan_only = std::min(
+          scan_only, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    }
+
+    auto replay_seconds = [&disk](uint64_t threads) {
+      double best = 1e30;
+      for (int rep = 0; rep < kReplayReps; ++rep) {
+        storage::DurabilityManager r(&disk, "db");
+        r.set_recovery_threads(threads);
+        storage::TableStore store;
+        storage::RecoveryInfo info;
+        auto t0 = std::chrono::steady_clock::now();
+        BenchEnv::Check(r.Recover(&store, &info), "replay");
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      return best;
+    };
+    double serial = replay_seconds(1);
+    double parallel = replay_seconds(kThreads);
+
+    std::printf("%10d %10.2f %12.4f %12.4f %14.4f %7.2fx %12.1f %14.1f\n",
+                records, wal_gb * 1e3, scan_only, serial, parallel,
+                serial / parallel, serial / wal_gb, parallel / wal_gb);
+    AppendRecoveryParallelJson(
+        "{\"bench\":\"recovery_parallel\",\"records\":" +
+        std::to_string(records) + ",\"threads\":" + std::to_string(kThreads) +
+        ",\"wal_bytes\":" + std::to_string(static_cast<uint64_t>(wal_gb * 1e9)) +
+        ",\"scan_only_s\":" + std::to_string(scan_only) +
+        ",\"serial_s\":" + std::to_string(serial) +
+        ",\"parallel_s\":" + std::to_string(parallel) +
+        ",\"serial_s_per_gb\":" + std::to_string(serial / wal_gb) +
+        ",\"parallel_s_per_gb\":" + std::to_string(parallel / wal_gb) +
+        ",\"speedup\":" + std::to_string(serial / parallel) + "}");
+  }
+  PrintRule();
+}
+
 }  // namespace
 }  // namespace phoenix::bench
 
 int main() {
   phoenix::bench::Main();
+  phoenix::bench::WalReplaySweep();
   phoenix::bench::DumpMetrics("bench_fig2_recovery");
   return 0;
 }

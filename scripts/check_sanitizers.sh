@@ -30,7 +30,13 @@
 # DatabaseOptions/ChaosOptions/set_index_planner override the env either
 # way.
 #
-# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket]  (default: both)
+# A fifth lane, `recovery`, runs the recovery-side suites under TSan twice:
+# with PHX_RECOVERY_THREADS=1 (the serial replay path) and =4 (partitioned
+# replay on the worker pool), so the scan-thread/worker handoff, the DDL
+# barriers, and the sticky first-error path are race-checked in both modes.
+#
+# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket|recovery]
+# (default: both)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,6 +61,7 @@ run_lane() {
         PHX_GROUP_COMMIT="$gc" \
         PHX_CKPT_BG="$ckpt" \
         PHX_INDEX_PLANNER="$planner" \
+        PHX_RECOVERY_THREADS="${LANE_RECOVERY_THREADS:-1}" \
         PHX_TRANSPORT="${LANE_TRANSPORT:-inproc}" \
         ASAN_OPTIONS="halt_on_error=1" \
         UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
@@ -69,6 +76,7 @@ run_lane() {
 
 CHAOS_TESTS='chaos_matrix_test|recovery_regression_test|wal_test'
 SOCKET_TESTS='net_test|process_server_test|chaos_matrix_test'
+RECOVERY_TESTS='storage_recovery_test|recovery_regression_test|chaos_matrix_test|wal_test'
 
 want="${1:-both}"
 case "$want" in
@@ -84,9 +92,14 @@ case "$want" in
     LANE_TRANSPORT=unix run_lane asan address,undefined "$SOCKET_TESTS"
     LANE_TRANSPORT=unix run_lane tsan thread "$SOCKET_TESTS"
     ;;
+  recovery)
+    # Parallel-replay lane: same build, two replay modes.
+    LANE_RECOVERY_THREADS=1 run_lane tsan thread "$RECOVERY_TESTS"
+    LANE_RECOVERY_THREADS=4 run_lane tsan thread "$RECOVERY_TESTS"
+    ;;
   both)
     run_lane asan address,undefined
     run_lane tsan thread
     ;;
-  *) echo "usage: $0 [asan|tsan|chaos|socket]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|tsan|chaos|socket|recovery]" >&2; exit 2 ;;
 esac

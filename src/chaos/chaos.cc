@@ -150,6 +150,7 @@ struct Fault {
     kRecoveryCrash,
     kLostReply,
     kDroppedRequest,
+    kReplayKill,
   };
   size_t at_op = 0;
   Kind kind = Kind::kCrash;
@@ -167,6 +168,7 @@ const char* FaultName(Fault::Kind k) {
     case Fault::Kind::kRecoveryCrash: return "recovery-crash";
     case Fault::Kind::kLostReply: return "lost-reply";
     case Fault::Kind::kDroppedRequest: return "dropped-request";
+    case Fault::Kind::kReplayKill: return "replay-kill";
   }
   return "?";
 }
@@ -181,6 +183,11 @@ std::vector<Fault> MakeFaultPlan(Rng* rng, const ChaosOptions& opts,
   if (opts.allow_recovery_crash) kinds.push_back(Fault::Kind::kRecoveryCrash);
   if (opts.allow_lost_reply) kinds.push_back(Fault::Kind::kLostReply);
   if (opts.allow_dropped_request) kinds.push_back(Fault::Kind::kDroppedRequest);
+  if (opts.allow_replay_kill && opts.transport != Transport::kInproc) {
+    // Process transports only: the fault re-kills the REBORN child during
+    // its boot-time WAL replay, which needs a real process to SIGKILL.
+    kinds.push_back(Fault::Kind::kReplayKill);
+  }
   std::vector<Fault> plan;
   if (kinds.empty() || n_ops < 14) return plan;
   // Distinct op indices past the fixed workload preamble.
@@ -464,6 +471,9 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
   pin("PHX_GROUP_COMMIT", opts.group_commit);
   pin("PHX_GC_FLUSHER", opts.gc_flusher);
   pin("PHX_CKPT_BG", opts.background_checkpoint);
+  if (opts.recovery_threads.has_value()) {
+    popts.env["PHX_RECOVERY_THREADS"] = std::to_string(*opts.recovery_threads);
+  }
   net::ProcessServerHandle handle(popts);
   if (Status st = handle.Start(); !st.ok()) {
     fail("phoenixd start: " + st.ToString());
@@ -504,13 +514,33 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
   config.server_side_reposition = opts.server_side_reposition;
   auto restart_error = std::make_shared<std::string>();
   auto probe_count = std::make_shared<int>(0);
-  config.retry_wait = [&handle, restart_error, probe_count]() {
+  // Set by the kReplayKill fault: the NEXT restart boots with an armed
+  // "recovery" rendezvous, so it is EXPECTED to die mid-replay before
+  // READY. The first failed restart after arming is that kill, not an
+  // error; the spec is cleared and the retry after it boots clean.
+  auto replay_kill_armed = std::make_shared<bool>(false);
+  ChaosReport* rep = &report;
+  config.retry_wait = [&handle, restart_error, probe_count, replay_kill_armed,
+                       rep]() {
     // A fired rendezvous holds the child parked for the few ms it takes the
     // watcher to deliver the SIGKILL; give it a beat before concluding the
     // child needs rebooting.
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     if (++*probe_count >= 3 && !handle.running()) {
       Status st = handle.Restart();
+      if (*replay_kill_armed) {
+        *replay_kill_armed = false;
+        handle.mutable_options()->rendezvous.clear();
+        if (!st.ok()) {
+          // The armed recovery rendezvous killed the child mid-replay (the
+          // notify pipe EOFed before READY). The half-replayed state is the
+          // point of the fault; the next retry restarts over it cleanly.
+          ++rep->replay_kills;
+          st = Status::Ok();
+        }
+        // If the WAL was too short to reach the armed replay event, the
+        // child booted normally and the stale spec never fires; fine.
+      }
       if (!st.ok() && restart_error->empty()) *restart_error = st.ToString();
       *probe_count = 0;
     }
@@ -565,6 +595,21 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
         case Fault::Kind::kDroppedRequest:
           chaos_client.dbc->driver->channel()->InjectDropRequests(1);
           break;
+        case Fault::Kind::kReplayKill:
+          // Kill the child now, then arrange for its NEXT incarnation to be
+          // killed again *during* parallel WAL replay: the spawn carries an
+          // armed "recovery" rendezvous (Nth replay progress event) plus
+          // PHX_RECOVERY_THREADS=4, and the watcher is armed between spawn
+          // and READY (the child parks in recovery, before it ever reports
+          // ready). retry_wait treats the resulting failed restart as the
+          // expected kill and reboots clean on the retry after it.
+          kill_child();
+          handle.mutable_options()->rendezvous =
+              "recovery:" + std::to_string(2 + f.sub_seed % 4);
+          handle.mutable_options()->env["PHX_RECOVERY_THREADS"] = "4";
+          handle.ArmKillOnNextStart();
+          *replay_kill_armed = true;
+          break;
       }
     }
     Observation got = RunOp(&chaos_client, ops[i]);
@@ -615,7 +660,16 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
               {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
                true, 0});
     kill_child();
-    if (Status st = handle.Restart(); !st.ok()) {
+    Status st = handle.Restart();
+    if (!st.ok() && *replay_kill_armed) {
+      // The schedule ended with a replay-kill still pending: this restart
+      // was the one armed to die mid-replay. Count it and reboot clean.
+      *replay_kill_armed = false;
+      handle.mutable_options()->rendezvous.clear();
+      ++report.replay_kills;
+      st = handle.Restart();
+    }
+    if (!st.ok()) {
       fail("restart after final SIGKILL failed (catalog/WAL disagreement): " +
            st.ToString());
     } else {
@@ -656,6 +710,9 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
         fail("independent recovery index audit: " + bad);
       }
     }
+    if (opts.post_run_disk_audit) {
+      opts.post_run_disk_audit(&audit_disk, eng::DatabaseOptions().disk_prefix);
+    }
   }
 
   report.rendezvous_kills = handle.rendezvous_kills();
@@ -693,7 +750,8 @@ std::string ChaosReport::DebugString() const {
                   " wal_skipped=" + std::to_string(wal_records_skipped) +
                   " tear=" + (wal_tear_detected ? "true" : "false") +
                   " sigkills=" + std::to_string(sigkills) +
-                  " rdv_kills=" + std::to_string(rendezvous_kills);
+                  " rdv_kills=" + std::to_string(rendezvous_kills) +
+                  " replay_kills=" + std::to_string(replay_kills);
   if (!failure.empty()) s += " failure=\"" + failure + "\"";
   return s + "}";
 }
@@ -757,6 +815,9 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
   }
   if (opts.background_checkpoint.has_value()) {
     sopts.db.background_checkpoint = *opts.background_checkpoint;
+  }
+  if (opts.recovery_threads.has_value()) {
+    sopts.db.recovery_threads = *opts.recovery_threads;
   }
   net::DbServer server(&disk, sopts);
   if (Status st = server.Start(); !st.ok()) {
@@ -867,6 +928,13 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
         case Fault::Kind::kDroppedRequest:
           chaos_client.dbc->driver->channel()->InjectDropRequests(1);
           break;
+        case Fault::Kind::kReplayKill:
+          // Never drawn for the in-proc transport (there is no child to
+          // re-kill mid-boot); degrade to a plain crash if a plan somehow
+          // carries one.
+          server.Crash();
+          ++report.server_crashes;
+          break;
       }
     }
     Observation got = RunOp(&chaos_client, ops[i]);
@@ -964,6 +1032,9 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
       if (std::string bad = IndexInconsistency(store); !bad.empty()) {
         fail("independent recovery index audit: " + bad);
       }
+    }
+    if (opts.post_run_disk_audit) {
+      opts.post_run_disk_audit(&disk, sopts.db.disk_prefix);
     }
   }
 

@@ -2,10 +2,15 @@
 #define PHOENIX_CHAOS_CHAOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "common/options.h"
+
+namespace phoenix::storage {
+class SimDisk;
+}  // namespace phoenix::storage
 
 namespace phoenix::chaos {
 
@@ -45,6 +50,12 @@ struct ChaosOptions {
   bool allow_recovery_crash = true;  ///< kill again at a RecoveryPoint
   bool allow_lost_reply = true;      ///< request executes, reply vanishes
   bool allow_dropped_request = true; ///< request never reaches the server
+  /// SIGKILL the reborn phoenixd *during* its boot-time WAL replay (armed
+  /// "recovery" rendezvous + PHX_RECOVERY_THREADS=4, so the kill lands with
+  /// partitions half-applied on worker threads). Off by default — adding a
+  /// kind to the draw list would change every existing seed's fault plan —
+  /// and only drawn for the process transports (needs a child to re-kill).
+  bool allow_replay_kill = false;
 
   /// Phoenix reposition strategy under test (false = client-side ablation).
   bool server_side_reposition = true;
@@ -63,6 +74,11 @@ struct ChaosOptions {
   /// concurrent-checkpoint suite covers both the background thread and the
   /// stop-the-world path regardless of the lane.
   std::optional<bool> background_checkpoint;
+  /// WAL-replay worker override for the chaos server. Unset = inherit the
+  /// PHX_RECOVERY_THREADS environment default; set = pin it, so a schedule
+  /// can force every recovery through the partitioned parallel path (or
+  /// back to serial) regardless of the lane.
+  std::optional<uint64_t> recovery_threads;
 
   /// Where the chaos server lives. kInproc (historical default): a DbServer
   /// object in this process, killed by method call. kUnix / kTcp: a real
@@ -79,6 +95,15 @@ struct ChaosOptions {
   /// phoenixd binary path (process transports only). Empty = discovery via
   /// net::FindServerBinary ($PHX_SERVER_BIN, build-tree guesses).
   std::string server_binary;
+
+  /// Extra audit run at the independent-recovery step, with the surviving
+  /// post-schedule disk and the server's disk-file prefix. The equivalence
+  /// matrix uses this to replay the same chaos-generated WAL serially and
+  /// in parallel and demand byte-identical results. Failures must be
+  /// raised by the hook itself (e.g. gtest EXPECTs); the report is not
+  /// consulted.
+  std::function<void(storage::SimDisk* disk, const std::string& disk_prefix)>
+      post_run_disk_audit;
 };
 
 /// Outcome of one schedule. `ok == false` means an oracle invariant was
@@ -99,6 +124,7 @@ struct ChaosReport {
   bool wal_tear_detected = false;   ///< final audit found a torn tail
   uint64_t sigkills = 0;            ///< process mode: SIGKILLs delivered
   uint64_t rendezvous_kills = 0;    ///< ... of which landed mid-rendezvous
+  uint64_t replay_kills = 0;        ///< ... of which landed mid-WAL-replay
 
   std::string DebugString() const;
 };

@@ -26,6 +26,8 @@ enum class Transport : uint8_t {
 ///   PHX_GC_MAX_BATCH_BYTES=<n> batch size flush trigger (default 256 KiB)
 ///   PHX_CKPT_BG=0|1            background checkpoints (default on)
 ///   PHX_INDEX_PLANNER=0|1      cost-aware access-path planner (default on)
+///   PHX_RECOVERY_THREADS=<n>   WAL replay worker threads (default 1 =
+///                              serial replay; >1 partitions replay by table)
 ///   PHX_TRANSPORT=inproc|unix|tcp  client↔server transport for harnesses
 ///                              that honor it (default inproc)
 ///   PHX_RPC_TIMEOUT_MS=<n>     socket round-trip deadline (default 30000)
@@ -37,6 +39,7 @@ struct Options {
   size_t gc_max_batch_bytes = 256 * 1024;
   bool background_checkpoint = true;
   bool index_planner = true;
+  uint64_t recovery_threads = 1;
   Transport transport = Transport::kInproc;
   uint64_t rpc_timeout_ms = 30000;
   uint64_t connect_timeout_ms = 5000;

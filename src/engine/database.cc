@@ -18,7 +18,10 @@ Database::Database(storage::SimDisk* disk, DatabaseOptions opts)
       opts_(std::move(opts)),
       durability_(disk, opts_.disk_prefix, opts_.wal),
       index_planner_(opts_.index_planner),
-      next_session_id_(opts_.first_session_id) {}
+      next_session_id_(opts_.first_session_id) {
+  durability_.set_recovery_threads(opts_.recovery_threads);
+  durability_.set_replay_hook(opts_.recovery_replay_hook);
+}
 
 Database::~Database() {
   {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,7 +44,8 @@ struct DatabaseOptions {
   explicit DatabaseOptions(const phoenix::Options& o)
       : wal(storage::WalWriterConfig::FromOptions(o)),
         background_checkpoint(o.background_checkpoint),
-        index_planner(o.index_planner) {}
+        index_planner(o.index_planner),
+        recovery_threads(o.recovery_threads) {}
 
   /// SimDisk file prefix ("<prefix>.wal", "<prefix>.ckpt").
   std::string disk_prefix = "phxdb";
@@ -63,6 +65,15 @@ struct DatabaseOptions {
   /// nested-loop joins). Off = every SELECT seq-scans, the pre-index
   /// behavior. Runtime-togglable via Database::set_index_planner.
   bool index_planner;
+  /// Worker threads for partitioned WAL replay during Open()'s recovery
+  /// (PHX_RECOVERY_THREADS). 1 = serial streaming replay; either mode
+  /// produces an identical store (DESIGN.md §15).
+  uint64_t recovery_threads;
+  /// Replay-progress observation hook, forwarded to
+  /// DurabilityManager::set_replay_hook. phoenixd installs the "recovery"
+  /// SIGKILL rendezvous point here; must be thread-safe (parallel replay
+  /// fires it from pool workers).
+  std::function<void(uint64_t)> recovery_replay_hook;
 };
 
 /// The database server engine: storage + recovery + SQL execution +

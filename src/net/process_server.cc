@@ -85,6 +85,12 @@ Status ProcessServerHandle::Start() {
                    : "unix:" + opts_.data_dir + "/phoenixd.sock";
   }
   PHX_RETURN_IF_ERROR(Spawn(endpoint));
+  if (arm_on_start_) {
+    // Arm against the freshly-spawned child's pipes — a "recovery"
+    // rendezvous fires before READY, so arming after WaitReady is too late.
+    arm_on_start_ = false;
+    ArmKillOnRendezvous();
+  }
   Status ready = WaitReady();
   if (!ready.ok()) {
     Kill();

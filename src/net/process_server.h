@@ -54,7 +54,11 @@ struct ProcessServerOptions {
 ///   ckpt_post — same, after the rename (kill ⇒ image durable, WAL not yet
 ///               truncated);
 ///   exec      — immediately before executing the Nth kExecScript request
-///               (the mid-request kill window).
+///               (the mid-request kill window);
+///   recovery  — the Nth WAL-replay progress event during boot recovery
+///               (kill ⇒ the child dies with replay half-applied; only
+///               reachable via ProcessServerOptions.rendezvous +
+///               ArmKillOnNextStart, since the child parks before READY).
 /// and n counts matching events after arming (1 = the next one).
 inline constexpr const char* kAdminRendezvous = "phx.rendezvous";
 
@@ -107,6 +111,15 @@ class ProcessServerHandle {
   /// rendezvous, SIGKILL it. Idempotent while armed.
   void ArmKillOnRendezvous();
 
+  /// Makes the NEXT Start()/Restart() arm the kill watcher between spawn
+  /// and the READY wait. Required for the "recovery" rendezvous point: the
+  /// child parks during WAL replay, BEFORE it ever writes READY, so arming
+  /// after Start() returns would be too late (Start() would just time out).
+  /// With the watcher armed mid-Start, the SIGKILL lands while the child is
+  /// parked in recovery and Start() fails fast with CommError when the
+  /// notify pipe EOFs. One-shot; consumed by the next Start().
+  void ArmKillOnNextStart() { arm_on_start_ = true; }
+
   /// Blocks until an armed rendezvous kill happened (true) or `timeout_s`
   /// passed / the child died some other way (false).
   bool WaitRendezvousKill(double timeout_s);
@@ -139,6 +152,7 @@ class ProcessServerHandle {
   int watcher_stop_fd_ = -1;   ///< write end of the watcher's stop pipe
   int watcher_stop_read_ = -1;
   std::thread watcher_;
+  bool arm_on_start_ = false;  ///< one-shot: arm watcher inside next Start()
   std::atomic<bool> watcher_armed_{false};
   std::atomic<uint64_t> rendezvous_kills_{0};
 };

@@ -76,7 +76,7 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
 
 /// Parsed form of the kAdminRendezvous spec "<point>:<n>[:<keep_permille>]".
 struct RendezvousSpec {
-  enum class Point { kNone, kWalSync, kCkptPre, kCkptPost, kExec };
+  enum class Point { kNone, kWalSync, kCkptPre, kCkptPost, kExec, kRecovery };
   Point point = Point::kNone;
   uint64_t n = 1;
   uint64_t keep_permille = 1000;
@@ -94,6 +94,8 @@ Result<RendezvousSpec> ParseRendezvous(const std::string& value) {
     spec.point = RendezvousSpec::Point::kCkptPost;
   } else if (point == "exec") {
     spec.point = RendezvousSpec::Point::kExec;
+  } else if (point == "recovery") {
+    spec.point = RendezvousSpec::Point::kRecovery;
   } else {
     return Status::InvalidArgument("bad rendezvous point: " + value);
   }
@@ -166,6 +168,22 @@ class RendezvousController {
       spec_ = RendezvousSpec{};
     }
     FireAndPark(stage == 0 ? "ckpt_pre" : "ckpt_post");
+  }
+
+  /// WAL replay progress during Database::Open (the "recovery" point):
+  /// events come from the recovery scan thread per replayed record and —
+  /// under PHX_RECOVERY_THREADS > 1 — from the replay pool workers while
+  /// partitions apply, so the armed kill can land mid-parallel-replay.
+  /// Parking whichever thread got here holds the whole recovery (the scan
+  /// or a partition stops making progress) until the SIGKILL lands.
+  void OnReplay(uint64_t /*ordinal*/) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (spec_.point != RendezvousSpec::Point::kRecovery) return;
+      if (--remaining_ > 0) return;
+      spec_ = RendezvousSpec{};
+    }
+    FireAndPark("recovery");
   }
 
   void OnPreDispatch(const net::Request& request) {
@@ -280,6 +298,11 @@ int Main(int argc, char** argv) {
   };
   opts.pre_dispatch_hook = [&rendezvous](const net::Request& request) {
     rendezvous.OnPreDispatch(request);
+  };
+  // The "recovery" rendezvous point: fires inside Database::Open's WAL
+  // replay, before the server ever reports READY.
+  opts.db.recovery_replay_hook = [&rendezvous](uint64_t ordinal) {
+    rendezvous.OnReplay(ordinal);
   };
 
   net::DbServer db_server(&disk, opts);

@@ -2,6 +2,7 @@
 #define PHOENIX_STORAGE_RECOVERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/status.h"
@@ -29,12 +30,28 @@ struct RecoveryInfo {
   /// The WAL scan's torn-tail accounting (see WalScanStats).
   WalScanStats wal_scan;
   uint64_t next_txn_id = 1;
+  /// How replay ran (DESIGN.md §15). replay_threads is the effective worker
+  /// count (1 = the serial streaming path). partitions_replayed counts
+  /// per-table op batches handed to the pool; ddl_barriers counts the
+  /// serial CREATE/DROP TABLE sync points that fenced them. All three are
+  /// mode descriptors, not log properties — the equivalence contract is
+  /// that every OTHER field of this struct and the resulting TableStore
+  /// are byte-identical whatever replay_threads was.
+  uint64_t replay_threads = 1;
+  uint64_t partitions_replayed = 0;
+  uint64_t ddl_barriers = 0;
 };
 
 /// Applies one redo op to the store. Replay is idempotent in the sense that
 /// a whole committed record either was fully reflected in the checkpoint or
 /// not at all, so ops are applied blindly and any mismatch is an error.
 Status ApplyWalOp(const WalOp& op, TableStore* store);
+
+/// Same, against an already-resolved table — the partitioned-replay fast
+/// path: a partition batch is all one table, so the name lookup hoists out
+/// of the loop. Table DDL (create/drop table) is a store operation and is
+/// rejected here.
+Status ApplyWalOpToTable(Table* t, const WalOp& op);
 
 /// Owns the durability protocol: redo-only WAL + atomic full checkpoints.
 ///
@@ -81,8 +98,32 @@ class DurabilityManager {
   /// past the fence — commits that raced the checkpoint — survive.
   Status TruncateWalToFence(uint64_t fence_lsn);
 
-  /// Rebuilds `store` (cleared first) from durable state.
+  /// Rebuilds `store` from durable state. The store is cleared first, and
+  /// cleared AGAIN on every error path — a failed recovery never leaves a
+  /// half-replayed store behind for a caller that retries or degrades.
+  ///
+  /// Replay is a single streaming scan over the WAL (records are never
+  /// materialized as a whole). With recovery_threads == 1 each record's ops
+  /// apply inline during the scan; with more threads the scan classifies
+  /// DML ops into per-table partitions replayed on a worker pool, with
+  /// CREATE/DROP TABLE acting as serial barriers (DESIGN.md §15). Both
+  /// modes produce an identical store and identical RecoveryInfo counters.
   Status Recover(TableStore* store, RecoveryInfo* info);
+
+  /// Worker threads for partitioned WAL replay (PHX_RECOVERY_THREADS).
+  /// 1 (default) = serial streaming replay; clamped to at least 1. Takes
+  /// effect on the next Recover() call.
+  void set_recovery_threads(uint64_t n) { recovery_threads_ = n < 1 ? 1 : n; }
+  uint64_t recovery_threads() const { return recovery_threads_; }
+
+  /// Observation hook for replay progress, called with a 1-based running
+  /// event count: once per replayed record from the scan thread, and (in
+  /// parallel mode) periodically from the pool workers while a partition
+  /// applies. phoenixd taps this for the "recovery" SIGKILL rendezvous
+  /// point; the hook may be invoked concurrently and must be thread-safe.
+  void set_replay_hook(std::function<void(uint64_t)> hook) {
+    replay_hook_ = std::move(hook);
+  }
 
   SimDisk* disk() { return disk_; }
   const std::string& wal_file() const { return wal_file_; }
@@ -90,10 +131,17 @@ class DurabilityManager {
   WalWriter* wal_writer() { return &wal_writer_; }
 
  private:
+  /// Recover() minus the error-path Clear() wrapper.
+  Status RecoverImpl(TableStore* store, RecoveryInfo* local);
+  /// Loads the checkpoint image into `store` if one exists.
+  Status LoadCheckpoint(TableStore* store, RecoveryInfo* local);
+
   SimDisk* disk_;
   std::string wal_file_;
   std::string ckpt_file_;
   WalWriter wal_writer_;
+  uint64_t recovery_threads_ = 1;
+  std::function<void(uint64_t)> replay_hook_;
 };
 
 }  // namespace phoenix::storage

@@ -235,6 +235,7 @@ Status SimDisk::WriteAtomic(const std::string& file, const std::string& data) {
 
 Result<std::string> SimDisk::Read(const std::string& file) const {
   std::lock_guard<std::mutex> lk(mu_);
+  ++read_count_;
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   return it->second.durable + it->second.tail;
@@ -242,6 +243,7 @@ Result<std::string> SimDisk::Read(const std::string& file) const {
 
 Result<std::string> SimDisk::ReadDurable(const std::string& file) const {
   std::lock_guard<std::mutex> lk(mu_);
+  ++read_count_;
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   return it->second.durable;
@@ -318,6 +320,11 @@ uint64_t SimDisk::bytes_written() const {
 uint64_t SimDisk::sync_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return sync_count_;
+}
+
+uint64_t SimDisk::read_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return read_count_;
 }
 
 void SimDisk::InjectSyncFailures(int n) {

@@ -125,6 +125,10 @@ class SimDisk {
   uint64_t bytes_written() const;
   /// Number of Sync()/WriteAtomic() durability points.
   uint64_t sync_count() const;
+  /// Number of Read()/ReadDurable() calls. Tests use the delta to pin an
+  /// I/O budget — e.g. that recovery's scan + torn-tail repair cost exactly
+  /// one read of the WAL, not one per pass.
+  uint64_t read_count() const;
 
   /// Makes the next `n` Sync() calls fail with IoError, leaving the tail
   /// volatile — models a device that rejects the flush (battery-backed
@@ -165,6 +169,7 @@ class SimDisk {
   DiskHooks hooks_;
   uint64_t bytes_written_ = 0;
   uint64_t sync_count_ = 0;
+  mutable uint64_t read_count_ = 0;  ///< Read/ReadDurable calls (under mu_)
   int fail_syncs_ = 0;
   uint64_t sync_latency_us_ = 0;
 };

@@ -13,7 +13,7 @@ WalOp WalOp::CreateTable(std::string table, Schema schema,
   op.kind = WalOpKind::kCreateTable;
   op.table = std::move(table);
   op.schema = std::move(schema);
-  op.pk_columns = std::move(pk_columns);
+  op.columns = std::move(pk_columns);
   return op;
 }
 
@@ -56,7 +56,7 @@ WalOp WalOp::CreateIndex(std::string table, std::string index_name,
   op.kind = WalOpKind::kCreateIndex;
   op.table = std::move(table);
   op.index_name = std::move(index_name);
-  op.pk_columns = std::move(columns);
+  op.columns = std::move(columns);
   return op;
 }
 
@@ -74,8 +74,8 @@ void EncodeWalOp(const WalOp& op, Encoder* enc) {
   switch (op.kind) {
     case WalOpKind::kCreateTable:
       enc->PutSchema(op.schema);
-      enc->PutU32(static_cast<uint32_t>(op.pk_columns.size()));
-      for (int c : op.pk_columns) enc->PutI32(c);
+      enc->PutU32(static_cast<uint32_t>(op.columns.size()));
+      for (int c : op.columns) enc->PutI32(c);
       break;
     case WalOpKind::kDropTable:
       break;
@@ -89,8 +89,8 @@ void EncodeWalOp(const WalOp& op, Encoder* enc) {
       break;
     case WalOpKind::kCreateIndex:
       enc->PutString(op.index_name);
-      enc->PutU32(static_cast<uint32_t>(op.pk_columns.size()));
-      for (int c : op.pk_columns) enc->PutI32(c);
+      enc->PutU32(static_cast<uint32_t>(op.columns.size()));
+      for (int c : op.columns) enc->PutI32(c);
       break;
     case WalOpKind::kDropIndex:
       enc->PutString(op.index_name);
@@ -112,7 +112,7 @@ Result<WalOp> DecodeWalOp(Decoder* dec) {
       PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
       for (uint32_t i = 0; i < n; ++i) {
         PHX_ASSIGN_OR_RETURN(int32_t c, dec->GetI32());
-        op.pk_columns.push_back(c);
+        op.columns.push_back(c);
       }
       break;
     }
@@ -133,7 +133,7 @@ Result<WalOp> DecodeWalOp(Decoder* dec) {
       PHX_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
       for (uint32_t i = 0; i < n; ++i) {
         PHX_ASSIGN_OR_RETURN(int32_t c, dec->GetI32());
-        op.pk_columns.push_back(c);
+        op.columns.push_back(c);
       }
       break;
     }
@@ -509,15 +509,9 @@ void WalWriter::FlusherLoop() {
   }
 }
 
-Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
-    const SimDisk& disk, const std::string& file, WalScanStats* stats) {
-  std::vector<WalCommitRecord> records;
+Status WalReader::ScanBytes(const std::string& bytes, WalScanStats* stats,
+                            const RecordFn& fn, const SkipFn& skip) {
   WalScanStats local;
-  if (!disk.Exists(file)) {
-    if (stats != nullptr) *stats = local;
-    return records;
-  }
-  PHX_ASSIGN_OR_RETURN(std::string bytes, disk.ReadDurable(file));
   size_t pos = 0;
   const char* data = bytes.data();
   size_t size = bytes.size();
@@ -549,6 +543,13 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
     }
     rec.lsn = lsn_res.value();
     rec.txn_id = txn_res.value();
+    if (skip != nullptr && skip(rec.lsn, rec.txn_id)) {
+      // Subsumed record: the frame is complete and CRC-valid, so integrity
+      // is already established — its ops never need decoding.
+      ++local.records;
+      pos += 8 + len;
+      continue;
+    }
     bool ok = true;
     for (uint32_t i = 0; i < nops_res.value(); ++i) {
       auto op_res = DecodeWalOp(&body);
@@ -562,11 +563,19 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
       corrupt_tail = true;
       break;
     }
-    records.push_back(std::move(rec));
+    ++local.records;
     pos += 8 + len;
+    local.bytes_valid = pos;
+    Status st = fn(std::move(rec));
+    if (!st.ok()) {
+      // Aborted by the consumer (e.g. a replay error): report progress so
+      // far, but skip tear classification — the scan never reached the
+      // point where "what stopped us" is about the log's bytes.
+      if (stats != nullptr) *stats = local;
+      return st;
+    }
   }
   local.bytes_valid = pos;
-  local.records = records.size();
   local.tear_detected = pos < size;
   if (local.tear_detected) {
     uint64_t dropped = size - pos;
@@ -582,6 +591,28 @@ Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
         ->Increment(dropped);
   }
   if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+Status WalReader::Scan(const SimDisk& disk, const std::string& file,
+                       WalScanStats* stats, const RecordFn& fn,
+                       const SkipFn& skip) {
+  if (!disk.Exists(file)) {
+    if (stats != nullptr) *stats = WalScanStats{};
+    return Status::Ok();
+  }
+  PHX_ASSIGN_OR_RETURN(std::string bytes, disk.ReadDurable(file));
+  return ScanBytes(bytes, stats, fn, skip);
+}
+
+Result<std::vector<WalCommitRecord>> WalReader::ReadAll(
+    const SimDisk& disk, const std::string& file, WalScanStats* stats) {
+  std::vector<WalCommitRecord> records;
+  PHX_RETURN_IF_ERROR(Scan(disk, file, stats,
+                           [&records](WalCommitRecord&& rec) {
+                             records.push_back(std::move(rec));
+                             return Status::Ok();
+                           }));
   return records;
 }
 

@@ -38,7 +38,10 @@ struct WalOp {
   std::string table;
   // kCreateTable only:
   Schema schema;
-  std::vector<int> pk_columns;  ///< also the key columns for kCreateIndex
+  /// Column ordinals. Purpose depends on kind: the primary-key columns for
+  /// kCreateTable, the key columns for kCreateIndex. (One field, two roles —
+  /// the encode/decode layout is identical and replay routes on `kind`.)
+  std::vector<int> columns;
   // kInsert/kDelete/kUpdate:
   uint64_t rid = 0;
   Row row;  // new row for insert/update; unused for delete/drop.
@@ -272,6 +275,34 @@ struct WalScanStats {
 /// yields the longest valid prefix, never a partial record.
 class WalReader {
  public:
+  /// Delivered one complete record at a time, in log (== LSN) order. A
+  /// non-OK return aborts the scan and propagates out of Scan/ScanBytes
+  /// (used by recovery to stop replaying on the first apply error).
+  using RecordFn = std::function<Status(WalCommitRecord&&)>;
+  /// Scan-time skip predicate over a frame's cheap header fields (lsn,
+  /// txn_id). Returning true drops the record without decoding its ops —
+  /// the frame still had to be complete and CRC-valid to get here, and it
+  /// still counts in WalScanStats::records and advances bytes_valid.
+  /// Recovery uses this for checkpoint-subsumed records, which at
+  /// production WAL sizes is most of the log after a mid-checkpoint crash.
+  using SkipFn = std::function<bool(uint64_t lsn, uint64_t txn_id)>;
+
+  /// Streaming scan: one pass over the durable bytes, records handed to
+  /// `fn` as they decode — nothing is materialized. `stats` is filled even
+  /// when `fn` aborts the scan (fields reflect progress up to the abort;
+  /// tear accounting/metrics are recorded only for scans that ran to the
+  /// end of the valid prefix).
+  static Status Scan(const SimDisk& disk, const std::string& file,
+                     WalScanStats* stats, const RecordFn& fn,
+                     const SkipFn& skip = nullptr);
+  /// Same scan over an already-read byte buffer. Recovery reads the WAL
+  /// once, scans the buffer, and reuses the same buffer for torn-tail
+  /// repair — the scan and the repair together cost one device read.
+  static Status ScanBytes(const std::string& bytes, WalScanStats* stats,
+                          const RecordFn& fn, const SkipFn& skip = nullptr);
+
+  /// Scan() materialized: every surviving record in a vector (no skip
+  /// predicate). Kept for tests and tools; recovery streams instead.
   static Result<std::vector<WalCommitRecord>> ReadAll(
       const SimDisk& disk, const std::string& file,
       WalScanStats* stats = nullptr);

@@ -17,8 +17,12 @@
 #include <string>
 
 #include "chaos/chaos.h"
+#include "common/codec.h"
 #include "net/process_server.h"
 #include "net/socket.h"
+#include "storage/recovery.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
 
 #include "gtest/gtest.h"
 
@@ -301,6 +305,115 @@ TEST(ChaosMatrix, ProcessKillSchedules) {
       << "no schedule ever died inside a rendezvous window (mid-fsync / "
          "mid-checkpoint / pre-dispatch)";
   EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+}
+
+TEST(ChaosMatrix, RecoveryReplayKillSchedules) {
+  // Crash DURING parallel WAL replay: the replay-kill fault SIGKILLs the
+  // child between ops, then arms a "recovery" rendezvous so the reborn
+  // phoenixd — replaying with PHX_RECOVERY_THREADS=4 — is SIGKILLed again
+  // mid-replay, with partitions half-applied on worker threads. The retry
+  // after that boots over the half-replayed disk; the shadow-model oracle
+  // and the independent storage recovery then audit the result exactly as
+  // in every other lane. PHX_TRANSPORT=tcp runs it over TCP.
+  std::string why;
+  if (!ProcessChaosAvailable(&why)) GTEST_SKIP() << why;
+  uint64_t replay_kills = 0;
+  uint64_t sigkills = 0;
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 16000 + seed;
+    opts.n_faults = 3;
+    opts.transport = ProcessLaneTransport();
+    opts.allow_replay_kill = true;
+    opts.recovery_threads = 4;  // every boot replays through the pool
+    // Narrow the pool to plain crash + replay-kill so the new kind is
+    // actually drawn, and keep checkpoints off so the WAL stays long
+    // enough for the armed replay event to exist.
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_mid_checkpoint = false;
+    opts.allow_recovery_crash = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    ChaosReport r = RunAndCheck(opts);
+    replay_kills += r.replay_kills;
+    sigkills += r.sigkills;
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(sigkills, 0u) << "no schedule ever SIGKILLed the child";
+  EXPECT_GT(replay_kills, 0u)
+      << "no schedule ever died mid-parallel-replay (the armed recovery "
+         "rendezvous never fired)";
+  EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+}
+
+TEST(ChaosMatrix, RecoveryEquivalenceMatrix) {
+  // Serial/parallel replay equivalence over chaos-generated logs: for a
+  // sample of the torn-tail seed block, the post-schedule disk (surviving
+  // checkpoint + WAL, tears included) is replayed once with 1 thread and
+  // once with 4, and the results must be byte-identical — same encoded
+  // store snapshot, same RecoveryInfo accounting. The serial pass may
+  // repair the torn tail in place, so the WAL bytes are restored between
+  // the passes.
+  uint64_t compared = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 7000 + seed;  // reuse the torn-tail block's plans
+    opts.n_faults = 2;
+    opts.allow_crash = false;
+    opts.allow_mid_checkpoint = false;
+    opts.allow_recovery_crash = false;
+    opts.allow_lost_reply = false;
+    opts.allow_dropped_request = false;
+    opts.checkpoint_every_n_commits = (seed % 2 == 0) ? 5 : 0;
+    opts.post_run_disk_audit = [&compared](storage::SimDisk* disk,
+                                           const std::string& prefix) {
+      storage::DurabilityManager serial(disk, prefix);
+      const std::string wal = serial.wal_file();
+      std::string wal_bytes;
+      const bool had_wal = disk->Exists(wal);
+      if (had_wal) {
+        auto bytes = disk->ReadDurable(wal);
+        ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+        wal_bytes = bytes.take();
+      }
+      storage::TableStore store1, store4;
+      storage::RecoveryInfo info1, info4;
+      serial.set_recovery_threads(1);
+      Status s1 = serial.Recover(&store1, &info1);
+      if (had_wal) {
+        // Undo any in-place tail repair so both modes scan the same log.
+        ASSERT_TRUE(disk->WriteAtomic(wal, wal_bytes).ok());
+      }
+      storage::DurabilityManager parallel(disk, prefix);
+      parallel.set_recovery_threads(4);
+      Status s4 = parallel.Recover(&store4, &info4);
+      ASSERT_EQ(s1.ok(), s4.ok())
+          << "serial: " << s1.ToString() << " parallel: " << s4.ToString();
+      if (!s1.ok()) return;
+      Encoder e1, e4;
+      store1.EncodeSnapshot(&e1);
+      store4.EncodeSnapshot(&e4);
+      EXPECT_TRUE(e1.Take() == e4.Take())
+          << "stores diverge between serial and 4-thread replay";
+      EXPECT_EQ(info1.records_replayed, info4.records_replayed);
+      EXPECT_EQ(info1.ops_replayed, info4.ops_replayed);
+      EXPECT_EQ(info1.records_skipped, info4.records_skipped);
+      EXPECT_EQ(info1.next_txn_id, info4.next_txn_id);
+      EXPECT_EQ(info1.fence_lsn, info4.fence_lsn);
+      EXPECT_EQ(info1.had_checkpoint, info4.had_checkpoint);
+      EXPECT_EQ(info1.wal_scan.records, info4.wal_scan.records);
+      EXPECT_EQ(info1.wal_scan.bytes_valid, info4.wal_scan.bytes_valid);
+      EXPECT_EQ(info1.wal_scan.bytes_corrupt, info4.wal_scan.bytes_corrupt);
+      EXPECT_EQ(info1.wal_scan.tear_detected, info4.wal_scan.tear_detected);
+      EXPECT_EQ(info1.replay_threads, 1u);
+      EXPECT_EQ(info4.replay_threads, 4u);
+      ++compared;
+    };
+    RunAndCheck(opts);
+  }
+  EXPECT_GT(compared, 0u) << "the equivalence audit never ran";
 }
 
 TEST(ChaosMatrix, SingleSeedFromEnv) {

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "core/phoenix_driver_manager.h"
+#include "storage/recovery.h"
+#include "storage/sim_disk.h"
+#include "storage/table_store.h"
 
 #include "test_util.h"
 
@@ -411,6 +414,48 @@ TEST(GroupCommitRegression, AckedCommitsSurviveServerCrashUnderLoad) {
       EXPECT_TRUE(recovered.count(key))
           << "acked commit " << key << " vanished (flusher=" << flusher << ")";
     }
+  }
+}
+
+// --- Clear-on-error ---------------------------------------------------------
+
+// Regression: Recover() used to leave the half-replayed tables behind when
+// replay hit an error mid-log. A caller that retried, degraded to read-only,
+// or reported-and-continued would then observe — and possibly serve —
+// partially applied state (tables present, rows missing). A failed recovery
+// must leave the store exactly empty, in both serial and parallel replay.
+TEST(RecoverErrorPath, FailedRecoveryClearsTheStore) {
+  for (uint64_t threads : {uint64_t{1}, uint64_t{4}}) {
+    storage::SimDisk disk;
+    storage::DurabilityManager dm(&disk, "db");
+    Schema schema;
+    schema.AddColumn(Column{"K", DataType::kInt64, false});
+
+    storage::WalCommitRecord create;
+    create.txn_id = 1;
+    create.ops.push_back(storage::WalOp::CreateTable("T", schema, {0}));
+    PHX_ASSERT_OK(dm.LogCommit(create));
+    storage::WalCommitRecord insert;
+    insert.txn_id = 2;
+    insert.ops.push_back(storage::WalOp::Insert("T", 1, Row{Value::Int64(7)}));
+    PHX_ASSERT_OK(dm.LogCommit(insert));
+    // A commit whose op targets a table that never existed: replay applies
+    // the two commits above, then errors here.
+    storage::WalCommitRecord bad;
+    bad.txn_id = 3;
+    bad.ops.push_back(
+        storage::WalOp::Insert("MISSING", 1, Row{Value::Int64(9)}));
+    PHX_ASSERT_OK(dm.LogCommit(bad));
+    disk.Crash();
+
+    dm.set_recovery_threads(threads);
+    storage::TableStore store;
+    storage::RecoveryInfo info;
+    Status st = dm.Recover(&store, &info);
+    ASSERT_FALSE(st.ok()) << "threads=" << threads;
+    EXPECT_EQ(store.size(), 0u)
+        << "half-replayed state leaked out of a failed recovery (threads="
+        << threads << ")";
   }
 }
 

@@ -47,7 +47,7 @@ TEST(Wal, RoundTripAllOpKinds) {
   EXPECT_EQ(rec.txn_id, 7u);
   ASSERT_EQ(rec.ops.size(), 5u);
   EXPECT_EQ(rec.ops[0].kind, WalOpKind::kCreateTable);
-  EXPECT_EQ(rec.ops[0].pk_columns, std::vector<int>{0});
+  EXPECT_EQ(rec.ops[0].columns, std::vector<int>{0});
   EXPECT_TRUE(rec.ops[0].schema == SampleSchema());
   EXPECT_EQ(rec.ops[1].kind, WalOpKind::kInsert);
   EXPECT_EQ(rec.ops[1].rid, 1u);
@@ -55,6 +55,122 @@ TEST(Wal, RoundTripAllOpKinds) {
   EXPECT_EQ(rec.ops[2].kind, WalOpKind::kUpdate);
   EXPECT_EQ(rec.ops[3].kind, WalOpKind::kDelete);
   EXPECT_EQ(rec.ops[4].kind, WalOpKind::kDropTable);
+}
+
+// `columns` is one field with two roles: the primary-key ordinals for
+// kCreateTable and the key ordinals for kCreateIndex (empty for everything
+// else). The wire layout is identical for both — replay routes on `kind` —
+// and the round trip must preserve each role exactly.
+TEST(Wal, RoundTripIndexOpsAndColumnRoles) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  WalCommitRecord rec;
+  rec.txn_id = 9;
+  rec.ops.push_back(WalOp::CreateTable("T", SampleSchema(), {1, 0}));
+  rec.ops.push_back(WalOp::CreateIndex("T", "T_V", {1}));
+  rec.ops.push_back(WalOp::DropIndex("T", "T_V"));
+  ASSERT_TRUE(writer.AppendCommit(rec).ok());
+  auto records = WalReader::ReadAll(disk, "x.wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  const std::vector<WalOp>& ops = (*records)[0].ops;
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, WalOpKind::kCreateTable);
+  EXPECT_EQ(ops[0].columns, (std::vector<int>{1, 0}));  // pk ordinals, ordered
+  EXPECT_EQ(ops[1].kind, WalOpKind::kCreateIndex);
+  EXPECT_EQ(ops[1].index_name, "T_V");
+  EXPECT_EQ(ops[1].columns, std::vector<int>{1});  // index key ordinals
+  EXPECT_EQ(ops[2].kind, WalOpKind::kDropIndex);
+  EXPECT_EQ(ops[2].index_name, "T_V");
+  EXPECT_TRUE(ops[2].columns.empty());
+}
+
+TEST(Wal, ScanDeliversRecordsInOrderWithoutMaterializing) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());
+  }
+  std::vector<uint64_t> seen;
+  WalScanStats stats;
+  ASSERT_TRUE(WalReader::Scan(disk, "x.wal", &stats,
+                              [&seen](WalCommitRecord&& rec) {
+                                seen.push_back(rec.txn_id);
+                                return Status::Ok();
+                              })
+                  .ok());
+  ASSERT_EQ(seen.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i + 1);
+  EXPECT_EQ(stats.records, 10u);
+  EXPECT_FALSE(stats.tear_detected);
+  EXPECT_EQ(stats.bytes_valid, stats.bytes_total);
+}
+
+// The skip predicate short-circuits before op decode, but skipped frames
+// still count as records and still advance the valid prefix — a log whose
+// tail is entirely checkpoint-subsumed must not look torn.
+TEST(Wal, ScanSkipPredicateCountsRecordsAndValidBytes) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());
+  }
+  std::vector<uint64_t> delivered;
+  WalScanStats stats;
+  ASSERT_TRUE(WalReader::Scan(
+                  disk, "x.wal", &stats,
+                  [&delivered](WalCommitRecord&& rec) {
+                    delivered.push_back(rec.txn_id);
+                    return Status::Ok();
+                  },
+                  [](uint64_t, uint64_t txn_id) { return txn_id <= 6; })
+                  .ok());
+  ASSERT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(delivered.front(), 7u);
+  EXPECT_EQ(stats.records, 10u);  // skipped frames are still records
+  EXPECT_FALSE(stats.tear_detected);
+  EXPECT_EQ(stats.bytes_valid, stats.bytes_total);
+
+  // Skip-everything: the scan touches no op bytes yet reports a clean,
+  // fully-valid log.
+  WalScanStats all_skipped;
+  ASSERT_TRUE(WalReader::Scan(
+                  disk, "x.wal", &all_skipped,
+                  [](WalCommitRecord&&) {
+                    ADD_FAILURE() << "skip-all delivered a record";
+                    return Status::Ok();
+                  },
+                  [](uint64_t, uint64_t) { return true; })
+                  .ok());
+  EXPECT_EQ(all_skipped.records, 10u);
+  EXPECT_FALSE(all_skipped.tear_detected);
+  EXPECT_EQ(all_skipped.bytes_valid, all_skipped.bytes_total);
+}
+
+// A consumer abort is not a log problem: the scan must surface the error
+// and the progress so far, without classifying the unreached remainder as
+// a tear (no tear metrics, no corrupt-byte counts).
+TEST(Wal, ScanConsumerErrorReportsProgressNotTear) {
+  SimDisk disk;
+  WalWriter writer(&disk, "x.wal");
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(writer.AppendCommit(SampleCommit(i)).ok());
+  }
+  WalScanStats stats;
+  Status st = WalReader::Scan(disk, "x.wal", &stats,
+                              [](WalCommitRecord&& rec) {
+                                if (rec.txn_id == 4) {
+                                  return Status::Internal("replay abort");
+                                }
+                                return Status::Ok();
+                              });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("replay abort"), std::string::npos);
+  EXPECT_EQ(stats.records, 4u);  // the aborting record was decoded
+  EXPECT_FALSE(stats.tear_detected);
+  EXPECT_EQ(stats.bytes_corrupt, 0u);
+  EXPECT_EQ(stats.bytes_unforced_tail, 0u);
+  EXPECT_LT(stats.bytes_valid, stats.bytes_total);
 }
 
 TEST(Wal, MultipleRecordsInOrder) {
