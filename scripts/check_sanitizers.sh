@@ -35,7 +35,12 @@
 # replay on the worker pool), so the scan-thread/worker handoff, the DDL
 # barriers, and the sticky first-error path are race-checked in both modes.
 #
-# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket|recovery]
+# A sixth lane, `mvcc`, runs the MVCC-sensitive suites under TSan with
+# PHX_MVCC=1 (snapshot reads: version installation, pin/reclaim, the
+# committed_lsn_ publish) and again with PHX_MVCC=0 (classified reads), so
+# both read paths — and the writer hooks they share — are race-checked.
+#
+# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket|recovery|mvcc]
 # (default: both)
 set -eu
 
@@ -63,6 +68,7 @@ run_lane() {
         PHX_INDEX_PLANNER="$planner" \
         PHX_RECOVERY_THREADS="${LANE_RECOVERY_THREADS:-1}" \
         PHX_TRANSPORT="${LANE_TRANSPORT:-inproc}" \
+        PHX_MVCC="${LANE_MVCC:-1}" \
         ASAN_OPTIONS="halt_on_error=1" \
         UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         TSAN_OPTIONS="halt_on_error=1" \
@@ -77,6 +83,7 @@ run_lane() {
 CHAOS_TESTS='chaos_matrix_test|recovery_regression_test|wal_test'
 SOCKET_TESTS='net_test|process_server_test|chaos_matrix_test'
 RECOVERY_TESTS='storage_recovery_test|recovery_regression_test|chaos_matrix_test|wal_test'
+MVCC_TESTS='executor_test|txn_test|cursor_test|engine_edge_test|concurrent_server_test|seek_and_multiclient_test|chaos_test|chaos_matrix_test'
 
 want="${1:-both}"
 case "$want" in
@@ -97,9 +104,14 @@ case "$want" in
     LANE_RECOVERY_THREADS=1 run_lane tsan thread "$RECOVERY_TESTS"
     LANE_RECOVERY_THREADS=4 run_lane tsan thread "$RECOVERY_TESTS"
     ;;
+  mvcc)
+    # Snapshot-read lane: same build, both read paths race-checked.
+    LANE_MVCC=1 run_lane tsan thread "$MVCC_TESTS"
+    LANE_MVCC=0 run_lane tsan thread "$MVCC_TESTS"
+    ;;
   both)
     run_lane asan address,undefined
     run_lane tsan thread
     ;;
-  *) echo "usage: $0 [asan|tsan|chaos|socket|recovery]" >&2; exit 2 ;;
+  *) echo "usage: $0 [asan|tsan|chaos|socket|recovery|mvcc]" >&2; exit 2 ;;
 esac

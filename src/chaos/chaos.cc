@@ -1,11 +1,13 @@
 #include "chaos/chaos.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <dirent.h>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <unistd.h>
@@ -13,6 +15,7 @@
 
 #include "common/rng.h"
 #include "core/phoenix_driver_manager.h"
+#include "engine/database.h"
 #include "net/channel.h"
 #include "net/db_server.h"
 #include "net/process_server.h"
@@ -1047,6 +1050,229 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opts) {
   if (cs != nullptr) cs->broken = true;
   phoenix.Disconnect(chaos_client.dbc);
   native.Disconnect(ref_client.dbc);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// MVCC snapshot-visibility schedules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int64_t kVisRows = 16;
+constexpr int64_t kVisHalf = kVisRows / 2;
+/// Written by deliberately-aborted transactions; a reader observing it saw
+/// either a pending write or a rolled-back one.
+constexpr int64_t kVisSentinel = 1 << 30;
+
+}  // namespace
+
+std::string MvccVisibilityReport::DebugString() const {
+  std::string s = "MvccVisibilityReport{seed=" + std::to_string(seed);
+  s += mvcc ? " mvcc=on" : " mvcc=off";
+  s += " ok=" + std::string(ok ? "true" : "false");
+  if (!ok) s += " failure=\"" + failure + "\"";
+  s += " reads=" + std::to_string(reads);
+  s += " torn_reads=" + std::to_string(torn_reads);
+  s += " recoveries=" + std::to_string(recoveries);
+  s += "}";
+  return s;
+}
+
+MvccVisibilityReport RunMvccVisibilitySchedule(
+    const MvccVisibilityOptions& opts) {
+  MvccVisibilityReport report;
+  report.seed = opts.seed;
+  auto fail = [&report](const std::string& why) {
+    if (!report.ok) return;
+    report.ok = false;
+    report.failure = why + " (seed " + std::to_string(report.seed) + ")";
+  };
+
+  storage::SimDisk disk;
+  eng::DatabaseOptions dopts;
+  dopts.disk_prefix = "mvccvis";
+  if (opts.mvcc.has_value()) dopts.mvcc = *opts.mvcc;
+  const bool mvcc_on = dopts.mvcc;
+  report.mvcc = mvcc_on;
+
+  auto db = std::make_unique<eng::Database>(&disk, dopts);
+  if (Status st = db->Open(); !st.ok()) {
+    fail("open failed: " + st.ToString());
+    return report;
+  }
+
+  auto exec = [&](uint64_t sid, const std::string& sql) -> Status {
+    return db->ExecuteScript(sid, sql).status();
+  };
+  auto min_max = [&](uint64_t sid, int64_t* lo, int64_t* hi) -> Status {
+    auto r = db->ExecuteScript(sid, "SELECT MIN(G) AS LO, MAX(G) AS HI FROM VIS");
+    if (!r.ok()) return r.status();
+    if ((*r)[0].rows.empty()) return Status::Internal("aggregate returned no row");
+    *lo = (*r)[0].rows[0][0].AsInt64();
+    *hi = (*r)[0].rows[0][1].AsInt64();
+    return Status::Ok();
+  };
+
+  auto wsid_r = db->CreateSession("vis-writer");
+  if (!wsid_r.ok()) {
+    fail("writer session: " + wsid_r.status().ToString());
+    return report;
+  }
+  uint64_t wsid = *wsid_r;
+  {
+    Status st = exec(wsid, "CREATE TABLE VIS (K INTEGER PRIMARY KEY, G INTEGER)");
+    for (int64_t k = 1; st.ok() && k <= kVisRows; ++k) {
+      st = exec(wsid, "INSERT INTO VIS VALUES (" + std::to_string(k) + ", 0)");
+    }
+    if (!st.ok()) {
+      fail("seed data: " + st.ToString());
+      return report;
+    }
+  }
+
+  // Readers spin on the uniformity invariant. With MVCC on, any torn or
+  // sentinel-bearing observation is an oracle violation; with MVCC off the
+  // tear is the documented classification-mode behavior and only counted.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> torn{0};
+  std::mutex violation_mu;
+  std::string violation;
+  auto record_violation = [&](const std::string& why) {
+    std::lock_guard<std::mutex> lk(violation_mu);
+    if (violation.empty()) violation = why;
+  };
+  std::vector<std::thread> readers;
+  auto spawn_readers = [&]() {
+    stop.store(false, std::memory_order_release);
+    for (int i = 0; i < opts.n_readers; ++i) {
+      readers.emplace_back([&]() {
+        auto sid = db->CreateSession("vis-reader");
+        if (!sid.ok()) {
+          record_violation("reader session: " + sid.status().ToString());
+          return;
+        }
+        while (!stop.load(std::memory_order_acquire)) {
+          int64_t lo = 0, hi = 0;
+          if (Status st = min_max(*sid, &lo, &hi); !st.ok()) {
+            record_violation("reader select: " + st.ToString());
+            break;
+          }
+          reads.fetch_add(1, std::memory_order_relaxed);
+          if (lo != hi || hi == kVisSentinel) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+            if (mvcc_on) {
+              record_violation("snapshot reader observed torn state: MIN(G)=" +
+                               std::to_string(lo) + " MAX(G)=" +
+                               std::to_string(hi));
+              break;
+            }
+          }
+        }
+        db->CloseSession(*sid);
+      });
+    }
+  };
+  auto join_readers = [&]() {
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : readers) t.join();
+    readers.clear();
+  };
+
+  Rng rng(opts.seed ^ 0x51AB);
+  const int crash_before = opts.crash_midway ? opts.n_txns / 2 + 1 : -1;
+  spawn_readers();
+  for (int g = 1; report.ok && g <= opts.n_txns; ++g) {
+    if (g == crash_before) {
+      // Die with a transaction open and half the table dirtied: recovery
+      // replays committed transactions only, so the restarted image must sit
+      // uniformly at some committed G.
+      (void)exec(wsid, "BEGIN TRANSACTION");
+      (void)exec(wsid, "UPDATE VIS SET G = " + std::to_string(kVisSentinel) +
+                           " WHERE K <= " + std::to_string(kVisHalf));
+      join_readers();
+      db.reset();
+      db = std::make_unique<eng::Database>(&disk, dopts);
+      if (Status st = db->Open(); !st.ok()) {
+        fail("recovery failed: " + st.ToString());
+        break;
+      }
+      ++report.recoveries;
+      auto sid = db->CreateSession("vis-writer");
+      if (!sid.ok()) {
+        fail("post-recovery session: " + sid.status().ToString());
+        break;
+      }
+      wsid = *sid;
+      int64_t lo = 0, hi = 0;
+      if (Status st = min_max(wsid, &lo, &hi); !st.ok()) {
+        fail("post-recovery read: " + st.ToString());
+        break;
+      }
+      if (lo != hi || hi == kVisSentinel || hi >= g) {
+        fail("recovered state not at a committed boundary: MIN(G)=" +
+             std::to_string(lo) + " MAX(G)=" + std::to_string(hi));
+        break;
+      }
+      spawn_readers();
+    }
+    if (rng.NextBool(0.2)) {
+      // Aborted sentinel transaction: pending while open, gone after.
+      Status st = exec(wsid, "BEGIN TRANSACTION");
+      if (st.ok()) {
+        st = exec(wsid, "UPDATE VIS SET G = " + std::to_string(kVisSentinel) +
+                            " WHERE K <= " + std::to_string(kVisHalf));
+      }
+      std::this_thread::yield();
+      if (st.ok()) st = exec(wsid, "ROLLBACK");
+      if (!st.ok()) {
+        fail("abort txn: " + st.ToString());
+        break;
+      }
+    }
+    // The committed transaction, torn across two statements: between them
+    // the live heap holds half old-G, half new-G.
+    Status st = exec(wsid, "BEGIN TRANSACTION");
+    if (st.ok()) {
+      st = exec(wsid, "UPDATE VIS SET G = " + std::to_string(g) +
+                          " WHERE K <= " + std::to_string(kVisHalf));
+    }
+    std::this_thread::yield();
+    if (st.ok()) {
+      st = exec(wsid, "UPDATE VIS SET G = " + std::to_string(g) +
+                          " WHERE K > " + std::to_string(kVisHalf));
+    }
+    if (st.ok()) st = exec(wsid, "COMMIT");
+    if (!st.ok()) {
+      fail("writer txn " + std::to_string(g) + ": " + st.ToString());
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lk(violation_mu);
+      if (!violation.empty()) break;
+    }
+  }
+  join_readers();
+
+  report.reads = reads.load();
+  report.torn_reads = torn.load();
+  {
+    std::lock_guard<std::mutex> lk(violation_mu);
+    if (!violation.empty()) fail(violation);
+  }
+
+  if (report.ok) {
+    auto r = db->ExecuteScript(wsid, "SELECT K, G FROM VIS ORDER BY K");
+    if (!r.ok()) {
+      fail("final image read: " + r.status().ToString());
+    } else {
+      for (const Row& row : (*r)[0].rows) {
+        report.final_image += std::to_string(row[0].AsInt64()) + ":" +
+                              std::to_string(row[1].AsInt64()) + ",";
+      }
+    }
+  }
   return report;
 }
 

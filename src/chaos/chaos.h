@@ -131,6 +131,51 @@ struct ChaosReport {
 
 ChaosReport RunChaosSchedule(const ChaosOptions& opts);
 
+/// One seeded MVCC snapshot-visibility schedule: an engine-level (in-process
+/// eng::Database) writer commits a sequence of transactions that are each
+/// deliberately *torn* across two statements — UPDATE half the table, yield,
+/// UPDATE the other half, COMMIT — while N concurrent reader sessions spin
+/// on SELECT MIN(G)/MAX(G). Some transactions write a sentinel value into
+/// one half and ROLL BACK instead.
+///
+/// The oracle:
+///  - mvcc on: every read is uniform (MIN == MAX) and sentinel-free — a
+///    snapshot reader can never observe the mid-transaction tear, a pending
+///    write, or a rolled-back value. Any violation fails the schedule.
+///  - mvcc off: torn reads are *expected* (classification readers see the
+///    live heap between the writer's statements); they are counted, not
+///    asserted, so the same schedule documents the behavioral delta.
+///  - crash/restart (optional): midway the Database is destroyed and
+///    recovered from the SimDisk; the restarted state must be uniform at a
+///    committed boundary (WAL replay applies whole transactions only).
+///  - the final table image is returned so callers can demand cross-mode
+///    equality (the same seed with mvcc on and off must converge).
+struct MvccVisibilityOptions {
+  uint64_t seed = 1;
+  int n_txns = 30;           ///< committed writer transactions
+  int n_readers = 3;         ///< concurrent snapshot-reader threads
+  /// Engine MVCC override. Unset = inherit the PHX_MVCC environment lane
+  /// (same pattern as ChaosOptions::group_commit); set = pin the mode.
+  std::optional<bool> mvcc;
+  bool crash_midway = true;  ///< kill + recover the engine mid-schedule
+};
+
+struct MvccVisibilityReport {
+  uint64_t seed = 0;
+  bool ok = true;
+  std::string failure;
+  bool mvcc = false;        ///< resolved engine mode the schedule ran with
+  uint64_t reads = 0;       ///< reader SELECTs completed
+  uint64_t torn_reads = 0;  ///< non-uniform MIN/MAX observed
+  uint64_t recoveries = 0;  ///< crash/restart cycles performed
+  std::string final_image;  ///< canonical "k:g,..." final table contents
+
+  std::string DebugString() const;
+};
+
+MvccVisibilityReport RunMvccVisibilitySchedule(
+    const MvccVisibilityOptions& opts);
+
 }  // namespace phoenix::chaos
 
 #endif  // PHOENIX_CHAOS_CHAOS_H_

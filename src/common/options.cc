@@ -30,6 +30,7 @@ Options Options::FromEnv() {
       static_cast<size_t>(EnvU64("PHX_GC_MAX_BATCH_BYTES", o.gc_max_batch_bytes));
   o.background_checkpoint = EnvFlag("PHX_CKPT_BG", o.background_checkpoint);
   o.index_planner = EnvFlag("PHX_INDEX_PLANNER", o.index_planner);
+  o.mvcc = EnvFlag("PHX_MVCC", o.mvcc);
   o.recovery_threads = EnvU64("PHX_RECOVERY_THREADS", o.recovery_threads);
   if (o.recovery_threads == 0) o.recovery_threads = 1;
   const char* transport = std::getenv("PHX_TRANSPORT");

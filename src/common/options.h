@@ -26,6 +26,11 @@ enum class Transport : uint8_t {
 ///   PHX_GC_MAX_BATCH_BYTES=<n> batch size flush trigger (default 256 KiB)
 ///   PHX_CKPT_BG=0|1            background checkpoints (default on)
 ///   PHX_INDEX_PLANNER=0|1      cost-aware access-path planner (default on)
+///   PHX_MVCC=0|1               MVCC snapshot reads: versioned visibility so
+///                              read-only statements evaluate against a
+///                              pinned snapshot instead of holding the data
+///                              lock (default on; =0 restores the pure
+///                              reader-writer classification path)
 ///   PHX_RECOVERY_THREADS=<n>   WAL replay worker threads (default 1 =
 ///                              serial replay; >1 partitions replay by table)
 ///   PHX_TRANSPORT=inproc|unix|tcp  client↔server transport for harnesses
@@ -39,6 +44,7 @@ struct Options {
   size_t gc_max_batch_bytes = 256 * 1024;
   bool background_checkpoint = true;
   bool index_planner = true;
+  bool mvcc = true;
   uint64_t recovery_threads = 1;
   Transport transport = Transport::kInproc;
   uint64_t rpc_timeout_ms = 30000;

@@ -107,6 +107,17 @@ SqlReturn PhoenixDriverManager::Connect(Hdbc* dbc, const std::string& dsn,
     return Fail(dbc, priv.status());
   }
   cs->private_conn = priv.take();
+  // Phoenix reads its testable state at READ UNCOMMITTED: a status marker
+  // written by the application's still-open transaction must be visible to
+  // the private connection's probe, or a lost reply would be resubmitted
+  // and double-applied (see ExecInTxn).
+  Status iso =
+      cs->private_conn->SetOption("ISOLATION", "READ UNCOMMITTED");
+  if (!iso.ok()) {
+    cs->private_conn->Disconnect();
+    DriverManager::Disconnect(dbc);
+    return Fail(dbc, iso);
+  }
 
   // Session-liveness proxy: a temp table in the *main* session. It exists
   // exactly as long as the pre-crash session does.

@@ -148,6 +148,13 @@ PhoenixDriverManager::RecoverConnectionOnce(Hdbc* dbc, ConnState* cs) {
     return priv.status();
   }
   cs->private_conn = priv.take();
+  // The replacement private connection probes testable state exactly like
+  // the original did: at READ UNCOMMITTED (see Connect).
+  Status iso = cs->private_conn->SetOption("ISOLATION", "READ UNCOMMITTED");
+  if (!iso.ok()) {
+    if (!IsCrashSignal(iso)) cs->broken = true;
+    return iso;
+  }
   stats_.last_virtual_session_seconds = vs_watch.ElapsedSeconds();
   reg->GetHistogram("core.recovery.virtual_session_us")
       ->Record(

@@ -220,7 +220,9 @@ bool RenameObjects(Statement* stmt,
       changed = MapName(table_map, &stmt->drop_index->table);
       break;
     case sql::StmtKind::kExplain:
-      changed = RenameInSelect(stmt->explain_select.get(), table_map);
+      // The payload is a full statement (SELECT/INSERT/UPDATE/DELETE);
+      // recurse so every table reference inside it is remapped.
+      changed = RenameObjects(stmt->explain_inner.get(), table_map, proc_map);
       break;
     default:
       break;

@@ -44,9 +44,19 @@ Result<std::vector<Row>> Cursor::Fetch(Database* db, Session* session,
       std::vector<std::string> quals(base_schema.num_columns(),
                                      select_->from[0].BindingName());
       while (out.size() < n && position_ < keys_.size()) {
-        const Row& key = keys_[position_++];
+        const size_t slot = position_++;
+        const Row& key = keys_[slot];
         auto rid = t->FindByPk(key);
         if (!rid.ok()) continue;  // row deleted since open: skip the hole
+        // Frozen membership means *these rows*, not *these key values*: a
+        // row inserted after open under a recycled key is a phantom. Only
+        // enforced on pinned (MVCC) cursors — unpinned cursors keep the
+        // historical (buggy) key-identity behavior for equivalence with
+        // classification-mode runs.
+        if (pinned_ && slot < key_rids_.size() &&
+            rid.value() != key_rids_[slot]) {
+          continue;
+        }
         const Row* row = t->Find(rid.value());
         if (row == nullptr) continue;
         // Current (possibly updated) row data is returned — keyset property.

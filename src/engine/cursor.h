@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "sql/ast.h"
+#include "storage/table_store.h"
 
 namespace phoenix::eng {
 
@@ -71,8 +72,21 @@ class Cursor {
   std::string base_table_;
   std::unique_ptr<sql::SelectStmt> select_;  ///< projection + WHERE
   std::vector<Row> keys_;                    ///< keyset only
+  /// Keyset only, parallel to keys_: the RowId each key resolved to at open.
+  /// With MVCC on, a fetch that resolves a key to a *different* rid is
+  /// looking at a row inserted after open that merely reuses the key — a
+  /// phantom under frozen membership — and skips it. (Without MVCC the
+  /// guard is off and the classification-mode phantom is a documented
+  /// limitation.)
+  std::vector<storage::RowId> key_rids_;
   Row last_key_;                             ///< dynamic only
   bool dynamic_started_ = false;
+
+  /// MVCC pin taken at open (static + keyset), released at close. The pin
+  /// bounds version reclamation; static cursors also use it to justify
+  /// lock-free fetches from their materialized copy.
+  bool pinned_ = false;
+  storage::MvccSnapshot pin_;
 };
 
 }  // namespace phoenix::eng

@@ -39,6 +39,11 @@ Status Database::Open() {
   if (open_) return Status::Internal("database already open");
   PHX_RETURN_IF_ERROR(durability_.Recover(&store_, &recovery_info_));
   txn_manager_.set_next_id(recovery_info_.next_txn_id);
+  // Recovered rows carry the implicit visible-to-all stamp; the commit
+  // horizon starts at the recovered WAL position so the first post-recovery
+  // commit publishes a strictly larger LSN.
+  committed_lsn_.store(durability_.wal_writer()->last_assigned_lsn(),
+                       std::memory_order_release);
   if (opts_.background_checkpoint) {
     ckpt_thread_ = std::thread([this] { CheckpointThreadLoop(); });
   }
@@ -66,6 +71,9 @@ Status Database::CloseSession(uint64_t session_id) {
   }
   if (s->txn != nullptr) {
     PHX_RETURN_IF_ERROR(Rollback(s));
+  }
+  for (const auto& [cid, c] : s->cursors) {
+    if (c->pinned_) UnpinSnapshot(c->pin_);
   }
   s->cursors.clear();
   store_.DropSessionTemps(session_id);
@@ -132,6 +140,17 @@ Result<StatementResult> Database::ExecuteStatement(uint64_t session_id,
       (stmt.kind == StmtKind::kSelect && stmt.select->into_table.empty()) ||
       stmt.kind == StmtKind::kExplain;
   if (read_only) {
+    if (opts_.mvcc && stmt.kind == StmtKind::kSelect) {
+      // MVCC read path: pin a snapshot under a brief shared hold, collect
+      // the working set against it, then project/aggregate/sort off-lock.
+      // Read-uncommitted sessions stay on the classified path below — a
+      // snapshot hides other sessions' pending writes, which is exactly
+      // what a dirty-read probe must observe.
+      Session* reader = FindSession(session_id);
+      if (reader != nullptr && !reader->reads_uncommitted()) {
+        return ExecuteSelectSnapshot(session_id, stmt);
+      }
+    }
     std::shared_lock<std::shared_mutex> lk(data_mu_);
     return ExecuteStatementLocked(session_id, stmt, /*can_checkpoint=*/false,
                                   /*ticket=*/nullptr);
@@ -198,7 +217,8 @@ Result<StatementResult> Database::ExecuteStatementLocked(
     // Statement-level atomicity: roll back this statement's effects only.
     Status undo_status =
         txn_manager_.UndoTo(s->txn.get(), undo_mark, redo_mark, &store_,
-                            &temp_procs_);
+                            &temp_procs_,
+                            opts_.mvcc ? s->txn->id : 0);
     if (autocommit) s->txn.reset();
     if (!undo_status.ok()) return undo_status;
     return result.status();
@@ -216,7 +236,8 @@ Result<StatementResult> Database::ExecuteStatementLocked(
 Status Database::Commit(Session* s, bool can_checkpoint,
                         storage::WalCommitTicket* ticket) {
   Txn* txn = s->txn.get();
-  if (!txn->redo.empty()) {
+  bool logged = !txn->redo.empty();
+  if (logged) {
     storage::WalCommitRecord record;
     record.txn_id = txn->id;
     record.ops = std::move(txn->redo);
@@ -231,6 +252,14 @@ Status Database::Commit(Session* s, bool can_checkpoint,
     } else {
       PHX_RETURN_IF_ERROR(durability_.LogCommit(record));
     }
+  }
+  if (opts_.mvcc && logged) {
+    // The commit's LSN was assigned under the exclusive data lock this
+    // caller still holds (a logged commit never arrives via the read-only
+    // path), so last_assigned is exactly this record's LSN. Visibility is
+    // published before durability, matching classification-mode semantics
+    // where in-memory effects are readable the moment the lock drops.
+    MvccCommitLocked(*txn, durability_.wal_writer()->last_assigned_lsn());
   }
   s->txn.reset();
   commit_count_.fetch_add(1, std::memory_order_relaxed);
@@ -262,9 +291,122 @@ Status Database::Commit(Session* s, bool can_checkpoint,
 }
 
 Status Database::Rollback(Session* s) {
-  Status st = txn_manager_.UndoTo(s->txn.get(), 0, 0, &store_, &temp_procs_);
+  Status st = txn_manager_.UndoTo(s->txn.get(), 0, 0, &store_, &temp_procs_,
+                                  opts_.mvcc ? s->txn->id : 0);
   s->txn.reset();
   return st;
+}
+
+Result<StatementResult> Database::ExecuteSelectSnapshot(
+    uint64_t session_id, const Statement& stmt) {
+  Session* s = FindSession(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  bool autocommit = s->txn == nullptr;
+  if (autocommit) s->txn = txn_manager_.Begin();
+  s->txn->MarkStatement();
+
+  Executor ex(this, s);
+  storage::MvccSnapshot snap;
+  auto bound = [&]() -> Result<BoundRows> {
+    // The shared hold covers only snapshot pinning and working-set
+    // collection (rows are copied out); projection, aggregation, DISTINCT,
+    // and ORDER BY/LIMIT all run after the lock is released, so a heavy
+    // read never stalls writers for its full duration.
+    std::shared_lock<std::shared_mutex> lk(data_mu_);
+    snap = PinSnapshot(s->txn->id);
+    ex.set_snapshot(&snap);
+    return ex.EvaluateFrom(*stmt.select);
+  }();
+  auto result = [&]() -> Result<StatementResult> {
+    if (!bound.ok()) return bound.status();
+    return ex.FinishSelect(*stmt.select, bound.take());
+  }();
+  UnpinSnapshot(snap);
+  if (!result.ok()) {
+    // A plain SELECT leaves no undo/redo behind; statement atomicity is a
+    // mark reset.
+    if (autocommit) s->txn.reset();
+    return result.status();
+  }
+  if (autocommit) {
+    // Empty-redo commit: keeps commit accounting identical to the
+    // classification path (which also commits read-only autocommits).
+    PHX_RETURN_IF_ERROR(Commit(s, /*can_checkpoint=*/false, nullptr));
+  }
+  return result;
+}
+
+storage::MvccSnapshot Database::PinSnapshot(uint64_t txn_id) {
+  storage::MvccSnapshot snap;
+  snap.lsn = committed_lsn_.load(std::memory_order_acquire);
+  snap.txn = txn_id;
+  auto* reg = obs::MetricsRegistry::Default();
+  {
+    std::lock_guard<std::mutex> lk(pins_mu_);
+    pins_.insert(snap.lsn);
+    reg->GetGauge("engine.mvcc.oldest_pin_lsn")
+        ->Set(static_cast<int64_t>(*pins_.begin()));
+  }
+  reg->GetCounter("engine.mvcc.snapshots")->Increment();
+  return snap;
+}
+
+void Database::UnpinSnapshot(const storage::MvccSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  auto it = pins_.find(snap.lsn);
+  if (it != pins_.end()) pins_.erase(it);
+  obs::MetricsRegistry::Default()
+      ->GetGauge("engine.mvcc.oldest_pin_lsn")
+      ->Set(pins_.empty() ? 0 : static_cast<int64_t>(*pins_.begin()));
+}
+
+uint64_t Database::MvccWatermark() const {
+  uint64_t horizon = committed_lsn_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lk(pins_mu_);
+  // A version whose delete-LSN is <= the oldest pin is invisible to every
+  // pinned snapshot (a snapshot at LSN P sees deletes stamped <= P), and
+  // future pins land at >= horizon — so min(pins, horizon) bounds what may
+  // still be read.
+  if (pins_.empty()) return horizon;
+  return std::min(horizon, *pins_.begin());
+}
+
+void Database::MvccCommitLocked(const Txn& txn, uint64_t lsn) {
+  // The undo stack names exactly the (table, rid) pairs this transaction
+  // stamped — walk it to finalize the pending marks to the commit LSN.
+  // (No-steal keeps the stack intact at commit: only redo is consumed.)
+  std::set<storage::Table*> touched;
+  for (const UndoRecord& u : txn.undo) {
+    if (u.kind != UndoRecord::Kind::kInsert &&
+        u.kind != UndoRecord::Kind::kDelete &&
+        u.kind != UndoRecord::Kind::kUpdate) {
+      continue;
+    }
+    storage::Table* t = store_.Get(u.table);
+    if (t == nullptr || t->temporary()) continue;
+    t->MvccFinalize(u.rid, txn.id, lsn);
+    touched.insert(t);
+  }
+  committed_lsn_.store(lsn, std::memory_order_release);
+  if (touched.empty()) return;
+  uint64_t watermark = MvccWatermark();
+  size_t reclaimed = 0;
+  int64_t live = 0;
+  for (storage::Table* t : touched) {
+    reclaimed += t->MvccReclaim(watermark);
+    live += static_cast<int64_t>(t->MvccVersionCount());
+  }
+  auto* reg = obs::MetricsRegistry::Default();
+  if (reclaimed > 0) {
+    reg->GetCounter("engine.mvcc.versions_reclaimed")->Increment(reclaimed);
+  }
+  // Tables not touched by this commit cannot have gained versions since
+  // their own last commit reclaimed them, but they may still retain some
+  // under an old pin; the gauge tracks the touched set as a cheap,
+  // commit-fresh approximation of the global count.
+  reg->GetGauge("engine.mvcc.versions_live")->Set(live);
 }
 
 bool Database::AnyActiveTxn() const {
@@ -442,12 +584,29 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
   auto cursor = std::make_unique<Cursor>(s->next_cursor_id++, type);
   Executor ex(this, s);
 
-  if (type == CursorType::kStatic) {
-    PHX_ASSIGN_OR_RETURN(StatementResult r, ex.ExecuteSelect(*sel));
-    if (!r.has_rows) return Status::SqlError("cursor query has no result set");
-    cursor->schema_ = std::move(r.schema);
-    cursor->static_rows_ = std::move(r.rows);
-  } else {
+  // Static and keyset cursors pin a snapshot at open: materialization /
+  // key collection evaluates against it, and the pin (released at close)
+  // bounds version reclamation for as long as the cursor lives. Dynamic
+  // cursors are fluid by definition and stay unpinned.
+  if (opts_.mvcc && !s->reads_uncommitted() && type != CursorType::kDynamic) {
+    // Pin under the session's own transaction id (when one is open) so the
+    // cursor sees that transaction's pending writes, exactly as the live
+    // heap would have shown them.
+    cursor->pin_ = PinSnapshot(s->txn != nullptr ? s->txn->id : 0);
+    cursor->pinned_ = true;
+    ex.set_snapshot(&cursor->pin_);
+  }
+
+  Status fill = [&]() -> Status {
+    if (type == CursorType::kStatic) {
+      PHX_ASSIGN_OR_RETURN(StatementResult r, ex.ExecuteSelect(*sel));
+      if (!r.has_rows) {
+        return Status::SqlError("cursor query has no result set");
+      }
+      cursor->schema_ = std::move(r.schema);
+      cursor->static_rows_ = std::move(r.rows);
+      return Status::Ok();
+    }
     // Keyset/dynamic: single-table query over a PK'd table, no aggregation.
     if (sel->from.size() != 1) {
       return Status::NotSupported(std::string(CursorTypeName(type)) +
@@ -486,13 +645,31 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
       // an indexed column collects the keys in sub-linear time (index probe
       // + k·log k re-sort) instead of a full PK-index scan.
       PHX_ASSIGN_OR_RETURN(BoundRows bound, ex.EvaluateFrom(*sel));
-      cursor->keys_.reserve(bound.rows.size());
-      for (const Row& row : bound.rows) {
-        cursor->keys_.push_back(t->PkOf(row));
+      // Record (key, rid) pairs and sort them together: the rid identifies
+      // *which row* each key named at open, so a later fetch can reject a
+      // different row that merely reuses a deleted member's key.
+      std::vector<std::pair<Row, storage::RowId>> members;
+      members.reserve(bound.rows.size());
+      for (size_t i = 0; i < bound.rows.size(); ++i) {
+        members.emplace_back(t->PkOf(bound.rows[i]),
+                             i < bound.rids.size() ? bound.rids[i] : 0);
       }
-      std::sort(cursor->keys_.begin(), cursor->keys_.end(),
-                storage::RowLess{});
+      std::sort(members.begin(), members.end(),
+                [](const auto& a, const auto& b) {
+                  return storage::RowLess{}(a.first, b.first);
+                });
+      cursor->keys_.reserve(members.size());
+      cursor->key_rids_.reserve(members.size());
+      for (auto& [key, rid] : members) {
+        cursor->keys_.push_back(std::move(key));
+        cursor->key_rids_.push_back(rid);
+      }
     }
+    return Status::Ok();
+  }();
+  if (!fill.ok()) {
+    if (cursor->pinned_) UnpinSnapshot(cursor->pin_);
+    return fill;
   }
   Cursor* raw = cursor.get();
   s->cursors[raw->id()] = std::move(cursor);
@@ -511,9 +688,17 @@ Result<Cursor*> Database::OpenCursor(uint64_t session_id,
 Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
                                                uint64_t cursor_id, size_t n,
                                                bool* done) {
-  std::shared_lock<std::shared_mutex> data_lk(data_mu_);
   PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
-  auto res = c->Fetch(this, FindSession(session_id), n, done);
+  auto res = [&]() -> Result<std::vector<Row>> {
+    if (c->type() == CursorType::kStatic) {
+      // Static fetches walk a session-private materialized copy; they never
+      // touch shared storage, so no data lock is taken — a reader paging a
+      // large static cursor cannot block (or be blocked by) writers.
+      return c->Fetch(this, FindSession(session_id), n, done);
+    }
+    std::shared_lock<std::shared_mutex> data_lk(data_mu_);
+    return c->Fetch(this, FindSession(session_id), n, done);
+  }();
   if (res.ok()) {
     obs::MetricsRegistry::Default()
         ->GetCounter("engine.rows_fetched")
@@ -524,7 +709,9 @@ Result<std::vector<Row>> Database::FetchCursor(uint64_t session_id,
 
 Status Database::SeekCursor(uint64_t session_id, uint64_t cursor_id,
                             uint64_t pos) {
-  std::shared_lock<std::shared_mutex> data_lk(data_mu_);
+  // Seek only moves the cursor's position over session-private state
+  // (materialized rows or the frozen key list) — no shared storage access,
+  // no data lock.
   PHX_ASSIGN_OR_RETURN(Cursor * c, GetCursor(session_id, cursor_id));
   return c->Seek(pos);
 }
@@ -534,9 +721,12 @@ Status Database::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
   if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
-  if (s->cursors.erase(cursor_id) == 0) {
+  auto it = s->cursors.find(cursor_id);
+  if (it == s->cursors.end()) {
     return Status::NotFound("no such cursor: " + std::to_string(cursor_id));
   }
+  if (it->second->pinned_) UnpinSnapshot(it->second->pin_);
+  s->cursors.erase(it);
   return Status::Ok();
 }
 
@@ -561,6 +751,9 @@ Result<storage::RowId> Database::TxInsert(Txn* txn, storage::Table* table,
   undo.table = table->name();
   undo.rid = rid;
   txn->undo.push_back(std::move(undo));
+  if (opts_.mvcc && !table->temporary()) {
+    table->MvccNoteInsert(rid, txn->id);
+  }
   if (!table->temporary()) {
     txn->redo.push_back(
         storage::WalOp::Insert(table->name(), rid, *table->Find(rid)));
@@ -581,6 +774,10 @@ Status Database::TxDelete(Txn* txn, storage::Table* table,
   undo.rid = rid;
   undo.row = *old;
   PHX_RETURN_IF_ERROR(table->Delete(rid));
+  if (opts_.mvcc && !table->temporary()) {
+    // Retain the pre-image as a version pending under this transaction.
+    table->MvccNoteDelete(rid, undo.row, txn->id);
+  }
   txn->undo.push_back(std::move(undo));
   if (!table->temporary()) {
     txn->redo.push_back(storage::WalOp::Delete(table->name(), rid));
@@ -601,6 +798,9 @@ Status Database::TxUpdate(Txn* txn, storage::Table* table, storage::RowId rid,
   undo.rid = rid;
   undo.row = *old;
   PHX_RETURN_IF_ERROR(table->Update(rid, std::move(new_row)));
+  if (opts_.mvcc && !table->temporary()) {
+    table->MvccNoteUpdate(rid, undo.row, txn->id);
+  }
   txn->undo.push_back(std::move(undo));
   if (!table->temporary()) {
     txn->redo.push_back(
@@ -687,6 +887,7 @@ Status Database::TxDropIndex(Txn* txn, storage::Table* table,
   undo.table = table->name();
   undo.index_name = idx->name;
   undo.index_columns = idx->columns;
+  undo.index_position = table->IndexPosition(idx->name);
   std::string canonical = idx->name;
   PHX_RETURN_IF_ERROR(table->DropIndex(index_name));
   txn->undo.push_back(std::move(undo));

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -45,6 +46,7 @@ struct DatabaseOptions {
       : wal(storage::WalWriterConfig::FromOptions(o)),
         background_checkpoint(o.background_checkpoint),
         index_planner(o.index_planner),
+        mvcc(o.mvcc),
         recovery_threads(o.recovery_threads) {}
 
   /// SimDisk file prefix ("<prefix>.wal", "<prefix>.ckpt").
@@ -65,6 +67,14 @@ struct DatabaseOptions {
   /// nested-loop joins). Off = every SELECT seq-scans, the pre-index
   /// behavior. Runtime-togglable via Database::set_index_planner.
   bool index_planner;
+  /// MVCC snapshot reads (PHX_MVCC): read-only SELECTs pin a commit-LSN
+  /// snapshot, collect visible rows under a brief shared hold, and run
+  /// projection/aggregation/sort off the data lock; writers install row
+  /// versions at commit and pending writes are invisible to other
+  /// sessions. Off = the pure reader-writer classification path (readers
+  /// hold the shared lock for the whole statement and can observe another
+  /// session's uncommitted writes between its statements).
+  bool mvcc;
   /// Worker threads for partitioned WAL replay during Open()'s recovery
   /// (PHX_RECOVERY_THREADS). 1 = serial streaming replay; either mode
   /// produces an identical store (DESIGN.md §15).
@@ -193,6 +203,20 @@ class Database {
   Status TxDropIndex(Txn* txn, storage::Table* table,
                      const std::string& index_name);
 
+  // ---- MVCC snapshots ----------------------------------------------------
+  bool mvcc_enabled() const { return opts_.mvcc; }
+  /// Highest published commit LSN — the visibility horizon new snapshots
+  /// pin. Updated (release) after every commit's stamps are finalized.
+  uint64_t committed_lsn() const {
+    return committed_lsn_.load(std::memory_order_acquire);
+  }
+  /// Pins a snapshot at the current commit horizon and registers it in the
+  /// reclamation watermark. Caller holds data_mu_ (shared suffices) and
+  /// must UnpinSnapshot exactly once. `txn_id` lets the snapshot see its
+  /// own transaction's uncommitted writes (0 = none).
+  storage::MvccSnapshot PinSnapshot(uint64_t txn_id);
+  void UnpinSnapshot(const storage::MvccSnapshot& snap);
+
   // ---- Access-path planner toggle ---------------------------------------
   /// Runtime switch (PHX_INDEX_PLANNER default, benches flip it to compare
   /// indexed vs unindexed execution on the same data).
@@ -222,6 +246,18 @@ class Database {
   Result<StatementResult> ExecuteStatementLocked(
       uint64_t session_id, const sql::Statement& stmt, bool can_checkpoint,
       storage::WalCommitTicket* ticket);
+  /// The MVCC read path for a plain SELECT: pin a snapshot + collect the
+  /// visible working set under a brief shared hold of data_mu_, then run
+  /// projection/aggregation/DISTINCT/ORDER BY/LIMIT with no lock held.
+  Result<StatementResult> ExecuteSelectSnapshot(uint64_t session_id,
+                                                const sql::Statement& stmt);
+  /// Commit-time MVCC bookkeeping (caller holds data_mu_ exclusively):
+  /// finalizes the transaction's pending stamps at `lsn`, publishes the new
+  /// commit horizon, and reclaims superseded versions of the touched tables
+  /// up to the pin watermark.
+  void MvccCommitLocked(const Txn& txn, uint64_t lsn);
+  /// Min pinned snapshot LSN, or the commit horizon when nothing is pinned.
+  uint64_t MvccWatermark() const;
   Session* FindSession(uint64_t session_id) const;
   Status Commit(Session* session, bool can_checkpoint,
                 storage::WalCommitTicket* ticket);
@@ -267,6 +303,17 @@ class Database {
   /// before data_mu_ is released — lock order is data_mu_ → sessions_mu_.
   mutable std::shared_mutex sessions_mu_;
   std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+
+  /// MVCC commit horizon: the LSN of the newest finalized commit. Written
+  /// under the exclusive data lock (release); snapshots pin it under the
+  /// shared lock (acquire), so a pinned horizon always names fully
+  /// finalized stamps. Unlogged commits reuse the current horizon.
+  std::atomic<uint64_t> committed_lsn_{0};
+  /// Pinned snapshot LSNs (multiset: concurrent readers may pin the same
+  /// horizon). pins_mu_ is a leaf lock — taken under data_mu_ (either
+  /// mode), never the other way around.
+  mutable std::mutex pins_mu_;
+  std::multiset<uint64_t> pins_;
 
   std::atomic<bool> index_planner_{true};
   std::atomic<uint64_t> next_session_id_{1};

@@ -263,7 +263,7 @@ Result<StatementResult> Executor::Execute(const Statement& stmt) {
     case StmtKind::kDropIndex:
       return ExecuteDropIndex(*stmt.drop_index);
     case StmtKind::kExplain:
-      return ExecuteExplain(*stmt.explain_select);
+      return ExecuteExplain(*stmt.explain_inner);
     case StmtKind::kBeginTxn:
     case StmtKind::kCommit:
     case StmtKind::kRollback:
@@ -342,6 +342,14 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
   SelectPlan plan =
       PlanSelect(sel, *db_->store(), db_->index_planner_enabled());
 
+  // Snapshot reads resolve rows through the version chains only when the
+  // table actually carries versions or pending stamps; a quiescent table is
+  // byte-identical between the two paths, so the plain scan keeps its
+  // key-order shortcut and its index-miss-is-corruption invariant.
+  auto snap_for = [&](const storage::Table* t) -> const storage::MvccSnapshot* {
+    return (snapshot_ != nullptr && !t->MvccQuiescent()) ? snapshot_ : nullptr;
+  };
+
   // Helper: scan one table into a BoundRows, applying all still-unused
   // conjuncts that are resolvable against it alone. Pool filtering must be
   // skipped for the right side of a LEFT join (WHERE applies after the
@@ -408,29 +416,50 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
           ok = false;
         }
       }
+      const storage::MvccSnapshot* snap = snap_for(b.table);
       std::vector<storage::RowId> rids;
       if (ok) {
         if (path->index == "PRIMARY") {
           ScanPkIndex(*b.table, ib, &rids);
+          if (snap != nullptr) {
+            ScanEntryMap(b.table->mvcc_dead_pk(), ib, &rids);
+          }
         } else if (const storage::SecondaryIndex* idx =
                        b.table->FindIndex(path->index)) {
           ScanIndex(*idx, ib, &rids);
+          if (snap != nullptr) ScanEntryMap(idx->dead_entries, ib, &rids);
         } else {
           ok = false;  // index dropped since planning
         }
       }
       if (ok) {
         used_index = true;
-        if (!key_order) {
+        if (snap != nullptr) {
+          // The dead-entry maps are conservative (a rid may also still be
+          // live, or carry several superseded keys): dedup by rid and fall
+          // back to RowId order; the snapshot resolver below decides
+          // visibility per rid.
+          std::sort(rids.begin(), rids.end());
+          rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+        } else if (!key_order) {
           // Preserve the heap's historical RowId enumeration order.
           std::sort(rids.begin(), rids.end());
         } else if (reverse) {
           std::reverse(rids.begin(), rids.end());
         }
         for (storage::RowId rid : rids) {
-          const Row* row = b.table->Find(rid);
-          if (row == nullptr) {
-            return Status::Internal("index references missing row");
+          const Row* row;
+          if (snap != nullptr) {
+            // A miss is not corruption here: the rid's versions are simply
+            // all invisible to this snapshot (inserted after it, or
+            // reclaimed keys swept conservatively).
+            row = b.table->MvccVersionAsOf(rid, *snap);
+            if (row == nullptr) continue;
+          } else {
+            row = b.table->Find(rid);
+            if (row == nullptr) {
+              return Status::Internal("index references missing row");
+            }
           }
           PHX_ASSIGN_OR_RETURN(bool keep, keep_row(*row));
           if (keep) {
@@ -438,15 +467,28 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
             r.rids.push_back(rid);
           }
         }
-        r.ordered = key_order;
+        r.ordered = key_order && snap == nullptr;
       }
     }
     if (!used_index) {
-      for (const auto& [rid, row] : b.table->rows()) {
-        PHX_ASSIGN_OR_RETURN(bool keep, keep_row(row));
-        if (keep) {
-          r.rows.push_back(row);
-          r.rids.push_back(rid);
+      const storage::MvccSnapshot* snap = snap_for(b.table);
+      if (snap != nullptr) {
+        std::vector<std::pair<storage::RowId, const Row*>> visible;
+        b.table->MvccScanVisible(*snap, &visible);
+        for (const auto& [rid, row] : visible) {
+          PHX_ASSIGN_OR_RETURN(bool keep, keep_row(*row));
+          if (keep) {
+            r.rows.push_back(*row);
+            r.rids.push_back(rid);
+          }
+        }
+      } else {
+        for (const auto& [rid, row] : b.table->rows()) {
+          PHX_ASSIGN_OR_RETURN(bool keep, keep_row(row));
+          if (keep) {
+            r.rows.push_back(row);
+            r.rids.push_back(rid);
+          }
         }
       }
     }
@@ -578,6 +620,7 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
           joined.schema.AddColumn(shell.schema.column(i));
           joined.qualifiers.push_back(shell.qualifiers[i]);
         }
+        const storage::MvccSnapshot* rsnap = snap_for(rt);
         std::vector<storage::RowId> rids;
         for (const Row& lrow : cur.rows) {
           const Value& key = lrow[cur_col];
@@ -587,13 +630,30 @@ Result<BoundRows> Executor::EvaluateFrom(const SelectStmt& sel) {
           rids.clear();
           if (use_pk) {
             ScanPkIndex(*rt, ib, &rids);
+            if (rsnap != nullptr) ScanEntryMap(rt->mvcc_dead_pk(), ib, &rids);
           } else {
             ScanIndex(*sidx, ib, &rids);
+            if (rsnap != nullptr) ScanEntryMap(sidx->dead_entries, ib, &rids);
+          }
+          if (rsnap != nullptr) {
+            std::sort(rids.begin(), rids.end());
+            rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
           }
           for (storage::RowId rid : rids) {
-            const Row* rrow = rt->Find(rid);
+            const Row* rrow =
+                rsnap != nullptr ? rt->MvccVersionAsOf(rid, *rsnap)
+                                 : rt->Find(rid);
             if (rrow == nullptr) {
+              if (rsnap != nullptr) continue;  // invisible to the snapshot
               return Status::Internal("index references missing row");
+            }
+            // A dead index entry can resolve to a version whose key has
+            // since changed; the live path needs no check (the index entry
+            // is the key), but the snapshot path must re-verify the join
+            // equality the planner consumed.
+            if (rsnap != nullptr &&
+                (*rrow)[static_cast<size_t>(rhs_col)].Compare(key) != 0) {
+              continue;
             }
             bool keep = true;
             EvalEnv env = MakeEnv(&shell.schema, &shell.qualifiers, rrow);
@@ -832,7 +892,28 @@ void SortAndTrim(std::vector<Sortable>* rows,
 
 Result<StatementResult> Executor::ExecuteSelect(const SelectStmt& sel) {
   PHX_ASSIGN_OR_RETURN(BoundRows input, EvaluateFrom(sel));
+  PHX_ASSIGN_OR_RETURN(StatementResult result,
+                       FinishSelect(sel, std::move(input)));
 
+  if (!sel.into_table.empty()) {
+    // SELECT ... INTO t: materialize the result as a new table.
+    bool temporary = sel.into_table[0] == '#';
+    PHX_ASSIGN_OR_RETURN(
+        storage::Table * t,
+        db_->TxCreateTable(session_->txn.get(), sel.into_table, result.schema,
+                           {}, temporary, temporary ? session_->id : 0));
+    for (Row& row : result.rows) {
+      auto ins = db_->TxInsert(session_->txn.get(), t, std::move(row));
+      PHX_RETURN_IF_ERROR(ins.status());
+    }
+    return StatementResult::Affected(
+        static_cast<int64_t>(result.rows.size()));
+  }
+  return result;
+}
+
+Result<StatementResult> Executor::FinishSelect(const SelectStmt& sel,
+                                               BoundRows input) {
   bool has_agg = !sel.group_by.empty();
   for (const SelectItem& item : sel.items) {
     if (item.expr->ContainsAggregate()) has_agg = true;
@@ -876,21 +957,6 @@ Result<StatementResult> Executor::ExecuteSelect(const SelectStmt& sel) {
     static const std::vector<sql::OrderItem> kNoOrder;
     SortAndTrim(&sortables, input.ordered ? kNoOrder : sel.order_by,
                 sel.limit, &result.rows);
-  }
-
-  if (!sel.into_table.empty()) {
-    // SELECT ... INTO t: materialize the result as a new table.
-    bool temporary = sel.into_table[0] == '#';
-    PHX_ASSIGN_OR_RETURN(
-        storage::Table * t,
-        db_->TxCreateTable(session_->txn.get(), sel.into_table, result.schema,
-                           {}, temporary, temporary ? session_->id : 0));
-    for (Row& row : result.rows) {
-      auto ins = db_->TxInsert(session_->txn.get(), t, std::move(row));
-      PHX_RETURN_IF_ERROR(ins.status());
-    }
-    return StatementResult::Affected(
-        static_cast<int64_t>(result.rows.size()));
   }
   return result;
 }
@@ -1240,22 +1306,69 @@ Result<StatementResult> Executor::ExecuteDropIndex(
   return StatementResult::Affected(0);
 }
 
-Result<StatementResult> Executor::ExecuteExplain(const SelectStmt& sel) {
-  // EXPLAIN reports errors the way the SELECT itself would.
-  for (const sql::TableRef& ref : sel.from) {
-    if (db_->store()->Get(ref.name) == nullptr) {
-      return Status::SqlError("no such table: " + ref.name);
-    }
-  }
-  SelectPlan plan =
-      PlanSelect(sel, *db_->store(), db_->index_planner_enabled());
+Result<StatementResult> Executor::ExecuteExplain(const sql::Statement& inner) {
   StatementResult r;
   r.has_rows = true;
   r.schema.AddColumn(Column{"PLAN", DataType::kString, false});
-  for (std::string& line : plan.Describe()) {
+  auto emit = [&r](std::string line) {
     r.rows.push_back(Row{Value::String(std::move(line))});
+  };
+  // Shared existence check: EXPLAIN reports missing tables the way the
+  // inner statement itself would — without running it.
+  auto require_table = [&](const std::string& name) -> Result<storage::Table*> {
+    storage::Table* t = db_->store()->Get(name);
+    if (t == nullptr) return Status::SqlError("no such table: " + name);
+    return t;
+  };
+  switch (inner.kind) {
+    case StmtKind::kSelect: {
+      const SelectStmt& sel = *inner.select;
+      for (const sql::TableRef& ref : sel.from) {
+        PHX_RETURN_IF_ERROR(require_table(ref.name).status());
+      }
+      SelectPlan plan =
+          PlanSelect(sel, *db_->store(), db_->index_planner_enabled());
+      for (std::string& line : plan.Describe()) emit(std::move(line));
+      return r;
+    }
+    case StmtKind::kInsert: {
+      const sql::InsertStmt& ins = *inner.insert;
+      PHX_ASSIGN_OR_RETURN(storage::Table * t, require_table(ins.table));
+      if (ins.select != nullptr) {
+        for (const sql::TableRef& ref : ins.select->from) {
+          PHX_RETURN_IF_ERROR(require_table(ref.name).status());
+        }
+        SelectPlan plan = PlanSelect(*ins.select, *db_->store(),
+                                     db_->index_planner_enabled());
+        emit("INSERT " + t->name() + " FROM SELECT");
+        for (std::string& line : plan.Describe()) emit("  " + line);
+      } else {
+        emit("INSERT " + t->name() + " VALUES (" +
+             std::to_string(ins.rows.size()) + " row" +
+             (ins.rows.size() == 1 ? "" : "s") + ")");
+      }
+      return r;
+    }
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete: {
+      // Honest reporting: the UPDATE/DELETE executors scan the heap
+      // sequentially (no access-path planning), so EXPLAIN must not claim
+      // an index path it would never take.
+      const std::string& table =
+          inner.kind == StmtKind::kUpdate ? inner.update->table
+                                          : inner.del->table;
+      const sql::Expr* where = inner.kind == StmtKind::kUpdate
+                                   ? inner.update->where.get()
+                                   : inner.del->where.get();
+      PHX_ASSIGN_OR_RETURN(storage::Table * t, require_table(table));
+      std::string verb = inner.kind == StmtKind::kUpdate ? "UPDATE" : "DELETE";
+      emit(verb + " " + t->name() + ": seq scan" +
+           (where != nullptr ? " filtered by WHERE" : " (all rows)"));
+      return r;
+    }
+    default:
+      return Status::Internal("EXPLAIN of unsupported statement kind");
   }
-  return r;
 }
 
 Result<StatementResult> Executor::ExecuteExec(const sql::ExecStmt& ex) {

@@ -65,6 +65,18 @@ class Executor {
   /// Evaluates the FROM/WHERE part of a SELECT (used by cursors too).
   Result<BoundRows> EvaluateFrom(const sql::SelectStmt& sel);
 
+  /// The tail of ExecuteSelect: aggregation / projection / DISTINCT /
+  /// ORDER BY / LIMIT over an already-evaluated working set. Operates purely
+  /// on the copied rows in `input` — the snapshot read path calls this after
+  /// releasing the data lock.
+  Result<StatementResult> FinishSelect(const sql::SelectStmt& sel,
+                                       BoundRows input);
+
+  /// Pins table scans to an MVCC snapshot: rows are resolved through each
+  /// table's version chains as of `snap` instead of the live heap. Borrowed
+  /// pointer; must outlive every Evaluate/Execute call made with it set.
+  void set_snapshot(const storage::MvccSnapshot* snap) { snapshot_ = snap; }
+
   /// Computes the output schema of a projection over `input`.
   /// Column names: alias > source column name > "C<i>".
   Result<Schema> ProjectionSchema(const std::vector<sql::SelectItem>& items,
@@ -87,7 +99,9 @@ class Executor {
   Result<StatementResult> ExecuteExec(const sql::ExecStmt& ex);
   Result<StatementResult> ExecuteCreateIndex(const sql::CreateIndexStmt& ci);
   Result<StatementResult> ExecuteDropIndex(const sql::DropIndexStmt& di);
-  Result<StatementResult> ExecuteExplain(const sql::SelectStmt& sel);
+  /// EXPLAIN of SELECT/INSERT/UPDATE/DELETE. Reports the plan only — never
+  /// executes the inner statement and never mutates any table.
+  Result<StatementResult> ExecuteExplain(const sql::Statement& inner);
 
   /// Aggregation/grouping pipeline for selects containing aggregates or
   /// GROUP BY.
@@ -105,6 +119,7 @@ class Executor {
   Database* db_;
   Session* session_;
   const std::map<std::string, Value>* params_;
+  const storage::MvccSnapshot* snapshot_ = nullptr;
 };
 
 }  // namespace phoenix::eng

@@ -282,7 +282,13 @@ bool OrderMatchesIndex(const sql::SelectStmt& sel, const Schema& schema,
 
 void ScanIndex(const storage::SecondaryIndex& idx, const IndexBounds& bounds,
                std::vector<storage::RowId>* out) {
-  ScanOrderedMap(idx.entries, bounds,
+  ScanEntryMap(idx.entries, bounds, out);
+}
+
+void ScanEntryMap(
+    const std::map<Row, std::set<storage::RowId>, storage::RowLess>& entries,
+    const IndexBounds& bounds, std::vector<storage::RowId>* out) {
+  ScanOrderedMap(entries, bounds,
                  [out](const std::set<storage::RowId>& rids) {
                    out->insert(out->end(), rids.begin(), rids.end());
                  });

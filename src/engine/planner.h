@@ -85,6 +85,12 @@ struct IndexBounds {
 /// executor's `=`/`<`/`>` — so enumeration agrees with filtering.
 void ScanIndex(const storage::SecondaryIndex& idx, const IndexBounds& bounds,
                std::vector<storage::RowId>* out);
+/// Same walk over any key→rid-set map in index shape. Used by snapshot
+/// scans to probe an index's `dead_entries` (keys of superseded versions)
+/// and a table's dead-PK map alongside the live entries.
+void ScanEntryMap(
+    const std::map<Row, std::set<storage::RowId>, storage::RowLess>& entries,
+    const IndexBounds& bounds, std::vector<storage::RowId>* out);
 /// Same over the table's unique PK index.
 void ScanPkIndex(const storage::Table& table, const IndexBounds& bounds,
                  std::vector<storage::RowId>* out);

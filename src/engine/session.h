@@ -19,6 +19,15 @@ struct Session {
   std::string user;
   /// Client-settable connection options (SET <name> <value>).
   std::map<std::string, std::string> options;
+  /// True when the session opted into dirty reads via the ISOLATION
+  /// connection option. Such sessions read the live heap even when MVCC is
+  /// on: Phoenix's private connections depend on this — their status-table
+  /// probes must see markers written by the application's still-open
+  /// transaction (the paper reads testable state at READ UNCOMMITTED).
+  bool reads_uncommitted() const {
+    auto it = options.find("ISOLATION");
+    return it != options.end() && it->second == "READ UNCOMMITTED";
+  }
   /// Explicit transaction in progress, if any.
   std::unique_ptr<Txn> txn;
   /// Open server cursors by id.

@@ -22,11 +22,12 @@ Status RestoreIndexes(const storage::Table& snapshot, storage::Table* created) {
 }  // namespace
 
 Status TxnManager::UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
-                          storage::TableStore* store, ProcRegistry* procs) {
+                          storage::TableStore* store, ProcRegistry* procs,
+                          uint64_t mvcc_txn) {
   while (txn->undo.size() > undo_from) {
     UndoRecord rec = std::move(txn->undo.back());
     txn->undo.pop_back();
-    PHX_RETURN_IF_ERROR(ApplyUndo(rec, store, procs));
+    PHX_RETURN_IF_ERROR(ApplyUndo(rec, store, procs, mvcc_txn));
   }
   if (txn->redo.size() > redo_from) txn->redo.resize(redo_from);
   return Status::Ok();
@@ -95,23 +96,29 @@ Status TxnManager::RevertInClone(const Txn& txn, storage::TableStore* clone) {
 }
 
 Status TxnManager::ApplyUndo(const UndoRecord& rec,
-                             storage::TableStore* store, ProcRegistry* procs) {
+                             storage::TableStore* store, ProcRegistry* procs,
+                             uint64_t mvcc_txn) {
   switch (rec.kind) {
     case UndoRecord::Kind::kInsert: {
       storage::Table* t = store->Get(rec.table);
       if (t == nullptr) return Status::Internal("undo-insert: missing table");
-      return t->Delete(rec.rid);
+      PHX_RETURN_IF_ERROR(t->Delete(rec.rid));
+      if (mvcc_txn != 0) t->MvccUndoInsert(rec.rid, mvcc_txn);
+      return Status::Ok();
     }
     case UndoRecord::Kind::kDelete: {
       storage::Table* t = store->Get(rec.table);
       if (t == nullptr) return Status::Internal("undo-delete: missing table");
-      auto res = t->Insert(rec.row, rec.rid);
-      return res.status();
+      PHX_RETURN_IF_ERROR(t->Insert(rec.row, rec.rid).status());
+      if (mvcc_txn != 0) t->MvccUndoDelete(rec.rid, mvcc_txn);
+      return Status::Ok();
     }
     case UndoRecord::Kind::kUpdate: {
       storage::Table* t = store->Get(rec.table);
       if (t == nullptr) return Status::Internal("undo-update: missing table");
-      return t->Update(rec.rid, rec.row);
+      PHX_RETURN_IF_ERROR(t->Update(rec.rid, rec.row));
+      if (mvcc_txn != 0) t->MvccUndoUpdate(rec.rid, mvcc_txn);
+      return Status::Ok();
     }
     case UndoRecord::Kind::kCreateTable:
       return store->DropTable(rec.table);
@@ -163,7 +170,11 @@ Status TxnManager::ApplyUndo(const UndoRecord& rec,
     case UndoRecord::Kind::kDropIndex: {
       storage::Table* t = store->Get(rec.table);
       if (t == nullptr) return Status::Internal("undo-drop-index: missing table");
-      return t->CreateIndex(rec.index_name, rec.index_columns);
+      // Restore at the recorded position, not at the end: the planner's
+      // cost tie-break follows declaration order, and a rolled-back DROP
+      // must leave plan selection exactly as it found it.
+      return t->CreateIndexAt(rec.index_name, rec.index_columns,
+                              rec.index_position);
     }
   }
   return Status::Internal("bad undo kind");

@@ -37,6 +37,11 @@ struct UndoRecord {
   uint64_t snapshot_owner = 0;
   std::string index_name;
   std::vector<int> index_columns;
+  /// For kDropIndex: the dropped index's position in the table's index
+  /// vector. Undo re-creates it at the same position — the planner breaks
+  /// cost ties by declaration order, so an appended re-creation would
+  /// silently change which index equivalent plans pick.
+  size_t index_position = 0;
 };
 
 /// An open transaction: its durable redo tail and in-memory undo stack.
@@ -77,8 +82,12 @@ class TxnManager {
   }
 
   /// Undoes records [from, end) in reverse order and truncates them.
+  /// `mvcc_txn` != 0 additionally unwinds the MVCC version notes the engine
+  /// attached under that transaction id (0 = versioning off; the storage
+  /// hooks self-gate, so a stray id on a note-free table is a no-op).
   Status UndoTo(Txn* txn, size_t undo_from, size_t redo_from,
-                storage::TableStore* store, ProcRegistry* procs);
+                storage::TableStore* store, ProcRegistry* procs,
+                uint64_t mvcc_txn = 0);
 
   /// Applies `txn`'s whole undo stack, in reverse, to a checkpoint CLONE —
   /// without consuming it (the live transaction keeps running). Under the
@@ -91,7 +100,7 @@ class TxnManager {
 
  private:
   Status ApplyUndo(const UndoRecord& rec, storage::TableStore* store,
-                   ProcRegistry* procs);
+                   ProcRegistry* procs, uint64_t mvcc_txn);
   std::atomic<uint64_t> next_id_;
 };
 

@@ -450,7 +450,7 @@ std::unique_ptr<Statement> Statement::Clone() const {
   if (show) s->show = std::make_unique<ShowStmt>(*show);
   if (create_index) s->create_index = std::make_unique<CreateIndexStmt>(*create_index);
   if (drop_index) s->drop_index = std::make_unique<DropIndexStmt>(*drop_index);
-  if (explain_select) s->explain_select = explain_select->Clone();
+  if (explain_inner) s->explain_inner = explain_inner->Clone();
   return s;
 }
 
@@ -471,7 +471,7 @@ std::string Statement::ToSql() const {
     case StmtKind::kShow: return show->ToSql();
     case StmtKind::kCreateIndex: return create_index->ToSql();
     case StmtKind::kDropIndex: return drop_index->ToSql();
-    case StmtKind::kExplain: return "EXPLAIN " + explain_select->ToSql();
+    case StmtKind::kExplain: return "EXPLAIN " + explain_inner->ToSql();
   }
   return "?";
 }

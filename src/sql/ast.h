@@ -248,7 +248,7 @@ enum class StmtKind : uint8_t {
   kShow,
   kCreateIndex,
   kDropIndex,
-  kExplain,  ///< EXPLAIN <select> — report the chosen plan, run nothing
+  kExplain,  ///< EXPLAIN <stmt> — report the chosen plan, run nothing
 };
 
 const char* StmtKindName(StmtKind kind);
@@ -269,7 +269,11 @@ struct Statement {
   std::unique_ptr<ShowStmt> show;
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<DropIndexStmt> drop_index;
-  std::unique_ptr<SelectStmt> explain_select;  ///< kExplain payload
+  /// kExplain payload: the statement being explained. SELECT, INSERT,
+  /// UPDATE, or DELETE — the parser rejects anything else. EXPLAIN is
+  /// always classified read-only and must never execute (or mutate via)
+  /// the inner statement.
+  std::unique_ptr<Statement> explain_inner;
 
   std::unique_ptr<Statement> Clone() const;
   std::string ToSql() const;

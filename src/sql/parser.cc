@@ -124,7 +124,16 @@ Result<std::unique_ptr<Statement>> Parser::ParseStmt() {
     Advance();
     auto stmt = std::make_unique<Statement>();
     stmt->kind = StmtKind::kExplain;
-    PHX_ASSIGN_OR_RETURN(stmt->explain_select, ParseSelect());
+    PHX_ASSIGN_OR_RETURN(stmt->explain_inner, ParseStmt());
+    switch (stmt->explain_inner->kind) {
+      case StmtKind::kSelect:
+      case StmtKind::kInsert:
+      case StmtKind::kUpdate:
+      case StmtKind::kDelete:
+        break;
+      default:
+        return Error("EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE");
+    }
     return stmt;
   }
   if (t.IsKeyword("SHOW")) {

@@ -104,7 +104,183 @@ Row Table::KeyFor(const std::vector<int>& columns, const Row& row) {
   return key;
 }
 
+void Table::MvccNoteInsert(RowId rid, uint64_t txn) {
+  live_begin_[rid] = MvccStamp{0, txn};
+}
+
+bool Table::MvccNoteDelete(RowId rid, Row old_row, uint64_t txn) {
+  MvccVersion v;
+  v.begin = MvccStamp{0, 0};
+  auto it = live_begin_.find(rid);
+  if (it != live_begin_.end()) {
+    v.begin = it->second;
+    live_begin_.erase(it);
+  }
+  v.end = MvccStamp{0, txn};
+  Row pk = PkOf(v.row = std::move(old_row));
+  if (!pk.empty()) dead_pk_[std::move(pk)].insert(rid);
+  for (SecondaryIndex& idx : indexes_) {
+    idx.dead_entries[KeyFor(idx.columns, v.row)].insert(rid);
+  }
+  old_[rid].push_back(std::move(v));
+  ++old_count_;
+  return true;
+}
+
+bool Table::MvccNoteUpdate(RowId rid, Row old_row, uint64_t txn) {
+  MvccVersion v;
+  v.begin = MvccStamp{0, 0};
+  auto it = live_begin_.find(rid);
+  if (it != live_begin_.end()) v.begin = it->second;
+  live_begin_[rid] = MvccStamp{0, txn};
+  v.end = MvccStamp{0, txn};
+  // Old keys go to the dead maps even when a key did not change — probes
+  // dedup by RowId and re-resolve, so over-inclusion is always safe.
+  Row pk = PkOf(v.row = std::move(old_row));
+  if (!pk.empty()) dead_pk_[std::move(pk)].insert(rid);
+  for (SecondaryIndex& idx : indexes_) {
+    idx.dead_entries[KeyFor(idx.columns, v.row)].insert(rid);
+  }
+  old_[rid].push_back(std::move(v));
+  ++old_count_;
+  return true;
+}
+
+bool Table::MvccUndoInsert(RowId rid, uint64_t txn) {
+  auto it = live_begin_.find(rid);
+  if (it == live_begin_.end() || it->second.txn != txn) return false;
+  live_begin_.erase(it);
+  return true;
+}
+
+bool Table::MvccUndoDelete(RowId rid, uint64_t txn) {
+  auto it = old_.find(rid);
+  if (it == old_.end() || it->second.empty() ||
+      it->second.back().end.txn != txn) {
+    return false;
+  }
+  // The row is live again (undo re-inserted it); restore its prior begin
+  // stamp. Stale dead-map keys are swept by the next reclaim.
+  MvccVersion v = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) old_.erase(it);
+  --old_count_;
+  if (v.begin.lsn == 0 && v.begin.txn == 0) {
+    live_begin_.erase(rid);
+  } else {
+    live_begin_[rid] = v.begin;
+  }
+  return true;
+}
+
+bool Table::MvccUndoUpdate(RowId rid, uint64_t txn) {
+  return MvccUndoDelete(rid, txn);  // same unwind: pop + restore begin
+}
+
+void Table::MvccFinalize(RowId rid, uint64_t txn, uint64_t lsn) {
+  auto lit = live_begin_.find(rid);
+  if (lit != live_begin_.end() && lit->second.txn == txn) {
+    lit->second = MvccStamp{lsn, 0};
+  }
+  auto oit = old_.find(rid);
+  if (oit != old_.end()) {
+    for (MvccVersion& v : oit->second) {
+      if (v.begin.txn == txn) v.begin = MvccStamp{lsn, 0};
+      if (v.end.txn == txn) v.end = MvccStamp{lsn, 0};
+    }
+  }
+}
+
+size_t Table::MvccReclaim(uint64_t watermark) {
+  size_t freed = 0;
+  for (auto it = old_.begin(); it != old_.end();) {
+    std::vector<MvccVersion>& chain = it->second;
+    size_t keep = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      bool dead_for_all =
+          chain[i].end.txn == 0 && chain[i].end.lsn <= watermark;
+      if (!dead_for_all) {
+        if (keep != i) chain[keep] = std::move(chain[i]);  // no self-move
+        ++keep;
+      }
+    }
+    freed += chain.size() - keep;
+    chain.resize(keep);
+    it = keep == 0 ? old_.erase(it) : std::next(it);
+  }
+  old_count_ -= freed;
+  // Committed-at-or-below-watermark begin stamps are equivalent to the
+  // implicit {0, 0}; drop them so the stamp map tracks only recent churn.
+  for (auto it = live_begin_.begin(); it != live_begin_.end();) {
+    if (it->second.txn == 0 && it->second.lsn <= watermark) {
+      it = live_begin_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Rebuild the dead-key maps from the surviving versions; this also sweeps
+  // keys left stale by rollback unwinds.
+  dead_pk_.clear();
+  for (SecondaryIndex& idx : indexes_) idx.dead_entries.clear();
+  for (const auto& [rid, chain] : old_) {
+    for (const MvccVersion& v : chain) {
+      Row pk = PkOf(v.row);
+      if (!pk.empty()) dead_pk_[std::move(pk)].insert(rid);
+      for (SecondaryIndex& idx : indexes_) {
+        idx.dead_entries[KeyFor(idx.columns, v.row)].insert(rid);
+      }
+    }
+  }
+  return freed;
+}
+
+const Row* Table::MvccVersionAsOf(RowId rid, const MvccSnapshot& snap) const {
+  auto rit = rows_.find(rid);
+  if (rit != rows_.end()) {
+    auto sit = live_begin_.find(rid);
+    MvccStamp begin = sit == live_begin_.end() ? MvccStamp{0, 0} : sit->second;
+    if (snap.Sees(begin)) return &rit->second;
+  }
+  auto oit = old_.find(rid);
+  if (oit != old_.end()) {
+    // Newest first; lifetimes in a chain are disjoint, so at most one
+    // version brackets the snapshot.
+    for (auto v = oit->second.rbegin(); v != oit->second.rend(); ++v) {
+      if (snap.Sees(v->begin) && !snap.Sees(v->end)) return &v->row;
+    }
+  }
+  return nullptr;
+}
+
+void Table::MvccScanVisible(
+    const MvccSnapshot& snap,
+    std::vector<std::pair<RowId, const Row*>>* out) const {
+  auto rit = rows_.begin();
+  auto oit = old_.begin();
+  // Merge the live map and the version-chain map in RowId order so the
+  // visible scan order matches a plain rows() iteration.
+  while (rit != rows_.end() || oit != old_.end()) {
+    RowId rid;
+    if (oit == old_.end() || (rit != rows_.end() && rit->first <= oit->first)) {
+      rid = rit->first;
+      ++rit;
+      if (oit != old_.end() && oit->first == rid) ++oit;
+    } else {
+      rid = oit->first;
+      ++oit;
+    }
+    if (const Row* row = MvccVersionAsOf(rid, snap)) {
+      out->emplace_back(rid, row);
+    }
+  }
+}
+
 Status Table::CreateIndex(const std::string& name, std::vector<int> columns) {
+  return CreateIndexAt(name, std::move(columns), indexes_.size());
+}
+
+Status Table::CreateIndexAt(const std::string& name, std::vector<int> columns,
+                            size_t position) {
   std::string key = IdentUpper(name);
   if (key.empty()) return Status::InvalidArgument("empty index name");
   if (FindIndex(key) != nullptr) {
@@ -125,7 +301,17 @@ Status Table::CreateIndex(const std::string& name, std::vector<int> columns) {
   for (const auto& [rid, row] : rows_) {
     idx.entries[KeyFor(idx.columns, row)].insert(rid);
   }
-  indexes_.push_back(std::move(idx));
+  // Backfill sees only live rows; give snapshot probes their dead keys too,
+  // so a freshly (re)created index is immediately usable by any snapshot
+  // newer than its fence (the engine sets mvcc_created_lsn).
+  for (const auto& [rid, chain] : old_) {
+    for (const MvccVersion& v : chain) {
+      idx.dead_entries[KeyFor(idx.columns, v.row)].insert(rid);
+    }
+  }
+  if (position > indexes_.size()) position = indexes_.size();
+  indexes_.insert(indexes_.begin() + static_cast<ptrdiff_t>(position),
+                  std::move(idx));
   return Status::Ok();
 }
 
@@ -146,6 +332,14 @@ const SecondaryIndex* Table::FindIndex(const std::string& name) const {
     if (idx.name == key) return &idx;
   }
   return nullptr;
+}
+
+size_t Table::IndexPosition(const std::string& name) const {
+  std::string key = IdentUpper(name);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].name == key) return i;
+  }
+  return static_cast<size_t>(-1);
 }
 
 void Table::EncodeSnapshot(Encoder* enc, bool with_indexes) const {
@@ -216,6 +410,9 @@ std::unique_ptr<Table> Table::Clone() const {
   copy->rows_ = rows_;
   copy->pk_index_ = pk_index_;
   copy->indexes_ = indexes_;
+  // Clones materialize only committed latest versions: checkpoint reverts
+  // and image encoding are version-oblivious by contract.
+  for (SecondaryIndex& idx : copy->indexes_) idx.dead_entries.clear();
   return copy;
 }
 

@@ -17,6 +17,36 @@ namespace phoenix::storage {
 
 using RowId = uint64_t;
 
+/// MVCC stamp on a row version: the commit LSN that created (or deleted)
+/// it, or the pending transaction id while its writer is uncommitted.
+/// Exactly one field is meaningful: `txn != 0` marks a pending stamp;
+/// `txn == 0` with `lsn == L` marks a version committed at L. The default
+/// {0, 0} ("committed at LSN 0") is visible to every snapshot — recovered
+/// and pre-MVCC rows carry it implicitly by absence from the stamp maps.
+struct MvccStamp {
+  uint64_t lsn = 0;
+  uint64_t txn = 0;
+};
+
+/// A superseded row version retained for snapshot readers: the pre-image
+/// plus the stamps bracketing its lifetime.
+struct MvccVersion {
+  Row row;
+  MvccStamp begin;
+  MvccStamp end;
+};
+
+/// A pinned read snapshot: sees every version committed at or before `lsn`
+/// plus the pinning transaction's own uncommitted writes.
+struct MvccSnapshot {
+  uint64_t lsn = 0;
+  uint64_t txn = 0;  ///< own txn id (0 = none)
+  /// True when the event marked by `s` happened from this snapshot's view.
+  bool Sees(const MvccStamp& s) const {
+    return s.txn != 0 ? s.txn == txn : s.lsn <= lsn;
+  }
+};
+
 /// Lexicographic comparator over rows of Values (for PK indexes).
 struct RowLess {
   bool operator()(const Row& a, const Row& b) const {
@@ -39,6 +69,14 @@ struct SecondaryIndex {
   std::string name;          ///< uppercased, unique within the table
   std::vector<int> columns;  ///< key columns, in index order
   std::map<Row, std::set<RowId>, RowLess> entries;
+
+  /// MVCC side state (empty when versioning is off): keys of superseded
+  /// versions, so snapshot probes can find rows that were deleted or
+  /// re-keyed after the snapshot was pinned. Conservatively over-inclusive
+  /// — the executor dedups by RowId and re-resolves every candidate
+  /// against the snapshot. Index creation backfills it from the retained
+  /// version chains, so a new index serves existing snapshots correctly.
+  std::map<Row, std::set<RowId>, RowLess> dead_entries;
 };
 
 /// One heap table: rows addressed by stable RowIds, an optional unique
@@ -96,10 +134,71 @@ class Table {
   /// Builds an ordered index over `columns` and backfills it from the
   /// current rows. Fails on a duplicate name or out-of-range column.
   Status CreateIndex(const std::string& name, std::vector<int> columns);
+  /// CreateIndex, but splices the new index at `position` in the index
+  /// vector instead of appending (clamped to the vector size). Rollback of
+  /// DROP INDEX uses this so the planner's cost tie-break — which prefers
+  /// the earliest index in declaration order — is unchanged by an undone
+  /// drop.
+  Status CreateIndexAt(const std::string& name, std::vector<int> columns,
+                       size_t position);
   Status DropIndex(const std::string& name);
   /// nullptr when absent. Name lookup is case-insensitive.
   const SecondaryIndex* FindIndex(const std::string& name) const;
+  /// Position of the named index in declaration order; npos when absent.
+  size_t IndexPosition(const std::string& name) const;
   const std::vector<SecondaryIndex>& indexes() const { return indexes_; }
+
+  // ---- MVCC (engine-driven; see DESIGN.md §16) --------------------------
+  // The primitives above stay version-oblivious: WAL replay, undo, and
+  // checkpoint-clone reverts materialize only committed latest versions.
+  // When versioning is on, the engine notes each successful mutation with
+  // the pending transaction id and the pre-image, finalizes the pending
+  // stamps with the commit LSN at commit, unwinds notes on rollback, and
+  // reclaims superseded versions once the watermark passes them.
+
+  /// After a successful Insert of `rid` by `txn`.
+  void MvccNoteInsert(RowId rid, uint64_t txn);
+  /// After a successful Delete of `rid` by `txn`; `old_row` is the
+  /// pre-image. Returns true (a version was retained).
+  bool MvccNoteDelete(RowId rid, Row old_row, uint64_t txn);
+  /// After a successful Update of `rid` by `txn`; `old_row` is the
+  /// pre-image. Returns true (a version was retained).
+  bool MvccNoteUpdate(RowId rid, Row old_row, uint64_t txn);
+  /// After rollback re-applied the inverse primitive op. Each returns true
+  /// when a retained version was released. Self-gating: no-ops when the
+  /// matching note is absent (versioning off, or state already unwound).
+  bool MvccUndoInsert(RowId rid, uint64_t txn);
+  bool MvccUndoDelete(RowId rid, uint64_t txn);
+  bool MvccUndoUpdate(RowId rid, uint64_t txn);
+  /// At commit, under the exclusive data lock, before the commit LSN is
+  /// published: rewrites every pending stamp of `txn` on `rid` to
+  /// "committed at `lsn`".
+  void MvccFinalize(RowId rid, uint64_t txn, uint64_t lsn);
+  /// Frees superseded versions no pinned snapshot can still see — those
+  /// whose committed end LSN is <= `watermark` — and rebuilds the dead-key
+  /// side maps from the survivors. Returns the number of versions freed.
+  size_t MvccReclaim(uint64_t watermark);
+
+  /// True when no version state exists: every live row is committed and
+  /// visible to every snapshot, so readers can skip resolution entirely.
+  bool MvccQuiescent() const { return live_begin_.empty() && old_.empty(); }
+  /// Retained superseded versions (the engine.mvcc.versions_live gauge).
+  size_t MvccVersionCount() const { return old_count_; }
+
+  /// Resolves `rid` as of `snap`: the live row if its begin stamp is
+  /// visible, else the newest retained version whose lifetime brackets the
+  /// snapshot, else nullptr. The pointer is valid only until the next
+  /// mutation or reclaim — callers copy under the data lock.
+  const Row* MvccVersionAsOf(RowId rid, const MvccSnapshot& snap) const;
+  /// Appends every (rid, row) visible as of `snap`, in RowId order — the
+  /// snapshot analogue of iterating rows().
+  void MvccScanVisible(const MvccSnapshot& snap,
+                       std::vector<std::pair<RowId, const Row*>>* out) const;
+  /// Dead-key side map for snapshot PK probes (keys of superseded
+  /// versions; conservatively over-inclusive).
+  const std::map<Row, std::set<RowId>, RowLess>& mvcc_dead_pk() const {
+    return dead_pk_;
+  }
 
   /// Serialization: `with_indexes` distinguishes checkpoint image v3 (index
   /// definitions appended after the rows) from v1/v2 images that predate
@@ -125,6 +224,17 @@ class Table {
   std::map<RowId, Row> rows_;
   std::map<Row, RowId, RowLess> pk_index_;
   std::vector<SecondaryIndex> indexes_;
+
+  // MVCC side state (all empty when versioning is off). `live_begin_`
+  // stamps the current version of a row; absence means {0, 0} = visible to
+  // all. `old_` holds superseded version chains per RowId, oldest first.
+  // `dead_pk_` mirrors dead_entries for the PK index. None of this is
+  // serialized or cloned: images and checkpoint clones carry only
+  // committed latest versions.
+  std::map<RowId, MvccStamp> live_begin_;
+  std::map<RowId, std::vector<MvccVersion>> old_;
+  std::map<Row, std::set<RowId>, RowLess> dead_pk_;
+  size_t old_count_ = 0;
 };
 
 /// The set of all tables. Names are case-insensitive (stored uppercased).

@@ -195,6 +195,36 @@ TEST_F(EngineEdgeTest, ProcedureSeesCurrentDataNotDefinitionTime) {
   EXPECT_EQ(Exec("EXEC CNT").rows[0][0].AsInt64(), 1);
 }
 
+TEST_F(EngineEdgeTest, ExplainDmlIsReadOnlyAndNeverMutates) {
+  // Regression: EXPLAIN of a DML statement used to be a parse error (the
+  // grammar only accepted EXPLAIN SELECT). It must parse, be classified
+  // read-only, report the plan, and leave the table untouched.
+  Exec("CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)");
+  Exec("INSERT INTO T VALUES (1, 10), (2, 20)");
+
+  StatementResult ins = Exec("EXPLAIN INSERT INTO T VALUES (3, 30)");
+  ASSERT_TRUE(ins.has_rows);
+  EXPECT_NE(ins.rows[0][0].AsString().find("INSERT"), std::string::npos);
+  StatementResult upd = Exec("EXPLAIN UPDATE T SET V = 0 WHERE K = 1");
+  ASSERT_TRUE(upd.has_rows);
+  EXPECT_NE(upd.rows[0][0].AsString().find("UPDATE"), std::string::npos);
+  StatementResult del = Exec("EXPLAIN DELETE FROM T");
+  ASSERT_TRUE(del.has_rows);
+  EXPECT_NE(del.rows[0][0].AsString().find("DELETE"), std::string::npos);
+
+  // None of the explained statements may have executed.
+  EXPECT_EQ(Exec("SELECT COUNT(*) AS N FROM T").rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(Exec("SELECT SUM(V) AS S FROM T").rows[0][0].AsInt64(), 30);
+  // ROWCOUNT() still reports the last real DML, not the EXPLAINs.
+  EXPECT_EQ(Exec("SELECT ROWCOUNT() AS N").rows[0][0].AsInt64(), 2);
+
+  // EXPLAIN of non-plannable statements stays rejected.
+  EXPECT_EQ(TryExec("EXPLAIN CREATE TABLE X (A INTEGER)").code(),
+            StatusCode::kSqlError);
+  EXPECT_EQ(TryExec("EXPLAIN EXPLAIN SELECT * FROM T").code(),
+            StatusCode::kSqlError);
+}
+
 TEST_F(EngineEdgeTest, DeepExpressionNesting) {
   std::string expr = "1";
   for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";

@@ -303,6 +303,30 @@ TEST_F(PlannerTest, DropIndexRollsBackWithEntriesRebuilt) {
   EXPECT_TRUE(IndexesConsistent(*t));
 }
 
+TEST_F(PlannerTest, DropIndexRollbackRestoresPosition) {
+  // Regression: rolling back a DROP INDEX used to re-append the index at
+  // the tail of the table's index list instead of its original slot. Two
+  // indexes over the same column have identical cost, and the planner
+  // breaks the tie by list position — so the rollback silently changed
+  // which index EXPLAIN picks. The undo record now carries the slot.
+  SeedT();
+  Exec("CREATE INDEX IA ON T (V)");
+  Exec("CREATE INDEX IB ON T (V)");
+  std::string before = ExplainText("SELECT K FROM T WHERE V = 3");
+  EXPECT_NE(before.find("INDEX EQ IA"), std::string::npos) << before;
+  Exec("BEGIN");
+  Exec("DROP INDEX IA ON T");
+  std::string during = ExplainText("SELECT K FROM T WHERE V = 3");
+  EXPECT_NE(during.find("INDEX EQ IB"), std::string::npos) << during;
+  Exec("ROLLBACK");
+  std::string after = ExplainText("SELECT K FROM T WHERE V = 3");
+  EXPECT_NE(after.find("INDEX EQ IA"), std::string::npos) << after;
+  const storage::Table* t = db_->store()->Get("T");
+  ASSERT_EQ(t->indexes().size(), 2u);
+  EXPECT_EQ(t->indexes()[0].name, "IA");
+  EXPECT_TRUE(IndexesConsistent(*t));
+}
+
 TEST_F(PlannerTest, DropTableRollbackRestoresIndexDefinitions) {
   SeedT();
   Exec("CREATE INDEX IV ON T (V)");
