@@ -96,7 +96,8 @@ inline void DumpMetrics(const char* bench_name) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   for (const char* name :
        {"storage.wal.syncs", "net.round_trips", "net.bytes_sent",
-        "net.bytes_received", "core.rows_redelivered", "core.recoveries"}) {
+        "net.bytes_received", "core.rows_redelivered", "core.recoveries",
+        "core.failovers"}) {
     reg->GetCounter(name);
   }
   std::string json = reg->ExportJson();

@@ -40,7 +40,13 @@
 # committed_lsn_ publish) and again with PHX_MVCC=0 (classified reads), so
 # both read paths — and the writer hooks they share — are race-checked.
 #
-# Usage: scripts/check_sanitizers.sh [asan|tsan|chaos|socket|recovery|mvcc]
+# A seventh lane, `failover`, runs the multi-server suites — two phoenixd
+# incarnations over one data dir, session migration across SIGKILLs, the
+# refused-endpoint fast-skip sweep, and the chaos failover schedules —
+# under asan+tsan with PHX_TRANSPORT=unix.
+#
+# Usage: scripts/check_sanitizers.sh
+#   [asan|tsan|chaos|socket|recovery|mvcc|failover]
 # (default: both)
 set -eu
 
@@ -84,6 +90,7 @@ CHAOS_TESTS='chaos_matrix_test|recovery_regression_test|wal_test'
 SOCKET_TESTS='net_test|process_server_test|chaos_matrix_test'
 RECOVERY_TESTS='storage_recovery_test|recovery_regression_test|chaos_matrix_test|wal_test'
 MVCC_TESTS='executor_test|txn_test|cursor_test|engine_edge_test|concurrent_server_test|seek_and_multiclient_test|chaos_test|chaos_matrix_test'
+FAILOVER_TESTS='failover_test|chaos_matrix_test'
 
 want="${1:-both}"
 case "$want" in
@@ -109,9 +116,18 @@ case "$want" in
     LANE_MVCC=1 run_lane tsan thread "$MVCC_TESTS"
     LANE_MVCC=0 run_lane tsan thread "$MVCC_TESTS"
     ;;
+  failover)
+    # Multi-server lane: session migration across real SIGKILLs plus the
+    # chaos failover schedules, both sanitizers.
+    LANE_TRANSPORT=unix run_lane asan address,undefined "$FAILOVER_TESTS"
+    LANE_TRANSPORT=unix run_lane tsan thread "$FAILOVER_TESTS"
+    ;;
   both)
     run_lane asan address,undefined
     run_lane tsan thread
     ;;
-  *) echo "usage: $0 [asan|tsan|chaos|socket|recovery|mvcc]" >&2; exit 2 ;;
+  *)
+    echo "usage: $0 [asan|tsan|chaos|socket|recovery|mvcc|failover]" >&2
+    exit 2
+    ;;
 esac

@@ -478,6 +478,26 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
     popts.env["PHX_RECOVERY_THREADS"] = std::to_string(*opts.recovery_threads);
   }
   net::ProcessServerHandle handle(popts);
+
+  // Failover mode: a second group member over the SAME data dir. Boot it
+  // once now, while the dir is still empty and the primary is not yet
+  // alive, purely to discover its resolved endpoint (tcp picks a kernel
+  // port), then stop it — active-passive means at most one server lives.
+  std::unique_ptr<net::ProcessServerHandle> standby;
+  std::string standby_endpoint;
+  if (opts.failover) {
+    net::ProcessServerOptions sopts = popts;
+    sopts.server_id = 1;
+    standby = std::make_unique<net::ProcessServerHandle>(sopts);
+    if (Status st = standby->Start(); !st.ok()) {
+      fail("standby phoenixd start: " + st.ToString());
+      if (own_dir) RemoveDirRecursive(data_dir);
+      return report;
+    }
+    standby_endpoint = standby->endpoint();
+    standby->Terminate(5.0);
+  }
+
   if (Status st = handle.Start(); !st.ok()) {
     fail("phoenixd start: " + st.ToString());
     if (own_dir) RemoveDirRecursive(data_dir);
@@ -490,17 +510,27 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
   net.config()->connect_timeout_ms = 2000;
   net.RegisterRemote("chaosdb", handle.endpoint());
 
-  auto kill_child = [&handle, &report]() {
-    if (handle.running()) {
-      handle.Kill();
+  // The server the session is (or should be) on right now. Failover mode
+  // kills whichever is current and restarts the OTHER one, forcing the
+  // session to migrate; without failover, current is always `handle` and
+  // this degenerates to the single-server schedule.
+  auto current = std::make_shared<net::ProcessServerHandle*>(&handle);
+  auto other =
+      std::make_shared<net::ProcessServerHandle*>(standby.get());
+
+  auto kill_child = [current, &report]() {
+    if ((*current)->running()) {
+      (*current)->Kill();
       ++report.sigkills;
       ++report.server_crashes;
     }
   };
-  // Arms `spec` in the child over a throwaway admin connection, then arms
-  // the parent watcher that turns the child's signal into a SIGKILL.
-  auto arm_rendezvous = [&handle, &net](const std::string& spec) {
-    auto ch = net.Connect("chaosdb");
+  // Arms `spec` in the current child over a throwaway admin connection,
+  // then arms the parent watcher that turns the child's signal into a
+  // SIGKILL. Dials the endpoint directly so the armed server is always the
+  // one the session is on, registered name or not.
+  auto arm_rendezvous = [current, &net](const std::string& spec) {
+    auto ch = net.Connect((*current)->endpoint());
     if (!ch.ok()) return false;
     net::Request req;
     req.kind = net::Request::Kind::kAdmin;
@@ -509,12 +539,18 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
     auto resp = ch.value()->RoundTrip(req);
     bool ok = resp.ok() && resp->kind == net::Response::Kind::kOk;
     ch.value()->Disconnect();
-    if (ok) handle.ArmKillOnRendezvous();
+    if (ok) (*current)->ArmKillOnRendezvous();
     return ok;
   };
 
   core::PhoenixConfig config;
   config.server_side_reposition = opts.server_side_reposition;
+  if (opts.failover) {
+    // The virtual session's server group: the primary's registered name
+    // (the connect DSN) plus the standby's raw endpoint. The recovery
+    // sweep dials both and lands on whichever the harness brought up.
+    config.server_group = {"chaosdb", standby_endpoint};
+  }
   auto restart_error = std::make_shared<std::string>();
   auto probe_count = std::make_shared<int>(0);
   // Set by the kReplayKill fault: the NEXT restart boots with an armed
@@ -523,17 +559,22 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
   // error; the spec is cleared and the retry after it boots clean.
   auto replay_kill_armed = std::make_shared<bool>(false);
   ChaosReport* rep = &report;
-  config.retry_wait = [&handle, restart_error, probe_count, replay_kill_armed,
-                       rep]() {
+  config.retry_wait = [current, other, restart_error, probe_count,
+                       replay_kill_armed, rep]() {
     // A fired rendezvous holds the child parked for the few ms it takes the
     // watcher to deliver the SIGKILL; give it a beat before concluding the
     // child needs rebooting.
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    if (++*probe_count >= 3 && !handle.running()) {
-      Status st = handle.Restart();
+    if (++*probe_count >= 3 && !(*current)->running()) {
+      // Failover mode: the dead server stays down and the OTHER group
+      // member comes up over the shared data dir — its boot-time
+      // DurabilityManager::Recover replays the WAL, then Phoenix's sweep
+      // finds it and migrates the session.
+      if (*other != nullptr) std::swap(*current, *other);
+      Status st = (*current)->Restart();
       if (*replay_kill_armed) {
         *replay_kill_armed = false;
-        handle.mutable_options()->rendezvous.clear();
+        (*current)->mutable_options()->rendezvous.clear();
         if (!st.ok()) {
           // The armed recovery rendezvous killed the child mid-replay (the
           // notify pipe EOFed before READY). The half-replayed state is the
@@ -607,10 +648,10 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
           // ready). retry_wait treats the resulting failed restart as the
           // expected kill and reboots clean on the retry after it.
           kill_child();
-          handle.mutable_options()->rendezvous =
+          (*current)->mutable_options()->rendezvous =
               "recovery:" + std::to_string(2 + f.sub_seed % 4);
-          handle.mutable_options()->env["PHX_RECOVERY_THREADS"] = "4";
-          handle.ArmKillOnNextStart();
+          (*current)->mutable_options()->env["PHX_RECOVERY_THREADS"] = "4";
+          (*current)->ArmKillOnNextStart();
           *replay_kill_armed = true;
           break;
       }
@@ -663,19 +704,22 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
               {ChaosOp::Kind::kSql, "SELECT K, V, NOTE FROM ACCT ORDER BY K",
                true, 0});
     kill_child();
-    Status st = handle.Restart();
+    Status st = (*current)->Restart();
     if (!st.ok() && *replay_kill_armed) {
       // The schedule ended with a replay-kill still pending: this restart
       // was the one armed to die mid-replay. Count it and reboot clean.
       *replay_kill_armed = false;
-      handle.mutable_options()->rendezvous.clear();
+      (*current)->mutable_options()->rendezvous.clear();
       ++report.replay_kills;
-      st = handle.Restart();
+      st = (*current)->Restart();
     }
     if (!st.ok()) {
       fail("restart after final SIGKILL failed (catalog/WAL disagreement): " +
            st.ToString());
     } else {
+      // The session may have migrated; point the audit DSN at whichever
+      // server the final restart brought back.
+      net.RegisterRemote("chaosdb", (*current)->endpoint());
       DriverManager post(&net);
       Client post_client{&post, post.AllocConnect(post.AllocEnv()), nullptr};
       if (post.Connect(post_client.dbc, "chaosdb", "audit") !=
@@ -698,6 +742,7 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
   // Graceful shutdown, then an independent storage-level recovery over the
   // surviving files — the child's own code path is out of the loop here.
   handle.Terminate(5.0);
+  if (standby != nullptr) standby->Terminate(5.0);
   {
     storage::SimDisk audit_disk(data_dir);
     storage::DurabilityManager audit(&audit_disk,
@@ -718,12 +763,15 @@ ChaosReport RunProcessChaosSchedule(const ChaosOptions& opts) {
     }
   }
 
-  report.rendezvous_kills = handle.rendezvous_kills();
+  report.rendezvous_kills =
+      handle.rendezvous_kills() +
+      (standby != nullptr ? standby->rendezvous_kills() : 0);
   report.sigkills += report.rendezvous_kills;
   report.server_crashes += report.rendezvous_kills;
   report.recoveries = phoenix.stats().recoveries;
   report.recovery_recrashes = phoenix.stats().recovery_recrashes;
   report.lost_replies_recovered = phoenix.stats().lost_replies_recovered;
+  report.failovers = phoenix.stats().failovers;
 
   if (cs != nullptr) cs->broken = true;
   phoenix.Disconnect(chaos_client.dbc);
@@ -754,7 +802,8 @@ std::string ChaosReport::DebugString() const {
                   " tear=" + (wal_tear_detected ? "true" : "false") +
                   " sigkills=" + std::to_string(sigkills) +
                   " rdv_kills=" + std::to_string(rendezvous_kills) +
-                  " replay_kills=" + std::to_string(replay_kills);
+                  " replay_kills=" + std::to_string(replay_kills) +
+                  " failovers=" + std::to_string(failovers);
   if (!failure.empty()) s += " failure=\"" + failure + "\"";
   return s + "}";
 }

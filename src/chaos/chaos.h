@@ -96,6 +96,15 @@ struct ChaosOptions {
   /// net::FindServerBinary ($PHX_SERVER_BIN, build-tree guesses).
   std::string server_binary;
 
+  /// Multi-server failover mode (process transports only): a second
+  /// phoenixd (server_id 1) shares the primary's data dir, the Phoenix
+  /// client gets both endpoints as its server group, and every server kill
+  /// targets the *current* server — the harness restarts the OTHER one, so
+  /// the session must migrate back and forth while the oracle checks
+  /// op-equivalence across each migration. Active-passive: at most one
+  /// group member is ever alive.
+  bool failover = false;
+
   /// Extra audit run at the independent-recovery step, with the surviving
   /// post-schedule disk and the server's disk-file prefix. The equivalence
   /// matrix uses this to replay the same chaos-generated WAL serially and
@@ -125,6 +134,7 @@ struct ChaosReport {
   uint64_t sigkills = 0;            ///< process mode: SIGKILLs delivered
   uint64_t rendezvous_kills = 0;    ///< ... of which landed mid-rendezvous
   uint64_t replay_kills = 0;        ///< ... of which landed mid-WAL-replay
+  uint64_t failovers = 0;           ///< recoveries that switched servers
 
   std::string DebugString() const;
 };

@@ -46,6 +46,18 @@ Options Options::FromEnv() {
   }
   o.rpc_timeout_ms = EnvU64("PHX_RPC_TIMEOUT_MS", o.rpc_timeout_ms);
   o.connect_timeout_ms = EnvU64("PHX_CONNECT_TIMEOUT_MS", o.connect_timeout_ms);
+  const char* endpoints = std::getenv("PHX_ENDPOINTS");
+  if (endpoints != nullptr && endpoints[0] != '\0') {
+    std::string list = endpoints;
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      std::string ep = list.substr(start, comma - start);
+      if (!ep.empty()) o.endpoints.push_back(ep);
+      start = comma + 1;
+    }
+  }
   return o;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace phoenix {
 
@@ -37,6 +38,13 @@ enum class Transport : uint8_t {
 ///                              that honor it (default inproc)
 ///   PHX_RPC_TIMEOUT_MS=<n>     socket round-trip deadline (default 30000)
 ///   PHX_CONNECT_TIMEOUT_MS=<n> socket dial deadline (default 5000)
+///   PHX_ENDPOINTS=<ep>[,<ep>...]  server group for session failover: a
+///                              comma-separated list of endpoints
+///                              ("unix:/a.sock,tcp:127.0.0.1:7001"). The
+///                              failure detector sweeps the group on a dead
+///                              connection and migrates the virtual session
+///                              to the first healthy server (default empty =
+///                              single-server reconnect only)
 struct Options {
   bool group_commit = false;
   bool gc_dedicated_flusher = false;
@@ -49,6 +57,7 @@ struct Options {
   Transport transport = Transport::kInproc;
   uint64_t rpc_timeout_ms = 30000;
   uint64_t connect_timeout_ms = 5000;
+  std::vector<std::string> endpoints;
 
   /// The single environment loader. Unset/empty variables keep the field
   /// defaults above; boolean variables accept 1/y/Y/t/T as true.

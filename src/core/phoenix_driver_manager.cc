@@ -100,6 +100,22 @@ SqlReturn PhoenixDriverManager::Connect(Hdbc* dbc, const std::string& dsn,
   cs->proxy_table = ProxyTableName(config_, *cs);
   cs->status_table = StatusTableName(config_, *cs);
 
+  // Failover server group: the connect DSN is always a member (prepended
+  // when the configured group omits it) and is where the session starts.
+  cs->server_group = config_.server_group;
+  size_t dsn_at = cs->server_group.size();
+  for (size_t i = 0; i < cs->server_group.size(); ++i) {
+    if (cs->server_group[i] == dsn) {
+      dsn_at = i;
+      break;
+    }
+  }
+  if (dsn_at == cs->server_group.size()) {
+    cs->server_group.insert(cs->server_group.begin(), dsn);
+    dsn_at = 0;
+  }
+  cs->active_endpoint = dsn_at;
+
   // Private connection for Phoenix activity, masked from the application.
   auto priv = odbc::DriverConnection::Open(network_, dsn, user);
   if (!priv.ok()) {
@@ -722,6 +738,7 @@ SqlReturn PhoenixDriverManager::Fetch(Hstmt* stmt) {
     // This row reached the application only because the virtual session
     // survived a crash — the quantity Figure 2 calls "redelivered".
     ++stats_.rows_redelivered;
+    ++stats_.last_recovery.rows_redelivered;
     obs::MetricsRegistry::Default()
         ->GetCounter("core.rows_redelivered")
         ->Increment();

@@ -6,6 +6,7 @@
 #include "core/phoenix_driver_manager.h"
 #include "core/rewriter.h"
 #include "core/state_store.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -74,26 +75,55 @@ PhoenixDriverManager::RecoverConnectionOnce(Hdbc* dbc, ConnState* cs) {
   auto* reg = obs::MetricsRegistry::Default();
   obs::Tracer::Default()->Emit("core.recovery.start", {{"tag", cs->tag}});
   StopWatch detect_watch;
-  // ---- Detection: re-contact the server --------------------------------
-  // Ping/reconnect loop. If the server never answers within the budget, the
-  // failure is passed to the application (the paper's give-up path).
+  // ---- Detection: re-contact a server ----------------------------------
+  // Reconnect sweep over the failover group (a single-endpoint group
+  // degenerates to the old same-server retry loop). Each round starts at
+  // the endpoint the session last used and tries the others in order; a
+  // *refused* dial proves nothing listens there and is skipped instantly,
+  // while only a fully-failed round pays a backoff sleep. If no server in
+  // the group answers within the dial budget, the failure is passed to the
+  // application (the paper's give-up path).
   std::unique_ptr<DriverConnection> fresh;
   Rng backoff_rng(config_.recovery.jitter_seed);
-  for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
-    ++stats_.reconnect_attempts;
-    reg->GetCounter("core.reconnect_attempts")->Increment();
-    auto conn = DriverConnection::Open(network_, cs->dsn, cs->user);
-    if (conn.ok()) {
-      fresh = conn.take();
-      break;
+  const std::vector<std::string> group =
+      cs->server_group.empty() ? std::vector<std::string>{cs->dsn}
+                               : cs->server_group;
+  size_t landed = cs->active_endpoint < group.size() ? cs->active_endpoint : 0;
+  uint64_t pass_reconnects = 0;
+  uint64_t pass_refused = 0;
+  int dials = 0;
+  for (int round = 0; dials < config_.reconnect_attempts; ++round) {
+    for (size_t i = 0; i < group.size() && dials < config_.reconnect_attempts;
+         ++i) {
+      size_t idx = (cs->active_endpoint + i) % group.size();
+      ++dials;
+      ++stats_.reconnect_attempts;
+      ++pass_reconnects;
+      reg->GetCounter("core.reconnect_attempts")->Increment();
+      auto conn = DriverConnection::Open(network_, group[idx], cs->user);
+      if (conn.ok()) {
+        fresh = conn.take();
+        landed = idx;
+        break;
+      }
+      if (net::IsConnectionRefused(conn.status())) {
+        // Fast failover: refused costs one syscall, not a backoff round —
+        // move straight to the next endpoint in the group.
+        ++stats_.refused_skips;
+        ++pass_refused;
+        reg->GetCounter("core.endpoint_refused_skips")->Increment();
+      }
+      // A timed-out / reset dial also continues the sweep; it already paid
+      // its own dial latency, and another server may be healthy right now.
     }
+    if (fresh != nullptr || dials >= config_.reconnect_attempts) break;
     if (config_.retry_wait) {
       config_.retry_wait();
     } else {
       // Real sleep (the paper "periodically attempts to reconnect"), capped
       // exponential with seeded jitter — never a busy spin.
       uint64_t wait_us =
-          RecoveryBackoffUs(config_.recovery, attempt + 1, &backoff_rng);
+          RecoveryBackoffUs(config_.recovery, round + 1, &backoff_rng);
       if (wait_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
       }
@@ -123,6 +153,27 @@ PhoenixDriverManager::RecoverConnectionOnce(Hdbc* dbc, ConnState* cs) {
   reg->GetCounter("core.recoveries")->Increment();
   reg->GetHistogram("core.recovery.detect_us")
       ->Record(static_cast<uint64_t>(stats_.last_detect_seconds * 1e6));
+
+  // Per-recovery-attempt numbers start fresh here (the registry counters
+  // above stay monotonic); later phases and post-recovery fetches add to
+  // last_recovery until the next confirmed crash.
+  stats_.last_recovery = RecoveryStats{};
+  stats_.last_recovery.attempt = stats_.recoveries;
+  stats_.last_recovery.reconnect_attempts = pass_reconnects;
+  stats_.last_recovery.refused_skips = pass_refused;
+  if (landed != cs->active_endpoint) {
+    // Failover: the session is migrating to a different server. All of
+    // phase 1/2 below (private connection, proxy table, replay) naturally
+    // target the new endpoint through cs->dsn.
+    cs->active_endpoint = landed;
+    cs->dsn = group[landed];
+    ++stats_.failovers;
+    stats_.last_recovery.failed_over = true;
+    reg->GetCounter("core.failovers")->Increment();
+    obs::Tracer::Default()->Emit("core.recovery.failover",
+                                 {{"tag", cs->tag}, {"endpoint", cs->dsn}});
+  }
+  stats_.last_recovery.endpoint = cs->dsn;
   if (config_.recovery_point_hook) {
     config_.recovery_point_hook(RecoveryPoint::kDetected);
   }
@@ -212,6 +263,7 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
         PHX_RETURN_IF_ERROR(dbc->driver->ExecScript(sql).status());
       }
       ++stats_.txn_replays;
+      ++stats_.last_recovery.txn_replays;
       obs::MetricsRegistry::Default()
           ->GetCounter("core.txn_replays")
           ->Increment();
@@ -226,6 +278,7 @@ Status PhoenixDriverManager::ReinstallSqlState(Hdbc* dbc, ConnState* cs) {
     if (vs->kind != StmtState::Kind::kNone) {
       vs->recovered = true;
       ++stats_.state_reinstalls;
+      ++stats_.last_recovery.state_reinstalls;
       obs::MetricsRegistry::Default()
           ->GetCounter("core.state_reinstalls")
           ->Increment();
@@ -286,6 +339,7 @@ Status PhoenixDriverManager::RepositionCursor(Hdbc* dbc,
     // These rows re-crossed the wire only to be thrown away — the very cost
     // the server-side seek avoids. They count as redelivered.
     stats_.rows_redelivered += block.rows.size();
+    stats_.last_recovery.rows_redelivered += block.rows.size();
     obs::MetricsRegistry::Default()
         ->GetCounter("core.rows_redelivered")
         ->Increment(block.rows.size());

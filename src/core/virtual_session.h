@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/options.h"
 #include "common/rng.h"
 #include "common/value.h"
 #include "odbc/driver.h"
@@ -57,6 +58,10 @@ uint64_t RecoveryBackoffUs(const RecoveryConfig& cfg, int attempt, Rng* rng);
 
 /// Tuning & policy knobs for the Phoenix layer.
 struct PhoenixConfig {
+  /// Env-seeded defaults (PHX_ENDPOINTS → server_group), same pattern as
+  /// eng::DatabaseOptions; explicit field assignment overrides as usual.
+  PhoenixConfig() : server_group(Options::FromEnv().endpoints) {}
+
   /// Master switch: disabled == behave exactly like the plain DM.
   bool enabled = true;
 
@@ -92,6 +97,31 @@ struct PhoenixConfig {
 
   /// Prefix for every Phoenix-created server object.
   std::string object_prefix = "PHX";
+
+  /// Server group for failover (Options::endpoints / PHX_ENDPOINTS). When
+  /// non-empty, the failure detector sweeps these endpoints on a dead
+  /// connection — starting from the one the session last used — and
+  /// migrates the virtual session to the first healthy server. The connect
+  /// DSN is implicitly a member (prepended if absent). Empty = reconnect to
+  /// the original DSN only (single-server behavior).
+  std::vector<std::string> server_group;
+};
+
+/// Per-recovery-attempt counters, reset at the start of every recovery pass
+/// (unlike PhoenixStats' cumulative fields and the registry counters, which
+/// stay monotonic across a session's whole life). A second recovery of the
+/// same session reports only its own work here.
+struct RecoveryStats {
+  /// 1-based index of this recovery within the session (== PhoenixStats::
+  /// recoveries at the time the pass confirmed a real crash).
+  uint64_t attempt = 0;
+  uint64_t reconnect_attempts = 0;  ///< dials this pass made
+  uint64_t refused_skips = 0;       ///< endpoints skipped as refused
+  uint64_t state_reinstalls = 0;    ///< statements re-installed this pass
+  uint64_t txn_replays = 0;         ///< txn statements replayed this pass
+  uint64_t rows_redelivered = 0;    ///< rows redelivered since this pass
+  bool failed_over = false;         ///< session moved to a different server
+  std::string endpoint;             ///< server the session landed on
 };
 
 /// Counters and phase timings, exposed for tests and the Figure-2 bench.
@@ -112,6 +142,15 @@ struct PhoenixStats {
   uint64_t txn_replays = 0;
   uint64_t state_reinstalls = 0;   ///< statements re-installed by recovery
   uint64_t rows_redelivered = 0;   ///< rows delivered via a recovered stmt
+  /// Recoveries that landed the session on a *different* server than the
+  /// one it lost (multi-endpoint failover).
+  uint64_t failovers = 0;
+  /// Endpoints skipped instantly because the dial was refused (nothing
+  /// listening) instead of burning a backoff round on them.
+  uint64_t refused_skips = 0;
+  /// The most recent recovery pass's own numbers (reset per pass; see
+  /// RecoveryStats). The cumulative fields above never reset.
+  RecoveryStats last_recovery;
   /// Phase timings of the most recent recovery (Figure 2's two series).
   double last_detect_seconds = 0;
   double last_virtual_session_seconds = 0;
@@ -161,6 +200,13 @@ struct ConnState {
   std::string dsn;
   std::string user;
   std::vector<std::pair<std::string, std::string>> option_log;
+
+  /// Failover server group (config server_group with the connect DSN
+  /// guaranteed a member) and the index of the endpoint the session is
+  /// currently on. `dsn` always equals `server_group[active_endpoint]`,
+  /// so phase 1/2 reconnects naturally target the surviving server.
+  std::vector<std::string> server_group;
+  size_t active_endpoint = 0;
 
   /// Private database connection for Phoenix activity (materialization,
   /// pings, probes) — masked from the application's connection.

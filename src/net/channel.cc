@@ -242,6 +242,11 @@ Result<std::unique_ptr<Channel>> Network::Connect(const std::string& name) {
   if (remote != endpoints_.end()) {
     return ConnectSocketChannel(remote->second, config_);
   }
+  // Raw endpoint strings dial directly without registration, so a server
+  // group (PHX_ENDPOINTS) can mix registered DSNs and bare endpoints.
+  if (name.rfind("unix:", 0) == 0 || name.rfind("tcp:", 0) == 0) {
+    return ConnectSocketChannel(name, config_);
+  }
   return Status::NotFound("unknown data source: " + name);
 }
 

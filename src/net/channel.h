@@ -154,7 +154,9 @@ class InprocChannel final : public Channel {
 /// Drivers resolve a data-source name here and open Channels. A name maps
 /// either to an in-process DbServer (RegisterServer) or to a remote socket
 /// endpoint string (RegisterRemote, "tcp:host:port" or "unix:/path") —
-/// callers cannot tell which transport they got, which is the point.
+/// callers cannot tell which transport they got, which is the point. A
+/// bare "tcp:..."/"unix:..." name that is not registered dials the
+/// endpoint directly, so failover server groups need no registration step.
 class Network {
  public:
   void RegisterServer(const std::string& name, DbServer* server) {

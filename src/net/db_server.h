@@ -29,9 +29,10 @@ struct ServerOptions {
   size_t queue_capacity = 128;
   /// Floor for session ids on the FIRST Start(). In-process restarts keep
   /// ids monotonic via next_session_id_, but a server reborn as a new OS
-  /// process starts from scratch — phoenixd partitions the id space by boot
-  /// epoch (epoch<<32) so a stale session id can never alias a live one,
-  /// which is what keeps the client's crash detection sound.
+  /// process starts from scratch — phoenixd partitions the id space as
+  /// (server_id << 56) | (boot << 32), so a stale session id can never
+  /// alias a live one (keeping the client's crash detection sound) and two
+  /// failover-group members sharing a data dir can never mint the same id.
   uint64_t first_session_id = 1;
   /// Starting value for the restart counter reported in kPong. phoenixd
   /// seeds it from the persistent boot counter so "server came back" stays

@@ -80,9 +80,13 @@ Status ProcessServerHandle::Start() {
   std::string endpoint = endpoint_;  // restart: reuse the resolved address
   if (endpoint.empty()) endpoint = opts_.endpoint;
   if (endpoint.empty()) {
+    std::string sock = opts_.server_id > 0
+                           ? "phoenixd." + std::to_string(opts_.server_id) +
+                                 ".sock"
+                           : "phoenixd.sock";
     endpoint = (opts_.transport == "tcp")
                    ? "tcp:127.0.0.1:0"
-                   : "unix:" + opts_.data_dir + "/phoenixd.sock";
+                   : "unix:" + opts_.data_dir + "/" + sock;
   }
   PHX_RETURN_IF_ERROR(Spawn(endpoint));
   if (arm_on_start_) {
@@ -134,6 +138,9 @@ Status ProcessServerHandle::Spawn(const std::string& endpoint) {
   put_env("PHX_NOTIFY_FD", std::to_string(notify[1]));
   put_env("PHX_RENDEZVOUS_FD", std::to_string(rendezvous[1]));
   put_env("PHX_CKPT_EVERY", std::to_string(opts_.checkpoint_every_n_commits));
+  if (opts_.server_id > 0) {
+    put_env("PHX_SERVER_ID", std::to_string(opts_.server_id));
+  }
   if (opts_.worker_threads > 0) {
     put_env("PHX_WORKERS", std::to_string(opts_.worker_threads));
   }

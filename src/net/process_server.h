@@ -23,12 +23,19 @@ struct ProcessServerOptions {
   /// Durable state directory, shared by every incarnation of this server.
   /// Required; must exist.
   std::string data_dir;
-  /// Listen address. Empty = derived: "unix:<data_dir>/phoenixd.sock" or
-  /// "tcp:127.0.0.1:0" (kernel-assigned port, reported back over the
-  /// readiness pipe). After the first Start() the RESOLVED endpoint is
-  /// reused, so a restarted server comes back on the same address and
-  /// clients can redial blindly.
+  /// Listen address. Empty = derived: "unix:<data_dir>/phoenixd.sock"
+  /// ("phoenixd.<id>.sock" when server_id > 0, so two servers over one
+  /// data dir never fight for the same socket file) or "tcp:127.0.0.1:0"
+  /// (kernel-assigned port, reported back over the readiness pipe). After
+  /// the first Start() the RESOLVED endpoint is reused, so a restarted
+  /// server comes back on the same address and clients can redial blindly.
   std::string endpoint;
+  /// Server identity within a failover group (PHX_SERVER_ID). Partitions
+  /// the boot counter file and the session/txn id space so two servers
+  /// sharing a data dir never mint colliding ids: phoenixd folds it into
+  /// the high byte of first_session_id ((id << 56) | (boot & 0xFFFFFF) <<
+  /// 32). 0 = the historical single-server layout.
+  uint64_t server_id = 0;
   /// Auto-checkpoint cadence for the child (0 = never).
   uint64_t checkpoint_every_n_commits = 0;
   /// Worker pool size for the child (0 = phoenixd default).

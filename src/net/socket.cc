@@ -19,6 +19,19 @@ std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
+/// Maps a dial failure to a Status whose message the recovery sweep can
+/// classify. ECONNREFUSED (nothing listening) and ENOENT (unix socket file
+/// gone — the server never started or was torn down) both mean "no server
+/// here, and we learned so instantly": IsConnectionRefused keys on the
+/// kRefusedPrefix so failover can skip the endpoint without a backoff round.
+Status DialError(const std::string& endpoint, int err) {
+  if (err == ECONNREFUSED || err == ENOENT) {
+    return Status::CommError(std::string(kRefusedPrefix) + endpoint + ": " +
+                             std::strerror(err));
+  }
+  return Status::CommError("connect " + endpoint + ": " + std::strerror(err));
+}
+
 /// Splits "tcp:host:port" / "unix:path". Returns false on a malformed
 /// endpoint (the caller reports InvalidArgument with the original string).
 bool ParseEndpoint(const std::string& endpoint, bool* is_tcp,
@@ -133,7 +146,7 @@ Result<Socket> Dial(const std::string& endpoint, uint64_t timeout_ms) {
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), len);
   if (rc != 0 && errno != EINPROGRESS) {
-    return Status::CommError(Errno("connect " + endpoint));
+    return DialError(endpoint, errno);
   }
   if (rc != 0) {
     pollfd pfd{fd, POLLOUT, 0};
@@ -144,8 +157,7 @@ Result<Socket> Dial(const std::string& endpoint, uint64_t timeout_ms) {
     socklen_t errlen = sizeof(err);
     ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen);
     if (err != 0) {
-      return Status::CommError("connect " + endpoint + ": " +
-                               std::strerror(err));
+      return DialError(endpoint, err);
     }
   }
   ::fcntl(fd, F_SETFL, flags);  // back to blocking for send/recv
@@ -156,6 +168,11 @@ Result<Socket> Dial(const std::string& endpoint, uint64_t timeout_ms) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   return sock;
+}
+
+bool IsConnectionRefused(const Status& s) {
+  return s.IsCommError() &&
+         s.message().find(kRefusedPrefix) != std::string::npos;
 }
 
 Listener::~Listener() { Close(); }
@@ -209,18 +226,41 @@ Status Listener::Listen(const std::string& endpoint) {
     endpoint_ = std::string("tcp:") + ip + ":" +
                 std::to_string(ntohs(bound.sin_port));
   } else {
-    // A previous incarnation that died by SIGKILL leaves its socket file
-    // behind; bind() would fail EADDRINUSE forever without this.
-    ::unlink(host_or_path.c_str());
     sockaddr_un addr;
     if (!FillSockaddrUn(host_or_path, &addr)) {
       ::close(fd);
       return Status::InvalidArgument("unix socket path too long: " + endpoint);
     }
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      Status s = Status::CommError(Errno("bind " + endpoint));
+    // A previous incarnation that died by SIGKILL leaves its socket file
+    // behind, so bind() fails EADDRINUSE. Blindly unlinking first is a
+    // race: a concurrent restart (or a still-live server) can bind between
+    // our unlink and bind, and we would then unlink ITS socket out from
+    // under it. Instead bind first and only clear the path once a probe
+    // connect proves nobody is accepting on it.
+    Status bind_err;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        bind_err = Status::Ok();
+        break;
+      }
+      if (errno != EADDRINUSE) {
+        bind_err = Status::CommError(Errno("bind " + endpoint));
+        break;
+      }
+      bind_err = Status::CommError(Errno("bind " + endpoint));
+      // 200 ms probe: refused/ENOENT means the file is stale garbage and
+      // safe to unlink; a completed connect means a live server owns it.
+      auto probe = Dial(endpoint, 200);
+      if (probe.ok()) {
+        ::close(fd);
+        return Status::AlreadyExists("address in use by a live server: " +
+                                     endpoint);
+      }
+      ::unlink(host_or_path.c_str());
+    }
+    if (!bind_err.ok()) {
       ::close(fd);
-      return s;
+      return bind_err;
     }
     unix_path_ = host_or_path;
     endpoint_ = endpoint;

@@ -55,7 +55,20 @@ class Socket {
 /// Dials `endpoint`, waiting up to `timeout_ms` for the TCP handshake
 /// (refused still fails immediately). kCommError on any failure — the code
 /// the Phoenix failure detector treats as "server dead, begin recovery".
+/// Refused dials (ECONNREFUSED, or ENOENT for a missing unix socket file)
+/// carry kRefusedPrefix in the message so IsConnectionRefused() can tell
+/// "nothing listening here, learned instantly" from a timed-out handshake.
 Result<Socket> Dial(const std::string& endpoint, uint64_t timeout_ms);
+
+/// Message marker Dial() puts on instantly-refused connections.
+inline constexpr char kRefusedPrefix[] = "connection refused ";
+
+/// True for a Dial() failure that proves no server is accepting at the
+/// endpoint (refused / socket file absent) — as opposed to a timeout or a
+/// mid-stream reset, where a server may exist but be slow or dying. The
+/// Phoenix failover sweep skips refused endpoints without burning a backoff
+/// round.
+bool IsConnectionRefused(const Status& s);
 
 /// A bound, listening server socket.
 class Listener {
@@ -66,9 +79,12 @@ class Listener {
   ~Listener();
 
   /// Binds + listens on `endpoint`. TCP listeners set SO_REUSEADDR so a
-  /// reborn server can re-bind its old port out of TIME_WAIT; Unix
-  /// listeners unlink a stale socket file first (the previous incarnation
-  /// died by SIGKILL and never cleaned up).
+  /// reborn server can re-bind its old port out of TIME_WAIT. Unix
+  /// listeners handle the stale socket file a SIGKILLed incarnation leaves
+  /// behind deterministically: bind first, and on EADDRINUSE probe-connect
+  /// the path — refused means stale (unlink + retry, bounded), while a live
+  /// accepting owner yields kAlreadyExists instead of unlinking a running
+  /// server's socket out from under it.
   Status Listen(const std::string& endpoint);
 
   /// The resolved address — for "tcp:host:0" this carries the

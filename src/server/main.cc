@@ -247,11 +247,22 @@ int Main(int argc, char** argv) {
 
   storage::SimDisk disk(data_dir);
 
+  // Server identity within a failover group. Servers sharing a data dir
+  // keep separate boot counters, and the id lands in the session-id high
+  // byte, so no two group members can ever mint the same session/txn id.
+  uint64_t server_id = EnvU64("PHX_SERVER_ID", 0);
+  if (server_id > 0xFF) {
+    std::fprintf(stderr, "phoenixd: PHX_SERVER_ID must be <= 255\n");
+    return 2;
+  }
+  std::string boot_file =
+      server_id == 0 ? "phxd.boot" : "phxd.boot." + std::to_string(server_id);
+
   // Durable boot counter → session-id partition + monotonic server epoch.
   uint64_t boot = 1;
-  auto prev = disk.ReadDurable("phxd.boot");
+  auto prev = disk.ReadDurable(boot_file);
   if (prev.ok()) boot = std::strtoull(prev.value().c_str(), nullptr, 10) + 1;
-  Status persisted = disk.WriteAtomic("phxd.boot", std::to_string(boot));
+  Status persisted = disk.WriteAtomic(boot_file, std::to_string(boot));
   if (!persisted.ok()) {
     std::fprintf(stderr, "phoenixd: cannot persist boot counter: %s\n",
                  persisted.message().c_str());
@@ -289,7 +300,11 @@ int Main(int argc, char** argv) {
   net::ServerOptions opts;
   opts.db.checkpoint_every_n_commits = EnvU64("PHX_CKPT_EVERY", 0);
   opts.worker_threads = static_cast<size_t>(EnvU64("PHX_WORKERS", 4));
-  opts.first_session_id = boot << 32;
+  // Session-id partition, server-aware: high byte = group member id, next
+  // 24 bits = that member's boot count. Two servers over one data dir can
+  // never collide, and within one server every boot stays disjoint (the
+  // single-server id 0 layout reduces to the historical boot << 32).
+  opts.first_session_id = (server_id << 56) | ((boot & 0xFFFFFF) << 32);
   opts.initial_epoch = boot - 1;  // Start() increments: epoch == boot count
   opts.admin_hook = [&rendezvous](const std::string& name,
                                   const std::string& value) -> Status {

@@ -307,6 +307,44 @@ TEST(ChaosMatrix, ProcessKillSchedules) {
   EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
 }
 
+TEST(ChaosMatrix, FailoverSchedules) {
+  // Multi-server lane: a second phoenixd (server_id 1) shares the primary's
+  // data dir, the Phoenix client holds both endpoints as its server group,
+  // and every kill targets whichever server the session is currently on —
+  // the harness restarts the OTHER one, so each recovery must migrate the
+  // session across the group (phase 1 replays the shared WAL on the
+  // successor's boot, phase 2 reinstalls SQL state there) while the oracle
+  // demands op-equivalence and exactly-once request ids across every
+  // migration. PHX_TRANSPORT=tcp runs the lane over TCP.
+  std::string why;
+  if (!ProcessChaosAvailable(&why)) GTEST_SKIP() << why;
+  uint64_t sigkills = 0;
+  uint64_t failovers = 0;
+  uint64_t recoveries = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosOptions opts;
+    opts.seed = 18000 + seed;
+    opts.n_faults = 3;
+    opts.transport = ProcessLaneTransport();
+    opts.failover = true;
+    // Plain between-op kills + message faults only: the rendezvous-armed
+    // tail-tearing kinds target one specific child, which would race the
+    // current/other swap.
+    opts.allow_partial_flush = false;
+    opts.allow_torn = false;
+    opts.allow_mid_checkpoint = false;
+    opts.allow_recovery_crash = false;
+    ChaosReport r = RunAndCheck(opts);
+    sigkills += r.sigkills;
+    failovers += r.failovers;
+    recoveries += r.recoveries;
+  }
+  EXPECT_GT(sigkills, 0u) << "no schedule ever SIGKILLed a server";
+  EXPECT_GT(recoveries, 0u) << "no schedule ever exercised recovery";
+  EXPECT_GT(failovers, 0u)
+      << "no schedule ever migrated the session to the other server";
+}
+
 TEST(ChaosMatrix, RecoveryReplayKillSchedules) {
   // Crash DURING parallel WAL replay: the replay-kill fault SIGKILLs the
   // child between ops, then arms a "recovery" rendezvous so the reborn

@@ -1,0 +1,646 @@
+// Multi-server failover: a virtual session survives the death of its
+// server by migrating to a *different* server in its group. The inproc
+// suites (two DbServers over one SimDisk) run everywhere and pin the
+// failure-detector sweep, the per-recovery RecoveryStats, and the
+// refused-vs-timeout failure classes; the process suites kill a real
+// phoenixd (idle / mid-fetch / mid-commit, unix and tcp) and assert the
+// session resumes on server B with cursor position and exactly-once
+// REQ_ID semantics intact. Socket-dependent tests skip gracefully when
+// the binary is missing or the sandbox denies sockets (`ctest -L
+// failover` selects this binary; the inproc half still runs everywhere).
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/phoenix_driver_manager.h"
+#include "net/process_server.h"
+#include "obs/metrics.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "test_util.h"
+
+namespace phoenix {
+namespace {
+
+using core::ConnState;
+using core::PhoenixConfig;
+using core::PhoenixDriverManager;
+using odbc::Hdbc;
+using odbc::Hstmt;
+using odbc::SqlReturn;
+using testutil::AutoRestartConfig;
+using testutil::MustExec;
+using testutil::MustQuery;
+using testutil::TestCluster;
+
+/// mkdtemp wrapper; removes the (flat) directory on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/phx_fo_XXXXXX";
+    char* got = ::mkdtemp(tmpl);
+    if (got != nullptr) path = got;
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (dirent* e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+/// True when this sandbox lets us bind sockets at all.
+bool SocketsAvailable(std::string* why) {
+  net::Listener probe;
+  Status st = probe.Listen("unix:/tmp/phx_fo_probe_" +
+                           std::to_string(::getpid()) + ".sock");
+  if (!st.ok()) {
+    *why = "sockets unavailable here: " + st.ToString();
+    return false;
+  }
+  probe.Close();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Refused-vs-timeout classification (the satellite bugfix's foundation).
+// ---------------------------------------------------------------------------
+
+TEST(DialClassification, MissingUnixSocketFileIsRefused) {
+  std::string why;
+  if (!SocketsAvailable(&why)) GTEST_SKIP() << why;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto r = net::Dial("unix:" + dir.path + "/nothing_here.sock", 200);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCommError()) << r.status().ToString();
+  EXPECT_TRUE(net::IsConnectionRefused(r.status())) << r.status().ToString();
+}
+
+TEST(DialClassification, ClosedTcpPortIsRefused) {
+  std::string why;
+  if (!SocketsAvailable(&why)) GTEST_SKIP() << why;
+  // Port 1 on loopback: nothing listens, the kernel refuses instantly.
+  auto r = net::Dial("tcp:127.0.0.1:1", 500);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(net::IsConnectionRefused(r.status())) << r.status().ToString();
+}
+
+TEST(DialClassification, StaleUnixSocketFileIsRefused) {
+  std::string why;
+  if (!SocketsAvailable(&why)) GTEST_SKIP() << why;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string path = dir.path + "/stale.sock";
+  // Bind but never listen, then close: the file stays behind exactly like
+  // a SIGKILLed server's socket, and connecting to it is refused.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);
+  auto r = net::Dial("unix:" + path, 200);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(net::IsConnectionRefused(r.status())) << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic unix bind (the stale-socket Restart race, satellite 1).
+// ---------------------------------------------------------------------------
+
+TEST(UnixBind, StaleSocketFileIsReclaimed) {
+  std::string why;
+  if (!SocketsAvailable(&why)) GTEST_SKIP() << why;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string path = dir.path + "/srv.sock";
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // the socket file survives — a dead server's leftovers
+  net::Listener reborn;
+  PHX_ASSERT_OK(reborn.Listen("unix:" + path));
+  // And the reclaimed address actually accepts connections.
+  auto dialed = net::Dial("unix:" + path, 500);
+  PHX_ASSERT_OK(dialed.status());
+}
+
+TEST(UnixBind, LiveOwnerIsNeverUnlinked) {
+  std::string why;
+  if (!SocketsAvailable(&why)) GTEST_SKIP() << why;
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string ep = "unix:" + dir.path + "/owned.sock";
+  net::Listener owner;
+  PHX_ASSERT_OK(owner.Listen(ep));
+  net::Listener intruder;
+  Status st = intruder.Listen(ep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("live server"), std::string::npos)
+      << st.ToString();
+  // The probe must not have disturbed the live owner's socket.
+  auto dialed = net::Dial(ep, 500);
+  PHX_ASSERT_OK(dialed.status());
+}
+
+// ---------------------------------------------------------------------------
+// Inproc failover: two DbServers sharing one SimDisk (runs everywhere).
+// ---------------------------------------------------------------------------
+
+/// Two group members over the SAME durable disk, ids partitioned like
+/// phoenixd partitions them ((server_id << 56) | (boot << 32)). Active-
+/// passive: B is constructed but not booted until A dies.
+struct InprocPair {
+  storage::SimDisk disk;
+  net::DbServer a;
+  net::DbServer b;
+  net::Network network;
+
+  static net::ServerOptions OptsB() {
+    net::ServerOptions o;
+    o.first_session_id = (1ull << 56) | (1ull << 32);
+    return o;
+  }
+
+  InprocPair() : a(&disk), b(&disk, OptsB()) {
+    PHX_EXPECT_OK(a.Start());
+    network.RegisterServer("a", &a);
+    network.RegisterServer("b", &b);
+  }
+};
+
+TEST(InprocFailover, SessionMigratesToSecondServerAndBack) {
+  InprocPair pair;
+  PhoenixConfig config;
+  config.server_group = {"a", "b"};
+  config.retry_wait = [] {};  // both crashes are resolved synchronously
+  PhoenixDriverManager dm(&pair.network, config);
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, "a", "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE T (A INTEGER PRIMARY KEY)");
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (1)");
+
+  // A dies for good; B boots over the shared disk (WAL replay brings the
+  // committed row back) and the sweep must land the session there.
+  pair.a.Crash();
+  PHX_ASSERT_OK(pair.b.Start());
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (2)");
+  EXPECT_EQ(dm.stats().failovers, 1u);
+  EXPECT_TRUE(dm.stats().last_recovery.failed_over);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, "b");
+  // Inproc dead servers surface resets, not refusals: the sweep walked
+  // past A the slow way and the refused fast-path never fired.
+  EXPECT_EQ(dm.stats().refused_skips, 0u);
+  EXPECT_EQ(MustQuery(&dm, dbc, "SELECT COUNT(*) FROM T")[0][0].AsInt64(), 2);
+
+  // Now B dies and A comes back: the sweep starts at the endpoint the
+  // session is on (B), walks on, and migrates back.
+  pair.b.Crash();
+  PHX_ASSERT_OK(pair.a.Restart());
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (3)");
+  EXPECT_EQ(dm.stats().failovers, 2u);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, "a");
+  EXPECT_EQ(MustQuery(&dm, dbc, "SELECT COUNT(*) FROM T")[0][0].AsInt64(), 3);
+}
+
+TEST(InprocFailover, CursorResumesAcrossMigration) {
+  InprocPair pair;
+  PhoenixConfig config;
+  config.server_group = {"a", "b"};
+  config.retry_wait = [] {};
+  PhoenixDriverManager dm(&pair.network, config);
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, "a", "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE NUMS (N INTEGER PRIMARY KEY)");
+  std::string values;
+  for (int i = 1; i <= 100; ++i) {
+    if (i > 1) values += ", ";
+    values += "(" + std::to_string(i) + ")";
+  }
+  MustExec(&dm, dbc, "INSERT INTO NUMS VALUES " + values);
+
+  Hstmt* stmt = dm.AllocStmt(dbc);
+  ASSERT_EQ(dm.ExecDirect(stmt, "SELECT N FROM NUMS ORDER BY N"),
+            SqlReturn::kSuccess);
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_EQ(dm.Fetch(stmt), SqlReturn::kSuccess);
+  }
+
+  pair.a.Crash();
+  PHX_ASSERT_OK(pair.b.Start());
+
+  Value v;
+  for (int i = 41; i <= 100; ++i) {
+    ASSERT_EQ(dm.Fetch(stmt), SqlReturn::kSuccess) << "row " << i;
+    dm.GetData(stmt, 0, &v);
+    ASSERT_EQ(v.AsInt64(), i);
+  }
+  EXPECT_EQ(dm.Fetch(stmt), SqlReturn::kNoData);
+  EXPECT_EQ(dm.stats().failovers, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.state_reinstalls, 1u);
+  EXPECT_GT(dm.stats().last_recovery.rows_redelivered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-recovery-attempt stats (satellite 3): RecoveryStats resets per pass
+// while the cumulative PhoenixStats fields and registry counters climb.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryStats, SecondRecoveryReportsItsOwnNumbersOnly) {
+  TestCluster cluster;
+  PhoenixDriverManager dm(&cluster.network,
+                          AutoRestartConfig(&cluster.server));
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, "testdb", "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE NUMS (N INTEGER PRIMARY KEY)");
+  std::string values;
+  for (int i = 1; i <= 100; ++i) {
+    if (i > 1) values += ", ";
+    values += "(" + std::to_string(i) + ")";
+  }
+  MustExec(&dm, dbc, "INSERT INTO NUMS VALUES " + values);
+
+  auto run_cursor_through_crash = [&] {
+    Hstmt* stmt = dm.AllocStmt(dbc);
+    ASSERT_EQ(dm.ExecDirect(stmt, "SELECT N FROM NUMS ORDER BY N"),
+              SqlReturn::kSuccess);
+    for (int i = 1; i <= 40; ++i) {
+      ASSERT_EQ(dm.Fetch(stmt), SqlReturn::kSuccess);
+    }
+    cluster.server.Crash();
+    while (dm.Fetch(stmt) == SqlReturn::kSuccess) {
+    }
+    // Free the statement so the NEXT recovery has exactly one statement's
+    // state to reinstall — the quantity the per-pass stats must isolate.
+    dm.FreeStmt(stmt);
+  };
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Default()->Snapshot();
+  run_cursor_through_crash();
+  ASSERT_EQ(dm.stats().recoveries, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.attempt, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.state_reinstalls, 1u);
+  EXPECT_GT(dm.stats().last_recovery.reconnect_attempts, 0u);
+  EXPECT_FALSE(dm.stats().last_recovery.failed_over);
+  uint64_t dials_after_first = dm.stats().reconnect_attempts;
+
+  run_cursor_through_crash();
+  ASSERT_EQ(dm.stats().recoveries, 2u);
+  // The bug this pins: these used to be cumulative, so a second recovery
+  // of the same session reported the first one's work too.
+  EXPECT_EQ(dm.stats().last_recovery.attempt, 2u);
+  EXPECT_EQ(dm.stats().last_recovery.state_reinstalls, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.reconnect_attempts,
+            dm.stats().reconnect_attempts - dials_after_first);
+  // Cumulative session stats and registry counters stay monotonic.
+  EXPECT_EQ(dm.stats().state_reinstalls, 2u);
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Default()->Snapshot();
+  EXPECT_EQ(after.counter("core.state_reinstalls") -
+                before.counter("core.state_reinstalls"),
+            2u);
+}
+
+// ---------------------------------------------------------------------------
+// Process-mode failover fixture: two phoenixd incarnations, one data dir.
+// ---------------------------------------------------------------------------
+
+/// Server A (id 0) and server B (id 1) over one shared data dir. B is
+/// booted once over the still-empty dir to resolve its endpoint (tcp
+/// picks a kernel port), then stopped: active-passive, at most one server
+/// alive. Tests kill A and Restart B from retry_wait (or directly).
+struct FailoverFixture {
+  TempDir dir;
+  std::unique_ptr<net::ProcessServerHandle> a;
+  std::unique_ptr<net::ProcessServerHandle> b;
+  net::Network network;
+  std::string a_ep;
+  std::string b_ep;
+  bool ok = false;
+  std::string skip;
+
+  explicit FailoverFixture(const std::string& transport) {
+    std::string bin = net::FindServerBinary("");
+    if (bin.empty()) {
+      skip = "phoenixd binary not found (set PHX_SERVER_BIN)";
+      return;
+    }
+    if (dir.path.empty()) {
+      skip = "mkdtemp failed";
+      return;
+    }
+    net::ProcessServerOptions base;
+    base.binary = bin;
+    base.transport = transport;
+    base.data_dir = dir.path;
+    net::ProcessServerOptions bopts = base;
+    bopts.server_id = 1;
+    b = std::make_unique<net::ProcessServerHandle>(bopts);
+    if (Status st = b->Start(); !st.ok()) {
+      skip = "cannot spawn phoenixd: " + st.ToString();
+      return;
+    }
+    b_ep = b->endpoint();
+    b->Terminate(5.0);
+    a = std::make_unique<net::ProcessServerHandle>(base);
+    if (Status st = a->Start(); !st.ok()) {
+      skip = "cannot spawn phoenixd: " + st.ToString();
+      return;
+    }
+    a_ep = a->endpoint();
+    network.config()->rpc_timeout_ms = 8000;
+    network.config()->connect_timeout_ms = 4000;
+    ok = true;
+  }
+
+  ~FailoverFixture() {
+    if (a) a->Terminate(5.0);
+    if (b) b->Terminate(5.0);
+  }
+
+  /// Phoenix config whose recovery loop brings B up once A is dead — the
+  /// ops-failover a client's retry_wait hook models.
+  PhoenixConfig GroupConfig(std::atomic<int>* probes) {
+    PhoenixConfig config;
+    config.server_group = {a_ep, b_ep};
+    config.retry_wait = [this, probes] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (++*probes >= 3 && !a->running() && !b->running()) {
+        ASSERT_TRUE(b->Restart().ok());
+      }
+    };
+    return config;
+  }
+
+  /// Arms a rendezvous spec in server A and the parent-side kill watcher.
+  void ArmKillOnA(const std::string& spec) {
+    auto ch = network.Connect(a_ep);
+    ASSERT_TRUE(ch.ok()) << ch.status().ToString();
+    net::Request req;
+    req.kind = net::Request::Kind::kAdmin;
+    req.name = net::kAdminRendezvous;
+    req.value = spec;
+    auto resp = ch.value()->RoundTrip(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->kind, net::Response::Kind::kOk);
+    ch.value()->Disconnect();
+    a->ArmKillOnRendezvous();
+  }
+};
+
+#define SKIP_UNLESS_RUNNING(fx) \
+  if (!(fx).ok) GTEST_SKIP() << (fx).skip
+
+/// No duplicate REQ_ID may survive in the status table — the exactly-once
+/// sentinel, asserted ACROSS the server migration.
+void AssertExactlyOnce(PhoenixDriverManager* dm, Hdbc* dbc) {
+  ConnState* cs = PhoenixDriverManager::conn_state(dbc);
+  ASSERT_NE(cs, nullptr);
+  if (!cs->status_table_created) return;
+  auto rows = MustQuery(dm, dbc,
+                        "SELECT REQ_ID FROM " + cs->status_table +
+                            " ORDER BY REQ_ID");
+  std::set<int64_t> seen;
+  for (const Row& row : rows) {
+    EXPECT_TRUE(seen.insert(row[0].AsInt64()).second)
+        << "duplicate request id " << row[0].ToString()
+        << " in the status table (double-applied request)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// E2E matrix: kill server A idle / mid-fetch / mid-commit, unix and tcp.
+// ---------------------------------------------------------------------------
+
+void IdleKillFailsOver(const std::string& transport) {
+  FailoverFixture fx(transport);
+  SKIP_UNLESS_RUNNING(fx);
+  std::atomic<int> probes{0};
+  PhoenixDriverManager dm(&fx.network, fx.GroupConfig(&probes));
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, fx.a_ep, "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE T (A INTEGER PRIMARY KEY)");
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (1)");
+
+  fx.a->Kill();
+
+  // The next statement rides through: detection, sweep, WAL recovery on
+  // B's boot, phase 1+2 on B.
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (2)");
+  EXPECT_EQ(dm.stats().failovers, 1u);
+  EXPECT_TRUE(dm.stats().last_recovery.failed_over);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, fx.b_ep);
+  EXPECT_TRUE(fx.b->running());
+  EXPECT_EQ(MustQuery(&dm, dbc, "SELECT COUNT(*) FROM T")[0][0].AsInt64(), 2);
+  AssertExactlyOnce(&dm, dbc);
+}
+
+TEST(ProcessFailover, IdleKillFailsOverUnix) { IdleKillFailsOver("unix"); }
+
+TEST(ProcessFailover, IdleKillFailsOverTcp) { IdleKillFailsOver("tcp"); }
+
+void MidFetchKillResumesCursorOnB(const std::string& transport) {
+  FailoverFixture fx(transport);
+  SKIP_UNLESS_RUNNING(fx);
+  std::atomic<int> probes{0};
+  PhoenixDriverManager dm(&fx.network, fx.GroupConfig(&probes));
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, fx.a_ep, "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE NUMS (N INTEGER PRIMARY KEY)");
+  std::string values;
+  for (int i = 1; i <= 100; ++i) {
+    if (i > 1) values += ", ";
+    values += "(" + std::to_string(i) + ")";
+  }
+  MustExec(&dm, dbc, "INSERT INTO NUMS VALUES " + values);
+
+  Hstmt* stmt = dm.AllocStmt(dbc);
+  ASSERT_EQ(dm.ExecDirect(stmt, "SELECT N FROM NUMS ORDER BY N"),
+            SqlReturn::kSuccess);
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_EQ(dm.Fetch(stmt), SqlReturn::kSuccess);
+  }
+
+  fx.a->Kill();
+
+  // Rows past the client block buffer can only come from server B's
+  // recovered persistent result table, in order, without gaps.
+  Value v;
+  for (int i = 41; i <= 100; ++i) {
+    ASSERT_EQ(dm.Fetch(stmt), SqlReturn::kSuccess) << "row " << i;
+    dm.GetData(stmt, 0, &v);
+    ASSERT_EQ(v.AsInt64(), i);
+  }
+  EXPECT_EQ(dm.Fetch(stmt), SqlReturn::kNoData);
+  EXPECT_EQ(dm.stats().failovers, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, fx.b_ep);
+  EXPECT_EQ(dm.stats().last_recovery.state_reinstalls, 1u);
+  EXPECT_GT(dm.stats().last_recovery.rows_redelivered, 0u);
+
+  // The migrated session keeps working for writes.
+  MustExec(&dm, dbc, "INSERT INTO NUMS VALUES (101)");
+  EXPECT_EQ(
+      MustQuery(&dm, dbc, "SELECT COUNT(*) FROM NUMS")[0][0].AsInt64(), 101);
+  AssertExactlyOnce(&dm, dbc);
+}
+
+TEST(ProcessFailover, MidFetchKillResumesCursorOnBUnix) {
+  MidFetchKillResumesCursorOnB("unix");
+}
+
+TEST(ProcessFailover, MidFetchKillResumesCursorOnBTcp) {
+  MidFetchKillResumesCursorOnB("tcp");
+}
+
+void MidCommitKillReplaysTxnOnB(const std::string& transport) {
+  FailoverFixture fx(transport);
+  SKIP_UNLESS_RUNNING(fx);
+  std::atomic<int> probes{0};
+  PhoenixDriverManager dm(&fx.network, fx.GroupConfig(&probes));
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, fx.a_ep, "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE T (A INTEGER PRIMARY KEY)");
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (1)");
+
+  MustExec(&dm, dbc, "BEGIN TRANSACTION");
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (2)");
+
+  // A dies immediately before dispatching the COMMIT: the transaction is
+  // rolled back with the crash and must be REPLAYED on B (BEGIN + INSERT),
+  // then the resubmitted COMMIT — with a fresh marker id — lands once.
+  fx.ArmKillOnA("exec:1");
+  MustExec(&dm, dbc, "COMMIT");
+  ASSERT_TRUE(fx.a->WaitRendezvousKill(15.0));
+
+  EXPECT_GE(dm.stats().failovers, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, fx.b_ep);
+  EXPECT_GE(dm.stats().last_recovery.txn_replays, 1u);
+  EXPECT_EQ(MustQuery(&dm, dbc, "SELECT COUNT(*) FROM T")[0][0].AsInt64(), 2);
+  AssertExactlyOnce(&dm, dbc);
+}
+
+TEST(ProcessFailover, MidCommitKillReplaysTxnOnBUnix) {
+  MidCommitKillReplaysTxnOnB("unix");
+}
+
+TEST(ProcessFailover, MidCommitKillReplaysTxnOnBTcp) {
+  MidCommitKillReplaysTxnOnB("tcp");
+}
+
+// ---------------------------------------------------------------------------
+// Refused fast-skip (satellite 2): an endpoint that is down from the start
+// must not cost the sweep a backoff round.
+// ---------------------------------------------------------------------------
+
+void RefusedEndpointsSkipWithoutBackoff(const std::string& transport) {
+  FailoverFixture fx(transport);
+  SKIP_UNLESS_RUNNING(fx);
+  std::string dead = transport == "tcp"
+                         ? "tcp:127.0.0.1:1"
+                         : "unix:" + fx.dir.path + "/never_started.sock";
+  std::atomic<int> waits{0};
+  PhoenixConfig config;
+  // The dead endpoint sits between A and B: a sweep that treated refused
+  // like timeout would burn a backoff round before ever reaching B.
+  config.server_group = {fx.a_ep, dead, fx.b_ep};
+  config.retry_wait = [&waits] { ++waits; };
+  PhoenixDriverManager dm(&fx.network, config);
+  auto* dbc = dm.AllocConnect(dm.AllocEnv());
+  ASSERT_EQ(dm.Connect(dbc, fx.a_ep, "app"), SqlReturn::kSuccess);
+  MustExec(&dm, dbc, "CREATE TABLE T (A INTEGER PRIMARY KEY)");
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (1)");
+
+  // Successor up BEFORE the kill is noticed: round 0 of the sweep must
+  // find it — A refused (dead), the dead endpoint refused, B healthy.
+  fx.a->Kill();
+  PHX_ASSERT_OK(fx.b->Restart());
+
+  MustExec(&dm, dbc, "INSERT INTO T VALUES (2)");
+  EXPECT_EQ(waits.load(), 0)
+      << "refused endpoints burned a backoff round instead of being skipped";
+  EXPECT_EQ(dm.stats().failovers, 1u);
+  EXPECT_EQ(dm.stats().last_recovery.endpoint, fx.b_ep);
+  EXPECT_EQ(dm.stats().last_recovery.refused_skips, 2u);
+  EXPECT_EQ(dm.stats().last_recovery.reconnect_attempts, 3u);
+  EXPECT_EQ(MustQuery(&dm, dbc, "SELECT COUNT(*) FROM T")[0][0].AsInt64(), 2);
+}
+
+TEST(ProcessFailover, RefusedEndpointsSkipWithoutBackoffUnix) {
+  RefusedEndpointsSkipWithoutBackoff("unix");
+}
+
+TEST(ProcessFailover, RefusedEndpointsSkipWithoutBackoffTcp) {
+  RefusedEndpointsSkipWithoutBackoff("tcp");
+}
+
+// ---------------------------------------------------------------------------
+// Restart discipline (satellite 1 at the process level): fast SIGKILL →
+// Restart cycles must rebind deterministically, and the id partition keeps
+// the two servers' sessions disjoint.
+// ---------------------------------------------------------------------------
+
+TEST(ProcessFailover, FastKillRestartCyclesAlwaysRebind) {
+  FailoverFixture fx("unix");
+  SKIP_UNLESS_RUNNING(fx);
+  // The flake this pins: SIGKILL leaves a stale socket file, and an
+  // immediate Restart used to race its own unlink. Five back-to-back
+  // cycles with zero delay must all rebind.
+  for (int round = 0; round < 5; ++round) {
+    fx.a->Kill();
+    PHX_ASSERT_OK(fx.a->Restart());
+    EXPECT_EQ(fx.a->endpoint(), fx.a_ep) << "round " << round;
+  }
+}
+
+TEST(ProcessFailover, ServerIdsPartitionSessionIdSpace) {
+  FailoverFixture fx("unix");
+  SKIP_UNLESS_RUNNING(fx);
+  // Sessions minted by A (id 0) and B (id 1) must come from disjoint id
+  // partitions even though both servers share one data dir: the high byte
+  // carries the server id.
+  auto connect_sid = [&fx](const std::string& ep) -> uint64_t {
+    auto ch = fx.network.Connect(ep);
+    EXPECT_TRUE(ch.ok()) << ch.status().ToString();
+    if (!ch.ok()) return 0;
+    net::Request req;
+    req.kind = net::Request::Kind::kConnect;
+    req.user = "u";
+    auto resp = ch.value()->RoundTrip(req);
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    uint64_t sid = resp.ok() ? resp->session_id : 0;
+    ch.value()->Disconnect();
+    return sid;
+  };
+  uint64_t sid_a = connect_sid(fx.a_ep);
+  fx.a->Kill();
+  PHX_ASSERT_OK(fx.b->Restart());
+  uint64_t sid_b = connect_sid(fx.b_ep);
+  ASSERT_NE(sid_a, 0u);
+  ASSERT_NE(sid_b, 0u);
+  EXPECT_EQ(sid_a >> 56, 0u);
+  EXPECT_EQ(sid_b >> 56, 1u);
+  EXPECT_NE(sid_a, sid_b);
+}
+
+}  // namespace
+}  // namespace phoenix
